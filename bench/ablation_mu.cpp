@@ -1,0 +1,71 @@
+// Ablation: the paper's choice of mu = USEED for posit Higham scaling
+// (§V-D.2) against the alternatives: Higham's IEEE-style 0.1*maxpos, and
+// mu = 1 (equilibration only).  Measured on Higham-scaled mixed-precision IR
+// with Posit(16,1) and Posit(16,2) factorizations.
+#include "bench_common.hpp"
+#include "la/ir.hpp"
+#include "posit/posit.hpp"
+#include "scaling/higham.hpp"
+
+namespace {
+
+using namespace pstab;
+
+template <class F>
+la::IrReport run_with_mu(const matrices::GeneratedMatrix& m, double mu) {
+  la::Dense<double> Ah = m.dense;
+  const auto hs = scaling::higham_scale(Ah, mu);
+  const auto b = matrices::paper_rhs(m.dense);
+  la::Vec<double> x;
+  la::IrOptions opt;
+  return la::mixed_ir<F>(m.dense, b, x, opt, &hs, &Ah);
+}
+
+std::string cell(const la::IrReport& r) {
+  const bool failed = r.status == la::IrStatus::factorization_failed ||
+                      r.status == la::IrStatus::diverged;
+  return core::fmt_iters(failed, r.status == la::IrStatus::max_iterations,
+                         r.iterations);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_env("ablation: choice of mu for posit Higham scaling (§V-D)");
+
+  const double mu_useed_1 = scaling::mu_posit<16, 1>();  // 4
+  const double mu_useed_2 = scaling::mu_posit<16, 2>();  // 16
+  const double mu_big_1 =
+      scaling::nearest_pow4(0.1 * Posit16_1::maxpos().to_double());
+  const double mu_big_2 =
+      scaling::nearest_pow4(0.1 * Posit16_2::maxpos().to_double());
+
+  std::printf("mu candidates: USEED(16,1)=%g USEED(16,2)=%g "
+              "0.1*max(16,1)=%.3g 0.1*max(16,2)=%.3g  1\n\n",
+              mu_useed_1, mu_useed_2, mu_big_1, mu_big_2);
+
+  core::Table t({"Matrix", "P1 mu=USEED", "P1 mu=.1max", "P1 mu=1",
+                 "P2 mu=USEED", "P2 mu=.1max", "P2 mu=1"});
+  int wins_useed = 0, rows = 0;
+  for (const auto* m : bench::suite()) {
+    const auto p1u = run_with_mu<Posit16_1>(*m, mu_useed_1);
+    const auto p1b = run_with_mu<Posit16_1>(*m, mu_big_1);
+    const auto p1o = run_with_mu<Posit16_1>(*m, 1.0);
+    const auto p2u = run_with_mu<Posit16_2>(*m, mu_useed_2);
+    const auto p2b = run_with_mu<Posit16_2>(*m, mu_big_2);
+    const auto p2o = run_with_mu<Posit16_2>(*m, 1.0);
+    const auto iters = [](const la::IrReport& r) {
+      return r.status == la::IrStatus::converged ? r.iterations : 1001;
+    };
+    if (iters(p1u) <= std::min(iters(p1b), iters(p1o))) ++wins_useed;
+    ++rows;
+    t.row({m->spec.name, cell(p1u), cell(p1b), cell(p1o), cell(p2u),
+           cell(p2b), cell(p2o)});
+  }
+  t.print();
+  std::printf(
+      "\nmu=USEED is at least as good as the alternatives on %d/%d matrices "
+      "for Posit(16,1) — the paper's recommendation.\n",
+      wins_useed, rows);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared plumbing for the per-figure bench binaries: suite iteration and a
+// standard header echoing the environment knobs so printed results are
+// self-describing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "matrices/suite.hpp"
+
+namespace pstab::bench {
+
+inline void print_env(const char* what) {
+  std::printf("positstab reproduction — %s\n", what);
+  std::printf("suite: synthetic Table I stand-ins (see DESIGN.md); "
+              "PSTAB_SIZE_CAP=%d%s\n",
+              matrices::size_cap(),
+              std::getenv("PSTAB_MTX_DIR") ? " (PSTAB_MTX_DIR overrides set)"
+                                           : "");
+}
+
+/// All 19 suite matrices in paper (Table I) order.
+inline std::vector<const matrices::GeneratedMatrix*> suite() {
+  return matrices::full_suite();
+}
+
+}  // namespace pstab::bench

@@ -1,0 +1,108 @@
+// Recreation of Gustafson's original posit showcase (paper §III): Gaussian
+// elimination on a matrix with pseudo-random entries uniform in [0, 1) —
+// "which naturally gives Posit an advantage since most entries lie close to
+// 0 on a log scale" — where Posit32 plus ONE step of iterative refinement
+// with a quire-fused residual is claimed to beat a straight Float64 solve.
+//
+// We reproduce the claim and then apply the paper's §III critique: repeat on
+// a badly scaled matrix, where the advantage evaporates.
+#include <cstdio>
+#include <random>
+
+#include "core/report.hpp"
+#include "la/lu.hpp"
+#include "la/ir.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+
+namespace {
+
+using namespace pstab;
+
+la::Dense<double> random_matrix(int n, double scale, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  la::Dense<double> A(n, n);
+  for (auto& v : A.data()) v = u(rng) * scale;
+  for (int i = 0; i < n; ++i) A(i, i) += 0.5 * scale;  // keep well-posed
+  return A;
+}
+
+/// Forward error (max relative component error) vs the reference solution.
+double ferr(const la::Vec<double>& x, const la::Vec<double>& ref) {
+  double m = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    m = std::max(m, std::fabs(x[i] - ref[i]) /
+                        std::max(1e-300, std::fabs(ref[i])));
+  return m;
+}
+
+/// Posit32 LU solve with `refine_steps` quire-fused residual corrections.
+template <int ES>
+la::Vec<double> posit_lu_quire_ir(const la::Dense<double>& A,
+                                  const la::Vec<double>& b,
+                                  int refine_steps) {
+  using P = Posit<32, ES>;
+  const auto Ap = A.template cast<P>();
+  const auto bp = la::from_double_vec<P>(b);
+  const auto f = la::lu_factor(Ap);
+  if (f.status != la::LuStatus::ok) return {};
+  auto x = la::lu_solve(f, bp);
+  const int n = A.rows();
+  for (int step = 0; step < refine_steps; ++step) {
+    // Residual via the quire: r_i = b_i - sum_j A_ij x_j, rounded ONCE.
+    la::Vec<P> r(n);
+    for (int i = 0; i < n; ++i) {
+      Quire<32, ES> q;
+      q.add(bp[i]);
+      for (int j = 0; j < n; ++j) q.sub_product(Ap(i, j), x[j]);
+      r[i] = q.to_posit();
+    }
+    const auto d = la::lu_solve(f, r);
+    for (int i = 0; i < n; ++i) x[i] += d[i];
+  }
+  return la::to_double_vec(x);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "positstab reproduction — Gustafson's Gaussian-elimination claim "
+      "(paper §III)\n\n");
+  const int n = 100;
+
+  core::Table t({"matrix", "F64 LU", "F32 LU", "P(32,2) LU",
+                 "P(32,2)+quire IR1", "P(32,2)+quire IR2"});
+  for (const double scale : {1.0, 1e8}) {
+    const auto A = random_matrix(n, scale, 2020);
+    la::Vec<double> xtrue(n, 1.0);
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(0.5, 1.5);
+    for (auto& v : xtrue) v = u(rng);
+    la::Vec<double> b;
+    A.gemv(xtrue, b);
+
+    const auto x64 = la::lu_solve(A, b);
+    const auto Af = A.cast<float>();
+    const auto x32 = la::lu_solve(Af, la::from_double_vec<float>(b));
+    const auto xp0 = posit_lu_quire_ir<2>(A, b, 0);
+    const auto xp1 = posit_lu_quire_ir<2>(A, b, 1);
+    const auto xp2 = posit_lu_quire_ir<2>(A, b, 2);
+
+    t.row({scale == 1.0 ? "uniform [0,1)" : "uniform, scale 1e8",
+           core::fmt_sci(x64 ? ferr(*x64, xtrue) : NAN, 1),
+           core::fmt_sci(x32 ? ferr(la::to_double_vec(*x32), xtrue) : NAN, 1),
+           core::fmt_sci(xp0.empty() ? NAN : ferr(xp0, xtrue), 1),
+           core::fmt_sci(xp1.empty() ? NAN : ferr(xp1, xtrue), 1),
+           core::fmt_sci(xp2.empty() ? NAN : ferr(xp2, xtrue), 1)});
+  }
+  t.print();
+  std::printf(
+      "\nShape to observe (forward error): on [0,1) data Posit32 beats "
+      "Float32 by an order of magnitude and the quire-IR step buys more — "
+      "the posit-friendly setting of Gustafson's demo.  At scale 1e8 the "
+      "posit advantage over Float32 disappears or reverses (the paper's "
+      "§III critique of that demo).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Throughput microbenchmarks (google-benchmark): the cost of the software
+// arithmetic underpinning every experiment — posit and soft-IEEE scalar ops,
+// quire accumulation, and the two kernels the solvers spend their time in
+// (sparse mat-vec and dense Cholesky).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "ieee/softfloat.hpp"
+#include "la/cholesky.hpp"
+#include "la/csr.hpp"
+#include "matrices/generator.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+
+namespace {
+
+using namespace pstab;
+
+template <class T>
+std::vector<T> random_operands(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.1, 10.0);
+  std::vector<T> v(n);
+  for (auto& x : v) x = scalar_traits<T>::from_double(u(rng));
+  return v;
+}
+
+template <class T>
+void BM_Add(benchmark::State& state) {
+  const auto a = random_operands<T>(1024, 1);
+  const auto b = random_operands<T>(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a[i & 1023] + b[i & 1023]);
+    ++i;
+  }
+}
+
+template <class T>
+void BM_Mul(benchmark::State& state) {
+  const auto a = random_operands<T>(1024, 3);
+  const auto b = random_operands<T>(1024, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a[i & 1023] * b[i & 1023]);
+    ++i;
+  }
+}
+
+template <class T>
+void BM_Div(benchmark::State& state) {
+  const auto a = random_operands<T>(1024, 5);
+  const auto b = random_operands<T>(1024, 6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a[i & 1023] / b[i & 1023]);
+    ++i;
+  }
+}
+
+template <class T>
+void BM_Sqrt(benchmark::State& state) {
+  using std::sqrt;
+  const auto a = random_operands<T>(1024, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sqrt(a[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_QuireDot(benchmark::State& state) {
+  const auto x = random_operands<Posit32_2>(256, 8);
+  const auto y = random_operands<Posit32_2>(256, 9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quire_dot(x.data(), y.data(), x.size()));
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+
+template <class T>
+void BM_Spmv(benchmark::State& state) {
+  matrices::MatrixSpec spec{"perf", 256, 2560, 1e4, 1e2, 1e2};
+  const auto g = matrices::generate_spd(spec, 0);
+  const auto A = g.csr.cast<T>();
+  const auto x = random_operands<T>(256, 10);
+  la::Vec<T> y;
+  for (auto _ : state) {
+    A.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.csr.nnz());
+}
+
+template <class T>
+void BM_Cholesky(benchmark::State& state) {
+  matrices::MatrixSpec spec{"perfchol", 96, 960, 1e3, 1e1, 1e2};
+  const auto g = matrices::generate_spd(spec, 0);
+  const auto A = g.dense.cast<T>();
+  for (auto _ : state) {
+    auto f = la::cholesky(A);
+    benchmark::DoNotOptimize(f.R.data().data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_Add, float);
+BENCHMARK_TEMPLATE(BM_Add, Half);
+BENCHMARK_TEMPLATE(BM_Add, Posit16_2);
+BENCHMARK_TEMPLATE(BM_Add, Posit32_2);
+BENCHMARK_TEMPLATE(BM_Add, Posit64_3);
+BENCHMARK_TEMPLATE(BM_Mul, float);
+BENCHMARK_TEMPLATE(BM_Mul, Half);
+BENCHMARK_TEMPLATE(BM_Mul, Posit16_2);
+BENCHMARK_TEMPLATE(BM_Mul, Posit32_2);
+BENCHMARK_TEMPLATE(BM_Div, Half);
+BENCHMARK_TEMPLATE(BM_Div, Posit32_2);
+BENCHMARK_TEMPLATE(BM_Sqrt, Half);
+BENCHMARK_TEMPLATE(BM_Sqrt, Posit32_2);
+BENCHMARK(BM_QuireDot);
+BENCHMARK_TEMPLATE(BM_Spmv, float);
+BENCHMARK_TEMPLATE(BM_Spmv, Half);
+BENCHMARK_TEMPLATE(BM_Spmv, Posit32_2);
+BENCHMARK_TEMPLATE(BM_Cholesky, float);
+BENCHMARK_TEMPLATE(BM_Cholesky, Posit32_2);
+BENCHMARK_MAIN();

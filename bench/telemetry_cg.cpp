@@ -1,0 +1,62 @@
+// Error telemetry: run CG in Instrumented<T> (format value + double shadow)
+// and report where the format's rounding drifts from double — the mechanism
+// beneath Figs 6/7.  Compares Posit(32,2) and Float32 on a golden-zone
+// matrix and a high-norm matrix, before and after re-scaling.
+#include "bench_common.hpp"
+#include "common/instrumented.hpp"
+#include "core/experiments.hpp"
+#include "ieee/softfloat.hpp"
+#include "la/cg.hpp"
+#include "scaling/scaling.hpp"
+
+namespace {
+
+using namespace pstab;
+
+template <class T>
+void run_one(const char* label, const matrices::GeneratedMatrix& m,
+             bool rescale, core::Table& t) {
+  using I = Instrumented<T>;
+  la::Csr<double> A = m.csr;
+  la::Vec<double> b = matrices::paper_rhs(m.dense);
+  if (rescale) scaling::scale_pow2_inf(A, b, 10);
+
+  I::stats.reset();
+  const auto Ai = A.cast<I>();
+  const auto bi = la::from_double_vec<I>(b);
+  la::Vec<I> x;
+  la::CgOptions opt;
+  opt.max_iter = 15 * m.n;
+  const auto rep = la::cg_solve(Ai, bi, x, opt);
+
+  const auto& s = I::stats;
+  t.row({m.spec.name, label, rescale ? "yes" : "no",
+         rep.status == la::CgStatus::converged
+             ? std::to_string(rep.iterations)
+             : "div/max",
+         core::fmt_int(long(s.total_ops())),
+         core::fmt_sci(s.max_rel_drift, 1),
+         core::fmt_sci(s.mean_rel_drift(), 1)});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_env("telemetry: per-operation drift of CG vs a double shadow");
+
+  core::Table t({"Matrix", "format", "rescaled", "iters", "ops",
+                 "max drift", "mean drift"});
+  for (const char* name : {"662_bus", "bcsstk06"}) {
+    const auto& m = matrices::suite_matrix(name);
+    for (const bool rescale : {false, true}) {
+      run_one<float>("Float32", m, rescale, t);
+      run_one<Posit32_2>("Posit(32,2)", m, rescale, t);
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading: Float32 drift is scale-invariant; Posit(32,2) drift drops "
+      "when re-scaling moves the working set into the golden zone — the "
+      "per-operation mechanism behind Fig 7.\n");
+  return 0;
+}

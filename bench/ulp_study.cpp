@@ -1,0 +1,39 @@
+// Empirical rounding-error profiles (paper §II): relative error of basic
+// operations per decade of operand magnitude.  IEEE rows are flat; posit
+// rows form the V of tapered precision — the measured counterpart of the
+// analytical Fig 3.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/ulp_study.hpp"
+#include "ieee/softfloat.hpp"
+#include "posit/posit.hpp"
+
+int main() {
+  using namespace pstab;
+  std::printf(
+      "positstab reproduction — empirical per-decade relative error (§II)\n");
+
+  for (const auto& [op, label] :
+       {std::pair{core::UlpOp::convert, "conversion"},
+        std::pair{core::UlpOp::mul, "multiplication"}}) {
+    std::printf("\n-- max relative error, %s --\n", label);
+    const auto f32 = core::ulp_profile<float>(op);
+    const auto p2 = core::ulp_profile<Posit32_2>(op);
+    const auto p3 = core::ulp_profile<Posit32_3>(op);
+    const auto f16 = core::ulp_profile<Half>(op);
+    const auto p16 = core::ulp_profile<Posit16_2>(op);
+    core::Table t({"decade", "F32", "P(32,2)", "P(32,3)", "F16", "P(16,2)"});
+    for (std::size_t i = 0; i < f32.size(); ++i)
+      t.row({"1e" + std::to_string(f32[i].decade),
+             core::fmt_sci(f32[i].max_rel, 1), core::fmt_sci(p2[i].max_rel, 1),
+             core::fmt_sci(p3[i].max_rel, 1), core::fmt_sci(f16[i].max_rel, 1),
+             core::fmt_sci(p16[i].max_rel, 1)});
+    t.print();
+  }
+  std::printf(
+      "\nReading: Float rows are flat (a single machine epsilon exists); "
+      "posit rows are V-shaped — no fixed eps bounds their relative error, "
+      "exactly the paper's §II argument for empirical evaluation.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: the posit number system in five minutes.
+//
+//   $ ./quickstart
+//
+// Shows construction, the golden zone, tapered precision, NaR semantics,
+// exact quire accumulation, and conversion between formats.
+#include <cstdio>
+
+#include "posit/posit.hpp"
+#include "posit/posit_math.hpp"
+#include "posit/quire.hpp"
+
+int main() {
+  using namespace pstab;
+  using P32 = Posit32_2;   // the standard 32-bit posit (ES = 2)
+  using P16 = Posit16_2;
+
+  std::printf("== positstab quickstart ==\n\n");
+
+  // Construction and arithmetic look like any numeric type.
+  const P32 a{1.5}, b{2.25};
+  std::printf("1.5 + 2.25 = %s\n", to_string(a + b).c_str());
+  std::printf("1.5 * 2.25 = %s\n", to_string(a * b).c_str());
+  std::printf("sqrt(2)    = %s\n", to_string(sqrt(P32{2.0})).c_str());
+
+  // Format constants: posits trade a huge range against tapered precision.
+  std::printf("\nPosit(32,2): useed=%g  maxpos=%.3g  minpos=%.3g\n",
+              P32::useed, P32::maxpos().to_double(),
+              P32::minpos().to_double());
+  std::printf("Posit(16,2): maxpos=%.3g (Float16 tops out at 65504)\n",
+              P16::maxpos().to_double());
+
+  // Tapered precision: fraction bits depend on magnitude (the golden zone).
+  for (const double x : {1.0, 1e3, 1e9, 1e30}) {
+    std::printf("fraction bits of Posit(32,2) at %.0e: %d  (Float32 has 23)\n",
+                x, P32::from_double(x).fraction_bits());
+  }
+
+  // No underflow, no overflow: saturation at minpos/maxpos, and a single
+  // non-real value NaR instead of the IEEE inf/NaN menagerie.
+  std::printf("\n1e300 as Posit(16,2): %s (saturates, never NaR)\n",
+              to_string(P16::from_double(1e300)).c_str());
+  std::printf("1/0 = %s, sqrt(-1) = %s\n",
+              to_string(P32{1.0} / P32{0.0}).c_str(),
+              to_string(sqrt(P32{-1.0})).c_str());
+
+  // The quire: exact sums of products, rounded once.
+  Quire<32, 2> q;
+  q.add(P32::from_double(1e20));
+  q.add(P32::from_double(3.0));
+  q.add(P32::from_double(-1e20));
+  std::printf("\nquire(1e20 + 3 - 1e20) = %s (round-per-op loses the 3)\n",
+              to_string(q.to_posit()).c_str());
+
+  // Cross-format conversion with one correct rounding.
+  const P16 narrow = P32::from_double(3.14159265358979).recast<16, 2>();
+  std::printf("pi as Posit(32,2) -> Posit(16,2): %s\n",
+              to_string(narrow).c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Radix-2 complex FFT templated over the scalar format — the paper's §VII
+// names FFT as promising future work for posits ("its narrow working range
+// makes it easy to squeeze into the posit golden zone"); bench/ext_fft tests
+// that hypothesis with round-trip accuracy measurements.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+
+namespace pstab::apps {
+
+template <class T>
+struct Cplx {
+  T re = scalar_traits<T>::zero();
+  T im = scalar_traits<T>::zero();
+
+  friend Cplx operator+(Cplx a, Cplx b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend Cplx operator-(Cplx a, Cplx b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend Cplx operator*(Cplx a, Cplx b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+};
+
+/// In-place iterative radix-2 Cooley-Tukey.  n must be a power of two.
+/// Twiddle factors are computed in double and rounded once into T (as any
+/// practical implementation with a precomputed table would).
+template <class T>
+void fft_radix2(std::vector<Cplx<T>>& a, bool inverse) {
+  using st = scalar_traits<T>;
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / double(len);
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx<T> w{st::from_double(std::cos(ang * double(k))),
+                        st::from_double(std::sin(ang * double(k)))};
+        const Cplx<T> u = a[i + k];
+        const Cplx<T> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const T inv_n = st::from_double(1.0 / double(n));
+    for (auto& x : a) {
+      x.re *= inv_n;
+      x.im *= inv_n;
+    }
+  }
+}
+
+/// Forward-then-inverse round trip; returns the relative L2 error vs the
+/// input, measured in double.
+template <class T>
+double fft_roundtrip_error(const std::vector<double>& signal) {
+  using st = scalar_traits<T>;
+  std::vector<Cplx<T>> a(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i)
+    a[i].re = st::from_double(signal[i]);
+  fft_radix2(a, false);
+  fft_radix2(a, true);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double d = st::to_double(a[i].re) - signal[i];
+    num += d * d + st::to_double(a[i].im) * st::to_double(a[i].im);
+    den += signal[i] * signal[i];
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+/// Forward-transform error vs a double-precision reference transform,
+/// relative L2, measured in double.
+template <class T>
+double fft_forward_error(const std::vector<double>& signal) {
+  using st = scalar_traits<T>;
+  std::vector<Cplx<T>> a(signal.size());
+  std::vector<Cplx<double>> ref(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    a[i].re = st::from_double(signal[i]);
+    ref[i].re = signal[i];
+  }
+  fft_radix2(a, false);
+  fft_radix2(ref, false);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double dr = st::to_double(a[i].re) - ref[i].re;
+    const double di = st::to_double(a[i].im) - ref[i].im;
+    num += dr * dr + di * di;
+    den += ref[i].re * ref[i].re + ref[i].im * ref[i].im;
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace pstab::apps

@@ -1,0 +1,142 @@
+// Sod's shock tube — the CFD benchmark the paper's §VII names as future
+// work.  A first-order finite-volume solver for the 1D Euler equations with
+// the Rusanov (local Lax-Friedrichs) flux, templated over the scalar format
+// so the same code runs in Float16/32/64 and any posit format.
+//
+// The flow variables stay within a few decades of 1, so this is exactly the
+// "narrow working range" workload where posits are hypothesized to shine.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+
+namespace pstab::apps {
+
+template <class T>
+struct EulerState {
+  std::vector<T> rho, mom, ene;  // density, momentum, total energy
+  [[nodiscard]] std::size_t cells() const { return rho.size(); }
+};
+
+struct SodOptions {
+  int cells = 200;
+  double t_end = 0.2;
+  double cfl = 0.45;
+  double gamma = 1.4;
+};
+
+/// Classic Sod initial condition on [0, 1]: (1, 0, 1) left, (.125, 0, .1)
+/// right of x = 0.5.
+template <class T>
+EulerState<T> sod_initial(int n, double gamma) {
+  using st = scalar_traits<T>;
+  EulerState<T> s;
+  s.rho.resize(n);
+  s.mom.resize(n);
+  s.ene.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) / n;
+    const double rho = x < 0.5 ? 1.0 : 0.125;
+    const double p = x < 0.5 ? 1.0 : 0.1;
+    s.rho[i] = st::from_double(rho);
+    s.mom[i] = st::zero();
+    s.ene[i] = st::from_double(p / (gamma - 1.0));
+  }
+  return s;
+}
+
+/// Advance to t_end with Rusanov fluxes.  All flux arithmetic runs in T;
+/// the time step is chosen in double (identical across formats so that the
+/// comparison isolates the spatial arithmetic).  Returns the number of steps.
+template <class T>
+int sod_run(EulerState<T>& s, const SodOptions& opt) {
+  using st = scalar_traits<T>;
+  const int n = opt.cells;
+  const double dx = 1.0 / n;
+  const T g1 = st::from_double(opt.gamma - 1.0);
+  const T half = st::from_double(0.5);
+
+  const auto pressure = [&](T rho, T mom, T ene) {
+    return g1 * (ene - half * mom * mom / rho);
+  };
+
+  std::vector<T> frho(n + 1), fmom(n + 1), fene(n + 1);
+  double t = 0;
+  int steps = 0;
+  while (t < opt.t_end) {
+    // Max wave speed in double for the CFL condition.
+    double smax = 1e-12;
+    for (int i = 0; i < n; ++i) {
+      const double rho = st::to_double(s.rho[i]);
+      const double u = st::to_double(s.mom[i]) / rho;
+      const double p = st::to_double(pressure(s.rho[i], s.mom[i], s.ene[i]));
+      const double c = std::sqrt(opt.gamma * std::max(p, 1e-12) / rho);
+      smax = std::max(smax, std::fabs(u) + c);
+    }
+    double dt = opt.cfl * dx / smax;
+    if (t + dt > opt.t_end) dt = opt.t_end - t;
+
+    // Rusanov flux at each interior face (transmissive boundaries).
+    const auto flux = [&](int l, int r, T& fr, T& fm, T& fe) {
+      const T rl = s.rho[l], ml = s.mom[l], el = s.ene[l];
+      const T rr = s.rho[r], mr = s.mom[r], er = s.ene[r];
+      const T pl = pressure(rl, ml, el), pr = pressure(rr, mr, er);
+      const T ul = ml / rl, ur = mr / rr;
+      const T cl = st::sqrt(st::from_double(opt.gamma) * pl / rl);
+      const T cr = st::sqrt(st::from_double(opt.gamma) * pr / rr);
+      const T al = st::abs(ul) + cl, ar = st::abs(ur) + cr;
+      const T a = st::to_double(al) > st::to_double(ar) ? al : ar;
+      // Physical fluxes.
+      const T f1l = ml, f1r = mr;
+      const T f2l = ml * ul + pl, f2r = mr * ur + pr;
+      const T f3l = ul * (el + pl), f3r = ur * (er + pr);
+      fr = half * (f1l + f1r) - half * a * (rr - rl);
+      fm = half * (f2l + f2r) - half * a * (mr - ml);
+      fe = half * (f3l + f3r) - half * a * (er - el);
+    };
+    for (int f = 1; f < n; ++f) flux(f - 1, f, frho[f], fmom[f], fene[f]);
+    // Transmissive boundaries: copy the neighbouring physical flux.
+    {
+      const T r0 = s.rho[0], m0 = s.mom[0], e0 = s.ene[0];
+      const T p0 = pressure(r0, m0, e0), u0 = m0 / r0;
+      frho[0] = m0;
+      fmom[0] = m0 * u0 + p0;
+      fene[0] = u0 * (e0 + p0);
+      const T rn = s.rho[n - 1], mn = s.mom[n - 1], en = s.ene[n - 1];
+      const T pn = pressure(rn, mn, en), un = mn / rn;
+      frho[n] = mn;
+      fmom[n] = mn * un + pn;
+      fene[n] = un * (en + pn);
+    }
+    const T lam = st::from_double(dt / dx);
+    for (int i = 0; i < n; ++i) {
+      s.rho[i] -= lam * (frho[i + 1] - frho[i]);
+      s.mom[i] -= lam * (fmom[i + 1] - fmom[i]);
+      s.ene[i] -= lam * (fene[i + 1] - fene[i]);
+    }
+    t += dt;
+    ++steps;
+  }
+  return steps;
+}
+
+/// Run the Sod problem in T and in double, and report the relative L1 error
+/// of the density profile (measured in double).
+template <class T>
+double sod_density_error(const SodOptions& opt = {}) {
+  using st = scalar_traits<T>;
+  auto ref = sod_initial<double>(opt.cells, opt.gamma);
+  sod_run(ref, opt);
+  auto test = sod_initial<T>(opt.cells, opt.gamma);
+  sod_run(test, opt);
+  double num = 0, den = 0;
+  for (int i = 0; i < opt.cells; ++i) {
+    num += std::fabs(st::to_double(test.rho[i]) - ref.rho[i]);
+    den += std::fabs(ref.rho[i]);
+  }
+  return num / den;
+}
+
+}  // namespace pstab::apps

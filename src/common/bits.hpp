@@ -1,0 +1,68 @@
+// Low-level bit utilities shared by the posit and soft-float implementations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace pstab::detail {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i64 = std::int64_t;
+
+constexpr int clz64(u64 x) noexcept { return x ? std::countl_zero(x) : 64; }
+
+constexpr int clz128(u128 x) noexcept {
+  const u64 hi = static_cast<u64>(x >> 64);
+  if (hi != 0) return clz64(hi);
+  return 64 + clz64(static_cast<u64>(x));
+}
+
+/// Index of the most significant set bit (0-based); precondition x != 0.
+constexpr int msb128(u128 x) noexcept { return 127 - clz128(x); }
+
+/// floor(sqrt(x)) computed bit-by-bit; exact for all 128-bit inputs.
+constexpr u128 isqrt128(u128 x) noexcept {
+  u128 res = 0;
+  u128 bit = u128(1) << 126;
+  while (bit > x) bit >>= 2;
+  while (bit != 0) {
+    if (x >= res + bit) {
+      x -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res >>= 1;
+    }
+    bit >>= 2;
+  }
+  return res;
+}
+
+/// Assembles a left-justified bit string in a 128-bit register.  Fields are
+/// appended MSB-first; any bits pushed past the bottom are folded into a
+/// sticky flag.  This is exactly the structure needed to round a posit:
+/// regime || exponent || fraction, then round the top (nbits-1) bits.
+struct BitAssembler {
+  u128 acc = 0;
+  int pos = 128;       // next free bit position (fill [pos-len, pos))
+  bool sticky = false;
+
+  constexpr void place(u64 field, int len) noexcept {
+    if (len <= 0) return;
+    if (pos >= len) {
+      pos -= len;
+      acc |= u128(field) << pos;
+    } else {
+      const int drop = len - pos;  // low bits of the field that fall off
+      if (drop >= 64) {
+        sticky = sticky || field != 0;
+      } else {
+        sticky = sticky || (field & ((u64(1) << drop) - 1)) != 0;
+        acc |= u128(field >> drop);
+      }
+      pos = 0;
+    }
+  }
+};
+
+}  // namespace pstab::detail

@@ -1,0 +1,135 @@
+// Instrumented<T>: a scalar adapter that runs any format T alongside a
+// double "shadow" value, counting operations and tracking how far the
+// T-computation drifts from the shadow.  This is the error-telemetry tool
+// behind bench/telemetry_cg: it shows WHERE a solver loses accuracy in a
+// given format, which is the mechanism underneath all the paper's figures.
+//
+// The shadow is advanced with the same sequence of operations in double, so
+// drift = |T result - shadow| / |shadow| measures accumulated format error
+// (not algorithmic error).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/scalar_traits.hpp"
+
+namespace pstab {
+
+struct OpStats {
+  std::uint64_t adds = 0, subs = 0, muls = 0, divs = 0, sqrts = 0;
+  double max_rel_drift = 0.0;
+  double sum_rel_drift = 0.0;
+  std::uint64_t drift_samples = 0;
+
+  void reset() { *this = OpStats{}; }
+  [[nodiscard]] std::uint64_t total_ops() const {
+    return adds + subs + muls + divs + sqrts;
+  }
+  [[nodiscard]] double mean_rel_drift() const {
+    return drift_samples ? sum_rel_drift / double(drift_samples) : 0.0;
+  }
+};
+
+template <class T>
+class Instrumented {
+ public:
+  // Per-format global telemetry (single-threaded use; the solvers under
+  // instrumentation run sequentially).
+  static OpStats stats;
+
+  Instrumented() : v_(scalar_traits<T>::zero()), shadow_(0.0) {}
+  explicit Instrumented(double d)
+      : v_(scalar_traits<T>::from_double(d)), shadow_(d) {}
+  Instrumented(T v, double s) : v_(v), shadow_(s) {}
+
+  [[nodiscard]] T value() const { return v_; }
+  [[nodiscard]] double shadow() const { return shadow_; }
+
+  friend Instrumented operator+(Instrumented a, Instrumented b) {
+    ++stats.adds;
+    return observe({a.v_ + b.v_, a.shadow_ + b.shadow_});
+  }
+  friend Instrumented operator-(Instrumented a, Instrumented b) {
+    ++stats.subs;
+    return observe({a.v_ - b.v_, a.shadow_ - b.shadow_});
+  }
+  friend Instrumented operator*(Instrumented a, Instrumented b) {
+    ++stats.muls;
+    return observe({a.v_ * b.v_, a.shadow_ * b.shadow_});
+  }
+  friend Instrumented operator/(Instrumented a, Instrumented b) {
+    ++stats.divs;
+    return observe({a.v_ / b.v_, a.shadow_ / b.shadow_});
+  }
+  Instrumented operator-() const { return {-v_, -shadow_}; }
+  Instrumented& operator+=(Instrumented o) { return *this = *this + o; }
+  Instrumented& operator-=(Instrumented o) { return *this = *this - o; }
+  Instrumented& operator*=(Instrumented o) { return *this = *this * o; }
+  Instrumented& operator/=(Instrumented o) { return *this = *this / o; }
+
+  friend bool operator<(Instrumented a, Instrumented b) {
+    return scalar_traits<T>::to_double(a.v_) <
+           scalar_traits<T>::to_double(b.v_);
+  }
+  friend bool operator==(Instrumented a, Instrumented b) {
+    return scalar_traits<T>::to_double(a.v_) ==
+           scalar_traits<T>::to_double(b.v_);
+  }
+
+  static Instrumented observe(Instrumented r) {
+    const double got = scalar_traits<T>::to_double(r.v_);
+    if (std::isfinite(r.shadow_) && r.shadow_ != 0.0 && std::isfinite(got)) {
+      const double drift = std::fabs(got - r.shadow_) / std::fabs(r.shadow_);
+      stats.max_rel_drift = std::max(stats.max_rel_drift, drift);
+      stats.sum_rel_drift += drift;
+      ++stats.drift_samples;
+    }
+    return r;
+  }
+
+ private:
+  T v_;
+  double shadow_;
+};
+
+template <class T>
+OpStats Instrumented<T>::stats{};
+
+template <class T>
+struct scalar_traits<Instrumented<T>> {
+  using I = Instrumented<T>;
+  static const char* name() noexcept { return "Instrumented"; }
+  static I from_double(double d) noexcept { return I(d); }
+  static double to_double(I x) noexcept {
+    return scalar_traits<T>::to_double(x.value());
+  }
+  static I zero() noexcept { return I(); }
+  static I one() noexcept { return I(1.0); }
+  static I abs(I x) noexcept {
+    return to_double(x) < 0 ? -x : x;
+  }
+  static I sqrt(I x) noexcept {
+    ++I::stats.sqrts;
+    return I::observe(I(scalar_traits<T>::sqrt(x.value()),
+                        std::sqrt(x.shadow())));
+  }
+  static I fma(I a, I b, I c) noexcept { return a * b + c; }
+  static bool finite(I x) noexcept {
+    return scalar_traits<T>::finite(x.value());
+  }
+  static I max() noexcept {
+    return I(scalar_traits<T>::max(),
+             scalar_traits<T>::to_double(scalar_traits<T>::max()));
+  }
+  static I min_pos() noexcept {
+    return I(scalar_traits<T>::min_pos(),
+             scalar_traits<T>::to_double(scalar_traits<T>::min_pos()));
+  }
+  static constexpr int significand_bits_at_one() noexcept {
+    return scalar_traits<T>::significand_bits_at_one();
+  }
+};
+
+}  // namespace pstab

@@ -1,0 +1,61 @@
+// Scalar abstraction used by every templated numerical kernel in positstab.
+//
+// The linear-algebra substrate (src/la), the experiment drivers (src/core) and
+// the future-work applications (src/apps) are written once against this
+// interface and instantiated for native IEEE types, software IEEE types
+// (pstab::SoftFloat) and posits (pstab::Posit).  Specializations for the
+// software formats live next to the formats themselves.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+namespace pstab {
+
+/// Primary template: covers the built-in arithmetic types (float, double,
+/// long double).  Software formats specialize this in their own headers.
+template <class T>
+struct scalar_traits {
+  static_assert(std::is_floating_point_v<T>,
+                "no scalar_traits specialization for this type");
+
+  static constexpr const char* name() noexcept {
+    if constexpr (std::is_same_v<T, float>) return "Float32";
+    if constexpr (std::is_same_v<T, double>) return "Float64";
+    return "LongDouble";
+  }
+
+  static T from_double(double d) noexcept { return static_cast<T>(d); }
+  static double to_double(T x) noexcept { return static_cast<double>(x); }
+
+  static T zero() noexcept { return T(0); }
+  static T one() noexcept { return T(1); }
+
+  static T abs(T x) noexcept { return std::fabs(x); }
+  static T sqrt(T x) noexcept { return std::sqrt(x); }
+  static T fma(T a, T b, T c) noexcept { return std::fma(a, b, c); }
+
+  /// True when x can participate in further arithmetic (finite, not NaN/NaR).
+  static bool finite(T x) noexcept { return std::isfinite(x); }
+
+  /// Largest finite magnitude (used when clamping out-of-range casts, as the
+  /// paper does when loading a matrix into a 16-bit format).
+  static T max() noexcept { return std::numeric_limits<T>::max(); }
+  /// Smallest positive value.
+  static T min_pos() noexcept { return std::numeric_limits<T>::denorm_min(); }
+
+  /// Significand bits carried for values near 1.0 (incl. hidden bit); used by
+  /// precision-comparison reports.
+  static constexpr int significand_bits_at_one() noexcept {
+    return std::numeric_limits<T>::digits;
+  }
+};
+
+/// Convenience helpers so kernels read naturally.
+template <class T> T sc_from(double d) { return scalar_traits<T>::from_double(d); }
+template <class T> double sc_to(T x) { return scalar_traits<T>::to_double(x); }
+
+}  // namespace pstab

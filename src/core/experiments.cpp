@@ -1,0 +1,194 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ieee/softfloat.hpp"
+#include "la/cholesky.hpp"
+#include "la/norms.hpp"
+#include "posit/posit.hpp"
+#include "scaling/higham.hpp"
+#include "scaling/scaling.hpp"
+
+namespace pstab::core {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+// ---------------------------------------------------------------------------
+// CG
+
+template <class T>
+CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
+                    const la::CgOptions& opt) {
+  const auto At = A.cast<T>();
+  const auto bt = la::from_double_vec<T>(b);
+  la::Vec<T> xt;
+  const auto rep = la::cg_solve(At, bt, xt, opt);
+  CgCell cell;
+  cell.status = rep.status;
+  cell.iterations = rep.iterations;
+  // True residual in double.
+  la::Vec<double> ax;
+  A.spmv(la::to_double_vec(xt), ax);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    num += (b[i] - ax[i]) * (b[i] - ax[i]);
+    den += b[i] * b[i];
+  }
+  cell.true_relres = den > 0 ? std::sqrt(num / den) : 0.0;
+  return cell;
+}
+
+template CgCell cg_in_format<double>(const la::Csr<double>&,
+                                     const la::Vec<double>&,
+                                     const la::CgOptions&);
+template CgCell cg_in_format<float>(const la::Csr<double>&,
+                                    const la::Vec<double>&,
+                                    const la::CgOptions&);
+template CgCell cg_in_format<Posit32_2>(const la::Csr<double>&,
+                                        const la::Vec<double>&,
+                                        const la::CgOptions&);
+template CgCell cg_in_format<Posit32_3>(const la::Csr<double>&,
+                                        const la::Vec<double>&,
+                                        const la::CgOptions&);
+template CgCell cg_in_format<Posit<32, 1>>(const la::Csr<double>&,
+                                           const la::Vec<double>&,
+                                           const la::CgOptions&);
+template CgCell cg_in_format<Posit<32, 4>>(const la::Csr<double>&,
+                                           const la::Vec<double>&,
+                                           const la::CgOptions&);
+
+double CgRow::pct_improvement(const CgCell& posit) const {
+  if (!f32.converged() || !posit.converged()) return kNan;
+  if (f32.iterations == 0) return 0.0;
+  return 100.0 * double(f32.iterations - posit.iterations) /
+         double(f32.iterations);
+}
+
+CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
+                        const CgExperimentOptions& opt) {
+  CgRow row;
+  row.matrix = m.spec.name;
+  row.norm2 = m.spec.norm2;
+  row.cond = m.spec.cond;
+
+  la::Csr<double> A = m.csr;
+  la::Vec<double> b = matrices::paper_rhs(m.dense);
+  if (opt.rescale_pow2_inf) scaling::scale_pow2_inf(A, b, 10);
+
+  la::CgOptions cg;
+  cg.tol = opt.tol;
+  cg.max_iter = opt.max_iter_per_n * m.n;
+  cg.fused_dots = opt.fused_dots;
+
+  row.f64 = cg_in_format<double>(A, b, cg);
+  row.f32 = cg_in_format<float>(A, b, cg);
+  row.p32_2 = cg_in_format<Posit32_2>(A, b, cg);
+  row.p32_3 = cg_in_format<Posit32_3>(A, b, cg);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+
+template <class T>
+CholCell cholesky_in_format(const la::Dense<double>& A,
+                            const la::Vec<double>& b) {
+  CholCell cell;
+  const auto At = A.cast<T>();
+  const auto bt = la::from_double_vec<T>(b);
+  const auto x = la::cholesky_solve(At, bt);
+  if (!x || !la::all_finite(*x)) return cell;  // ok = false
+  const auto xd = la::to_double_vec(*x);
+  const auto r = la::residual(A, b, xd);
+  double den = 0;
+  for (double v : b) den += v * v;
+  cell.ok = true;
+  cell.backward_error = la::nrm2_d(r) / std::sqrt(den);
+  return cell;
+}
+
+template CholCell cholesky_in_format<double>(const la::Dense<double>&,
+                                             const la::Vec<double>&);
+template CholCell cholesky_in_format<float>(const la::Dense<double>&,
+                                            const la::Vec<double>&);
+template CholCell cholesky_in_format<Posit32_2>(const la::Dense<double>&,
+                                                const la::Vec<double>&);
+template CholCell cholesky_in_format<Posit32_3>(const la::Dense<double>&,
+                                                const la::Vec<double>&);
+template CholCell cholesky_in_format<Posit<32, 1>>(const la::Dense<double>&,
+                                                   const la::Vec<double>&);
+template CholCell cholesky_in_format<Posit<32, 4>>(const la::Dense<double>&,
+                                                   const la::Vec<double>&);
+
+double CholRow::extra_digits(const CholCell& posit) const {
+  if (!f32.ok || !posit.ok || posit.backward_error <= 0 ||
+      f32.backward_error <= 0)
+    return kNan;
+  return std::log10(f32.backward_error / posit.backward_error);
+}
+
+CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
+                                const CholExperimentOptions& opt) {
+  CholRow row;
+  row.matrix = m.spec.name;
+  row.norm2 = m.spec.norm2;
+
+  la::Dense<double> A = m.dense;
+  la::Vec<double> b = matrices::paper_rhs(m.dense);
+  if (opt.rescale_diag_avg) scaling::scale_diag_avg(A, b);
+
+  row.f64 = cholesky_in_format<double>(A, b);
+  row.f32 = cholesky_in_format<float>(A, b);
+  row.p32_2 = cholesky_in_format<Posit32_2>(A, b);
+  row.p32_3 = cholesky_in_format<Posit32_3>(A, b);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-precision IR
+
+namespace {
+
+template <class F>
+la::IrReport ir_one_format(const matrices::GeneratedMatrix& m,
+                           const IrExperimentOptions& opt, double mu) {
+  la::IrOptions iro;
+  iro.max_iter = opt.max_iter;
+  const la::Dense<double>& A = m.dense;
+  const la::Vec<double> b = matrices::paper_rhs(A);
+  la::Vec<double> x;
+  if (!opt.higham) {
+    return la::mixed_ir<F>(A, b, x, iro);
+  }
+  la::Dense<double> Ah = A;  // becomes mu * R A R in place
+  const scaling::HighamScaling hs = scaling::higham_scale(Ah, mu);
+  return la::mixed_ir<F>(A, b, x, iro, &hs, &Ah);
+}
+
+}  // namespace
+
+double IrRow::pct_reduction() const {
+  const auto iters = [this](const la::IrReport& r) {
+    return r.status == la::IrStatus::converged ? r.iterations
+                                               : 1000;  // "1000+"
+  };
+  const int best_posit = std::min(iters(p16_1), iters(p16_2));
+  const int f = iters(f16);
+  if (f == 0) return 0.0;
+  return 100.0 * double(f - best_posit) / double(f);
+}
+
+IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
+                        const IrExperimentOptions& opt) {
+  IrRow row;
+  row.matrix = m.spec.name;
+  row.f16 = ir_one_format<Half>(m, opt, scaling::mu_ieee<Half>());
+  row.p16_1 = ir_one_format<Posit16_1>(m, opt, scaling::mu_posit<16, 1>());
+  row.p16_2 = ir_one_format<Posit16_2>(m, opt, scaling::mu_posit<16, 2>());
+  return row;
+}
+
+}  // namespace pstab::core

@@ -1,0 +1,104 @@
+// Experiment drivers for the paper's six studies (§IV):
+//   1/2: CG without / with power-of-two re-scaling          (Figs 6, 7)
+//   3/4: Cholesky solve without / with diagonal re-scaling  (Figs 8, 9)
+//   5/6: mixed-precision IR, naive / Higham-scaled          (Tables II, III, Fig 10)
+//
+// Each driver casts the double-precision problem into the format under test,
+// runs the templated solver from src/la with per-operation rounding, and
+// reports format-under-test results with double-precision monitoring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "la/cg.hpp"
+#include "la/ir.hpp"
+#include "matrices/generator.hpp"
+
+namespace pstab::core {
+
+// ---------------------------------------------------------------------------
+// CG (experiments 1 & 2)
+
+struct CgCell {
+  la::CgStatus status = la::CgStatus::max_iterations;
+  int iterations = 0;
+  double true_relres = 0.0;  // ||b - Ax||/||b|| in double at exit
+  [[nodiscard]] bool converged() const {
+    return status == la::CgStatus::converged;
+  }
+};
+
+struct CgRow {
+  std::string matrix;
+  double norm2 = 0, cond = 0;
+  CgCell f64, f32, p32_2, p32_3;
+  /// Paper Fig 6(b)/7(b): percent improvement of Posit32 over Float32
+  /// (negative = posit worse).  NaN when either side failed.
+  [[nodiscard]] double pct_improvement(const CgCell& posit) const;
+};
+
+struct CgExperimentOptions {
+  bool rescale_pow2_inf = false;  // experiment 2: ||A||_inf -> 2^10
+  bool fused_dots = false;        // quire ablation
+  double tol = 1e-5;              // the paper's criterion
+  int max_iter_per_n = 15;        // cap = max_iter_per_n * n
+};
+
+CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
+                        const CgExperimentOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Cholesky direct solve (experiments 3 & 4)
+
+struct CholCell {
+  bool ok = false;
+  double backward_error = 0.0;  // ||b - Ax||_2 / ||b||_2 in double
+};
+
+struct CholRow {
+  std::string matrix;
+  double norm2 = 0;
+  CholCell f64, f32, p32_2, p32_3;
+  /// Paper Fig 8(a)/9: extra digits of precision of a posit format over
+  /// Float32 = log10(float_residual / posit_residual).
+  [[nodiscard]] double extra_digits(const CholCell& posit) const;
+};
+
+struct CholExperimentOptions {
+  bool rescale_diag_avg = false;  // experiment 4 (Algorithm 3)
+};
+
+CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
+                                const CholExperimentOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Mixed-precision iterative refinement (experiments 5 & 6)
+
+struct IrRow {
+  std::string matrix;
+  la::IrReport f16, p16_1, p16_2;
+  /// Paper Table III last column: percent reduction in refinement steps of
+  /// the best posit format vs Float16.
+  [[nodiscard]] double pct_reduction() const;
+};
+
+struct IrExperimentOptions {
+  bool higham = false;  // experiment 6 (Algorithm 4/5 + mu per format)
+  int max_iter = 1000;  // the paper's "1000+" cap
+};
+
+IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
+                        const IrExperimentOptions& opt = {});
+
+/// Generic single-format CG in format T (used by ablation benches).
+template <class T>
+CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
+                    const la::CgOptions& opt);
+
+/// Generic single-format Cholesky solve backward error.
+template <class T>
+CholCell cholesky_in_format(const la::Dense<double>& A,
+                            const la::Vec<double>& b);
+
+}  // namespace pstab::core

@@ -1,0 +1,42 @@
+// The paper's Fig. 5: histogram of the number of ADDITIONAL fraction bits a
+// 32-bit posit offers over Float32 when representing the nonzero entries of
+// the suite matrices, each matrix weighted equally ("so that huge matrices
+// would not dominate").
+#pragma once
+
+#include <cmath>
+#include <map>
+
+#include "la/csr.hpp"
+#include "posit/posit.hpp"
+
+namespace pstab::core {
+
+/// Float32 explicit fraction bits available for magnitude x (23 in the
+/// normal range, fewer through the subnormals, 0 out of range).
+inline int float32_fraction_bits(double x) {
+  const double ax = std::fabs(x);
+  if (ax == 0) return 0;
+  if (ax >= std::ldexp(1.0, 128)) return 0;     // overflows Float32
+  if (ax >= std::ldexp(1.0, -126)) return 23;   // normal
+  const int lost = int(std::floor(std::log2(std::ldexp(1.0, -126) / ax))) + 1;
+  return std::max(0, 23 - lost);
+}
+
+/// Histogram: extra fraction bits (posit - Float32) -> total weight.
+/// Each call accumulates one matrix with weight 1/nnz per entry.
+template <int N, int ES>
+void accumulate_extra_bits(const la::Csr<double>& m,
+                           std::map<int, double>& hist) {
+  if (m.nnz() == 0) return;
+  const double w = 1.0 / double(m.nnz());
+  for (std::size_t k = 0; k < m.nnz(); ++k) {
+    const double v = m.values()[k];
+    if (v == 0) continue;
+    const auto p = Posit<N, ES>::from_double(v);
+    const int extra = p.fraction_bits() - float32_fraction_bits(v);
+    hist[extra] += w;
+  }
+}
+
+}  // namespace pstab::core

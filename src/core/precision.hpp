@@ -1,0 +1,73 @@
+// Precision-distribution model for the paper's Fig. 3: for each format, the
+// number of significand bits (equivalently decimal digits) carried at a given
+// magnitude.  For posits this tapers away from 1.0 (the "golden zone");
+// for IEEE formats it is flat across the normal range and decays through the
+// subnormals.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+#include "ieee/softfloat.hpp"
+#include "posit/posit.hpp"
+
+namespace pstab::core {
+
+/// Significand bits (hidden bit included) the format carries when
+/// representing magnitude `x`; 0 when x is out of range.
+template <int N, int ES>
+int significand_bits_at(Posit<N, ES>, double x) {
+  const auto p = Posit<N, ES>::from_double(x);
+  if (p.is_zero() || p.is_nar()) return 0;
+  // Saturated = no meaningful precision at this magnitude.
+  if (p == Posit<N, ES>::maxpos() && x > p.to_double()) return 0;
+  if (p == Posit<N, ES>::minpos() && x < p.to_double()) return 0;
+  return p.fraction_bits() + 1;
+}
+
+template <int E, int M>
+int significand_bits_at(SoftFloat<E, M>, double x) {
+  using F = SoftFloat<E, M>;
+  const auto f = F::from_double(x);
+  if (f.is_inf() || f.is_nan()) return 0;
+  if (f.is_zero() && x != 0) return 0;
+  // Subnormals lose leading bits.
+  const double minnorm = std::ldexp(1.0, F::emin);
+  if (std::fabs(x) >= minnorm) return M + 1;
+  const double dmin = std::ldexp(1.0, F::emin - M);
+  const int lost = int(std::floor(std::log2(minnorm / std::fabs(x))));
+  const int kept = M + 1 - lost;
+  return std::fabs(x) >= dmin && kept > 0 ? kept : 0;
+}
+
+inline int significand_bits_at(float, double x) {
+  return significand_bits_at(SoftFloat<8, 23>{}, x);
+}
+inline int significand_bits_at(double, double x) {
+  if (x == 0) return 0;
+  const double ax = std::fabs(x);
+  if (ax >= std::numeric_limits<double>::max()) return 0;
+  if (ax >= std::numeric_limits<double>::min()) return 53;
+  const int lost =
+      int(std::floor(std::log2(std::numeric_limits<double>::min() / ax)));
+  return std::max(0, 53 - lost);
+}
+
+/// Decimal digits of precision at magnitude x: bits * log10(2).
+template <class T>
+double digits_at(double x) {
+  return significand_bits_at(T{}, x) * 0.30102999566398119521;
+}
+
+/// One Fig. 3 series: digits of precision across decades [lo, hi].
+template <class T>
+std::vector<std::pair<int, double>> precision_series(int lo_decade = -12,
+                                                     int hi_decade = 12) {
+  std::vector<std::pair<int, double>> out;
+  for (int d = lo_decade; d <= hi_decade; ++d)
+    out.emplace_back(d, digits_at<T>(std::pow(10.0, d)));
+  return out;
+}
+
+}  // namespace pstab::core

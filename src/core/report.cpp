@@ -1,0 +1,111 @@
+#include "core/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace pstab::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+bool numeric_like(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%')
+      return false;
+  return true;
+}
+}  // namespace
+
+std::string Table::str() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) w[j] = headers_[j].size();
+  for (const auto& r : rows_)
+    for (std::size_t j = 0; j < r.size(); ++j) w[j] = std::max(w[j], r[j].size());
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells, bool header) {
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      const bool right = !header && numeric_like(cells[j]);
+      os << (j ? "  " : "");
+      if (right)
+        os << std::string(w[j] - cells[j].size(), ' ') << cells[j];
+      else
+        os << cells[j] << std::string(w[j] - cells[j].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_, true);
+  std::size_t total = headers_.size() ? 2 * (headers_.size() - 1) : 0;
+  for (auto x : w) total += x;
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit(r, false);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (j) os << ",";
+      const bool quote =
+          cells[j].find_first_of(",\"\n") != std::string::npos;
+      if (!quote) {
+        os << cells[j];
+      } else {
+        os << '"';
+        for (char c : cells[j]) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      }
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::cout << str() << std::flush; }
+
+std::string fmt_sci(double v, int prec) {
+  if (std::isnan(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", prec, v);
+  return buf;
+}
+
+std::string fmt_fix(double v, int prec) {
+  if (std::isnan(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_int(long v) { return std::to_string(v); }
+
+std::string fmt_iters(bool failed, bool capped, int iters, int cap) {
+  if (failed) return "-";
+  if (capped) return std::to_string(cap) + "+";
+  return std::to_string(iters);
+}
+
+void banner(const std::string& title, const std::string& subtitle) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!subtitle.empty()) std::cout << subtitle << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace pstab::core

@@ -1,0 +1,37 @@
+// Console table formatting: every bench binary prints its paper table/figure
+// as an aligned text table through this helper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pstab::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+  /// Render with column alignment; numeric-looking cells right-align.
+  [[nodiscard]] std::string str() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes get quoted), for
+  /// piping bench output into plotting scripts.
+  [[nodiscard]] std::string csv() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed/scientific format helpers used across the benches.
+std::string fmt_sci(double v, int prec = 2);   // "1.57e+11"; "-" for NaN
+std::string fmt_fix(double v, int prec = 2);   // "12.34";    "-" for NaN
+std::string fmt_int(long v);
+/// Iterations cell in the paper's Table II/III style: "-", "42", "1000+".
+std::string fmt_iters(bool failed, bool capped, int iters, int cap = 1000);
+
+/// Section banner for the bench output.
+void banner(const std::string& title, const std::string& subtitle = "");
+
+}  // namespace pstab::core

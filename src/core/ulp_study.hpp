@@ -1,0 +1,93 @@
+// Empirical rounding-error study (paper §II): "for Posits the axiom
+// f(x) = x(1+eps) with a fixed eps no longer holds".  This module measures
+// the relative representation/operation error of each format per decade of
+// operand magnitude, turning the paper's analytical observation into data:
+// IEEE formats show a flat profile across their normal range; posits show a
+// V-shaped profile, best at 1.0 and degrading by a factor of USEED per
+// regime step.
+#pragma once
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+
+namespace pstab::core {
+
+struct UlpRow {
+  int decade = 0;           // operands drawn near 10^decade
+  double max_rel = 0.0;     // worst observed relative error
+  double mean_rel = 0.0;    // average relative error
+};
+
+enum class UlpOp { convert, add, mul, div };
+
+/// Sample `trials` operations with operands of magnitude ~10^decade and
+/// measure the relative error of the T result against double (exact at
+/// these sizes for every format under study).
+template <class T>
+UlpRow ulp_study_decade(UlpOp op, int decade, int trials = 20000,
+                        unsigned seed = 99) {
+  using st = scalar_traits<T>;
+  std::mt19937_64 rng(seed + unsigned(decade) * 7919u);
+  std::uniform_real_distribution<double> mant(1.0, 10.0);
+  std::uniform_int_distribution<int> sign(0, 1);
+  UlpRow row;
+  row.decade = decade;
+  double sum = 0;
+  long counted = 0;
+  const double base = std::pow(10.0, decade);
+  for (int i = 0; i < trials; ++i) {
+    const double a = (sign(rng) ? 1 : -1) * mant(rng) * base;
+    const double b = (sign(rng) ? 1 : -1) * mant(rng) * base;
+    double exact = 0, got = 0;
+    switch (op) {
+      case UlpOp::convert:
+        exact = a;
+        got = st::to_double(st::from_double(a));
+        break;
+      case UlpOp::add: {
+        const T ta = st::from_double(a), tb = st::from_double(b);
+        // Compare against the exact sum of the ROUNDED operands, so the
+        // measurement isolates the operation's rounding.
+        exact = st::to_double(ta) + st::to_double(tb);
+        got = st::to_double(ta + tb);
+        break;
+      }
+      case UlpOp::mul: {
+        const T ta = st::from_double(a), tb = st::from_double(b);
+        exact = st::to_double(ta) * st::to_double(tb);
+        got = st::to_double(ta * tb);
+        break;
+      }
+      case UlpOp::div: {
+        const T ta = st::from_double(a), tb = st::from_double(b);
+        if (st::to_double(tb) == 0) continue;
+        exact = st::to_double(ta) / st::to_double(tb);
+        got = st::to_double(ta / tb);
+        break;
+      }
+    }
+    if (!std::isfinite(exact) || exact == 0.0 || !std::isfinite(got))
+      continue;
+    const double rel = std::fabs(got - exact) / std::fabs(exact);
+    row.max_rel = std::max(row.max_rel, rel);
+    sum += rel;
+    ++counted;
+  }
+  row.mean_rel = counted ? sum / counted : 0.0;
+  return row;
+}
+
+/// Full profile across decades [lo, hi].
+template <class T>
+std::vector<UlpRow> ulp_profile(UlpOp op, int lo = -8, int hi = 8,
+                                int trials = 20000) {
+  std::vector<UlpRow> rows;
+  for (int d = lo; d <= hi; ++d)
+    rows.push_back(ulp_study_decade<T>(op, d, trials));
+  return rows;
+}
+
+}  // namespace pstab::core

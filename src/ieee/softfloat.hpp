@@ -1,0 +1,251 @@
+// SoftFloat<EBITS, MBITS>: a software IEEE-754 binary format with EBITS
+// exponent bits and MBITS stored mantissa bits (1 + EBITS + MBITS total).
+//
+//   Half      = SoftFloat<5, 10>   (IEEE binary16, the paper's Float16)
+//   BFloat16  = SoftFloat<8, 7>
+//   Fp8e5m2   = SoftFloat<5, 2>
+//   Float32Emu= SoftFloat<8, 23>   (validated bit-for-bit vs hardware float)
+//
+// Semantics are full IEEE: signed zero, subnormals, infinities, quiet NaN,
+// round-to-nearest-even everywhere (including overflow to infinity).
+// Arithmetic is performed in double and rounded once to the target format;
+// this is correctly rounded because double's 53 significand bits satisfy
+// 53 >= 2*(MBITS+1) + 2 for every MBITS <= 23 (Figueroa's double-rounding
+// theorem for +, -, *, /, sqrt).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/scalar_traits.hpp"
+
+namespace pstab {
+
+template <int EBITS, int MBITS>
+class SoftFloat {
+  static_assert(2 <= EBITS && EBITS <= 8, "exponent field out of range");
+  static_assert(1 <= MBITS && MBITS <= 23,
+                "mantissa must satisfy the double-rounding bound");
+
+ public:
+  static constexpr int ebits = EBITS;
+  static constexpr int mbits = MBITS;
+  static constexpr int nbits = 1 + EBITS + MBITS;
+  static constexpr int bias = (1 << (EBITS - 1)) - 1;
+  static constexpr int emax = bias;           // max unbiased exponent
+  static constexpr int emin = 1 - bias;       // min normal unbiased exponent
+  using storage_t = std::uint32_t;
+
+  constexpr SoftFloat() noexcept = default;
+  explicit SoftFloat(double d) noexcept { *this = from_double(d); }
+  explicit SoftFloat(float f) noexcept { *this = from_double(f); }
+  explicit SoftFloat(int i) noexcept { *this = from_double(double(i)); }
+
+  [[nodiscard]] static constexpr SoftFloat from_bits(std::uint32_t b) noexcept {
+    SoftFloat f;
+    f.bits_ = b & ((nbits == 32) ? ~0u : ((1u << nbits) - 1));
+    return f;
+  }
+  [[nodiscard]] constexpr std::uint32_t bits() const noexcept { return bits_; }
+
+  [[nodiscard]] static constexpr SoftFloat zero() noexcept { return from_bits(0); }
+  [[nodiscard]] static constexpr SoftFloat one() noexcept {
+    return from_bits(std::uint32_t(bias) << MBITS);
+  }
+  [[nodiscard]] static constexpr SoftFloat infinity(bool neg = false) noexcept {
+    return from_bits((neg ? sign_mask() : 0u) | exp_mask());
+  }
+  [[nodiscard]] static constexpr SoftFloat quiet_nan() noexcept {
+    return from_bits(exp_mask() | (1u << (MBITS - 1)));
+  }
+  /// Largest finite value: exponent emax, mantissa all ones.
+  [[nodiscard]] static constexpr SoftFloat max_finite() noexcept {
+    return from_bits((exp_mask() - (1u << MBITS)) | mant_mask());
+  }
+  /// Smallest positive (subnormal) value.
+  [[nodiscard]] static constexpr SoftFloat denorm_min() noexcept {
+    return from_bits(1);
+  }
+
+  [[nodiscard]] constexpr bool is_nan() const noexcept {
+    return exp_field() == (1u << EBITS) - 1 && mant_field() != 0;
+  }
+  [[nodiscard]] constexpr bool is_inf() const noexcept {
+    return exp_field() == (1u << EBITS) - 1 && mant_field() == 0;
+  }
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    return (bits_ & ~sign_mask()) == 0;
+  }
+  [[nodiscard]] constexpr bool sign() const noexcept {
+    return (bits_ & sign_mask()) != 0;
+  }
+
+  // -- Conversions ------------------------------------------------------------
+
+  [[nodiscard]] static SoftFloat from_double(double d) noexcept {
+    if (std::isnan(d)) return quiet_nan();
+    const bool neg = std::signbit(d);
+    if (d == 0.0) return from_bits(neg ? sign_mask() : 0u);
+    if (std::isinf(d)) return infinity(neg);
+    int exp2 = 0;
+    const double m = std::frexp(neg ? -d : d, &exp2);  // m in [0.5, 1)
+    int scale = exp2 - 1;
+    const detail::u64 frac = static_cast<detail::u64>(std::ldexp(m, 64));
+    // Round the (hidden-bit-at-63) significand to the target precision.
+    if (scale < emin) {
+      // Subnormal: quantum is 2^(emin - MBITS).
+      const int shift = (63 - MBITS) + (emin - scale);
+      std::uint32_t q = 0;
+      if (shift >= 65) {
+        q = 0;  // below half of denorm_min: rounds to (signed) zero
+      } else if (shift == 64) {
+        // value < denorm_min; halfway exactly if frac has only its top bit.
+        const bool half = true;  // guard bit is frac's MSB == 1 always
+        const bool sticky = (frac & ((detail::u64(1) << 63) - 1)) != 0;
+        q = (half && sticky) ? 1 : 0;  // ties-to-even: 0 is even
+      } else {
+        const detail::u64 kept = frac >> shift;
+        const bool guard = (frac >> (shift - 1)) & 1;
+        const bool sticky = (frac & ((detail::u64(1) << (shift - 1)) - 1)) != 0;
+        q = static_cast<std::uint32_t>(kept) +
+            ((guard && (sticky || (kept & 1))) ? 1 : 0);
+      }
+      // q == 2^MBITS naturally overflows into exponent field = 1 (min normal).
+      return from_bits((neg ? sign_mask() : 0u) | q);
+    }
+    // Normal path.
+    const int shift = 63 - MBITS;
+    detail::u64 mant = frac >> shift;  // MBITS+1 bits incl. hidden
+    const bool guard = (frac >> (shift - 1)) & 1;
+    const bool sticky = (frac & ((detail::u64(1) << (shift - 1)) - 1)) != 0;
+    if (guard && (sticky || (mant & 1))) {
+      ++mant;
+      if (mant == (detail::u64(1) << (MBITS + 1))) {
+        mant >>= 1;
+        ++scale;
+      }
+    }
+    if (scale > emax) return infinity(neg);
+    const std::uint32_t e = static_cast<std::uint32_t>(scale + bias);
+    return from_bits((neg ? sign_mask() : 0u) | (e << MBITS) |
+                     (static_cast<std::uint32_t>(mant) & mant_mask()));
+  }
+
+  /// Exact: every SoftFloat value is representable in double.
+  [[nodiscard]] double to_double() const noexcept {
+    const std::uint32_t e = exp_field();
+    const std::uint32_t m = mant_field();
+    double v = 0.0;
+    if (e == (1u << EBITS) - 1) {
+      v = m == 0 ? std::numeric_limits<double>::infinity()
+                 : std::numeric_limits<double>::quiet_NaN();
+    } else if (e == 0) {
+      v = std::ldexp(static_cast<double>(m), emin - MBITS);
+    } else {
+      v = std::ldexp(static_cast<double>((1u << MBITS) | m),
+                     static_cast<int>(e) - bias - MBITS);
+    }
+    return sign() && !is_nan() ? -v : v;
+  }
+
+  // -- Arithmetic (double + single final rounding = correctly rounded) --------
+
+  friend SoftFloat operator+(SoftFloat a, SoftFloat b) noexcept {
+    return from_double(a.to_double() + b.to_double());
+  }
+  friend SoftFloat operator-(SoftFloat a, SoftFloat b) noexcept {
+    return from_double(a.to_double() - b.to_double());
+  }
+  friend SoftFloat operator*(SoftFloat a, SoftFloat b) noexcept {
+    return from_double(a.to_double() * b.to_double());
+  }
+  friend SoftFloat operator/(SoftFloat a, SoftFloat b) noexcept {
+    return from_double(a.to_double() / b.to_double());
+  }
+  constexpr SoftFloat operator-() const noexcept {
+    return from_bits(bits_ ^ sign_mask());
+  }
+  SoftFloat& operator+=(SoftFloat o) noexcept { return *this = *this + o; }
+  SoftFloat& operator-=(SoftFloat o) noexcept { return *this = *this - o; }
+  SoftFloat& operator*=(SoftFloat o) noexcept { return *this = *this * o; }
+  SoftFloat& operator/=(SoftFloat o) noexcept { return *this = *this / o; }
+
+  // -- Comparison: IEEE semantics (NaN unordered, -0 == +0) -------------------
+
+  friend bool operator==(SoftFloat a, SoftFloat b) noexcept {
+    return a.to_double() == b.to_double();
+  }
+  friend bool operator<(SoftFloat a, SoftFloat b) noexcept {
+    return a.to_double() < b.to_double();
+  }
+  friend bool operator<=(SoftFloat a, SoftFloat b) noexcept {
+    return a.to_double() <= b.to_double();
+  }
+  friend bool operator>(SoftFloat a, SoftFloat b) noexcept { return b < a; }
+  friend bool operator>=(SoftFloat a, SoftFloat b) noexcept { return b <= a; }
+
+ private:
+  static constexpr std::uint32_t sign_mask() noexcept {
+    return 1u << (EBITS + MBITS);
+  }
+  static constexpr std::uint32_t exp_mask() noexcept {
+    return ((1u << EBITS) - 1) << MBITS;
+  }
+  static constexpr std::uint32_t mant_mask() noexcept {
+    return (1u << MBITS) - 1;
+  }
+  [[nodiscard]] constexpr std::uint32_t exp_field() const noexcept {
+    return (bits_ >> MBITS) & ((1u << EBITS) - 1);
+  }
+  [[nodiscard]] constexpr std::uint32_t mant_field() const noexcept {
+    return bits_ & mant_mask();
+  }
+
+  storage_t bits_ = 0;
+};
+
+template <int E, int M>
+[[nodiscard]] SoftFloat<E, M> sqrt(SoftFloat<E, M> x) noexcept {
+  return SoftFloat<E, M>::from_double(std::sqrt(x.to_double()));
+}
+template <int E, int M>
+[[nodiscard]] SoftFloat<E, M> abs(SoftFloat<E, M> x) noexcept {
+  return x.sign() ? -x : x;
+}
+
+using Half = SoftFloat<5, 10>;
+using BFloat16 = SoftFloat<8, 7>;
+using Fp8e5m2 = SoftFloat<5, 2>;
+using Float32Emu = SoftFloat<8, 23>;
+
+template <int E, int M>
+struct scalar_traits<SoftFloat<E, M>> {
+  using F = SoftFloat<E, M>;
+  static const char* name() noexcept {
+    if constexpr (E == 5 && M == 10) return "Float16";
+    if constexpr (E == 8 && M == 7) return "BFloat16";
+    if constexpr (E == 5 && M == 2) return "Fp8e5m2";
+    if constexpr (E == 8 && M == 23) return "Float32Emu";
+    return "SoftFloat";
+  }
+  static F from_double(double d) noexcept { return F::from_double(d); }
+  static double to_double(F x) noexcept { return x.to_double(); }
+  static F zero() noexcept { return F::zero(); }
+  static F one() noexcept { return F::one(); }
+  static F abs(F x) noexcept { return pstab::abs(x); }
+  static F sqrt(F x) noexcept { return pstab::sqrt(x); }
+  static F fma(F a, F b, F c) noexcept {
+    // a*b is exact in double (2*(M+1) <= 48 bits); the sum rounds once in
+    // double, then once more to the target: faithful to <= 1 ulp.
+    return F::from_double(a.to_double() * b.to_double() + c.to_double());
+  }
+  static bool finite(F x) noexcept { return !x.is_nan() && !x.is_inf(); }
+  static F max() noexcept { return F::max_finite(); }
+  static F min_pos() noexcept { return F::denorm_min(); }
+  static constexpr int significand_bits_at_one() noexcept { return M + 1; }
+};
+
+}  // namespace pstab

@@ -1,0 +1,124 @@
+// Symmetric band storage and band Cholesky.  The suite matrices are banded
+// (see matrices/generator.cpp), so the O(n^3) dense factorization can be
+// done in O(n*w^2) — this is the performance-oriented storage a downstream
+// user would reach for, and bench/perf_ops-style comparisons aside it must
+// agree with the dense path bit-for-bit in double (same operation order).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace pstab::la {
+
+/// Symmetric band matrix: stores the diagonal and `w` super-diagonals.
+/// band(i, d) = A(i, i+d) for 0 <= d <= w.
+template <class T>
+class SymBand {
+ public:
+  SymBand() = default;
+  SymBand(int n, int w)
+      : n_(n), w_(w), a_(std::size_t(n) * (w + 1), scalar_traits<T>::zero()) {}
+
+  [[nodiscard]] int rows() const noexcept { return n_; }
+  [[nodiscard]] int bandwidth() const noexcept { return w_; }
+
+  [[nodiscard]] T& at(int i, int d) noexcept {
+    return a_[std::size_t(i) * (w_ + 1) + d];
+  }
+  [[nodiscard]] const T& at(int i, int d) const noexcept {
+    return a_[std::size_t(i) * (w_ + 1) + d];
+  }
+
+  /// Full (i, j) accessor; zero outside the band.
+  [[nodiscard]] T get(int i, int j) const noexcept {
+    if (j < i) std::swap(i, j);
+    const int d = j - i;
+    return d <= w_ ? at(i, d) : scalar_traits<T>::zero();
+  }
+
+  static SymBand from_dense(const Dense<T>& A, int w) {
+    SymBand b(A.rows(), w);
+    for (int i = 0; i < A.rows(); ++i)
+      for (int d = 0; d <= w && i + d < A.rows(); ++d) b.at(i, d) = A(i, i + d);
+    return b;
+  }
+
+  [[nodiscard]] Dense<T> to_dense() const {
+    Dense<T> d(n_, n_);
+    for (int i = 0; i < n_; ++i)
+      for (int k = 0; k <= w_ && i + k < n_; ++k) {
+        d(i, i + k) = at(i, k);
+        d(i + k, i) = at(i, k);
+      }
+    return d;
+  }
+
+  /// Smallest bandwidth that holds every nonzero of a dense symmetric A.
+  static int detect_bandwidth(const Dense<double>& A) {
+    int w = 0;
+    for (int i = 0; i < A.rows(); ++i)
+      for (int j = i + 1; j < A.cols(); ++j)
+        if (A(i, j) != 0.0 && j - i > w) w = j - i;
+    return w;
+  }
+
+ private:
+  int n_ = 0, w_ = 0;
+  std::vector<T> a_;
+};
+
+/// Band Cholesky: returns R in band storage (R(i, i+d) for d <= w), or
+/// nullopt when A is not positive definite / arithmetic fails.
+/// Fill-in of the upper factor stays inside the band.
+template <class T>
+[[nodiscard]] std::optional<SymBand<T>> band_cholesky(const SymBand<T>& A) {
+  using st = scalar_traits<T>;
+  const int n = A.rows(), w = A.bandwidth();
+  SymBand<T> R(n, w);
+  for (int k = 0; k < n; ++k) {
+    T s = A.at(k, 0);
+    const int lo = k - w > 0 ? k - w : 0;
+    for (int i = lo; i < k; ++i) {
+      const T r = R.at(i, k - i);
+      s -= r * r;
+    }
+    if (!st::finite(s) || !(st::to_double(s) > 0.0)) return std::nullopt;
+    const T rkk = st::sqrt(s);
+    R.at(k, 0) = rkk;
+    for (int d = 1; d <= w && k + d < n; ++d) {
+      T t = A.at(k, d);
+      const int j = k + d;
+      const int lo2 = j - w > 0 ? j - w : 0;
+      for (int i = lo2; i < k; ++i) t -= R.at(i, k - i) * R.at(i, j - i);
+      R.at(k, d) = t / rkk;
+      if (!st::finite(R.at(k, d))) return std::nullopt;
+    }
+  }
+  return R;
+}
+
+/// Solve A x = b given the band factor R (forward then backward).
+template <class T>
+[[nodiscard]] Vec<T> band_cholesky_solve(const SymBand<T>& R, const Vec<T>& b) {
+  const int n = R.rows(), w = R.bandwidth();
+  Vec<T> y(n);
+  for (int i = 0; i < n; ++i) {
+    T s = b[i];
+    const int lo = i - w > 0 ? i - w : 0;
+    for (int j = lo; j < i; ++j) s -= R.at(j, i - j) * y[j];
+    y[i] = s / R.at(i, 0);
+  }
+  Vec<T> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    T s = y[i];
+    const int hi = i + w < n - 1 ? i + w : n - 1;
+    for (int j = i + 1; j <= hi; ++j) s -= R.at(i, j - i) * x[j];
+    x[i] = s / R.at(i, 0);
+  }
+  return x;
+}
+
+}  // namespace pstab::la

@@ -1,0 +1,107 @@
+// Conjugate Gradient exactly as the paper's Algorithm 1: the residual is
+// maintained by the recurrence r_{i+1} = r_i - alpha_i A p_i (not recomputed
+// from the definition), and convergence is declared when the recurrence
+// residual's 2-norm drops below tol * ||b||.  All arithmetic runs in the
+// format under test with per-operation rounding.
+#pragma once
+
+#include <vector>
+
+#include "la/csr.hpp"
+#include "la/fused.hpp"
+#include "la/vector_ops.hpp"
+
+namespace pstab::la {
+
+enum class CgStatus {
+  converged,
+  max_iterations,    // residual still above tolerance at the iteration cap
+  breakdown,         // <p, Ap> or <r, r> became non-positive / NaR / NaN
+};
+
+struct CgReport {
+  CgStatus status = CgStatus::max_iterations;
+  int iterations = 0;
+  double final_relres = 0.0;        // recurrence-residual norm / ||b||
+  double true_relres = 0.0;         // ||b - Ax|| / ||b|| in double
+  std::vector<double> history;      // relres per iteration (double monitor)
+};
+
+struct CgOptions {
+  double tol = 1e-5;        // the paper's convergence threshold
+  int max_iter = 25000;
+  bool fused_dots = false;  // quire / extended-accumulator ablation
+  bool record_history = false;
+};
+
+template <class T, class Mat>
+CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
+                  const CgOptions& opt = {}) {
+  using st = scalar_traits<T>;
+  const int n = int(b.size());
+  CgReport rep;
+
+  const auto dotp = [&](const Vec<T>& u, const Vec<T>& v) {
+    return opt.fused_dots ? dot_fused(u, v) : dot(u, v);
+  };
+
+  x.assign(n, st::zero());
+  Vec<T> r = b;          // r0 = b - A*0 = b
+  Vec<T> p = r;          // p0 = r0
+  Vec<T> ap(n);
+
+  const double normb = nrm2_d(b);
+  if (normb == 0) {
+    rep.status = CgStatus::converged;
+    return rep;
+  }
+
+  T rr = dotp(r, r);
+  for (int it = 0; it < opt.max_iter; ++it) {
+    const double relres = std::sqrt(std::max(0.0, st::to_double(rr))) / normb;
+    if (opt.record_history) rep.history.push_back(relres);
+    rep.final_relres = relres;
+    if (relres <= opt.tol) {
+      rep.status = CgStatus::converged;
+      rep.iterations = it;
+      return rep;
+    }
+    if (!st::finite(rr) || !(st::to_double(rr) > 0.0)) {
+      rep.status = CgStatus::breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+
+    A.spmv(p, ap);
+    const T pap = dotp(p, ap);
+    if (!st::finite(pap) || !(st::to_double(pap) > 0.0)) {
+      rep.status = CgStatus::breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+    const T alpha = rr / pap;
+    axpy(alpha, p, x);        // x += alpha p
+    axpy(-alpha, ap, r);      // r -= alpha A p   (the recurrence residual)
+    const T rr_new = dotp(r, r);
+    if (!st::finite(rr_new)) {
+      rep.status = CgStatus::breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+    const T beta = rr_new / rr;
+    xpby(r, beta, p, p);      // p = r + beta p
+    rr = rr_new;
+  }
+  rep.status = CgStatus::max_iterations;
+  rep.iterations = opt.max_iter;
+  return rep;
+}
+
+/// Convenience wrapper for Dense matrices (adapts gemv to the spmv name).
+template <class T>
+struct DenseAsOperator {
+  const Dense<T>& A;
+  void spmv(const Vec<T>& x, Vec<T>& y) const { A.gemv(x, y); }
+};
+
+}  // namespace pstab::la

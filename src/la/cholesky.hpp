@@ -1,0 +1,127 @@
+// Cholesky factorization A = R^T R (R upper triangular) and triangular
+// solves, templated over the scalar format.  This is the paper's direct
+// solver (Algorithm 2's factorization step): chosen over LU because it needs
+// no pivoting on the symmetric positive definite test matrices.
+//
+// Every inner product rounds after each operation in the target format.
+#pragma once
+
+#include <optional>
+
+#include "la/dense.hpp"
+
+namespace pstab::la {
+
+enum class CholStatus {
+  ok,
+  not_positive_definite,  // a pivot was <= 0
+  arithmetic_error,       // NaR / NaN / inf encountered mid-factorization
+};
+
+template <class T>
+struct CholResult {
+  CholStatus status = CholStatus::ok;
+  int failed_column = -1;
+  Dense<T> R;  // upper triangular factor (valid when status == ok)
+};
+
+/// Up-looking Cholesky in format T.
+template <class T>
+[[nodiscard]] CholResult<T> cholesky(const Dense<T>& A) {
+  using st = scalar_traits<T>;
+  const int n = A.rows();
+  CholResult<T> res;
+  res.R = Dense<T>(n, n);
+  Dense<T>& R = res.R;
+  for (int k = 0; k < n; ++k) {
+    // Diagonal pivot: A(k,k) - sum_{i<k} R(i,k)^2
+    T s = A(k, k);
+    for (int i = 0; i < k; ++i) s -= R(i, k) * R(i, k);
+    if (!st::finite(s)) {
+      res.status = CholStatus::arithmetic_error;
+      res.failed_column = k;
+      return res;
+    }
+    if (!(st::to_double(s) > 0.0)) {
+      res.status = CholStatus::not_positive_definite;
+      res.failed_column = k;
+      return res;
+    }
+    const T rkk = st::sqrt(s);
+    R(k, k) = rkk;
+    // Off-diagonal row of R: R(k,j) = (A(k,j) - sum_{i<k} R(i,k) R(i,j)) / rkk
+#pragma omp parallel for schedule(static)
+    for (int j = k + 1; j < n; ++j) {
+      T t = A(k, j);
+      for (int i = 0; i < k; ++i) t -= R(i, k) * R(i, j);
+      R(k, j) = t / rkk;
+    }
+    for (int j = k + 1; j < n; ++j) {
+      if (!st::finite(R(k, j))) {
+        res.status = CholStatus::arithmetic_error;
+        res.failed_column = k;
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+/// Solve R^T y = b (forward substitution; R upper triangular).
+template <class T>
+[[nodiscard]] Vec<T> solve_lower_rt(const Dense<T>& R, const Vec<T>& b) {
+  const int n = R.rows();
+  Vec<T> y(n);
+  for (int i = 0; i < n; ++i) {
+    T s = b[i];
+    for (int j = 0; j < i; ++j) s -= R(j, i) * y[j];
+    y[i] = s / R(i, i);
+  }
+  return y;
+}
+
+/// Solve R x = y (backward substitution; R upper triangular).
+template <class T>
+[[nodiscard]] Vec<T> solve_upper(const Dense<T>& R, const Vec<T>& y) {
+  const int n = R.rows();
+  Vec<T> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    T s = y[i];
+    for (int j = i + 1; j < n; ++j) s -= R(i, j) * x[j];
+    x[i] = s / R(i, i);
+  }
+  return x;
+}
+
+/// Full direct solve of A x = b via Cholesky in format T.
+template <class T>
+[[nodiscard]] std::optional<Vec<T>> cholesky_solve(const Dense<T>& A,
+                                                   const Vec<T>& b) {
+  auto f = cholesky(A);
+  if (f.status != CholStatus::ok) return std::nullopt;
+  return solve_upper(f.R, solve_lower_rt(f.R, b));
+}
+
+/// Factorization backward error ||R^T R - A||_F / ||A||_F, evaluated in
+/// double (paper Fig. 10(b) metric).
+template <class T>
+[[nodiscard]] double factorization_backward_error(const Dense<T>& A,
+                                                  const Dense<T>& R) {
+  const int n = A.rows();
+  double num = 0, den = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double rtr = 0;
+      const int kmax = i < j ? i : j;
+      for (int k = 0; k <= kmax; ++k)
+        rtr += scalar_traits<T>::to_double(R(k, i)) *
+               scalar_traits<T>::to_double(R(k, j));
+      const double a = scalar_traits<T>::to_double(A(i, j));
+      num += (rtr - a) * (rtr - a);
+      den += a * a;
+    }
+  }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+}  // namespace pstab::la

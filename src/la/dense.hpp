@@ -1,0 +1,103 @@
+// Dense row-major matrix templated over the scalar format, with the BLAS-2
+// kernels the solvers need.  Kept deliberately simple: experiments in the
+// paper run on systems of order <= ~1100.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "la/vector_ops.hpp"
+
+namespace pstab::la {
+
+template <class T>
+class Dense {
+ public:
+  Dense() = default;
+  Dense(int rows, int cols)
+      : rows_(rows), cols_(cols), a_(std::size_t(rows) * cols,
+                                     scalar_traits<T>::zero()) {}
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  [[nodiscard]] T& operator()(int i, int j) noexcept {
+    return a_[std::size_t(i) * cols_ + j];
+  }
+  [[nodiscard]] const T& operator()(int i, int j) const noexcept {
+    return a_[std::size_t(i) * cols_ + j];
+  }
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return a_; }
+  [[nodiscard]] std::vector<T>& data() noexcept { return a_; }
+
+  /// y = A * x, accumulating in T with per-operation rounding.
+  void gemv(const Vec<T>& x, Vec<T>& y) const {
+    assert(int(x.size()) == cols_);
+    y.assign(rows_, scalar_traits<T>::zero());
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < rows_; ++i) {
+      T s = scalar_traits<T>::zero();
+      const T* row = &a_[std::size_t(i) * cols_];
+      for (int j = 0; j < cols_; ++j) s += row[j] * x[j];
+      y[i] = s;
+    }
+  }
+
+  [[nodiscard]] Vec<T> operator*(const Vec<T>& x) const {
+    Vec<T> y;
+    gemv(x, y);
+    return y;
+  }
+
+  /// Convert every entry; overflow clamps to the format's largest finite
+  /// value (the paper's matrix-loading rule for 16-bit formats).
+  template <class U>
+  [[nodiscard]] Dense<U> cast_clamped() const {
+    Dense<U> r(rows_, cols_);
+    r.data() = from_double_clamped<U>(to_double_vec(a_));
+    return r;
+  }
+
+  template <class U>
+  [[nodiscard]] Dense<U> cast() const {
+    Dense<U> r(rows_, cols_);
+    r.data() = from_double_vec<U>(to_double_vec(a_));
+    return r;
+  }
+
+  [[nodiscard]] Dense<double> to_double() const { return cast<double>(); }
+
+  [[nodiscard]] bool symmetric(double rel_tol = 0.0) const {
+    for (int i = 0; i < rows_; ++i)
+      for (int j = i + 1; j < cols_; ++j) {
+        const double x = scalar_traits<T>::to_double((*this)(i, j));
+        const double y = scalar_traits<T>::to_double((*this)(j, i));
+        if (std::fabs(x - y) > rel_tol * std::max(std::fabs(x), std::fabs(y)))
+          return false;
+      }
+    return true;
+  }
+
+  static Dense identity(int n) {
+    Dense I(n, n);
+    for (int i = 0; i < n; ++i) I(i, i) = scalar_traits<T>::one();
+    return I;
+  }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<T> a_;
+};
+
+/// r = b - A*x computed entirely in double (reference residual).
+inline Vec<double> residual(const Dense<double>& A, const Vec<double>& b,
+                            const Vec<double>& x) {
+  Vec<double> ax;
+  A.gemv(x, ax);
+  Vec<double> r(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
+  return r;
+}
+
+}  // namespace pstab::la

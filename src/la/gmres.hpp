@@ -1,0 +1,174 @@
+// Restarted GMRES(m) with an optional left preconditioner, plus GMRES-based
+// iterative refinement (Carson & Higham's GMRES-IR).  The paper notes that
+// its naive-IR failures "would be less likely to occur" with GMRES for the
+// correction equation (§V-D.2); bench/ablation_gmres_ir measures exactly
+// that claim.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "la/cholesky.hpp"
+#include "la/dense.hpp"
+#include "la/ir.hpp"
+
+namespace pstab::la {
+
+struct GmresReport {
+  bool converged = false;
+  int iterations = 0;      // total inner iterations across restarts
+  double final_relres = 0.0;
+};
+
+/// Solve A x = b in double with left preconditioner M^{-1} (apply_minv),
+/// restarted every `restart` iterations.  Classic Givens-rotation GMRES.
+inline GmresReport gmres_solve(
+    const Dense<double>& A, const Vec<double>& b, Vec<double>& x,
+    const std::function<Vec<double>(const Vec<double>&)>& apply_minv,
+    double tol = 1e-10, int max_iter = 500, int restart = 50) {
+  const int n = A.rows();
+  GmresReport rep;
+  if (x.size() != b.size()) x.assign(n, 0.0);
+
+  const auto precond = [&](Vec<double> v) {
+    return apply_minv ? apply_minv(v) : v;
+  };
+
+  const Vec<double> mb = precond(b);
+  const double normb = nrm2_d(mb);
+  if (normb == 0) {
+    rep.converged = true;
+    return rep;
+  }
+
+  int total = 0;
+  while (total < max_iter) {
+    // r = M^{-1}(b - A x)
+    Vec<double> r = precond(residual(A, b, x));
+    double beta = nrm2_d(r);
+    rep.final_relres = beta / normb;
+    if (rep.final_relres <= tol) {
+      rep.converged = true;
+      rep.iterations = total;
+      return rep;
+    }
+    const int m = std::min(restart, max_iter - total);
+    std::vector<Vec<double>> V(m + 1, Vec<double>(n));
+    Dense<double> H(m + 1, m);
+    std::vector<double> cs(m), sn(m), g(m + 1, 0.0);
+    for (int i = 0; i < n; ++i) V[0][i] = r[i] / beta;
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < m; ++k) {
+      Vec<double> w;
+      A.gemv(V[k], w);
+      w = precond(std::move(w));
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        H(i, k) = dot(V[i], w);
+        for (int j = 0; j < n; ++j) w[j] -= H(i, k) * V[i][j];
+      }
+      H(k + 1, k) = nrm2_d(w);
+      if (H(k + 1, k) > 0)
+        for (int j = 0; j < n; ++j) V[k + 1][j] = w[j] / H(k + 1, k);
+      // Apply accumulated Givens rotations to the new column.
+      for (int i = 0; i < k; ++i) {
+        const double t = cs[i] * H(i, k) + sn[i] * H(i + 1, k);
+        H(i + 1, k) = -sn[i] * H(i, k) + cs[i] * H(i + 1, k);
+        H(i, k) = t;
+      }
+      const double denom = std::hypot(H(k, k), H(k + 1, k));
+      if (denom == 0) {
+        ++k;
+        break;
+      }
+      cs[k] = H(k, k) / denom;
+      sn[k] = H(k + 1, k) / denom;
+      H(k, k) = denom;
+      H(k + 1, k) = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      ++total;
+      rep.final_relres = std::fabs(g[k + 1]) / normb;
+      if (rep.final_relres <= tol) {
+        ++k;
+        break;
+      }
+    }
+    // Back-substitute y from the k x k triangular system and update x.
+    std::vector<double> y(k, 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double s = g[i];
+      for (int j = i + 1; j < k; ++j) s -= H(i, j) * y[j];
+      y[i] = H(i, i) != 0 ? s / H(i, i) : 0.0;
+    }
+    for (int i = 0; i < k; ++i)
+      for (int j = 0; j < n; ++j) x[j] += y[i] * V[i][j];
+    if (rep.final_relres <= tol) {
+      rep.converged = true;
+      rep.iterations = total;
+      return rep;
+    }
+  }
+  rep.iterations = total;
+  return rep;
+}
+
+/// GMRES-IR (Carson & Higham): like mixed_ir, but each correction equation
+/// A d = r is solved by preconditioned GMRES with the 16-bit Cholesky factor
+/// as the preconditioner, instead of a single triangular solve.  Returns the
+/// number of OUTER refinement steps in IrReport::iterations.
+struct GmresIrOptions {
+  double tol = 4.0 * 1.11e-16;
+  int max_outer = 200;
+  int gmres_iters = 40;    // inner budget per correction
+  double gmres_tol = 1e-4; // inner (preconditioned) residual reduction
+};
+
+template <class F>
+IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
+                  Vec<double>& x, const GmresIrOptions& opt = {}) {
+  IrReport rep;
+  const int n = A.rows();
+  const Dense<F> Ah = A.template cast_clamped<F>();
+  const auto fact = cholesky(Ah);
+  rep.chol_status = fact.status;
+  if (fact.status != CholStatus::ok) {
+    rep.status = IrStatus::factorization_failed;
+    return rep;
+  }
+  rep.factorization_error = factorization_backward_error(Ah, fact.R);
+  const Dense<double> R = fact.R.template cast<double>();
+  const auto minv = [&](const Vec<double>& v) {
+    return solve_upper(R, solve_lower_rt(R, v));
+  };
+
+  const double norm_a = norm_inf(A);
+  const double norm_b = norm_inf_d(b);
+  x.assign(n, 0.0);
+  for (int it = 1; it <= opt.max_outer; ++it) {
+    const Vec<double> r = residual(A, b, x);
+    Vec<double> d;
+    gmres_solve(A, r, d, minv, opt.gmres_tol, opt.gmres_iters,
+                opt.gmres_iters);
+    for (int i = 0; i < n; ++i) x[i] += d[i];
+    const Vec<double> r2 = residual(A, b, x);
+    const double berr = norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
+    rep.final_berr = berr;
+    rep.iterations = it;
+    if (!std::isfinite(berr)) {
+      rep.status = IrStatus::diverged;
+      return rep;
+    }
+    if (berr <= opt.tol) {
+      rep.status = IrStatus::converged;
+      return rep;
+    }
+  }
+  rep.status = IrStatus::max_iterations;
+  return rep;
+}
+
+}  // namespace pstab::la

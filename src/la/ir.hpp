@@ -1,0 +1,108 @@
+// Mixed-precision iterative refinement (the paper's Algorithm 2, §V-D):
+// Cholesky-factorize in a 16-bit format F, cast the factor to Float64, then
+// refine entirely in Float64 until the solution is accurate to double
+// precision.  Optionally the factorization runs on Higham-scaled data
+// (Algorithm 4); the refinement still solves the ORIGINAL system.
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "la/cholesky.hpp"
+#include "la/dense.hpp"
+#include "la/norms.hpp"
+#include "scaling/higham.hpp"
+
+namespace pstab::la {
+
+enum class IrStatus {
+  converged,
+  max_iterations,         // "1000+" in the paper's tables
+  factorization_failed,   // "-": pivot breakdown or arithmetic error in F
+  diverged,               // "-": refinement blew up (poor factorization)
+};
+
+struct IrReport {
+  IrStatus status = IrStatus::max_iterations;
+  int iterations = 0;
+  double final_berr = 0.0;          // normwise backward error at exit
+  double factorization_error = 0.0; // ||R^T R - A_h||_F / ||A_h||_F (double)
+  la::CholStatus chol_status = la::CholStatus::ok;
+};
+
+struct IrOptions {
+  // "Accurate to Float64 precision" (Higham's convergence criterion family):
+  // normwise backward error ||r||_inf / (||A||_inf ||x||_inf + ||b||_inf).
+  double tol = 4.0 * 1.11e-16;
+  int max_iter = 1000;
+  bool record_factorization_error = true;
+};
+
+/// Naive mixed-precision IR (paper Table II): factor fl_F(A) directly.
+/// Higham-scaled IR (paper Table III): pass the scaling produced by
+/// scaling::higham_scale, and the already-scaled matrix as `Ah_source`.
+template <class F>
+IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
+                  Vec<double>& x, const IrOptions& opt = {},
+                  const scaling::HighamScaling* hs = nullptr,
+                  const Dense<double>* Ah_source = nullptr) {
+  IrReport rep;
+  const int n = A.rows();
+
+  // --- O(n^3) stage in format F ---------------------------------------------
+  const Dense<double>& src = Ah_source ? *Ah_source : A;
+  const Dense<F> Ah = src.template cast_clamped<F>();
+  const auto fact = cholesky(Ah);
+  rep.chol_status = fact.status;
+  if (fact.status != CholStatus::ok) {
+    rep.status = IrStatus::factorization_failed;
+    return rep;
+  }
+  if (opt.record_factorization_error)
+    rep.factorization_error = factorization_backward_error(Ah, fact.R);
+
+  // Cast the factor to the working precision (paper: "the factorization is
+  // cast into Float64 after line 1").
+  const Dense<double> R = fact.R.template cast<double>();
+
+  // --- O(n^2) refinement in Float64 -----------------------------------------
+  const double norm_a = norm_inf(A);
+  const double norm_b = norm_inf_d(b);
+  x.assign(n, 0.0);
+
+  double first_berr = -1.0;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    Vec<double> r = residual(A, b, x);
+    // Correction solve: plain  R^T R d = r, or through Higham's scaling:
+    // (mu R A R) z = mu * rdiag .* r, then d = rdiag .* z.
+    Vec<double> rhs = r;
+    if (hs) {
+      for (int i = 0; i < n; ++i) rhs[i] = hs->mu * hs->rdiag[i] * r[i];
+    }
+    Vec<double> d = solve_upper(R, solve_lower_rt(R, rhs));
+    if (hs) {
+      for (int i = 0; i < n; ++i) d[i] *= hs->rdiag[i];
+    }
+    for (int i = 0; i < n; ++i) x[i] += d[i];
+
+    Vec<double> r2 = residual(A, b, x);
+    const double berr =
+        norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
+    rep.final_berr = berr;
+    rep.iterations = it;
+    if (!std::isfinite(berr) ||
+        (first_berr > 0 && berr > 1e4 * first_berr && berr > 1.0)) {
+      rep.status = IrStatus::diverged;
+      return rep;
+    }
+    if (first_berr < 0) first_berr = berr;
+    if (berr <= opt.tol) {
+      rep.status = IrStatus::converged;
+      return rep;
+    }
+  }
+  rep.status = IrStatus::max_iterations;
+  return rep;
+}
+
+}  // namespace pstab::la

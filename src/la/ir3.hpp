@@ -1,0 +1,59 @@
+// Three-precision iterative refinement (Carson & Higham, SISC 2018 — the
+// analysis the paper's §V-D leans on): factorization precision u_f (16-bit),
+// working precision u (Float64), residual precision u_r (double-double,
+// i.e. twice working).  The paper's experiments skip the u_r refinement "to
+// avoid unnecessary complication"; bench/ablation_ir3 quantifies what that
+// simplification costs.
+#pragma once
+
+#include "la/ir.hpp"
+#include "mp/dd.hpp"
+
+namespace pstab::la {
+
+template <class F>
+IrReport mixed_ir3(const Dense<double>& A, const Vec<double>& b,
+                   Vec<double>& x, const IrOptions& opt = {}) {
+  IrReport rep;
+  const int n = A.rows();
+  const Dense<F> Ah = A.template cast_clamped<F>();
+  const auto fact = cholesky(Ah);
+  rep.chol_status = fact.status;
+  if (fact.status != CholStatus::ok) {
+    rep.status = IrStatus::factorization_failed;
+    return rep;
+  }
+  if (opt.record_factorization_error)
+    rep.factorization_error = factorization_backward_error(Ah, fact.R);
+  const Dense<double> R = fact.R.template cast<double>();
+
+  const double norm_a = norm_inf(A);
+  const double norm_b = norm_inf_d(b);
+  x.assign(n, 0.0);
+  double first_berr = -1.0;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    // Residual at twice the working precision, then rounded to double.
+    const Vec<double> r = mp::dd_residual(A, b, x);
+    const Vec<double> d = solve_upper(R, solve_lower_rt(R, r));
+    for (int i = 0; i < n; ++i) x[i] += d[i];
+
+    const Vec<double> r2 = mp::dd_residual(A, b, x);
+    const double berr = norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
+    rep.final_berr = berr;
+    rep.iterations = it;
+    if (!std::isfinite(berr) ||
+        (first_berr > 0 && berr > 1e4 * first_berr && berr > 1.0)) {
+      rep.status = IrStatus::diverged;
+      return rep;
+    }
+    if (first_berr < 0) first_berr = berr;
+    if (berr <= opt.tol) {
+      rep.status = IrStatus::converged;
+      return rep;
+    }
+  }
+  rep.status = IrStatus::max_iterations;
+  return rep;
+}
+
+}  // namespace pstab::la

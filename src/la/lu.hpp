@@ -1,0 +1,108 @@
+// Dense LU factorization with partial pivoting, templated over the scalar
+// format.  The paper uses Cholesky for its SPD suite but frames it against
+// LU throughout (§III, §VI: "LU factorization is observed to produce factors
+// which are scaled similarly to the initial matrix"); LU is also what
+// Gustafson's original posit showcase (Gaussian elimination + one step of
+// quire-fused refinement, §III) needs, which bench/ext_gustafson recreates.
+#pragma once
+
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace pstab::la {
+
+enum class LuStatus {
+  ok,
+  singular,          // zero (or NaR) pivot even after row exchange
+  arithmetic_error,  // non-finite value produced mid-elimination
+};
+
+template <class T>
+struct LuResult {
+  LuStatus status = LuStatus::ok;
+  int failed_column = -1;
+  Dense<T> lu;            // L (unit diagonal, below) and U (on/above)
+  std::vector<int> perm;  // row permutation: solve uses b[perm[i]]
+};
+
+/// Right-looking LU with partial (row) pivoting, all arithmetic in T.
+template <class T>
+[[nodiscard]] LuResult<T> lu_factor(const Dense<T>& A) {
+  using st = scalar_traits<T>;
+  const int n = A.rows();
+  LuResult<T> res;
+  res.lu = A;
+  res.perm.resize(n);
+  std::iota(res.perm.begin(), res.perm.end(), 0);
+  Dense<T>& M = res.lu;
+
+  for (int k = 0; k < n; ++k) {
+    // Pivot: largest |entry| in column k at or below the diagonal.
+    int piv = k;
+    double best = std::fabs(st::to_double(M(k, k)));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::fabs(st::to_double(M(i, k)));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (!(best > 0.0) || !st::finite(M(piv, k))) {
+      res.status = LuStatus::singular;
+      res.failed_column = k;
+      return res;
+    }
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(M(k, j), M(piv, j));
+      std::swap(res.perm[k], res.perm[piv]);
+    }
+    const T pivot = M(k, k);
+#pragma omp parallel for schedule(static)
+    for (int i = k + 1; i < n; ++i) {
+      const T l = M(i, k) / pivot;
+      M(i, k) = l;
+      for (int j = k + 1; j < n; ++j) M(i, j) -= l * M(k, j);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      if (!st::finite(M(i, k))) {
+        res.status = LuStatus::arithmetic_error;
+        res.failed_column = k;
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+/// Solve A x = b given the factorization (forward + backward substitution).
+template <class T>
+[[nodiscard]] Vec<T> lu_solve(const LuResult<T>& f, const Vec<T>& b) {
+  const int n = f.lu.rows();
+  Vec<T> y(n);
+  for (int i = 0; i < n; ++i) {
+    T s = b[f.perm[i]];
+    for (int j = 0; j < i; ++j) s -= f.lu(i, j) * y[j];
+    y[i] = s;  // L has unit diagonal
+  }
+  Vec<T> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    T s = y[i];
+    for (int j = i + 1; j < n; ++j) s -= f.lu(i, j) * x[j];
+    x[i] = s / f.lu(i, i);
+  }
+  return x;
+}
+
+/// One-call dense solve via LU.
+template <class T>
+[[nodiscard]] std::optional<Vec<T>> lu_solve(const Dense<T>& A,
+                                             const Vec<T>& b) {
+  auto f = lu_factor(A);
+  if (f.status != LuStatus::ok) return std::nullopt;
+  return lu_solve(f, b);
+}
+
+}  // namespace pstab::la

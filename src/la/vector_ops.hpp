@@ -1,0 +1,111 @@
+// BLAS-1 kernels templated over the scalar format.
+//
+// Every reduction here rounds after each operation — the paper's §II-C
+// ground rule (no quire / no deferred rounding for either format).  The
+// fused variants used by the quire ablation live in fused.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+
+namespace pstab::la {
+
+template <class T>
+using Vec = std::vector<T>;
+
+/// Elementwise conversion from double with overflow clamped to the largest
+/// finite value of T (the paper's rule when loading a matrix into a 16-bit
+/// format: "if an entry is larger than the maximum representable value we
+/// round down to this value").
+template <class T>
+[[nodiscard]] Vec<T> from_double_clamped(const Vec<double>& x) {
+  using st = scalar_traits<T>;
+  const double tmax = st::to_double(st::max());
+  Vec<T> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double d = x[i];
+    if (d > tmax) d = tmax;
+    if (d < -tmax) d = -tmax;
+    r[i] = st::from_double(d);
+  }
+  return r;
+}
+
+template <class T>
+[[nodiscard]] Vec<double> to_double_vec(const Vec<T>& x) {
+  Vec<double> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = scalar_traits<T>::to_double(x[i]);
+  return r;
+}
+
+template <class T>
+[[nodiscard]] Vec<T> from_double_vec(const Vec<double>& x) {
+  Vec<T> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = scalar_traits<T>::from_double(x[i]);
+  return r;
+}
+
+/// dot(x, y) with per-operation rounding in T.
+template <class T>
+[[nodiscard]] T dot(const Vec<T>& x, const Vec<T>& y) {
+  T s = scalar_traits<T>::zero();
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+/// y += alpha * x
+template <class T>
+void axpy(T alpha, const Vec<T>& x, Vec<T>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha
+template <class T>
+void scal(T alpha, Vec<T>& x) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// z = x + beta * y
+template <class T>
+void xpby(const Vec<T>& x, T beta, const Vec<T>& y, Vec<T>& z) {
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + beta * y[i];
+}
+
+/// 2-norm computed in T (sqrt of the T-rounded dot).
+template <class T>
+[[nodiscard]] T nrm2(const Vec<T>& x) {
+  return scalar_traits<T>::sqrt(dot(x, x));
+}
+
+/// Reference 2-norm in double regardless of T (for monitoring only).
+template <class T>
+[[nodiscard]] double nrm2_d(const Vec<T>& x) {
+  double s = 0;
+  for (const auto& v : x) {
+    const double d = scalar_traits<T>::to_double(v);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+template <class T>
+[[nodiscard]] double norm_inf_d(const Vec<T>& x) {
+  double m = 0;
+  for (const auto& v : x) {
+    const double d = std::fabs(scalar_traits<T>::to_double(v));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// True when every element can still participate in arithmetic.
+template <class T>
+[[nodiscard]] bool all_finite(const Vec<T>& x) {
+  for (const auto& v : x)
+    if (!scalar_traits<T>::finite(v)) return false;
+  return true;
+}
+
+}  // namespace pstab::la

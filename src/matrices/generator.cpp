@@ -1,0 +1,124 @@
+#include "matrices/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "la/cholesky.hpp"
+#include "la/norms.hpp"
+
+namespace pstab::matrices {
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  // FNV-1a: stable across platforms, unlike std::hash.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap) {
+  if (spec.cond_core > spec.cond)
+    throw std::invalid_argument(spec.name + ": cond_core exceeds cond");
+  GeneratedMatrix g;
+  g.spec = spec;
+  const int n = (size_cap > 0 && spec.n > size_cap) ? size_cap : spec.n;
+  g.n = n;
+  std::mt19937_64 rng(name_seed(spec.name));
+  std::uniform_real_distribution<double> jitter(0.7, 1.0);
+
+  // Band width from the published per-row density.
+  const double per_row = double(spec.nnz) / spec.n;
+  int w = std::max(1, int(std::lround((per_row - 1.0) / 2.0)));
+  w = std::min(w, std::max(1, n / 4));
+
+  // Jittered band Laplacian L: off-diagonals -c/d, diagonal = -(row sum).
+  la::Dense<double> A(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 1; d <= w && i + d < n; ++d) {
+      const double v = -jitter(rng) / d;
+      A(i, i + d) = v;
+      A(i + d, i) = v;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double s = 0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) s += A(i, j);
+    A(i, i) = -s;  // exact zero row sums: PSD with lambda_min = 0
+  }
+
+  // Shift to the target core conditioning: L + eps I.
+  const double lmax_l = la::norm2_est(A, 300, unsigned(name_seed(spec.name)));
+  const double eps = lmax_l / spec.cond_core;
+  for (int i = 0; i < n; ++i) A(i, i) += eps;
+
+  // Diagonal spread D: total condition budget cond = cond_core * spread.
+  const double spread = spec.cond / spec.cond_core;
+  std::vector<double> dexp(n);
+  const double gmax = std::log2(spread) / 2.0;  // d_i in [2^0, 2^gmax]
+  for (int i = 0; i < n; ++i) dexp[i] = gmax * double(i) / std::max(1, n - 1);
+  std::shuffle(dexp.begin(), dexp.end(), rng);
+  for (int i = 0; i < n; ++i) {
+    const double di = std::exp2(dexp[i]);
+    for (int j = 0; j < n; ++j) A(i, j) *= di;
+  }
+  for (int j = 0; j < n; ++j) {
+    const double dj = std::exp2(dexp[j]);
+    for (int i = 0; i < n; ++i) A(i, j) *= dj;
+  }
+  // The two scaling passes apply di and dj in different orders to (i,j) and
+  // (j,i); restore exact symmetry from the upper triangle.
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) A(j, i) = A(i, j);
+
+  // Measure the spectrum edges in double.
+  double lmax = la::norm2_est(A, 400, 2 + unsigned(name_seed(spec.name)));
+  auto fact = la::cholesky(A);
+  if (fact.status != la::CholStatus::ok)
+    throw std::runtime_error(spec.name + ": synthetic base not SPD");
+  const auto solve = [&](const la::Vec<double>& v) {
+    return la::solve_upper(fact.R, la::solve_lower_rt(fact.R, v));
+  };
+  double lmin =
+      la::lambda_min_est(n, solve, 400, 3 + unsigned(name_seed(spec.name)));
+  if (!(lmin > 0) || !(lmax > 0))
+    throw std::runtime_error(spec.name + ": spectrum estimation failed");
+
+  // One diagonal shift places the condition number exactly:
+  // (lmax + c) / (lmin + c) = cond  =>  c = (lmax - cond*lmin) / (cond - 1).
+  const double c = (lmax - spec.cond * lmin) / (spec.cond - 1.0);
+  if (lmin + c <= 0)
+    throw std::runtime_error(spec.name + ": infeasible condition target");
+  for (int i = 0; i < n; ++i) A(i, i) += c;
+  lmax += c;
+  lmin += c;
+
+  // Scalar scaling places ||A||_2.
+  const double sigma = spec.norm2 / lmax;
+  for (auto& v : A.data()) v *= sigma;
+  g.lambda_max = lmax * sigma;
+  g.lambda_min = lmin * sigma;
+
+  g.dense = std::move(A);
+  g.csr = la::Csr<double>::from_dense(g.dense);
+  return g;
+}
+
+la::Vec<double> paper_rhs(const la::Dense<double>& A) {
+  const int n = A.rows();
+  la::Vec<double> xhat(n, 1.0 / std::sqrt(double(n)));
+  la::Vec<double> b;
+  A.gemv(xhat, b);
+  return b;
+}
+
+}  // namespace pstab::matrices

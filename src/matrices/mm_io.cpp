@@ -1,0 +1,134 @@
+#include "matrices/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pstab::matrices {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+MmHeader parse_banner(const std::string& line) {
+  std::istringstream ss(line);
+  std::string tag, object, format, field, symmetry;
+  ss >> tag >> object >> format >> field >> symmetry;
+  if (lower(tag) != "%%matrixmarket" || lower(object) != "matrix")
+    throw std::runtime_error("not a MatrixMarket matrix: " + line);
+  MmHeader h;
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (format == "coordinate")
+    h.coordinate = true;
+  else if (format == "array")
+    h.coordinate = false;
+  else
+    throw std::runtime_error("unsupported MM format: " + format);
+  if (field == "pattern")
+    h.pattern = true;
+  else if (field != "real" && field != "integer" && field != "double")
+    throw std::runtime_error("unsupported MM field: " + field);
+  if (symmetry == "symmetric")
+    h.symmetric = true;
+  else if (symmetry != "general")
+    throw std::runtime_error("unsupported MM symmetry: " + symmetry);
+  return h;
+}
+
+}  // namespace
+
+la::Csr<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty MM stream");
+  MmHeader h = parse_banner(line);
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  {
+    std::istringstream ss(line);
+    if (h.coordinate) {
+      if (!(ss >> h.rows >> h.cols >> h.entries))
+        throw std::runtime_error("bad MM size line: " + line);
+    } else {
+      if (!(ss >> h.rows >> h.cols))
+        throw std::runtime_error("bad MM size line: " + line);
+      h.entries = long(h.rows) * h.cols;
+    }
+  }
+
+  std::vector<std::tuple<int, int, double>> trips;
+  trips.reserve(std::size_t(h.entries) * (h.symmetric ? 2 : 1));
+  if (h.coordinate) {
+    for (long k = 0; k < h.entries; ++k) {
+      int i = 0, j = 0;
+      double v = 1.0;
+      if (!(in >> i >> j)) throw std::runtime_error("truncated MM entries");
+      if (!h.pattern && !(in >> v))
+        throw std::runtime_error("truncated MM entries");
+      --i;
+      --j;  // 1-based -> 0-based
+      if (i < 0 || i >= h.rows || j < 0 || j >= h.cols)
+        throw std::runtime_error("MM index out of range");
+      trips.emplace_back(i, j, v);
+      if (h.symmetric && i != j) trips.emplace_back(j, i, v);
+    }
+  } else {
+    // Array format: column-major dense; symmetric stores the lower triangle.
+    for (int j = 0; j < h.cols; ++j) {
+      const int istart = h.symmetric ? j : 0;
+      for (int i = istart; i < h.rows; ++i) {
+        double v = 0;
+        if (!(in >> v)) throw std::runtime_error("truncated MM array");
+        if (v != 0.0) {
+          trips.emplace_back(i, j, v);
+          if (h.symmetric && i != j) trips.emplace_back(j, i, v);
+        }
+      }
+    }
+  }
+  return la::Csr<double>::from_triplets(h.rows, h.cols, std::move(trips));
+}
+
+la::Csr<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const la::Csr<double>& m,
+                         bool symmetric) {
+  long count = 0;
+  for (int i = 0; i < m.rows(); ++i)
+    for (int k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k)
+      if (!symmetric || m.col_idx()[k] <= i) ++count;
+
+  out << "%%MatrixMarket matrix coordinate real "
+      << (symmetric ? "symmetric" : "general") << "\n";
+  out << m.rows() << " " << m.cols() << " " << count << "\n";
+  out.precision(17);
+  for (int i = 0; i < m.rows(); ++i)
+    for (int k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k) {
+      const int j = m.col_idx()[k];
+      if (symmetric && j > i) continue;
+      out << (i + 1) << " " << (j + 1) << " " << m.values()[k] << "\n";
+    }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const la::Csr<double>& m, bool symmetric) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  write_matrix_market(f, m, symmetric);
+}
+
+}  // namespace pstab::matrices

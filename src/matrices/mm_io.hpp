@@ -1,0 +1,40 @@
+// Matrix Market (.mtx) reader/writer: coordinate and array formats, real /
+// integer / pattern fields, general and symmetric storage.  The paper's
+// matrices come from the Matrix Market repository; when the files are present
+// (PSTAB_MTX_DIR) they are loaded here, otherwise the synthetic suite stands
+// in (see generator.hpp and DESIGN.md's substitution note).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace pstab::matrices {
+
+struct MmHeader {
+  bool coordinate = true;   // vs array (dense)
+  bool pattern = false;     // entries are implicit 1.0
+  bool symmetric = false;   // lower triangle stored; mirror on read
+  int rows = 0, cols = 0;
+  long entries = 0;  // stored entries (coordinate) or rows*cols (array)
+};
+
+/// Parse a full Matrix Market stream into a CSR matrix (symmetric storage is
+/// expanded).  Throws std::runtime_error on malformed input.
+la::Csr<double> read_matrix_market(std::istream& in);
+
+/// Convenience: load from a file path.
+la::Csr<double> read_matrix_market_file(const std::string& path);
+
+/// Write in coordinate/real format; when `symmetric`, only the lower triangle
+/// is emitted (caller asserts the matrix is symmetric).
+void write_matrix_market(std::ostream& out, const la::Csr<double>& m,
+                         bool symmetric);
+
+void write_matrix_market_file(const std::string& path,
+                              const la::Csr<double>& m, bool symmetric);
+
+}  // namespace pstab::matrices

@@ -1,0 +1,41 @@
+// The paper's Table I matrix suite (19 SPD matrices from Matrix Market,
+// listed in increasing ||A||_2), with synthetic stand-ins generated on
+// demand (see generator.hpp and DESIGN.md for the substitution rationale).
+//
+// Environment knobs:
+//   PSTAB_SIZE_CAP — cap on generated order (default 360; 0 disables).
+//     Iteration counts shift with n; winners and crossovers do not.
+//   PSTAB_MTX_DIR  — directory with real <name>.mtx files; when a file for a
+//     suite matrix exists there it is loaded instead of the synthetic one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrices/generator.hpp"
+
+namespace pstab::matrices {
+
+/// Table I, in the paper's order (increasing 2-norm).
+const std::vector<MatrixSpec>& table1_specs();
+
+/// Spec by name (nullopt if not in the suite).
+std::optional<MatrixSpec> find_spec(const std::string& name);
+
+/// Effective size cap (PSTAB_SIZE_CAP, default 360).
+int size_cap();
+
+/// Load or synthesize one suite matrix (cached per process).
+const GeneratedMatrix& suite_matrix(const std::string& name);
+
+/// All suite matrices, paper order.
+std::vector<const GeneratedMatrix*> full_suite();
+
+/// Subset of the suite that appears in the paper's Table II.
+std::vector<std::string> table2_names();
+
+/// Subset of the suite that appears in the paper's Table III.
+std::vector<std::string> table3_names();
+
+}  // namespace pstab::matrices

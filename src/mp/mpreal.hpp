@@ -1,0 +1,50 @@
+// Thin RAII conveniences over GMP's mpf_class used as the "effectively
+// unlimited precision" ground truth the paper validates against (§IV-A).
+//
+// Link against pstab_mp (gmpxx + gmp) to use anything in src/mp.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+
+#include "ieee/softfloat.hpp"
+#include "posit/posit.hpp"
+
+namespace pstab::mp {
+
+/// Working precision for ground-truth arithmetic: far beyond any 64-bit
+/// format's needs, so single ops and short dot products are effectively exact.
+inline constexpr int kPrecBits = 512;
+
+[[nodiscard]] inline mpf_class make(double d = 0.0) {
+  return mpf_class(d, kPrecBits);
+}
+
+/// Exact conversion: every posit value is sign * frac * 2^(scale-63).
+template <int N, int ES>
+[[nodiscard]] mpf_class to_mpf(Posit<N, ES> p) {
+  mpf_class r(0, kPrecBits);
+  if (p.is_zero() || p.is_nar()) return r;  // caller must handle NaR itself
+  const auto u = pstab::detail::posit_decode<N, ES>(p.bits());
+  mpf_class f(0, kPrecBits);
+  // Load the 64-bit significand in two 32-bit halves (unsigned long is
+  // 64-bit on this platform, but stay portable).
+  f = static_cast<unsigned long>(u.frac >> 32);
+  mpf_mul_2exp(f.get_mpf_t(), f.get_mpf_t(), 32);
+  f += static_cast<unsigned long>(u.frac & 0xffffffffull);
+  const int e = u.scale - 63;
+  if (e >= 0)
+    mpf_mul_2exp(f.get_mpf_t(), f.get_mpf_t(), static_cast<unsigned>(e));
+  else
+    mpf_div_2exp(f.get_mpf_t(), f.get_mpf_t(), static_cast<unsigned>(-e));
+  return u.sign ? mpf_class(-f) : f;
+}
+
+/// Exact conversion for software IEEE formats (finite values only).
+template <int E, int M>
+[[nodiscard]] mpf_class to_mpf(SoftFloat<E, M> f) {
+  return make(f.to_double());  // SoftFloat values are exact doubles
+}
+
+}  // namespace pstab::mp

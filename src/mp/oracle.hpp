@@ -1,0 +1,110 @@
+// Correctly rounded real -> posit conversion computed WITHOUT using the
+// library's encoder or decoder, used as ground truth by the differential
+// tests (paper §IV-A).
+//
+// Posit rounding semantics (Posit Standard / softposit): round-to-nearest,
+// ties-to-even *on the encoding*.  Because the encoding is monotone but not
+// uniform, this equals round-to-nearest-value while the cut falls inside the
+// fraction field, but becomes geometric-mean rounding when it falls inside
+// the exponent or regime fields (de Dinechin's "tapered rounding" caveat).
+// Equivalently: x rounds up past pattern p exactly when x exceeds the value
+// of the (N+1)-bit posit pattern (p<<1)|1 — the pattern-space midpoint.
+//
+// This file implements that rule from scratch: an independent arbitrary-width
+// pattern decoder into GMP, a monotone binary search for the bracketing
+// pattern, and the midpoint comparison.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+
+#include "mp/mpreal.hpp"
+#include "posit/posit.hpp"
+
+namespace pstab::mp {
+
+/// Value of a POSITIVE posit pattern `pat` (sign bit zero) of total width W
+/// with ES exponent bits, decoded directly per the format definition.
+/// Independent of pstab::detail::posit_decode.  Supports W up to 80.
+[[nodiscard]] inline mpf_class oracle_decode(unsigned __int128 pat, int W,
+                                             int ES) {
+  if (pat == 0) return make(0.0);
+  // Scan the W-1 bits below the sign bit, MSB first.
+  int i = W - 2;
+  const auto bit = [&](int idx) -> int {
+    return idx >= 0 ? static_cast<int>((pat >> idx) & 1) : 0;
+  };
+  const int lead = bit(i);
+  int run = 0;
+  while (i >= 0 && bit(i) == lead) {
+    ++run;
+    --i;
+  }
+  --i;  // skip the terminating opposite bit (if i < 0 there wasn't one)
+  const int k = lead ? run - 1 : -run;
+  int e = 0;
+  for (int j = 0; j < ES; ++j) {
+    e = 2 * e + bit(i);  // bits past the end read as zero
+    --i;
+  }
+  // Remaining bits (possibly none) are the fraction.
+  const int fb = i >= 0 ? i + 1 : 0;
+  std::uint64_t frac = 0;
+  for (int j = fb - 1; j >= 0; --j) frac = (frac << 1) | bit(j);
+  const long scale = (long(k) << ES) + e;
+
+  mpf_class f(0, kPrecBits);
+  f = static_cast<unsigned long>((frac >> 32));
+  mpf_mul_2exp(f.get_mpf_t(), f.get_mpf_t(), 32);
+  f += static_cast<unsigned long>(frac & 0xffffffffull);
+  // value = (2^fb + frac) * 2^(scale - fb)
+  mpf_class one2fb(1, kPrecBits);
+  mpf_mul_2exp(one2fb.get_mpf_t(), one2fb.get_mpf_t(),
+               static_cast<unsigned>(fb));
+  f += one2fb;
+  const long sh = scale - fb;
+  if (sh >= 0)
+    mpf_mul_2exp(f.get_mpf_t(), f.get_mpf_t(), static_cast<unsigned>(sh));
+  else
+    mpf_div_2exp(f.get_mpf_t(), f.get_mpf_t(), static_cast<unsigned>(-sh));
+  return f;
+}
+
+/// Round an exact nonzero real to Posit<N, ES> under posit semantics:
+/// pattern-space round-to-nearest-even, saturating at minpos/maxpos (never
+/// rounding a nonzero value to zero or NaR).
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> oracle_round(const mpf_class& x) {
+  using P = Posit<N, ES>;
+  if (x == 0) return P::zero();
+  const bool neg = x < 0;
+  const mpf_class ax = neg ? mpf_class(-x) : x;
+
+  const std::uint64_t maxpat = P::maxpos().bits();
+  if (ax >= oracle_decode(maxpat, N, ES))
+    return neg ? -P::maxpos() : P::maxpos();
+  if (ax <= oracle_decode(1, N, ES)) return neg ? -P::minpos() : P::minpos();
+
+  // Largest positive pattern whose value is <= ax (patterns are monotone).
+  std::uint64_t lo = 1, hi = maxpat;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (oracle_decode(mid, N, ES) <= ax)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  // Pattern-space midpoint: the (N+1)-bit pattern (lo<<1)|1.
+  const mpf_class vmid =
+      oracle_decode((static_cast<unsigned __int128>(lo) << 1) | 1, N + 1, ES);
+  std::uint64_t pat = lo;
+  if (ax > vmid)
+    pat = lo + 1;
+  else if (ax == vmid)  // tie: even encoding wins
+    pat = (lo & 1) == 0 ? lo : lo + 1;
+  const P r = P::from_bits(pat);
+  return neg ? -r : r;
+}
+
+}  // namespace pstab::mp

@@ -1,0 +1,416 @@
+// Posit<N, ES>: a from-scratch, correctly rounded posit arithmetic library.
+//
+// The format follows Gustafson's posit encoding (sign, regime, ES exponent
+// bits, fraction) as described in the paper being reproduced and in the Posit
+// Standard (2022):
+//   * two special encodings: 0 (all zeros) and NaR (1 followed by zeros);
+//   * negative values are the two's complement of the positive encoding;
+//   * rounding is round-to-nearest, ties to even *encoding*, and never rounds
+//     a nonzero real to 0 or to NaR (saturates at minpos / maxpos instead);
+//   * if the regime leaves fewer than ES bits, the missing low-order exponent
+//     bits read as zero.
+//
+// All binary operations (+, -, *, /) plus sqrt and conversions are correctly
+// rounded: each computes the exact result as (sign, scale, 64-bit significand,
+// sticky) and defers rounding to a single final encode.  The test suite
+// validates this exhaustively against a GMP oracle for 8-bit posits and by
+// directed/random sweeps for 16/32/64-bit posits (see tests/posit_vs_gmp).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/bits.hpp"
+#include "common/scalar_traits.hpp"
+
+namespace pstab {
+
+namespace detail {
+
+/// A posit value in exploded form: value = (-1)^sign * frac/2^63 * 2^scale,
+/// with the hidden bit of `frac` at bit 63 (so frac in [2^63, 2^64)).
+struct Unpacked {
+  bool sign = false;
+  int scale = 0;
+  u64 frac = 0;
+};
+
+template <int N>
+constexpr u64 posit_mask() noexcept {
+  return N == 64 ? ~u64(0) : ((u64(1) << N) - 1);
+}
+
+/// Decode a nonzero, non-NaR pattern.  Caller must handle 0 / NaR.
+template <int N, int ES>
+constexpr Unpacked posit_decode(u64 bits) noexcept {
+  static_assert(3 <= N && N <= 64 && 0 <= ES && ES <= 4);
+  Unpacked u;
+  u.sign = (bits >> (N - 1)) & 1;
+  if (u.sign) bits = (0 - bits) & posit_mask<N>();
+  // Left-justify the N-1 regime/exponent/fraction bits at bit 63.
+  const u64 body = bits << (65 - N);
+  const bool lead = (body >> 63) & 1;
+  const int run = lead ? clz64(~body) : clz64(body);
+  const int k = lead ? run - 1 : -run;
+  const int consumed = run + 1 <= N - 1 ? run + 1 : N - 1;
+  const u64 rest = consumed < 64 ? body << consumed : 0;
+  const int e = ES > 0 ? static_cast<int>(rest >> (64 - (ES > 0 ? ES : 1))) : 0;
+  u.scale = (k << ES) + e;
+  u.frac = (u64(1) << 63) | ((ES < 63 ? rest << ES : 0) >> 1);
+  return u;
+}
+
+/// Round-to-nearest-even encode of (-1)^sign * frac/2^63 * 2^scale where
+/// `sticky` records whether any nonzero bits lie below frac's LSB.
+/// Returns the N-bit pattern (sign handled via two's complement).
+template <int N, int ES>
+constexpr u64 posit_encode(bool sign, int scale, u64 frac, bool sticky) noexcept {
+  static_assert(3 <= N && N <= 64 && 0 <= ES && ES <= 4);
+  constexpr int L = N - 1;  // bits available after the sign
+  constexpr u64 kMaxPos = (u64(1) << L) - 1;
+  const int k = scale >> ES;  // floor division
+  const int e = scale - (k << ES);
+  u64 pat = 0;
+  if (k >= L - 1) {
+    pat = kMaxPos;  // at or beyond maxpos: saturate (never round to NaR)
+  } else if (k <= -L) {
+    pat = 1;  // below minpos: saturate (never round to zero)
+  } else {
+    BitAssembler a;
+    a.sticky = sticky;
+    if (k >= 0) {
+      a.place(((u64(1) << (k + 1)) - 1) << 1, k + 2);  // k+1 ones, then 0
+    } else {
+      a.place(1, 1 - k);  // -k zeros, then 1
+    }
+    a.place(static_cast<u64>(e), ES);
+    a.place(frac & ((u64(1) << 63) - 1), 63);
+    pat = static_cast<u64>(a.acc >> (128 - L));
+    const bool guard = (a.acc >> (127 - L)) & 1;
+    const bool below = (a.acc & ((u128(1) << (127 - L)) - 1)) != 0;
+    const bool st = a.sticky || below;
+    if (guard && (st || (pat & 1))) ++pat;
+    if (pat > kMaxPos) pat = kMaxPos;
+    if (pat == 0) pat = 1;
+  }
+  return sign ? ((0 - pat) & posit_mask<N>()) : pat;
+}
+
+}  // namespace detail
+
+template <int N, int ES>
+class Quire;  // forward declaration (quire.hpp)
+
+/// An N-bit posit with ES exponent bits.  Trivially copyable; the value is a
+/// single integer pattern in the low N bits.
+template <int N, int ES>
+class Posit {
+  static_assert(3 <= N && N <= 64, "posit width must be in [3, 64]");
+  static_assert(0 <= ES && ES <= 4, "ES must be in [0, 4]");
+
+ public:
+  using storage_t =
+      std::conditional_t<(N <= 8), std::uint8_t,
+      std::conditional_t<(N <= 16), std::uint16_t,
+      std::conditional_t<(N <= 32), std::uint32_t, std::uint64_t>>>;
+
+  static constexpr int nbits = N;
+  static constexpr int es = ES;
+  /// useed = 2^(2^ES): the regime radix.
+  static constexpr double useed = double(1ull << (1u << ES));
+  /// Scale (base-2 exponent) of maxpos = useed^(N-2).
+  static constexpr int max_scale = (N - 2) << ES;
+  /// Maximum fraction bits (values near 1: regime is 2 bits).
+  static constexpr int max_frac_bits = (N - 3 - ES > 0) ? N - 3 - ES : 0;
+
+  constexpr Posit() noexcept = default;
+  constexpr explicit Posit(double d) noexcept { *this = from_double(d); }
+  constexpr explicit Posit(float f) noexcept { *this = from_double(f); }
+  constexpr explicit Posit(int i) noexcept { *this = from_double(double(i)); }
+
+  [[nodiscard]] static constexpr Posit from_bits(std::uint64_t bits) noexcept {
+    Posit p;
+    p.bits_ = static_cast<storage_t>(bits & detail::posit_mask<N>());
+    return p;
+  }
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+  [[nodiscard]] static constexpr Posit zero() noexcept { return from_bits(0); }
+  [[nodiscard]] static constexpr Posit one() noexcept {
+    return from_bits(u64(1) << (N - 2));
+  }
+  [[nodiscard]] static constexpr Posit nar() noexcept {
+    return from_bits(u64(1) << (N - 1));
+  }
+  [[nodiscard]] static constexpr Posit maxpos() noexcept {
+    return from_bits((u64(1) << (N - 1)) - 1);
+  }
+  [[nodiscard]] static constexpr Posit minpos() noexcept { return from_bits(1); }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr bool is_nar() const noexcept {
+    return bits() == (u64(1) << (N - 1));
+  }
+  [[nodiscard]] constexpr bool is_negative() const noexcept {
+    return !is_nar() && ((bits() >> (N - 1)) & 1);
+  }
+
+  // -- Conversions ----------------------------------------------------------
+
+  [[nodiscard]] static constexpr Posit from_double(double d) noexcept {
+    if (d == 0.0) return zero();
+    if (std::isnan(d) || std::isinf(d)) return nar();
+    const bool sign = d < 0.0;
+    int exp = 0;
+    const double m = std::frexp(sign ? -d : d, &exp);  // m in [0.5, 1)
+    // m = M / 2^53 exactly with M in [2^52, 2^53); m * 2^64 = M * 2^11 fits
+    // a u64 exactly, giving the significand with the hidden bit at bit 63.
+    const u64 frac = static_cast<u64>(std::ldexp(m, 64));
+    return from_bits(detail::posit_encode<N, ES>(sign, exp - 1, frac, false));
+  }
+
+  [[nodiscard]] static Posit from_long_double(long double d) noexcept {
+    if (d == 0.0L) return zero();
+    if (std::isnan(d) || std::isinf(d)) return nar();
+    const bool sign = d < 0.0L;
+    int exp = 0;
+    const long double m = frexpl(sign ? -d : d, &exp);
+    // x87 long double has a 64-bit significand: m * 2^64 is an exact integer.
+    const u64 frac = static_cast<u64>(ldexpl(m, 64));
+    return from_bits(detail::posit_encode<N, ES>(sign, exp - 1, frac, false));
+  }
+
+  /// Correctly (singly) rounded to double; exact whenever the posit fraction
+  /// fits in 53 bits (always true for N <= 32).  NaR maps to quiet NaN.
+  [[nodiscard]] double to_double() const noexcept {
+    if (is_zero()) return 0.0;
+    if (is_nar()) return std::numeric_limits<double>::quiet_NaN();
+    const auto u = detail::posit_decode<N, ES>(bits());
+    const double v = std::ldexp(static_cast<double>(u.frac), u.scale - 63);
+    return u.sign ? -v : v;
+  }
+
+  /// Exact for every posit up to N = 64 (x87 significand is 64 bits).
+  [[nodiscard]] long double to_long_double() const noexcept {
+    if (is_zero()) return 0.0L;
+    if (is_nar()) return std::numeric_limits<long double>::quiet_NaN();
+    const auto u = detail::posit_decode<N, ES>(bits());
+    const long double v = ldexpl(static_cast<long double>(u.frac), u.scale - 63);
+    return u.sign ? -v : v;
+  }
+
+  /// Convert between posit formats with a single correct rounding.
+  template <int N2, int ES2>
+  [[nodiscard]] constexpr Posit<N2, ES2> recast() const noexcept {
+    if (is_zero()) return Posit<N2, ES2>::zero();
+    if (is_nar()) return Posit<N2, ES2>::nar();
+    const auto u = detail::posit_decode<N, ES>(bits());
+    return Posit<N2, ES2>::from_bits(
+        detail::posit_encode<N2, ES2>(u.sign, u.scale, u.frac, false));
+  }
+
+  // -- Arithmetic ------------------------------------------------------------
+
+  friend constexpr Posit operator+(Posit a, Posit b) noexcept { return add(a, b); }
+  friend constexpr Posit operator-(Posit a, Posit b) noexcept {
+    return add(a, -b);
+  }
+  friend constexpr Posit operator*(Posit a, Posit b) noexcept { return mul(a, b); }
+  friend constexpr Posit operator/(Posit a, Posit b) noexcept { return div(a, b); }
+
+  constexpr Posit operator-() const noexcept {
+    if (is_zero() || is_nar()) return *this;  // posit has no -0; -NaR = NaR
+    return from_bits((0 - bits()) & detail::posit_mask<N>());
+  }
+  constexpr Posit& operator+=(Posit o) noexcept { return *this = *this + o; }
+  constexpr Posit& operator-=(Posit o) noexcept { return *this = *this - o; }
+  constexpr Posit& operator*=(Posit o) noexcept { return *this = *this * o; }
+  constexpr Posit& operator/=(Posit o) noexcept { return *this = *this / o; }
+
+  // -- Comparison: the posit total order is the signed order of the patterns;
+  //    NaR compares less than every real and equal to itself. -----------------
+
+  [[nodiscard]] constexpr std::int64_t signed_pattern() const noexcept {
+    return static_cast<std::int64_t>(bits() << (64 - N)) >> (64 - N);
+  }
+  friend constexpr bool operator==(Posit a, Posit b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr std::strong_ordering operator<=>(Posit a, Posit b) noexcept {
+    return a.signed_pattern() <=> b.signed_pattern();
+  }
+
+  // -- Navigation -------------------------------------------------------------
+
+  /// Next representable value upward in the total order (pattern + 1).
+  [[nodiscard]] constexpr Posit next_up() const noexcept {
+    return from_bits(bits() + 1);
+  }
+  [[nodiscard]] constexpr Posit next_down() const noexcept {
+    return from_bits(bits() - 1);
+  }
+
+  /// Number of fraction bits the encoding of this value carries (excludes the
+  /// hidden bit).  Drives the golden-zone histograms (paper Fig. 5).
+  [[nodiscard]] constexpr int fraction_bits() const noexcept {
+    if (is_zero() || is_nar()) return 0;
+    u64 b = bits();
+    if ((b >> (N - 1)) & 1) b = (0 - b) & detail::posit_mask<N>();
+    const u64 body = b << (65 - N);
+    const bool lead = (body >> 63) & 1;
+    const int run = lead ? detail::clz64(~body) : detail::clz64(body);
+    const int consumed = run + 1 <= N - 1 ? run + 1 : N - 1;
+    const int fb = (N - 1) - consumed - ES;
+    return fb > 0 ? fb : 0;
+  }
+
+ private:
+  using u64 = detail::u64;
+  using u128 = detail::u128;
+
+  static constexpr Posit add(Posit a, Posit b) noexcept {
+    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    auto ua = detail::posit_decode<N, ES>(a.bits());
+    auto ub = detail::posit_decode<N, ES>(b.bits());
+    // Order so |a| >= |b|.
+    if (ua.scale < ub.scale ||
+        (ua.scale == ub.scale && ua.frac < ub.frac)) {
+      std::swap(ua, ub);
+    }
+    // Work with the hidden bit at bit 125: 62 bits of alignment headroom
+    // below the 64-bit significand before sticky takes over.
+    u128 fa = u128(ua.frac) << 62;
+    u128 fb = u128(ub.frac) << 62;
+    bool sticky = false;
+    const int d = ua.scale - ub.scale;
+    if (d > 0) {
+      if (d >= 126) {
+        sticky = fb != 0;
+        fb = 0;
+      } else {
+        sticky = (fb & ((u128(1) << d) - 1)) != 0;
+        fb >>= d;
+      }
+    }
+    u128 sum = 0;
+    if (ua.sign == ub.sign) {
+      sum = fa + fb;
+    } else {
+      // True value of the discarded tail is in (0,1) ULP of bit 0; borrow one
+      // so truncation + sticky still round correctly.
+      sum = fa - fb - (sticky ? 1 : 0);
+      if (sum == 0) return zero();
+    }
+    const int p = detail::msb128(sum);
+    const int scale = ua.scale + (p - 125);
+    u64 frac = 0;
+    if (p >= 63) {
+      const int sh = p - 63;
+      frac = static_cast<u64>(sum >> sh);
+      if (sh > 0) sticky = sticky || (sum & ((u128(1) << sh) - 1)) != 0;
+    } else {
+      frac = static_cast<u64>(sum) << (63 - p);
+    }
+    return from_bits(detail::posit_encode<N, ES>(ua.sign, scale, frac, sticky));
+  }
+
+  static constexpr Posit mul(Posit a, Posit b) noexcept {
+    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_zero() || b.is_zero()) return zero();
+    const auto ua = detail::posit_decode<N, ES>(a.bits());
+    const auto ub = detail::posit_decode<N, ES>(b.bits());
+    const u128 prod = u128(ua.frac) * ub.frac;  // in [2^126, 2^128)
+    const int p = detail::msb128(prod);         // 126 or 127
+    const int scale = ua.scale + ub.scale + (p - 126);
+    const int sh = p - 63;
+    const u64 frac = static_cast<u64>(prod >> sh);
+    const bool sticky = (prod & ((u128(1) << sh) - 1)) != 0;
+    return from_bits(
+        detail::posit_encode<N, ES>(ua.sign != ub.sign, scale, frac, sticky));
+  }
+
+  static constexpr Posit div(Posit a, Posit b) noexcept {
+    if (a.is_nar() || b.is_nar() || b.is_zero()) return nar();
+    if (a.is_zero()) return zero();
+    const auto ua = detail::posit_decode<N, ES>(a.bits());
+    const auto ub = detail::posit_decode<N, ES>(b.bits());
+    const u128 num = u128(ua.frac) << 64;
+    const u128 q = num / ub.frac;  // in (2^63, 2^65)
+    const u128 r = num % ub.frac;
+    const int p = detail::msb128(q);  // 63 or 64
+    const int scale = ua.scale - ub.scale + (p - 64);
+    u64 frac = 0;
+    bool sticky = r != 0;
+    if (p == 64) {
+      frac = static_cast<u64>(q >> 1);
+      sticky = sticky || (q & 1);
+    } else {
+      frac = static_cast<u64>(q);
+    }
+    return from_bits(
+        detail::posit_encode<N, ES>(ua.sign != ub.sign, scale, frac, sticky));
+  }
+
+  storage_t bits_ = 0;
+};
+
+/// Correctly rounded square root; sqrt of a negative value or NaR is NaR.
+template <int N, int ES>
+[[nodiscard]] constexpr Posit<N, ES> sqrt(Posit<N, ES> x) noexcept {
+  using P = Posit<N, ES>;
+  if (x.is_nar() || x.is_negative()) return x.is_zero() ? P::zero() : P::nar();
+  if (x.is_zero()) return P::zero();
+  const auto u = detail::posit_decode<N, ES>(x.bits());
+  const int odd = u.scale & 1;
+  const detail::u128 X = detail::u128(u.frac) << (63 + odd);
+  const detail::u128 r = detail::isqrt128(X);  // msb at bit 63
+  const bool sticky = r * r != X;
+  return P::from_bits(detail::posit_encode<N, ES>(
+      false, u.scale >> 1, static_cast<detail::u64>(r), sticky));
+}
+
+template <int N, int ES>
+[[nodiscard]] constexpr Posit<N, ES> abs(Posit<N, ES> x) noexcept {
+  return x.is_negative() ? -x : x;
+}
+
+/// scalar_traits bridge so the LA kernels can run on posits.
+template <int N, int ES>
+struct scalar_traits<Posit<N, ES>> {
+  using P = Posit<N, ES>;
+  static std::string name_str() {
+    return "Posit(" + std::to_string(N) + "," + std::to_string(ES) + ")";
+  }
+  static const char* name() noexcept {
+    static const std::string s = name_str();
+    return s.c_str();
+  }
+  static P from_double(double d) noexcept { return P::from_double(d); }
+  static double to_double(P x) noexcept { return x.to_double(); }
+  static P zero() noexcept { return P::zero(); }
+  static P one() noexcept { return P::one(); }
+  static P abs(P x) noexcept { return pstab::abs(x); }
+  static P sqrt(P x) noexcept { return pstab::sqrt(x); }
+  static P fma(P a, P b, P c) noexcept { return a * b + c; }
+  static bool finite(P x) noexcept { return !x.is_nar(); }
+  static P max() noexcept { return P::maxpos(); }
+  static P min_pos() noexcept { return P::minpos(); }
+  static constexpr int significand_bits_at_one() noexcept {
+    return P::max_frac_bits + 1;
+  }
+};
+
+// The formats the paper evaluates.
+using Posit8 = Posit<8, 0>;
+using Posit16_1 = Posit<16, 1>;
+using Posit16_2 = Posit<16, 2>;
+using Posit32_2 = Posit<32, 2>;
+using Posit32_3 = Posit<32, 3>;
+using Posit64_3 = Posit<64, 3>;
+
+}  // namespace pstab

@@ -1,0 +1,81 @@
+// Convenience math and I/O for posits.
+//
+// Elementary transcendental functions are computed in double and rounded back
+// to the posit format.  Because double carries at least 53 significand bits
+// and every posit here carries at most 62, these are faithful (error < 1 ulp
+// of the posit at the double's precision) but NOT correctly rounded; the
+// basic operations in posit.hpp and the quire are correctly rounded.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iosfwd>
+#include <ostream>
+#include <string>
+
+#include "posit/posit.hpp"
+
+namespace pstab {
+
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> exp(Posit<N, ES> x) noexcept {
+  return Posit<N, ES>::from_double(std::exp(x.to_double()));
+}
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> log(Posit<N, ES> x) noexcept {
+  return Posit<N, ES>::from_double(std::log(x.to_double()));
+}
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> sin(Posit<N, ES> x) noexcept {
+  return Posit<N, ES>::from_double(std::sin(x.to_double()));
+}
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> cos(Posit<N, ES> x) noexcept {
+  return Posit<N, ES>::from_double(std::cos(x.to_double()));
+}
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> pow(Posit<N, ES> x, Posit<N, ES> y) noexcept {
+  return Posit<N, ES>::from_double(std::pow(x.to_double(), y.to_double()));
+}
+
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> min(Posit<N, ES> a, Posit<N, ES> b) noexcept {
+  return a < b ? a : b;
+}
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> max(Posit<N, ES> a, Posit<N, ES> b) noexcept {
+  return a < b ? b : a;
+}
+
+/// The gap to the next value above 1.0 — the "machine epsilon" of the format
+/// inside the golden zone (posit precision is not uniform; this is its best).
+template <int N, int ES>
+[[nodiscard]] double epsilon_at_one() noexcept {
+  using P = Posit<N, ES>;
+  // The difference can be below double's epsilon (e.g. Posit(64,3)), so the
+  // subtraction must run in long double, where posit values are exact.
+  return double(P::one().next_up().to_long_double() - 1.0L);
+}
+
+/// Decimal string via long double (exact for every posit up to 64 bits);
+/// 21 significant digits uniquely identify any <=62-significand-bit value.
+template <int N, int ES>
+[[nodiscard]] std::string to_string(Posit<N, ES> p) {
+  if (p.is_nar()) return "NaR";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.21Lg", p.to_long_double());
+  return buf;
+}
+
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> from_string(const std::string& s) noexcept {
+  if (s == "NaR" || s == "nar") return Posit<N, ES>::nar();
+  return Posit<N, ES>::from_long_double(strtold(s.c_str(), nullptr));
+}
+
+template <int N, int ES>
+std::ostream& operator<<(std::ostream& os, Posit<N, ES> p) {
+  return os << to_string(p);
+}
+
+}  // namespace pstab

@@ -1,0 +1,185 @@
+// Quire<N, ES>: the posit standard's exact fixed-point accumulator.
+//
+// A quire holds sums of posit products exactly (no intermediate rounding);
+// rounding happens once, when the accumulated value is read back as a posit.
+// The paper (§II-C) deliberately runs its experiments WITHOUT the quire so the
+// comparison with IEEE is about the formats themselves; we implement it anyway
+// because (a) the standard requires it, (b) it gives us a correctly rounded
+// fma, and (c) bench/ablation_quire quantifies exactly what the paper chose
+// to exclude.
+//
+// Representation: two's-complement fixed point.  Bit 0 has weight
+// 2^(-2*S-128) where S = max_scale, which is at or below the least significant
+// bit of any product of two posits; the top carries 64 guard bits above
+// maxpos^2, enough for 2^63 accumulations without overflow.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "posit/posit.hpp"
+
+namespace pstab {
+
+template <int N, int ES>
+class Quire {
+ public:
+  using P = Posit<N, ES>;
+  static constexpr int max_scale = P::max_scale;
+  /// Weight of bit 0.
+  static constexpr int low_exp = -2 * max_scale - 128;
+  /// Total width in bits (sign/guard included).
+  static constexpr int width_bits = 4 * max_scale + 193 + 63;
+  static constexpr int words = (width_bits + 63) / 64;
+
+  constexpr Quire() noexcept { clear(); }
+
+  constexpr void clear() noexcept {
+    w_.fill(0);
+    nar_ = false;
+  }
+
+  [[nodiscard]] constexpr bool is_nar() const noexcept { return nar_; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    if (nar_) return false;
+    for (auto x : w_)
+      if (x != 0) return false;
+    return true;
+  }
+
+  /// q += a * b, exactly.
+  constexpr void add_product(P a, P b) noexcept {
+    if (a.is_nar() || b.is_nar()) {
+      nar_ = true;
+      return;
+    }
+    if (a.is_zero() || b.is_zero()) return;
+    const auto ua = detail::posit_decode<N, ES>(a.bits());
+    const auto ub = detail::posit_decode<N, ES>(b.bits());
+    const detail::u128 prod = detail::u128(ua.frac) * ub.frac;
+    // value = prod * 2^(sa + sb - 126); offset of prod's bit 0 in the quire:
+    const int offset = ua.scale + ub.scale - 126 - low_exp;
+    add_shifted(prod, offset, ua.sign != ub.sign);
+  }
+
+  /// q += a, exactly.
+  constexpr void add(P a) noexcept { add_product(a, P::one()); }
+  /// q -= a * b, exactly.
+  constexpr void sub_product(P a, P b) noexcept { add_product(-a, b); }
+
+  /// Round the accumulated value to the nearest posit (ties to even encoding,
+  /// saturating at minpos/maxpos, never rounding a nonzero sum to zero).
+  [[nodiscard]] constexpr P to_posit() const noexcept {
+    if (nar_) return P::nar();
+    std::array<std::uint64_t, words> mag = w_;
+    const bool sign = (w_[words - 1] >> 63) & 1;
+    if (sign) negate(mag);
+    int top = -1;
+    for (int i = words - 1; i >= 0; --i) {
+      if (mag[i] != 0) {
+        top = i * 64 + (63 - detail::clz64(mag[i]));
+        break;
+      }
+    }
+    if (top < 0) return P::zero();
+    // Extract the 64 bits below (and including) the msb, plus sticky.
+    std::uint64_t frac = extract64(mag, top - 63);
+    bool sticky = false;
+    for (int bit = 0; bit < top - 63; bit += 64) {
+      const int remaining = (top - 63) - bit;
+      std::uint64_t chunk = extract64(mag, bit);
+      if (remaining < 64) chunk &= (std::uint64_t(1) << remaining) - 1;
+      if (chunk != 0) {
+        sticky = true;
+        break;
+      }
+    }
+    if (top < 63) frac = mag[0] << (63 - top);  // small value: left-justify
+    return P::from_bits(
+        detail::posit_encode<N, ES>(sign, top + low_exp, frac, sticky));
+  }
+
+ private:
+  /// 64 bits starting at bit index `at` (may be negative; out-of-range = 0).
+  [[nodiscard]] static constexpr std::uint64_t extract64(
+      const std::array<std::uint64_t, words>& w, int at) noexcept {
+    std::uint64_t r = 0;
+    for (int b = 0; b < 64; ++b) {
+      const int idx = at + b;
+      if (idx < 0 || idx >= words * 64) continue;
+      if ((w[idx / 64] >> (idx % 64)) & 1) r |= std::uint64_t(1) << b;
+    }
+    return r;
+  }
+
+  static constexpr void negate(std::array<std::uint64_t, words>& w) noexcept {
+    unsigned carry = 1;
+    for (int i = 0; i < words; ++i) {
+      const std::uint64_t inv = ~w[i];
+      w[i] = inv + carry;
+      carry = (carry != 0 && w[i] == 0) ? 1 : 0;
+    }
+  }
+
+  constexpr void add_shifted(detail::u128 v, int offset, bool negative) noexcept {
+    // Spread v across up to three words starting at bit `offset`.
+    const int word = offset / 64;
+    const int bit = offset % 64;
+    std::array<std::uint64_t, 3> part{};
+    part[0] = static_cast<std::uint64_t>(v) << bit;
+    if (bit != 0) {
+      part[1] = static_cast<std::uint64_t>(v >> (64 - bit));
+      part[2] = static_cast<std::uint64_t>(v >> (128 - bit));
+    } else {
+      part[1] = static_cast<std::uint64_t>(v >> 64);
+      part[2] = 0;
+    }
+    if (!negative) {
+      unsigned __int128 carry = 0;
+      for (int i = 0; i < words; ++i) {
+        const std::uint64_t add =
+            (i - word >= 0 && i - word < 3) ? part[i - word] : 0;
+        const unsigned __int128 s =
+            static_cast<unsigned __int128>(w_[i]) + add + carry;
+        w_[i] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+    } else {
+      unsigned __int128 borrow = 0;
+      for (int i = 0; i < words; ++i) {
+        const std::uint64_t sub =
+            (i - word >= 0 && i - word < 3) ? part[i - word] : 0;
+        const unsigned __int128 d = static_cast<unsigned __int128>(w_[i]) -
+                                    sub - borrow;
+        w_[i] = static_cast<std::uint64_t>(d);
+        borrow = (d >> 64) ? 1 : 0;
+      }
+    }
+  }
+
+  std::array<std::uint64_t, words> w_{};
+  bool nar_ = false;
+};
+
+/// Correctly rounded fused multiply-add via the quire: round(a*b + c).
+template <int N, int ES>
+[[nodiscard]] constexpr Posit<N, ES> fma(Posit<N, ES> a, Posit<N, ES> b,
+                                         Posit<N, ES> c) noexcept {
+  Quire<N, ES> q;
+  q.add_product(a, b);
+  q.add(c);
+  return q.to_posit();
+}
+
+/// Exact dot product of two posit spans, rounded once at the end.
+template <int N, int ES>
+[[nodiscard]] Posit<N, ES> quire_dot(const Posit<N, ES>* x,
+                                     const Posit<N, ES>* y,
+                                     std::size_t n) noexcept {
+  Quire<N, ES> q;
+  for (std::size_t i = 0; i < n; ++i) q.add_product(x[i], y[i]);
+  return q.to_posit();
+}
+
+}  // namespace pstab

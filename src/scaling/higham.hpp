@@ -1,0 +1,87 @@
+// Higham's "squeeze a matrix into half precision" scaling (paper Algorithm 4
+// and Algorithm 5, after Higham, Pranesh & Zounon, SISC 2019), specialized as
+// the paper does for symmetric matrices:
+//
+//   1. Find diagonal R (Algorithm 5) so that RAR has the maximum element of
+//      each row/column equal to one: iterate r_i <- ||A(i,:)||_inf^{-1/2},
+//      A <- diag(r) A diag(r), until the row norms are ~1.
+//   2. Choose mu to place RAR advantageously in the target format's range:
+//      0.1 * max_finite for Float16 (Higham's choice) and USEED for posits
+//      (the paper's choice: one regime step, keeping every row/col maximum
+//      exactly at USEED so at most one fraction bit is spent on the regime).
+//   3. Round mu to the nearest power of FOUR — the paper observed powers of 4
+//      work best for Cholesky (a perfect square survives the square root).
+//   A_h = fl_h(mu * (R A R)), factor A_h, and refine the ORIGINAL system
+//   using  d = R z  where  (mu R A R) z = mu R r.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+#include "la/dense.hpp"
+#include "posit/posit.hpp"
+
+namespace pstab::scaling {
+
+struct HighamScaling {
+  std::vector<double> rdiag;  // the diagonal of R
+  double mu = 1.0;            // scalar (already rounded to a power of 4)
+};
+
+/// Algorithm 5: two-sided diagonal equilibration of a symmetric matrix.
+/// Modifies A in place to R A R and returns diag(R).
+inline std::vector<double> equilibrate_sym(la::Dense<double>& A,
+                                           double tolerance = 1e-2,
+                                           int max_sweeps = 25) {
+  const int n = A.rows();
+  std::vector<double> rdiag(n, 1.0);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double worst = 0.0;
+    std::vector<double> r(n, 1.0);
+    for (int i = 0; i < n; ++i) {
+      double m = 0;
+      for (int j = 0; j < n; ++j) m = std::max(m, std::fabs(A(i, j)));
+      if (m > 0) r[i] = 1.0 / std::sqrt(m);
+      worst = std::max(worst, std::fabs(m - 1.0));
+    }
+    if (worst <= tolerance) break;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) A(i, j) *= r[i] * r[j];
+    for (int i = 0; i < n; ++i) rdiag[i] *= r[i];
+  }
+  return rdiag;
+}
+
+/// Round to the nearest power of four (in log space), paper §V-D.2.
+[[nodiscard]] inline double nearest_pow4(double x) {
+  if (!(x > 0)) return 1.0;
+  const long k = std::lround(std::log2(x) / 2.0);
+  return std::ldexp(1.0, int(2 * k));
+}
+
+/// mu for an IEEE half-like format: Higham's 0.1 * max_finite, as a power of 4.
+template <class F>
+[[nodiscard]] double mu_ieee() {
+  return nearest_pow4(0.1 *
+                      scalar_traits<F>::to_double(scalar_traits<F>::max()));
+}
+
+/// mu for a posit format: USEED (already a power of 4 for ES >= 1).
+template <int N, int ES>
+[[nodiscard]] double mu_posit() {
+  return nearest_pow4(Posit<N, ES>::useed);
+}
+
+/// Full Algorithm 4 for a format with known mu: equilibrates A in place
+/// (A becomes mu * R A R in double) and returns the scaling data needed to
+/// refine the original system.
+inline HighamScaling higham_scale(la::Dense<double>& A, double mu) {
+  HighamScaling h;
+  h.rdiag = equilibrate_sym(A);
+  h.mu = mu;
+  for (auto& v : A.data()) v *= mu;
+  return h;
+}
+
+}  // namespace pstab::scaling

@@ -1,0 +1,68 @@
+// The paper's re-scaling strategies (§V-B, §V-C.2):
+//
+//  * scale_pow2_inf  — multiply A (and b) by a power of two so that
+//    ||A||_inf lands near 2^target (2^10 in the paper), pulling the CG
+//    iterates toward the posit golden zone (Fig. 7).
+//  * scale_diag_avg  — Algorithm 3: divide A and b by the average |diagonal|
+//    rounded to the nearest power of two, so the Cholesky pivots sit near 1
+//    (Fig. 9).
+//
+// Scaling by powers of two is exact for IEEE formats (barring over/underflow)
+// but NOT necessarily loss-free for posits (§V-B); experiments therefore
+// scale in double before casting down, exactly as the paper assumes.
+#pragma once
+
+#include <cmath>
+
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/norms.hpp"
+
+namespace pstab::scaling {
+
+/// Nearest power of two to |x| (in the log scale), as Algorithm 3 requires.
+[[nodiscard]] inline double nearest_pow2(double x) {
+  if (!(x > 0)) return 1.0;
+  return std::ldexp(1.0, int(std::lround(std::log2(x))));
+}
+
+/// Power-of-two factor s with s * ||A||_inf closest to 2^target_log2.
+[[nodiscard]] inline double pow2_inf_factor(double norm_inf_a,
+                                            int target_log2 = 10) {
+  if (!(norm_inf_a > 0)) return 1.0;
+  const int m = int(std::lround(target_log2 - std::log2(norm_inf_a)));
+  return std::ldexp(1.0, m);
+}
+
+/// In-place CG re-scaling (paper §V-B): A' = sA, b' = sb leaves the solution
+/// x unchanged.  Returns the factor s.
+inline double scale_pow2_inf(la::Csr<double>& A, la::Vec<double>& b,
+                             int target_log2 = 10) {
+  const double s = pow2_inf_factor(la::norm_inf(A), target_log2);
+  A.scale_values(s);
+  for (auto& v : b) v *= s;
+  return s;
+}
+
+inline double scale_pow2_inf(la::Dense<double>& A, la::Vec<double>& b,
+                             int target_log2 = 10) {
+  const double s = pow2_inf_factor(la::norm_inf(A), target_log2);
+  for (auto& v : A.data()) v *= s;
+  for (auto& v : b) v *= s;
+  return s;
+}
+
+/// Algorithm 3: s = nearestPowerOfTwo(average |A_kk|); A' = A/s, b' = b/s.
+/// Returns s.
+inline double scale_diag_avg(la::Dense<double>& A, la::Vec<double>& b) {
+  const int n = A.rows();
+  double avg = 0;
+  for (int i = 0; i < n; ++i) avg += std::fabs(A(i, i));
+  avg /= n;
+  const double s = nearest_pow2(avg);
+  for (auto& v : A.data()) v /= s;
+  for (auto& v : b) v /= s;
+  return s;
+}
+
+}  // namespace pstab::scaling

@@ -1,0 +1,157 @@
+// Tests for the future-work applications: FFT correctness and conservation
+// properties of the shock-tube solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "apps/fft.hpp"
+#include "apps/shock_tube.hpp"
+#include "ieee/softfloat.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<apps::Cplx<double>> a(8);
+  a[0].re = 1.0;
+  apps::fft_radix2(a, false);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.re, 1.0, 1e-14);
+    EXPECT_NEAR(v.im, 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, PureToneHasSingleBin) {
+  const std::size_t n = 64;
+  std::vector<apps::Cplx<double>> a(n);
+  for (std::size_t i = 0; i < n; ++i)
+    a[i].re = std::cos(2 * M_PI * 5 * double(i) / double(n));
+  apps::fft_radix2(a, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::hypot(a[k].re, a[k].im);
+    if (k == 5 || k == n - 5)
+      EXPECT_NEAR(mag, n / 2.0, 1e-10) << k;
+    else
+      EXPECT_NEAR(mag, 0.0, 1e-10) << k;
+  }
+}
+
+TEST(Fft, RoundTripIsIdentityInDouble) {
+  std::mt19937 rng(5);
+  std::normal_distribution<double> g;
+  std::vector<double> sig(256);
+  for (auto& v : sig) v = g(rng);
+  EXPECT_LT(apps::fft_roundtrip_error<double>(sig), 1e-13);
+}
+
+TEST(Fft, ParsevalHoldsInDouble) {
+  const std::size_t n = 128;
+  std::mt19937 rng(6);
+  std::normal_distribution<double> g;
+  std::vector<apps::Cplx<double>> a(n);
+  double time_energy = 0;
+  for (auto& v : a) {
+    v.re = g(rng);
+    time_energy += v.re * v.re;
+  }
+  apps::fft_radix2(a, false);
+  double freq_energy = 0;
+  for (const auto& v : a) freq_energy += v.re * v.re + v.im * v.im;
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-9 * time_energy);
+}
+
+TEST(Fft, LowPrecisionErrorOrdering) {
+  // In the golden zone, Posit(16,2) should do no worse than ~2x Float16;
+  // 32-bit formats orders of magnitude better than 16-bit ones.
+  std::vector<double> sig(1024);
+  for (std::size_t i = 0; i < sig.size(); ++i)
+    sig[i] = std::sin(2 * M_PI * 7 * double(i) / double(sig.size()));
+  const double e16f = apps::fft_roundtrip_error<Half>(sig);
+  const double e32p = apps::fft_roundtrip_error<Posit32_2>(sig);
+  const double e32f = apps::fft_roundtrip_error<float>(sig);
+  EXPECT_LT(e32p, e16f / 100);
+  EXPECT_LT(e32f, e16f / 100);
+  EXPECT_LT(e32p, e32f);  // golden zone: posit32 beats float32
+}
+
+TEST(Fft, OutOfRangeSignalBreaksHalfNotPosit) {
+  std::vector<double> sig(256);
+  for (std::size_t i = 0; i < sig.size(); ++i)
+    sig[i] = 3e4 * std::sin(2 * M_PI * 3 * double(i) / double(sig.size()));
+  // Intermediate FFT values overflow Float16 (max 65504) -> inf/NaN.
+  EXPECT_TRUE(std::isnan(apps::fft_roundtrip_error<Half>(sig)) ||
+              apps::fft_roundtrip_error<Half>(sig) > 0.5);
+  // Posit(16,2) saturates instead and keeps a finite, small-ish error.
+  const double ep = apps::fft_roundtrip_error<Posit16_2>(sig);
+  EXPECT_TRUE(std::isfinite(ep));
+  EXPECT_LT(ep, 0.5);
+}
+
+TEST(ShockTube, InitialConditionIsSod) {
+  const auto s = apps::sod_initial<double>(100, 1.4);
+  EXPECT_EQ(s.rho[0], 1.0);
+  EXPECT_EQ(s.rho[99], 0.125);
+  EXPECT_EQ(s.mom[50], 0.0);
+  EXPECT_NEAR(s.ene[0], 1.0 / 0.4, 1e-14);
+}
+
+TEST(ShockTube, ConservesMassInDouble) {
+  apps::SodOptions opt;
+  opt.cells = 100;
+  auto s = apps::sod_initial<double>(opt.cells, opt.gamma);
+  double mass0 = 0;
+  for (double r : s.rho) mass0 += r;
+  apps::sod_run(s, opt);
+  double mass1 = 0;
+  for (double r : s.rho) mass1 += r;
+  // Transmissive boundaries leak only at the edges; interior flux telescopes.
+  EXPECT_NEAR(mass1, mass0, 0.02 * mass0);
+}
+
+TEST(ShockTube, ProducesAShock) {
+  apps::SodOptions opt;
+  opt.cells = 200;
+  auto s = apps::sod_initial<double>(opt.cells, opt.gamma);
+  apps::sod_run(s, opt);
+  // At t=0.2 the density profile is monotone decreasing with plateaus;
+  // the contact and shock have moved right of x=0.5.
+  EXPECT_GT(s.rho[100], 0.2);   // post-contact region is filled
+  EXPECT_LT(s.rho[100], 0.95);  // rarefaction has reached mid-domain
+  EXPECT_NEAR(s.rho[0], 1.0, 1e-6);    // left state undisturbed
+  EXPECT_NEAR(s.rho[199], 0.125, 1e-6);  // right state undisturbed
+  double mn = 1e9, mx = -1e9;
+  for (double r : s.rho) {
+    mn = std::min(mn, r);
+    mx = std::max(mx, r);
+  }
+  EXPECT_GT(mn, 0.0);  // positivity
+  EXPECT_LE(mx, 1.0 + 1e-9);
+}
+
+TEST(ShockTube, ErrorOrderingAcrossFormats) {
+  apps::SodOptions opt;
+  opt.cells = 100;
+  const double e16f = apps::sod_density_error<Half>(opt);
+  const double e16p = apps::sod_density_error<Posit16_1>(opt);
+  const double e32f = apps::sod_density_error<float>(opt);
+  // Golden-zone workload: posit(16,1) beats Float16; float32 beats both.
+  EXPECT_LT(e16p, e16f);
+  EXPECT_LT(e32f, e16p);
+  EXPECT_LT(e16f, 0.05);  // all formats still resolve the flow
+}
+
+TEST(ShockTube, StepsScaleWithResolution) {
+  apps::SodOptions a, b;
+  a.cells = 50;
+  b.cells = 100;
+  auto sa = apps::sod_initial<double>(a.cells, a.gamma);
+  auto sb = apps::sod_initial<double>(b.cells, b.gamma);
+  const int na = apps::sod_run(sa, a);
+  const int nb = apps::sod_run(sb, b);
+  EXPECT_GT(nb, na);  // CFL: halving dx roughly doubles the steps
+}
+
+}  // namespace

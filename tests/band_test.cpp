@@ -1,0 +1,83 @@
+// Band-storage Cholesky tests: agreement with the dense factorization
+// (identical operation order in double => identical bits), solves, failure
+// detection, and posit-format operation.
+#include <gtest/gtest.h>
+
+#include "la/band.hpp"
+#include "la/cholesky.hpp"
+#include "matrices/generator.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+
+matrices::GeneratedMatrix banded_spd() {
+  matrices::MatrixSpec spec{"band_spd", 80, 700, 1.0e4, 20.0, 1.0e2};
+  return matrices::generate_spd(spec, 0);
+}
+
+TEST(Band, RoundTripsThroughDense) {
+  const auto g = banded_spd();
+  const int w = la::SymBand<double>::detect_bandwidth(g.dense);
+  EXPECT_GT(w, 0);
+  EXPECT_LT(w, g.n);
+  const auto B = la::SymBand<double>::from_dense(g.dense, w);
+  const auto D = B.to_dense();
+  for (int i = 0; i < g.n; ++i)
+    for (int j = 0; j < g.n; ++j) EXPECT_EQ(D(i, j), g.dense(i, j));
+  EXPECT_EQ(B.get(0, g.n - 1), 0.0);  // outside the band
+}
+
+TEST(Band, CholeskyMatchesDenseBitForBit) {
+  const auto g = banded_spd();
+  const int w = la::SymBand<double>::detect_bandwidth(g.dense);
+  const auto B = la::SymBand<double>::from_dense(g.dense, w);
+  const auto rb = la::band_cholesky(B);
+  ASSERT_TRUE(rb.has_value());
+  const auto rd = la::cholesky(g.dense);
+  ASSERT_EQ(rd.status, la::CholStatus::ok);
+  // Same operation order in both kernels: identical doubles inside the band.
+  for (int i = 0; i < g.n; ++i)
+    for (int d = 0; d <= w && i + d < g.n; ++d)
+      EXPECT_EQ(rb->at(i, d), rd.R(i, i + d)) << i << "+" << d;
+  // And the dense factor has no fill outside the band.
+  for (int i = 0; i < g.n; ++i)
+    for (int j = i + w + 1; j < g.n; ++j) EXPECT_EQ(rd.R(i, j), 0.0);
+}
+
+TEST(Band, SolveMatchesDense) {
+  const auto g = banded_spd();
+  const int w = la::SymBand<double>::detect_bandwidth(g.dense);
+  const auto B = la::SymBand<double>::from_dense(g.dense, w);
+  const auto rb = la::band_cholesky(B);
+  ASSERT_TRUE(rb.has_value());
+  const auto b = matrices::paper_rhs(g.dense);
+  const auto x = la::band_cholesky_solve(*rb, b);
+  const auto r = la::residual(g.dense, b, x);
+  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-10);
+}
+
+TEST(Band, DetectsIndefinite) {
+  la::SymBand<double> B(2, 1);
+  B.at(0, 0) = 1;
+  B.at(0, 1) = 4;
+  B.at(1, 0) = 1;  // eigenvalues 5, -3
+  EXPECT_FALSE(la::band_cholesky(B).has_value());
+}
+
+TEST(Band, WorksInPosit) {
+  const auto g = banded_spd();
+  const int w = la::SymBand<double>::detect_bandwidth(g.dense);
+  const auto Bp = la::SymBand<Posit32_2>::from_dense(
+      g.dense.cast<Posit32_2>(), w);
+  const auto rb = la::band_cholesky(Bp);
+  ASSERT_TRUE(rb.has_value());
+  const auto b = matrices::paper_rhs(g.dense);
+  const auto x =
+      la::band_cholesky_solve(*rb, la::from_double_vec<Posit32_2>(b));
+  const auto r = la::residual(g.dense, b, la::to_double_vec(x));
+  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-5);
+}
+
+}  // namespace

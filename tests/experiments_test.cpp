@@ -1,0 +1,192 @@
+// Tests of the core experiment drivers and of the paper-shape invariants
+// they must reproduce, parameterized over the full Table I suite
+// (INSTANTIATE_TEST_SUITE_P): every suite matrix must satisfy the structural
+// properties the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiments.hpp"
+#include "core/histogram.hpp"
+#include "core/precision.hpp"
+#include "la/cholesky.hpp"
+#include "matrices/suite.hpp"
+
+namespace {
+
+using namespace pstab;
+
+// ---------------------------------------------------------------------------
+// Per-matrix structural invariants, across the whole suite.
+
+class SuiteMatrixP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteMatrixP, GeneratedMatrixMatchesSpecDecades) {
+  const auto& g = matrices::suite_matrix(GetParam());
+  EXPECT_NEAR(std::log10(g.cond_measured()), std::log10(g.spec.cond), 0.35)
+      << GetParam();
+  EXPECT_NEAR(std::log10(g.lambda_max), std::log10(g.spec.norm2), 0.15)
+      << GetParam();
+}
+
+TEST_P(SuiteMatrixP, SymmetricPositiveDefinite) {
+  const auto& g = matrices::suite_matrix(GetParam());
+  EXPECT_TRUE(g.dense.symmetric(1e-12));
+  EXPECT_EQ(la::cholesky(g.dense).status, la::CholStatus::ok);
+}
+
+TEST_P(SuiteMatrixP, Float64CgConverges) {
+  // Sanity floor for every experiment: double CG must converge on every
+  // suite matrix at the paper's 1e-5 criterion.
+  const auto& g = matrices::suite_matrix(GetParam());
+  la::CgOptions opt;
+  opt.max_iter = 15 * g.n;
+  const auto cell =
+      core::cg_in_format<double>(g.csr, matrices::paper_rhs(g.dense), opt);
+  EXPECT_EQ(cell.status, la::CgStatus::converged) << GetParam();
+  EXPECT_LT(cell.true_relres, 1e-4) << GetParam();
+}
+
+TEST_P(SuiteMatrixP, RescaledCholeskyPositBeatsFloat) {
+  // The Fig 9 invariant, the paper's strongest claim: after diagonal
+  // re-scaling, Posit(32,2) achieves a lower backward error than Float32.
+  const auto& g = matrices::suite_matrix(GetParam());
+  core::CholExperimentOptions opt;
+  opt.rescale_diag_avg = true;
+  const auto row = core::run_cholesky_experiment(g, opt);
+  if (row.f32.ok && row.p32_2.ok) {
+    EXPECT_GT(row.extra_digits(row.p32_2), 0.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTable1Matrices, SuiteMatrixP,
+    ::testing::Values("plat362", "mhd416b", "662_bus", "lund_b", "bcsstk02",
+                      "685_bus", "1138_bus", "494_bus", "nos5", "bcsstk22",
+                      "nos6", "bcsstk09", "lund_a", "nos1", "bcsstk01",
+                      "bcsstk06", "msc00726", "bcsstk08", "nos2"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (auto& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Driver-level behaviour on a single cheap matrix.
+
+TEST(CgExperiment, ReportsAllFourFormats) {
+  const auto& g = matrices::suite_matrix("bcsstk02");  // n = 66
+  const auto row = core::run_cg_experiment(g);
+  EXPECT_EQ(row.matrix, "bcsstk02");
+  EXPECT_TRUE(row.f64.converged());
+  EXPECT_TRUE(row.f32.converged());
+  EXPECT_TRUE(row.p32_2.converged());
+  EXPECT_TRUE(row.p32_3.converged());
+  // Converged runs honour the paper's backward-error criterion in double.
+  EXPECT_LT(row.f32.true_relres, 1e-4);
+  EXPECT_LT(row.p32_2.true_relres, 1e-4);
+}
+
+TEST(CgExperiment, PctImprovementSignConvention) {
+  core::CgRow row;
+  row.f32.status = la::CgStatus::converged;
+  row.f32.iterations = 100;
+  core::CgCell posit;
+  posit.status = la::CgStatus::converged;
+  posit.iterations = 80;
+  EXPECT_DOUBLE_EQ(row.pct_improvement(posit), 20.0);  // posit 20% better
+  posit.iterations = 150;
+  EXPECT_DOUBLE_EQ(row.pct_improvement(posit), -50.0);  // posit worse
+  posit.status = la::CgStatus::breakdown;
+  EXPECT_TRUE(std::isnan(row.pct_improvement(posit)));
+}
+
+TEST(CholExperiment, ExtraDigitsConvention) {
+  core::CholRow row;
+  row.f32.ok = true;
+  row.f32.backward_error = 1e-6;
+  core::CholCell posit;
+  posit.ok = true;
+  posit.backward_error = 1e-7;
+  EXPECT_NEAR(row.extra_digits(posit), 1.0, 1e-12);  // 10x better = 1 digit
+  posit.backward_error = 1e-5;
+  EXPECT_NEAR(row.extra_digits(posit), -1.0, 1e-12);
+  posit.ok = false;
+  EXPECT_TRUE(std::isnan(row.extra_digits(posit)));
+}
+
+TEST(IrExperiment, PctReductionUsesBestPosit) {
+  core::IrRow row;
+  row.f16.status = la::IrStatus::converged;
+  row.f16.iterations = 40;
+  row.p16_1.status = la::IrStatus::converged;
+  row.p16_1.iterations = 10;
+  row.p16_2.status = la::IrStatus::converged;
+  row.p16_2.iterations = 25;
+  EXPECT_DOUBLE_EQ(row.pct_reduction(), 75.0);
+  // A capped format counts as 1000 (paper convention).
+  row.p16_1.status = la::IrStatus::max_iterations;
+  EXPECT_DOUBLE_EQ(row.pct_reduction(), 37.5);
+}
+
+// ---------------------------------------------------------------------------
+// Precision model (Fig 3) and histogram (Fig 5).
+
+TEST(PrecisionModel, GoldenZonePeaksAtOne) {
+  // Posit(32,2) at 1.0: 28 significand bits (27 fraction + hidden) = 8.43
+  // decimal digits; Float32 flat at 24 bits = 7.22 digits.
+  EXPECT_NEAR(core::digits_at<Posit32_2>(1.0), 28 * std::log10(2.0), 1e-9);
+  EXPECT_NEAR(core::digits_at<float>(1.0), 24 * std::log10(2.0), 1e-9);
+  EXPECT_NEAR(core::digits_at<float>(1e30), 24 * std::log10(2.0), 1e-9);
+  // Taper: strictly fewer bits three decades out than at 1.
+  EXPECT_LT(core::digits_at<Posit32_2>(1e9), core::digits_at<Posit32_2>(1.0));
+  // Posit(32,3) tapers slower than Posit(32,2).
+  EXPECT_GT(core::digits_at<Posit32_3>(1e9), core::digits_at<Posit32_2>(1e9));
+}
+
+TEST(PrecisionModel, CrossoverNearTenToFifth) {
+  // The paper: Posit(32,2) has better relative precision until ~1e-5.
+  EXPECT_GE(core::digits_at<Posit32_2>(1e-4), core::digits_at<float>(1e-4));
+  EXPECT_LE(core::digits_at<Posit32_2>(1e-6), core::digits_at<float>(1e-6));
+}
+
+TEST(PrecisionModel, HalfRangeEdges) {
+  EXPECT_EQ(core::significand_bits_at(Half{}, 65504.0), 11);
+  EXPECT_EQ(core::significand_bits_at(Half{}, 1e6), 0);     // overflow
+  EXPECT_EQ(core::significand_bits_at(Half{}, 1e-9), 0);    // underflow
+  EXPECT_GT(core::significand_bits_at(Half{}, 1e-5), 0);    // subnormal
+  EXPECT_LT(core::significand_bits_at(Half{}, 1e-5), 11);
+}
+
+TEST(Histogram, WeightsMatricesEqually) {
+  auto m1 = la::Csr<double>::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  auto m2 = la::Csr<double>::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {0, 1, 1.0}});
+  std::map<int, double> h;
+  core::accumulate_extra_bits<32, 2>(m1, h);
+  core::accumulate_extra_bits<32, 2>(m2, h);
+  double total = 0;
+  for (auto& [k, v] : h) total += v;
+  EXPECT_NEAR(total, 2.0, 1e-12);  // one unit of weight per matrix
+}
+
+TEST(Histogram, GoldenZoneEntriesGetPlusFour) {
+  // Entries near 1 carry 27 posit fraction bits vs Float32's 23: +4.
+  auto m = la::Csr<double>::from_triplets(1, 1, {{0, 0, 1.5}});
+  std::map<int, double> h;
+  core::accumulate_extra_bits<32, 2>(m, h);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.begin()->first, 4);
+}
+
+TEST(Histogram, Float32FractionBitsModel) {
+  EXPECT_EQ(core::float32_fraction_bits(1.0), 23);
+  EXPECT_EQ(core::float32_fraction_bits(1e38), 23);
+  EXPECT_EQ(core::float32_fraction_bits(1e39), 0);   // overflow
+  EXPECT_EQ(core::float32_fraction_bits(0.0), 0);
+  EXPECT_LT(core::float32_fraction_bits(1e-40), 23);  // subnormal
+  EXPECT_GT(core::float32_fraction_bits(1e-40), 0);
+}
+
+}  // namespace

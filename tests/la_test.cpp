@@ -1,0 +1,275 @@
+// Linear-algebra substrate tests: kernels, Cholesky, triangular solves, CG,
+// and BiCGSTAB, in double (exactness/correctness) and in the soft formats
+// (behavioural sanity).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ieee/softfloat.hpp"
+#include "la/bicgstab.hpp"
+#include "la/cg.hpp"
+#include "la/cholesky.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/fused.hpp"
+#include "la/norms.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+using la::Csr;
+using la::Dense;
+using la::Vec;
+
+Dense<double> random_spd(int n, double shift, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g;
+  Dense<double> B(n, n);
+  for (auto& v : B.data()) v = g(rng);
+  Dense<double> A(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = 0;
+      for (int k = 0; k < n; ++k) s += B(k, i) * B(k, j);
+      A(i, j) = s + (i == j ? shift : 0.0);
+    }
+  return A;
+}
+
+TEST(VectorOps, DotAxpyNrm2) {
+  Vec<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_EQ(la::dot(x, y), 32.0);
+  la::axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 6.0);
+  EXPECT_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(la::nrm2_d(x), std::sqrt(14.0));
+  EXPECT_EQ(la::norm_inf_d(y), 12.0);
+}
+
+TEST(VectorOps, ClampedCast) {
+  Vec<double> x{1.0, 1e9, -1e9, 1e-30, 0.0};
+  const auto h = la::from_double_clamped<Half>(x);
+  EXPECT_EQ(h[0].to_double(), 1.0);
+  EXPECT_EQ(h[1].to_double(), 65504.0);   // clamped, not inf
+  EXPECT_EQ(h[2].to_double(), -65504.0);
+  EXPECT_EQ(h[3].to_double(), 0.0);       // underflow to zero (IEEE)
+  const auto p = la::from_double_clamped<Posit16_2>(x);
+  EXPECT_GT(p[3].to_double(), 0.0);       // posit never underflows to zero
+}
+
+TEST(DenseMatrix, GemvAndIdentity) {
+  auto I = Dense<double>::identity(3);
+  Vec<double> x{1, 2, 3};
+  EXPECT_EQ(I * x, x);
+  Dense<double> A(2, 3);
+  A(0, 0) = 1;
+  A(0, 2) = 2;
+  A(1, 1) = -1;
+  const auto y = A * x;
+  EXPECT_EQ(y[0], 7.0);
+  EXPECT_EQ(y[1], -2.0);
+}
+
+TEST(CsrMatrix, MatchesDense) {
+  std::mt19937 rng(3);
+  Dense<double> A(20, 20);
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j)
+      if (rng() % 4 == 0) A(i, j) = double(int(rng() % 19)) - 9.0;
+  const auto S = Csr<double>::from_dense(A);
+  Vec<double> x(20);
+  for (auto& v : x) v = double(int(rng() % 7)) - 3.0;
+  const auto yd = A * x;
+  const auto ys = S * x;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(yd[i], ys[i]) << i;
+  // Round-trip through dense.
+  const auto D2 = S.to_dense();
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j) EXPECT_EQ(D2(i, j), A(i, j));
+}
+
+TEST(CsrMatrix, TripletsSumDuplicates) {
+  auto m = Csr<double>::from_triplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.0},
+                                             {1, 1, 5.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  const auto d = m.to_dense();
+  EXPECT_EQ(d(0, 0), 3.0);
+  EXPECT_EQ(d(1, 1), 5.0);
+}
+
+TEST(Cholesky, ReconstructsKnownFactor) {
+  // A = R^T R with R = [[2,1],[0,3]] -> A = [[4,2],[2,10]].
+  Dense<double> A(2, 2);
+  A(0, 0) = 4;
+  A(0, 1) = 2;
+  A(1, 0) = 2;
+  A(1, 1) = 10;
+  const auto f = la::cholesky(A);
+  ASSERT_EQ(f.status, la::CholStatus::ok);
+  EXPECT_DOUBLE_EQ(f.R(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(f.R(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(f.R(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(f.R(1, 0), 0.0);
+}
+
+TEST(Cholesky, DetectsIndefinite) {
+  Dense<double> A(2, 2);
+  A(0, 0) = 1;
+  A(0, 1) = 4;
+  A(1, 0) = 4;
+  A(1, 1) = 1;  // eigenvalues 5, -3
+  const auto f = la::cholesky(A);
+  EXPECT_EQ(f.status, la::CholStatus::not_positive_definite);
+  EXPECT_EQ(f.failed_column, 1);
+}
+
+TEST(Cholesky, SolveRecoversSolution) {
+  const auto A = random_spd(40, 1.0, 7);
+  Vec<double> xtrue(40);
+  std::mt19937 rng(8);
+  for (auto& v : xtrue) v = std::normal_distribution<double>()(rng);
+  const auto b = A * xtrue;
+  const auto x = la::cholesky_solve(A, b);
+  ASSERT_TRUE(x.has_value());
+  for (int i = 0; i < 40; ++i) EXPECT_NEAR((*x)[i], xtrue[i], 1e-8);
+}
+
+TEST(Cholesky, BackwardErrorSmallInDouble) {
+  const auto A = random_spd(30, 0.5, 9);
+  const auto f = la::cholesky(A);
+  ASSERT_EQ(f.status, la::CholStatus::ok);
+  EXPECT_LT(la::factorization_backward_error(A, f.R), 1e-13);
+}
+
+TEST(TriangularSolves, ForwardBackward) {
+  Dense<double> R(3, 3);
+  R(0, 0) = 2;
+  R(0, 1) = 1;
+  R(0, 2) = -1;
+  R(1, 1) = 4;
+  R(1, 2) = 0.5;
+  R(2, 2) = 5;
+  Vec<double> x{1, -2, 3};
+  // y = R x, then solve R x' = y.
+  Vec<double> y(3);
+  for (int i = 0; i < 3; ++i) {
+    y[i] = 0;
+    for (int j = i; j < 3; ++j) y[i] += R(i, j) * x[j];
+  }
+  const auto xs = la::solve_upper(R, y);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(xs[i], x[i], 1e-14);
+  // z = R^T x, then solve R^T x' = z.
+  Vec<double> z(3, 0.0);
+  for (int i = 0; i < 3; ++i)
+    for (int j = i; j < 3; ++j) z[j] += R(i, j) * x[i];
+  const auto xt = la::solve_lower_rt(R, z);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(xt[i], x[i], 1e-14);
+}
+
+TEST(Norms, KnownValues) {
+  Dense<double> A(2, 2);
+  A(0, 0) = 1;
+  A(0, 1) = -3;
+  A(1, 0) = 2;
+  A(1, 1) = 1;
+  EXPECT_EQ(la::norm_inf(A), 4.0);
+  EXPECT_DOUBLE_EQ(la::norm_frob(A), std::sqrt(15.0));
+  const auto S = Csr<double>::from_dense(A);
+  EXPECT_EQ(la::norm_inf(S), 4.0);
+}
+
+TEST(Norms, PowerIterationFindsTopEigenvalue) {
+  // Diagonal matrix: norm2 is the max |diagonal|.
+  Dense<double> A(5, 5);
+  const double d[5] = {0.1, 2.0, -7.5, 3.0, 1.0};
+  for (int i = 0; i < 5; ++i) A(i, i) = d[i];
+  EXPECT_NEAR(la::norm2_est(A), 7.5, 1e-6);
+}
+
+TEST(Cg, SolvesInDouble) {
+  const auto A = random_spd(60, 5.0, 11);
+  const auto S = Csr<double>::from_dense(A);
+  Vec<double> xtrue(60, 1.0 / std::sqrt(60.0));
+  const auto b = A * xtrue;
+  Vec<double> x;
+  la::CgOptions opt;
+  opt.tol = 1e-10;
+  const auto rep = la::cg_solve(S, b, x, opt);
+  EXPECT_EQ(rep.status, la::CgStatus::converged);
+  EXPECT_LT(rep.iterations, 200);
+  const auto r = la::residual(A, b, x);
+  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-9);
+}
+
+TEST(Cg, Posit32SolvesWellScaledSystem) {
+  using P = Posit32_2;
+  const auto A = random_spd(40, 4.0, 13);
+  const auto S = Csr<double>::from_dense(A);
+  Vec<double> xtrue(40, 1.0 / std::sqrt(40.0));
+  const auto b = A * xtrue;
+  const auto Sp = S.cast<P>();
+  const auto bp = la::from_double_vec<P>(b);
+  Vec<P> xp;
+  const auto rep = la::cg_solve(Sp, bp, xp);
+  EXPECT_EQ(rep.status, la::CgStatus::converged);
+  // True residual in double must honour the 1e-5 criterion roughly.
+  const auto xd = la::to_double_vec(xp);
+  const auto r = la::residual(A, b, xd);
+  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 5e-5);
+}
+
+TEST(Cg, ReportsBreakdownOnIndefinite) {
+  // Indefinite with <p0, A p0> = 0: CG must flag the breakdown.
+  Dense<double> A(2, 2);
+  A(0, 0) = 1;
+  A(1, 1) = -1;
+  const auto S = Csr<double>::from_dense(A);
+  Vec<double> b{1, 1}, x;
+  la::CgOptions opt;
+  opt.max_iter = 50;
+  const auto rep = la::cg_solve(S, b, x, opt);
+  EXPECT_EQ(rep.status, la::CgStatus::breakdown);
+}
+
+TEST(Cg, FusedDotsConvergeAtLeastAsFast) {
+  using P = Posit16_2;
+  const auto A = random_spd(30, 3.0, 17);
+  const auto S = Csr<double>::from_dense(A).cast<P>();
+  Vec<double> xtrue(30, 1.0 / std::sqrt(30.0));
+  const auto b = la::from_double_vec<P>(
+      la::to_double_vec(S * la::from_double_vec<P>(xtrue)));
+  Vec<P> x1, x2;
+  la::CgOptions plain, fused;
+  plain.max_iter = fused.max_iter = 2000;
+  fused.fused_dots = true;
+  const auto r1 = la::cg_solve(S, b, x1, plain);
+  const auto r2 = la::cg_solve(S, b, x2, fused);
+  ASSERT_EQ(r2.status, la::CgStatus::converged);
+  if (r1.status == la::CgStatus::converged) {
+    EXPECT_LE(r2.iterations, r1.iterations + 5);
+  }
+}
+
+TEST(Bicgstab, SolvesInDouble) {
+  const auto A = random_spd(50, 5.0, 19);
+  const auto S = Csr<double>::from_dense(A);
+  Vec<double> xtrue(50, 0.3);
+  const auto b = A * xtrue;
+  Vec<double> x;
+  const auto rep = la::bicgstab_solve(S, b, x, 1e-9, 2000);
+  EXPECT_TRUE(rep.converged);
+  const auto r = la::residual(A, b, x);
+  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-8);
+  EXPECT_GT(rep.iterate_log_range, 0.0);
+}
+
+TEST(FusedDot, QuireExactness) {
+  using P = Posit32_2;
+  // Ill-conditioned dot: fused (quire) recovers it, plain loses digits.
+  Vec<P> x{P::from_double(1e15), P::from_double(3.0), P::from_double(-1e15)};
+  Vec<P> y{P::from_double(1.0), P::from_double(1.0), P::from_double(1.0)};
+  EXPECT_EQ(la::dot_fused(x, y).to_double(), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// LU factorization tests: correctness vs known factors, pivoting, failure
+// classification, agreement with Cholesky on SPD input, and posit solves.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "matrices/generator.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+using la::Dense;
+using la::Vec;
+
+TEST(Lu, SolvesKnownSystem) {
+  // [[2, 1], [1, 3]] x = [3, 5]  ->  x = [0.8, 1.4]
+  Dense<double> A(2, 2);
+  A(0, 0) = 2;
+  A(0, 1) = 1;
+  A(1, 0) = 1;
+  A(1, 1) = 3;
+  const auto x = la::lu_solve(A, Vec<double>{3, 5});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 0.8, 1e-14);
+  EXPECT_NEAR((*x)[1], 1.4, 1e-14);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap; without pivoting this breaks.
+  Dense<double> A(2, 2);
+  A(0, 0) = 0;
+  A(0, 1) = 1;
+  A(1, 0) = 2;
+  A(1, 1) = 1;
+  const auto f = la::lu_factor(A);
+  ASSERT_EQ(f.status, la::LuStatus::ok);
+  EXPECT_EQ(f.perm[0], 1);  // rows swapped
+  const auto x = la::lu_solve(f, Vec<double>{1, 4});
+  // x solves: x1 = 1 (row 0), 2 x0 + x1 = 4 -> x0 = 1.5.
+  EXPECT_NEAR(x[0], 1.5, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+}
+
+TEST(Lu, DetectsSingular) {
+  Dense<double> A(2, 2);
+  A(0, 0) = 1;
+  A(0, 1) = 2;
+  A(1, 0) = 2;
+  A(1, 1) = 4;  // rank 1
+  const auto f = la::lu_factor(A);
+  EXPECT_EQ(f.status, la::LuStatus::singular);
+  EXPECT_EQ(f.failed_column, 1);
+}
+
+TEST(Lu, ReconstructsPA) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> g;
+  const int n = 25;
+  Dense<double> A(n, n);
+  for (auto& v : A.data()) v = g(rng);
+  const auto f = la::lu_factor(A);
+  ASSERT_EQ(f.status, la::LuStatus::ok);
+  // L*U must equal P*A.
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double lu = 0;
+      for (int k = 0; k <= std::min(i, j); ++k) {
+        const double l = (k == i) ? 1.0 : f.lu(i, k);
+        lu += l * ((k <= j) ? f.lu(k, j) : 0.0);
+      }
+      // Careful: L(i,k) defined for k < i, U(k,j) for k <= j.
+      EXPECT_NEAR(lu, A(f.perm[i], j), 1e-12) << i << "," << j;
+    }
+}
+
+TEST(Lu, AgreesWithCholeskyOnSpd) {
+  matrices::MatrixSpec spec{"lu_spd", 40, 300, 1.0e4, 10.0, 1.0e2};
+  const auto g = matrices::generate_spd(spec, 0);
+  const auto b = matrices::paper_rhs(g.dense);
+  const auto xl = la::lu_solve(g.dense, b);
+  const auto xc = la::cholesky_solve(g.dense, b);
+  ASSERT_TRUE(xl && xc);
+  for (int i = 0; i < g.n; ++i) EXPECT_NEAR((*xl)[i], (*xc)[i], 1e-9);
+}
+
+TEST(Lu, WorksInPosit32) {
+  matrices::MatrixSpec spec{"lu_posit", 30, 250, 1.0e3, 4.0, 1.0e2};
+  const auto g = matrices::generate_spd(spec, 0);
+  const auto Ap = g.dense.cast<Posit32_2>();
+  const auto b = matrices::paper_rhs(g.dense);
+  const auto x = la::lu_solve(Ap, la::from_double_vec<Posit32_2>(b));
+  ASSERT_TRUE(x.has_value());
+  const auto r = la::residual(g.dense, b, la::to_double_vec(*x));
+  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-5);
+}
+
+TEST(Lu, GrowthBoundedByPivoting) {
+  // With partial pivoting all multipliers |L(i,k)| <= 1.
+  std::mt19937 rng(13);
+  std::normal_distribution<double> g;
+  Dense<double> A(30, 30);
+  for (auto& v : A.data()) v = g(rng);
+  const auto f = la::lu_factor(A);
+  ASSERT_EQ(f.status, la::LuStatus::ok);
+  for (int i = 0; i < 30; ++i)
+    for (int k = 0; k < i; ++k)
+      EXPECT_LE(std::fabs(f.lu(i, k)), 1.0 + 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Unit tests for the Posit<N, ES> format: special values, encode/decode
+// round-trips, ordering, saturation, and hand-checked arithmetic identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "posit/posit.hpp"
+#include "posit/posit_math.hpp"
+
+namespace {
+
+using pstab::Posit;
+using P8 = pstab::Posit8;
+using P16 = pstab::Posit16_2;
+using P32 = pstab::Posit32_2;
+
+TEST(PositSpecials, ZeroAndNaR) {
+  EXPECT_TRUE(P32::zero().is_zero());
+  EXPECT_TRUE(P32::nar().is_nar());
+  EXPECT_EQ(P32::zero().bits(), 0u);
+  EXPECT_EQ(P32::nar().bits(), 0x80000000u);
+  EXPECT_EQ(P32::zero().to_double(), 0.0);
+  EXPECT_TRUE(std::isnan(P32::nar().to_double()));
+  // Negation fixed points.
+  EXPECT_TRUE((-P32::zero()).is_zero());
+  EXPECT_TRUE((-P32::nar()).is_nar());
+}
+
+TEST(PositSpecials, OneAndUseed) {
+  EXPECT_EQ(P32::one().to_double(), 1.0);
+  EXPECT_EQ(P32::one().bits(), 0x40000000u);
+  EXPECT_DOUBLE_EQ(P32::useed, 16.0);          // 2^(2^2)
+  EXPECT_DOUBLE_EQ(pstab::Posit16_1::useed, 4.0);
+  EXPECT_DOUBLE_EQ(pstab::Posit32_3::useed, 256.0);
+}
+
+TEST(PositSpecials, MaxposMinposValues) {
+  // maxpos = useed^(N-2), minpos = useed^-(N-2).
+  EXPECT_DOUBLE_EQ(P16::maxpos().to_double(), std::ldexp(1.0, 56));
+  EXPECT_DOUBLE_EQ(P16::minpos().to_double(), std::ldexp(1.0, -56));
+  EXPECT_DOUBLE_EQ(P32::maxpos().to_double(), std::ldexp(1.0, 120));
+  EXPECT_DOUBLE_EQ(P32::minpos().to_double(), std::ldexp(1.0, -120));
+  EXPECT_DOUBLE_EQ(P8::maxpos().to_double(), 64.0);  // useed=2, 2^(8-2)
+}
+
+TEST(PositRoundtrip, ExhaustiveDecodeEncode8) {
+  // Every pattern must decode to a value that converts straight back.
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    const P8 p = P8::from_bits(b);
+    if (p.is_nar()) continue;
+    const P8 q = P8::from_double(p.to_double());
+    EXPECT_EQ(q.bits(), p.bits()) << "pattern " << b;
+  }
+}
+
+TEST(PositRoundtrip, ExhaustiveDecodeEncode16) {
+  for (std::uint32_t b = 0; b < 65536; ++b) {
+    const P16 p = P16::from_bits(b);
+    if (p.is_nar()) continue;
+    EXPECT_EQ(P16::from_double(p.to_double()).bits(), p.bits()) << b;
+  }
+}
+
+TEST(PositRoundtrip, ExhaustiveDecodeEncode16Es1) {
+  using P = pstab::Posit16_1;
+  for (std::uint32_t b = 0; b < 65536; ++b) {
+    const P p = P::from_bits(b);
+    if (p.is_nar()) continue;
+    EXPECT_EQ(P::from_double(p.to_double()).bits(), p.bits()) << b;
+  }
+}
+
+TEST(PositRoundtrip, SampledDecodeEncode32) {
+  for (std::uint64_t b = 1; b < (1ull << 32); b += 99991) {
+    const P32 p = P32::from_bits(b);
+    if (p.is_nar()) continue;
+    EXPECT_EQ(P32::from_double(p.to_double()).bits(), p.bits()) << b;
+  }
+}
+
+TEST(PositRoundtrip, LongDoubleRoundtrip64) {
+  using P64 = pstab::Posit64_3;
+  std::uint64_t b = 1;
+  for (int i = 0; i < 200000; ++i, b += 0x10000000000123ull) {
+    const P64 p = P64::from_bits(b);
+    if (p.is_nar() || p.is_zero()) continue;
+    EXPECT_EQ(P64::from_long_double(p.to_long_double()).bits(), p.bits()) << b;
+  }
+}
+
+TEST(PositOrder, TotalOrderMatchesValues16) {
+  // Monotonicity: pattern order (signed) == value order; spot-check densely.
+  const P16 nar = P16::nar();
+  double prev = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t b = 0x8001; b != 0x8000; b = (b + 1) & 0xffff) {
+    const P16 p = P16::from_bits(b);
+    ASSERT_FALSE(p.is_nar());
+    const double v = p.to_double();
+    EXPECT_GT(v, prev) << "pattern " << b;
+    EXPECT_TRUE(nar < p);
+    prev = v;
+  }
+  EXPECT_TRUE(nar == nar);  // NaR equals itself in the posit total order
+}
+
+TEST(PositConvert, KnownValues32) {
+  // Hand-computed encodings for Posit(32, 2).
+  EXPECT_EQ(P32::from_double(1.0).bits(), 0x40000000u);
+  EXPECT_EQ(P32::from_double(-1.0).bits(), 0xC0000000u);
+  EXPECT_EQ(P32::from_double(16.0).bits(), 0x60000000u);    // regime 110
+  EXPECT_EQ(P32::from_double(0.0625).bits(), 0x20000000u);  // regime 01
+  EXPECT_EQ(P32::from_double(2.0).bits(), 0x48000000u);     // e=01
+  EXPECT_EQ(P32::from_double(4.0).bits(), 0x50000000u);     // e=10
+  EXPECT_EQ(P32::from_double(8.0).bits(), 0x58000000u);     // e=11
+  EXPECT_EQ(P32::from_double(1.5).bits(), 0x44000000u);     // frac=.1
+  EXPECT_EQ(P32::from_double(-1.5).bits(), (0u - 0x44000000u));
+}
+
+TEST(PositConvert, SaturationNeverToZeroOrNaR) {
+  EXPECT_EQ(P16::from_double(1e300).bits(), P16::maxpos().bits());
+  EXPECT_EQ(P16::from_double(-1e300).bits(), (-P16::maxpos()).bits());
+  EXPECT_EQ(P16::from_double(1e-300).bits(), P16::minpos().bits());
+  EXPECT_EQ(P16::from_double(-1e-300).bits(), (-P16::minpos()).bits());
+  EXPECT_TRUE(P16::from_double(std::nan("")).is_nar());
+  EXPECT_TRUE(P16::from_double(HUGE_VAL).is_nar());
+}
+
+TEST(PositConvert, DoubleIsExactFor32Bits) {
+  // Posit(32,2) has <= 27 fraction bits: double round-trips exactly.
+  for (std::uint64_t b = 3; b < (1ull << 32); b += 1234577) {
+    const P32 p = P32::from_bits(b);
+    if (p.is_nar()) continue;
+    const double d = p.to_double();
+    EXPECT_EQ(P32::from_double(d).bits(), p.bits());
+    EXPECT_EQ(d, p.to_long_double());
+  }
+}
+
+TEST(PositArith, ExactSmallIntegers) {
+  for (int a = -100; a <= 100; a += 7) {
+    for (int b = -100; b <= 100; b += 11) {
+      const P32 pa(a), pb(b);
+      EXPECT_EQ((pa + pb).to_double(), a + b);
+      EXPECT_EQ((pa - pb).to_double(), a - b);
+      EXPECT_EQ((pa * pb).to_double(), a * b);
+    }
+  }
+}
+
+TEST(PositArith, NaRPropagation) {
+  const P32 x(3.0), nar = P32::nar();
+  EXPECT_TRUE((x + nar).is_nar());
+  EXPECT_TRUE((nar - x).is_nar());
+  EXPECT_TRUE((x * nar).is_nar());
+  EXPECT_TRUE((nar / x).is_nar());
+  EXPECT_TRUE((x / P32::zero()).is_nar());  // division by zero is NaR
+  EXPECT_TRUE(pstab::sqrt(P32(-2.0)).is_nar());
+}
+
+TEST(PositArith, ExactCancellation) {
+  const P32 x(3.7);
+  EXPECT_TRUE((x - x).is_zero());
+  EXPECT_TRUE((x + (-x)).is_zero());
+  EXPECT_EQ((x / x).to_double(), 1.0);
+}
+
+TEST(PositArith, NegationIsExact) {
+  for (std::uint64_t b = 1; b < (1ull << 32); b += 777773) {
+    const P32 p = P32::from_bits(b);
+    if (p.is_nar() || p.is_zero()) continue;
+    EXPECT_EQ((-p).to_double(), -p.to_double());
+    EXPECT_EQ((-(-p)).bits(), p.bits());
+  }
+}
+
+TEST(PositArith, SqrtExactSquares) {
+  for (int i = 1; i <= 1000; ++i) {
+    const P32 sq(double(i) * i);
+    EXPECT_EQ(pstab::sqrt(sq).to_double(), double(i)) << i;
+  }
+}
+
+TEST(PositArith, DivisionInverseOfMultiple) {
+  for (int i = 1; i <= 500; ++i) {
+    const P32 n{double(6 * i)}, d{double(i)};
+    EXPECT_EQ((n / d).to_double(), 6.0);
+  }
+}
+
+TEST(PositRecast, WideningIsExactNarrowingRounds) {
+  for (std::uint32_t b = 0; b < 65536; ++b) {
+    const P16 p = P16::from_bits(b);
+    if (p.is_nar()) continue;
+    const P32 wide = p.recast<32, 2>();
+    EXPECT_EQ(wide.to_double(), p.to_double()) << b;
+    // Narrowing back is the identity on the original.
+    EXPECT_EQ((wide.recast<16, 2>()).bits(), p.bits()) << b;
+  }
+}
+
+TEST(PositFractionBits, GoldenZoneShape) {
+  // Near 1.0, Posit(32,2) carries 27 fraction bits (4 more than Float32's 23).
+  EXPECT_EQ(P32::from_double(1.5).fraction_bits(), 27);
+  EXPECT_EQ(P32::max_frac_bits, 27);
+  // Precision tapers as magnitude leaves the golden zone.
+  EXPECT_LT(P32::from_double(1e20).fraction_bits(), 27);
+  EXPECT_LT(P32::from_double(1e-20).fraction_bits(), 27);
+  EXPECT_EQ(P32::maxpos().fraction_bits(), 0);
+}
+
+TEST(PositNextUp, AdjacentValues) {
+  const P32 one = P32::one();
+  EXPECT_GT(one.next_up().to_double(), 1.0);
+  EXPECT_LT(one.next_down().to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(one.next_up().to_double() - 1.0, std::ldexp(1.0, -27));
+}
+
+TEST(PositString, RoundTrip) {
+  const P32 x(3.25);
+  EXPECT_EQ((pstab::from_string<32, 2>(pstab::to_string(x))).bits(), x.bits());
+  EXPECT_EQ(pstab::to_string(P32::nar()), "NaR");
+}
+
+}  // namespace

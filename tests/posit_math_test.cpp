@@ -1,0 +1,113 @@
+// Tests for the posit math/IO conveniences and remaining edge paths of the
+// core format: transcendental wrappers, string round-trips, min/max,
+// epsilon, and cross-ES recasting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "posit/posit.hpp"
+#include "posit/posit_math.hpp"
+
+namespace {
+
+using namespace pstab;
+using P = Posit32_2;
+
+TEST(PositMath, TranscendentalsFaithful) {
+  // exp/log/sin/cos/pow are double-computed and once-rounded: within one
+  // posit ulp of the double result.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(exp(P{x}).to_double(), std::exp(x), 1e-6 * std::exp(x));
+    EXPECT_NEAR(log(P{x}).to_double(), std::log(x),
+                1e-6 * std::max(1.0, std::fabs(std::log(x))));
+    EXPECT_NEAR(sin(P{x}).to_double(), std::sin(x), 1e-7);
+    EXPECT_NEAR(cos(P{x}).to_double(), std::cos(x), 1e-7);
+    EXPECT_NEAR(pow(P{x}, P{2.5}).to_double(), std::pow(x, 2.5),
+                1e-6 * std::pow(x, 2.5));
+  }
+}
+
+TEST(PositMath, ExpLogRoundTrip) {
+  for (double x : {0.25, 1.0, 3.0, 10.0}) {
+    const double back = log(exp(P{x})).to_double();
+    EXPECT_NEAR(back, x, 1e-6 * std::max(1.0, x));
+  }
+}
+
+TEST(PositMath, MinMax) {
+  const P a{2.0}, b{-3.0};
+  EXPECT_EQ(min(a, b).to_double(), -3.0);
+  EXPECT_EQ(max(a, b).to_double(), 2.0);
+  EXPECT_EQ(min(a, a).bits(), a.bits());
+  // NaR sorts below everything in the posit order: min picks it.
+  EXPECT_TRUE(min(P::nar(), a).is_nar());
+  EXPECT_EQ(max(P::nar(), a).bits(), a.bits());
+}
+
+TEST(PositMath, AbsAndNegZeroFree) {
+  EXPECT_EQ(abs(P{-2.5}).to_double(), 2.5);
+  EXPECT_EQ(abs(P{2.5}).to_double(), 2.5);
+  EXPECT_TRUE(abs(P::zero()).is_zero());
+  EXPECT_TRUE(abs(P::nar()).is_nar());  // abs(NaR) = NaR (negative pattern)
+}
+
+TEST(PositMath, StringRoundTripsEveryPosit16) {
+  using P16 = Posit16_2;
+  for (std::uint32_t b = 0; b < 65536; b += 7) {
+    const P16 p = P16::from_bits(b);
+    const auto s = to_string(p);
+    EXPECT_EQ((from_string<16, 2>(s)).bits(), p.bits()) << s;
+  }
+}
+
+TEST(PositMath, StreamOutput) {
+  std::ostringstream os;
+  os << P{2.5} << " " << P::nar();
+  EXPECT_EQ(os.str(), "2.5 NaR");
+}
+
+TEST(PositMath, EpsilonOrdering) {
+  // More fraction bits -> smaller epsilon; ES shifts it by design.
+  EXPECT_LT((epsilon_at_one<32, 2>()), (epsilon_at_one<16, 2>()));
+  EXPECT_LT((epsilon_at_one<16, 1>()), (epsilon_at_one<16, 2>()));
+  EXPECT_EQ((epsilon_at_one<32, 2>()), std::ldexp(1.0, -27));
+  EXPECT_EQ((epsilon_at_one<16, 1>()), std::ldexp(1.0, -12));
+}
+
+TEST(PositRecastCrossEs, OneRoundingOnly) {
+  // (32,2) -> (16,1): every result must equal the direct conversion of the
+  // exact value (single rounding, no double-rounding artifacts).
+  std::uint32_t b = 1;
+  for (int i = 0; i < 40000; ++i, b += 104729) {
+    const auto p = Posit32_2::from_bits(b & 0xffffffffu);
+    if (p.is_nar()) continue;
+    const auto direct = Posit16_1::from_long_double(p.to_long_double());
+    const auto recast = p.recast<16, 1>();
+    ASSERT_EQ(recast.bits(), direct.bits()) << b;
+  }
+}
+
+TEST(PositFromString, AcceptsNaRAndNumbers) {
+  EXPECT_TRUE((from_string<32, 2>("NaR")).is_nar());
+  EXPECT_TRUE((from_string<32, 2>("nar")).is_nar());
+  EXPECT_EQ((from_string<32, 2>("0")).bits(), 0u);
+  EXPECT_EQ((from_string<32, 2>("-1.5")).to_double(), -1.5);
+  EXPECT_EQ((from_string<32, 2>("1e30")).to_double(),
+            P::from_double(1e30).to_double());
+}
+
+TEST(PositTraits, BridgeConsistency) {
+  using st = scalar_traits<P>;
+  EXPECT_STREQ(st::name(), "Posit(32,2)");
+  EXPECT_EQ(st::to_double(st::one()), 1.0);
+  EXPECT_EQ(st::to_double(st::zero()), 0.0);
+  EXPECT_EQ(st::to_double(st::max()), P::maxpos().to_double());
+  EXPECT_EQ(st::to_double(st::min_pos()), P::minpos().to_double());
+  EXPECT_TRUE(st::finite(st::one()));
+  EXPECT_FALSE(st::finite(P::nar()));
+  EXPECT_EQ(st::significand_bits_at_one(), 28);
+  EXPECT_EQ(st::to_double(st::fma(P{2.0}, P{3.0}, P{1.0})), 7.0);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Format-law property tests, run over the whole family of posit formats via
+// typed tests: algebraic identities, ordering, saturation, and encoding
+// invariants that must hold for every (N, ES).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "posit/posit.hpp"
+#include "posit/posit_math.hpp"
+
+namespace {
+
+using pstab::Posit;
+
+template <class P>
+class PositFamily : public ::testing::Test {
+ protected:
+  static P random_value(std::mt19937_64& rng) {
+    P p = P::from_bits(rng() & ((P::nbits == 64)
+                                    ? ~std::uint64_t(0)
+                                    : ((std::uint64_t(1) << P::nbits) - 1)));
+    if (p.is_nar()) p = P::zero();
+    return p;
+  }
+};
+
+using PositTypes =
+    ::testing::Types<Posit<8, 0>, Posit<8, 1>, Posit<8, 2>, Posit<12, 1>,
+                     Posit<16, 1>, Posit<16, 2>, Posit<20, 2>, Posit<24, 2>,
+                     Posit<32, 1>, Posit<32, 2>, Posit<32, 3>, Posit<48, 2>,
+                     Posit<64, 3>>;
+TYPED_TEST_SUITE(PositFamily, PositTypes);
+
+TYPED_TEST(PositFamily, SpecialPatternsAreCanonical) {
+  using P = TypeParam;
+  EXPECT_EQ(P::zero().bits(), 0u);
+  EXPECT_EQ(P::nar().bits(), std::uint64_t(1) << (P::nbits - 1));
+  EXPECT_EQ(P::maxpos().bits(), (std::uint64_t(1) << (P::nbits - 1)) - 1);
+  EXPECT_EQ(P::minpos().bits(), 1u);
+  EXPECT_EQ(P::one().to_long_double(), 1.0L);
+}
+
+TYPED_TEST(PositFamily, MaxposMinposAreReciprocalPowers) {
+  using P = TypeParam;
+  // maxpos = useed^(N-2) and minpos = 1/maxpos, both powers of two.
+  const long double maxv = P::maxpos().to_long_double();
+  const long double minv = P::minpos().to_long_double();
+  EXPECT_EQ(maxv, ldexpl(1.0L, P::max_scale));
+  EXPECT_EQ(minv, ldexpl(1.0L, -P::max_scale));
+}
+
+TYPED_TEST(PositFamily, NegationIsExactInvolution) {
+  using P = TypeParam;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const P p = this->random_value(rng);
+    EXPECT_EQ((-(-p)).bits(), p.bits());
+    if (!p.is_zero()) {
+      EXPECT_EQ((-p).to_long_double(), -p.to_long_double());
+    }
+  }
+}
+
+TYPED_TEST(PositFamily, AdditionAndMultiplicationCommute) {
+  using P = TypeParam;
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const P a = this->random_value(rng), b = this->random_value(rng);
+    EXPECT_EQ((a + b).bits(), (b + a).bits());
+    EXPECT_EQ((a * b).bits(), (b * a).bits());
+  }
+}
+
+TYPED_TEST(PositFamily, IdentityElements) {
+  using P = TypeParam;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const P a = this->random_value(rng);
+    EXPECT_EQ((a + P::zero()).bits(), a.bits());
+    EXPECT_EQ((a * P::one()).bits(), a.bits());
+    EXPECT_EQ((a / P::one()).bits(), a.bits());
+    if (!a.is_zero()) {
+      EXPECT_EQ((a / a).bits(), P::one().bits());
+    }
+    EXPECT_TRUE((a - a).is_zero());
+  }
+}
+
+TYPED_TEST(PositFamily, MultiplicationByUseedShiftsRegime) {
+  using P = TypeParam;
+  // x * 2 is exact whenever both are representable; check powers of two.
+  for (int k = -4; k <= 4; ++k) {
+    const P x = P::from_double(std::ldexp(1.0, k));
+    EXPECT_EQ(x.to_long_double(), ldexpl(1.0L, k));
+    const P y = x * P::from_double(2.0);
+    EXPECT_EQ(y.to_long_double(), ldexpl(1.0L, k + 1));
+  }
+}
+
+TYPED_TEST(PositFamily, OrderingMatchesValues) {
+  using P = TypeParam;
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const P a = this->random_value(rng), b = this->random_value(rng);
+    const long double va = a.to_long_double(), vb = b.to_long_double();
+    EXPECT_EQ(a < b, va < vb);
+    EXPECT_EQ(a == b, va == vb);
+    EXPECT_EQ(a > b, va > vb);
+  }
+}
+
+TYPED_TEST(PositFamily, SaturationNeverReachesZeroOrNaR) {
+  using P = TypeParam;
+  // Large products saturate at +-maxpos; tiny quotients at +-minpos.
+  const P big = P::maxpos(), tiny = P::minpos();
+  EXPECT_EQ((big * big).bits(), big.bits());
+  EXPECT_EQ((big + big).bits(), big.bits());
+  EXPECT_EQ((tiny * tiny).bits(), tiny.bits());
+  EXPECT_EQ((tiny / big).bits(), tiny.bits());
+  EXPECT_EQ(((-big) * big).bits(), (-big).bits());
+  EXPECT_EQ(((-tiny) * tiny).bits(), (-tiny).bits());
+}
+
+TYPED_TEST(PositFamily, SqrtIsMonotoneAndInRange) {
+  using P = TypeParam;
+  std::mt19937_64 rng(5);
+  long double prev = -1.0L;
+  for (int i = 0; i < 300; ++i) {
+    P a = this->random_value(rng);
+    if (a.is_negative()) a = -a;
+    const P r = pstab::sqrt(a);
+    const long double v = r.to_long_double();
+    EXPECT_FALSE(r.is_nar());
+    EXPECT_GE(v, 0.0L);
+    (void)prev;
+    // sqrt(x)^2 within one rounding of x (posit rounding is monotone).
+    if (!a.is_zero()) {
+      const long double back = (r * r).to_long_double();
+      const long double x = a.to_long_double();
+      EXPECT_NEAR(double(back / x), 1.0,
+                  std::ldexp(4.0, -P::max_frac_bits) + 1e-15);
+    }
+  }
+}
+
+TYPED_TEST(PositFamily, RoundTripThroughLongDouble) {
+  using P = TypeParam;
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const P p = this->random_value(rng);
+    EXPECT_EQ(P::from_long_double(p.to_long_double()).bits(), p.bits());
+  }
+}
+
+TYPED_TEST(PositFamily, FractionBitsWithinBounds) {
+  using P = TypeParam;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const P p = this->random_value(rng);
+    const int fb = p.fraction_bits();
+    EXPECT_GE(fb, 0);
+    EXPECT_LE(fb, P::max_frac_bits);
+  }
+  EXPECT_EQ(P::one().next_up().fraction_bits(), P::max_frac_bits);
+}
+
+TYPED_TEST(PositFamily, NextUpIsTheSuccessor) {
+  using P = TypeParam;
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 300; ++i) {
+    const P p = this->random_value(rng);
+    const P q = p.next_up();
+    if (q.is_nar() || p.is_nar()) continue;
+    EXPECT_GT(q.to_long_double(), p.to_long_double());
+  }
+}
+
+TYPED_TEST(PositFamily, RecastToWiderIsExact) {
+  using P = TypeParam;
+  if constexpr (P::nbits <= 32) {
+    std::mt19937_64 rng(9);
+    for (int i = 0; i < 300; ++i) {
+      const P p = this->random_value(rng);
+      const auto w = p.template recast<64, 3>();
+      EXPECT_EQ(w.to_long_double(), p.to_long_double());
+    }
+  }
+}
+
+TYPED_TEST(PositFamily, EpsilonAtOneMatchesFracBits) {
+  using P = TypeParam;
+  EXPECT_DOUBLE_EQ((pstab::epsilon_at_one<P::nbits, P::es>()),
+                   std::ldexp(1.0, -P::max_frac_bits));
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Quire (exact accumulator) tests: exactness of long dot products, correct
+// final rounding, sign handling, and the fused ops built on top.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "mp/mpreal.hpp"
+#include "mp/oracle.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+
+namespace {
+
+using pstab::Posit;
+using pstab::Quire;
+
+TEST(Quire, StartsZeroAndClears) {
+  Quire<16, 2> q;
+  EXPECT_TRUE(q.is_zero());
+  q.add(Posit<16, 2>::one());
+  EXPECT_FALSE(q.is_zero());
+  q.clear();
+  EXPECT_TRUE(q.is_zero());
+}
+
+TEST(Quire, SingleValueRoundTrips) {
+  // Adding one posit and rounding back must reproduce it exactly.
+  for (std::uint32_t b = 0; b < 65536; ++b) {
+    const auto p = Posit<16, 2>::from_bits(b);
+    if (p.is_nar()) continue;
+    Quire<16, 2> q;
+    q.add(p);
+    EXPECT_EQ(q.to_posit().bits(), p.bits()) << b;
+  }
+}
+
+TEST(Quire, SingleProductMatchesExactRounding) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = Posit<16, 2>::from_bits(rng() & 0xffff);
+    const auto b = Posit<16, 2>::from_bits(rng() & 0xffff);
+    if (a.is_nar() || b.is_nar()) continue;
+    Quire<16, 2> q;
+    q.add_product(a, b);
+    const mpf_class exact = pstab::mp::to_mpf(a) * pstab::mp::to_mpf(b);
+    const auto want = exact == 0 ? Posit<16, 2>::zero()
+                                 : pstab::mp::oracle_round<16, 2>(exact);
+    EXPECT_EQ(q.to_posit().bits(), want.bits()) << i;
+  }
+}
+
+TEST(Quire, ExtremeProductsStayExact) {
+  using P = Posit<16, 2>;
+  // maxpos^2 and minpos^2 are at the very edges of the quire's range.
+  {
+    Quire<16, 2> q;
+    q.add_product(P::maxpos(), P::maxpos());
+    EXPECT_EQ(q.to_posit().bits(), P::maxpos().bits());  // saturates
+    q.sub_product(P::maxpos(), P::maxpos());
+    EXPECT_TRUE(q.is_zero());
+  }
+  {
+    Quire<16, 2> q;
+    q.add_product(P::minpos(), P::minpos());
+    EXPECT_EQ(q.to_posit().bits(), P::minpos().bits());  // saturates up
+    q.sub_product(P::minpos(), P::minpos());
+    EXPECT_TRUE(q.is_zero());
+  }
+}
+
+TEST(Quire, CancellationIsExact) {
+  // Classic quire showcase: sum of large +x, -x pairs plus a tiny tail is
+  // recovered exactly, where round-per-op arithmetic loses it completely.
+  using P = Posit<32, 2>;
+  const P big = P::from_double(1e20);
+  const P tiny = P::from_double(3.0);
+  Quire<32, 2> q;
+  q.add(big);
+  q.add(tiny);
+  q.add(-big);
+  EXPECT_EQ(q.to_posit().to_double(), 3.0);
+  // Round-per-op loses the tiny term.
+  const P seq = (big + tiny) + (-big);
+  EXPECT_EQ(seq.to_double(), 0.0);
+}
+
+TEST(Quire, DotProductMatchesGmp) {
+  using P = Posit<16, 2>;
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = 1 + int(rng() % 40);
+    std::vector<P> x(n), y(n);
+    mpf_class exact(0, pstab::mp::kPrecBits);
+    for (int i = 0; i < n; ++i) {
+      x[i] = P::from_bits(rng() & 0xffff);
+      y[i] = P::from_bits(rng() & 0xffff);
+      if (x[i].is_nar()) x[i] = P::zero();
+      if (y[i].is_nar()) y[i] = P::zero();
+      exact += pstab::mp::to_mpf(x[i]) * pstab::mp::to_mpf(y[i]);
+    }
+    const P got = pstab::quire_dot(x.data(), y.data(), x.size());
+    const P want =
+        exact == 0 ? P::zero() : pstab::mp::oracle_round<16, 2>(exact);
+    EXPECT_EQ(got.bits(), want.bits()) << "trial " << trial;
+  }
+}
+
+TEST(Quire, NaRPoisons) {
+  Quire<16, 2> q;
+  q.add(Posit<16, 2>::one());
+  q.add(Posit<16, 2>::nar());
+  EXPECT_TRUE(q.is_nar());
+  EXPECT_TRUE(q.to_posit().is_nar());
+}
+
+TEST(Quire, FmaMatchesExact) {
+  using P = Posit<32, 2>;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const P a = P::from_bits(rng() & 0xffffffff);
+    const P b = P::from_bits(rng() & 0xffffffff);
+    const P c = P::from_bits(rng() & 0xffffffff);
+    if (a.is_nar() || b.is_nar() || c.is_nar()) continue;
+    const mpf_class exact = pstab::mp::to_mpf(a) * pstab::mp::to_mpf(b) +
+                            pstab::mp::to_mpf(c);
+    const P want =
+        exact == 0 ? P::zero() : pstab::mp::oracle_round<32, 2>(exact);
+    EXPECT_EQ(pstab::fma(a, b, c).bits(), want.bits()) << i;
+  }
+}
+
+TEST(Quire, FmaBeatsUnfusedWhenCatastrophic) {
+  using P = Posit<32, 2>;
+  // a*b ~ 1 + eps, c = -1: fused keeps the eps, unfused can lose it.
+  const P a = P::one().next_up();   // 1 + 2^-27
+  const P b = P::one().next_up();
+  const P c = -P::one();
+  const double fused = pstab::fma(a, b, c).to_double();
+  EXPECT_NEAR(fused, std::ldexp(1.0, -26), std::ldexp(1.0, -40));
+}
+
+}  // namespace

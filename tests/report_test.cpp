@@ -1,0 +1,106 @@
+// Tests for the reporting/formatting utilities every bench binary uses, the
+// precision-series generator, and the ulp study (shape assertions on the
+// §II claim: IEEE flat, posit V-shaped).
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/ulp_study.hpp"
+#include "ieee/softfloat.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+
+TEST(Report, FormatsNumbers) {
+  EXPECT_EQ(core::fmt_sci(15700000000.0, 2), "1.57e+10");
+  EXPECT_EQ(core::fmt_sci(std::nan(""), 2), "-");
+  EXPECT_EQ(core::fmt_fix(3.14159, 2), "3.14");
+  EXPECT_EQ(core::fmt_fix(std::nan(""), 1), "-");
+  EXPECT_EQ(core::fmt_int(42), "42");
+}
+
+TEST(Report, ItersCellConvention) {
+  EXPECT_EQ(core::fmt_iters(true, false, 7), "-");
+  EXPECT_EQ(core::fmt_iters(false, true, 1234), "1000+");
+  EXPECT_EQ(core::fmt_iters(false, false, 42), "42");
+  EXPECT_EQ(core::fmt_iters(false, true, 0, 500), "500+");
+}
+
+TEST(Report, TableAlignsColumns) {
+  core::Table t({"name", "val"});
+  t.row({"a", "1.5"});
+  t.row({"long-name", "22"});
+  const auto s = t.str();
+  // Header, separator, two rows.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Numeric cells right-align: "1.5" ends where "val" column ends.
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const auto nl = s.find('\n', pos);
+      v.push_back(s.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return v;
+  }();
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());  // aligned rows
+}
+
+TEST(Report, CsvEscaping) {
+  core::Table t({"a", "b"});
+  t.row({"plain", "with,comma"});
+  t.row({"quote\"inside", "x"});
+  const auto c = t.csv();
+  EXPECT_NE(c.find("a,b\n"), std::string::npos);
+  EXPECT_NE(c.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(c.find("\"quote\"\"inside\",x\n"), std::string::npos);
+}
+
+TEST(Report, ShortRowsArePadded) {
+  core::Table t({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_NE(t.str().find("only-one"), std::string::npos);  // no crash
+}
+
+TEST(UlpStudy, IeeeProfileIsFlat) {
+  const auto rows = core::ulp_profile<float>(core::UlpOp::convert, -4, 4, 4000);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.max_rel, 2e-8) << r.decade;   // eps/2 = 6e-8 ballpark
+    EXPECT_LT(r.max_rel, 7e-8) << r.decade;
+  }
+}
+
+TEST(UlpStudy, PositProfileIsVShaped) {
+  const auto rows =
+      core::ulp_profile<Posit32_2>(core::UlpOp::convert, -6, 6, 4000);
+  // Minimum at decade 0; strictly worse 6 decades out on both sides.
+  double at0 = 0, atm6 = 0, atp6 = 0;
+  for (const auto& r : rows) {
+    if (r.decade == 0) at0 = r.max_rel;
+    if (r.decade == -6) atm6 = r.max_rel;
+    if (r.decade == 6) atp6 = r.max_rel;
+  }
+  EXPECT_LT(at0, 8e-9);
+  EXPECT_GT(atm6, 4 * at0);
+  EXPECT_GT(atp6, 4 * at0);
+}
+
+TEST(UlpStudy, HalfOverflowShowsAsTotalLoss) {
+  const auto r = core::ulp_study_decade<Half>(core::UlpOp::convert, -8, 4000);
+  EXPECT_GT(r.max_rel, 0.5);  // flushed to zero: 100% relative error
+}
+
+TEST(UlpStudy, OperationsAtLeastAsNoisyAsConversion) {
+  const auto conv =
+      core::ulp_study_decade<Posit16_2>(core::UlpOp::convert, 0, 8000);
+  const auto mul =
+      core::ulp_study_decade<Posit16_2>(core::UlpOp::mul, 0, 8000);
+  EXPECT_GE(mul.max_rel, 0.5 * conv.max_rel);
+}
+
+}  // namespace

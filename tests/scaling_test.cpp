@@ -1,0 +1,133 @@
+// Re-scaling strategy tests: the power-of-two CG scaling, Algorithm 3's
+// diagonal-average scaling, and Higham's equilibration (Algorithm 5) with
+// its post-conditions, plus the mu selection rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ieee/softfloat.hpp"
+#include "la/cholesky.hpp"
+#include "la/norms.hpp"
+#include "matrices/generator.hpp"
+#include "scaling/higham.hpp"
+#include "scaling/scaling.hpp"
+
+namespace {
+
+using namespace pstab;
+
+la::Dense<double> test_matrix() {
+  matrices::MatrixSpec spec{"scaletest", 60, 500, 1.0e6, 4.0e7, 1.0e2};
+  return matrices::generate_spd(spec, 0).dense;
+}
+
+TEST(Pow2Scaling, NearestPow2) {
+  EXPECT_EQ(scaling::nearest_pow2(1.0), 1.0);
+  EXPECT_EQ(scaling::nearest_pow2(3.0), 4.0);   // log2(3)=1.58 -> 2^2
+  EXPECT_EQ(scaling::nearest_pow2(2.5), 2.0);   // log2(2.5)=1.32 -> 2^1
+  EXPECT_EQ(scaling::nearest_pow2(0.3), 0.25);
+  EXPECT_EQ(scaling::nearest_pow2(1e-30), std::ldexp(1.0, -100));
+  EXPECT_EQ(scaling::nearest_pow2(0.0), 1.0);  // degenerate input
+}
+
+TEST(Pow2Scaling, FactorIsAlwaysPowerOfTwo) {
+  for (const double norm : {1e-9, 0.3, 17.0, 5e4, 3e11}) {
+    const double s = scaling::pow2_inf_factor(norm, 10);
+    int e = 0;
+    EXPECT_EQ(std::frexp(s, &e), 0.5) << norm;  // exact power of two
+    // Scaled norm lands within a factor of sqrt(2)*2 of 2^10.
+    const double scaled = s * norm;
+    EXPECT_GE(scaled, std::ldexp(1.0, 9));
+    EXPECT_LE(scaled, std::ldexp(1.0, 11));
+  }
+}
+
+TEST(Pow2Scaling, SolutionInvariant) {
+  auto A = test_matrix();
+  auto b = matrices::paper_rhs(A);
+  auto A2 = A;
+  auto b2 = b;
+  const double s = scaling::scale_pow2_inf(A2, b2, 10);
+  EXPECT_NE(s, 1.0);
+  // A2 x = b2 has the same solution: A2 = sA, b2 = sb.
+  for (int i = 0; i < A.rows(); ++i)
+    for (int j = 0; j < A.cols(); ++j) EXPECT_EQ(A2(i, j), s * A(i, j));
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b2[i], s * b[i]);
+  EXPECT_NEAR(std::log2(la::norm_inf(A2)), 10.0, 1.0);
+}
+
+TEST(Pow2Scaling, CsrAndDenseAgree) {
+  auto Ad = test_matrix();
+  auto As = la::Csr<double>::from_dense(Ad);
+  auto bd = matrices::paper_rhs(Ad);
+  auto bs = bd;
+  const double s1 = scaling::scale_pow2_inf(Ad, bd, 10);
+  const double s2 = scaling::scale_pow2_inf(As, bs, 10);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(DiagScaling, CentersPivotsNearOne) {
+  auto A = test_matrix();
+  auto b = matrices::paper_rhs(A);
+  const double s = scaling::scale_diag_avg(A, b);
+  int e = 0;
+  EXPECT_EQ(std::frexp(s, &e), 0.5);  // power of two
+  double avg = 0;
+  for (int i = 0; i < A.rows(); ++i) avg += std::fabs(A(i, i));
+  avg /= A.rows();
+  EXPECT_GT(avg, 0.4);
+  EXPECT_LT(avg, 2.5);
+}
+
+TEST(Higham, EquilibrationPostcondition) {
+  auto A = test_matrix();
+  const auto rdiag = scaling::equilibrate_sym(A);
+  // Post: every row's max |entry| is ~1 (Algorithm 5's goal).
+  for (int i = 0; i < A.rows(); ++i) {
+    double m = 0;
+    for (int j = 0; j < A.cols(); ++j) m = std::max(m, std::fabs(A(i, j)));
+    EXPECT_NEAR(m, 1.0, 0.05) << "row " << i;
+  }
+  // R must reproduce the transform: A_out == diag(r) A_in diag(r).
+  auto A2 = test_matrix();
+  for (int i = 0; i < A2.rows(); ++i)
+    for (int j = 0; j < A2.cols(); ++j) {
+      const double expect = rdiag[i] * rdiag[j] * A2(i, j);
+      EXPECT_NEAR(A(i, j), expect, 1e-12 * std::max(1.0, std::fabs(expect)));
+    }
+}
+
+TEST(Higham, EquilibrationPreservesSymmetryAndSpd) {
+  auto A = test_matrix();
+  scaling::equilibrate_sym(A);
+  EXPECT_TRUE(A.symmetric(1e-12));
+  EXPECT_EQ(la::cholesky(A).status, la::CholStatus::ok);
+}
+
+TEST(Higham, NearestPow4) {
+  EXPECT_EQ(scaling::nearest_pow4(1.0), 1.0);
+  EXPECT_EQ(scaling::nearest_pow4(4.0), 4.0);
+  EXPECT_EQ(scaling::nearest_pow4(7.0), 4.0);    // log4(7)=1.40 -> 4^1
+  EXPECT_EQ(scaling::nearest_pow4(9.0), 16.0);   // log4(9)=1.58 -> 4^2
+  EXPECT_EQ(scaling::nearest_pow4(6550.4), 4096.0);
+  EXPECT_EQ(scaling::nearest_pow4(0.1), 0.0625);
+}
+
+TEST(Higham, MuChoices) {
+  // Float16: 0.1 * 65504 = 6550.4 -> 4^6 = 4096.
+  EXPECT_EQ(scaling::mu_ieee<Half>(), 4096.0);
+  // Posits: USEED (already a power of four for ES >= 1).
+  EXPECT_EQ((scaling::mu_posit<16, 1>()), 4.0);
+  EXPECT_EQ((scaling::mu_posit<16, 2>()), 16.0);
+}
+
+TEST(Higham, FullScaleBoundsEntriesByMu) {
+  auto A = test_matrix();
+  const auto hs = scaling::higham_scale(A, 16.0);
+  EXPECT_EQ(hs.mu, 16.0);
+  double maxabs = 0;
+  for (const auto& v : A.data()) maxabs = std::max(maxabs, std::fabs(v));
+  EXPECT_NEAR(maxabs, 16.0, 1.0);  // row maxima land at mu
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Software IEEE format tests.  The strongest check: SoftFloat<8,23> must
+// bit-match hardware float on every operation; Half is checked against known
+// binary16 constants and properties (subnormals, overflow, RNE).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "ieee/softfloat.hpp"
+
+namespace {
+
+using pstab::BFloat16;
+using pstab::Float32Emu;
+using pstab::Half;
+
+std::uint32_t float_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float bits_float(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(Half::from_double(0.0).bits(), 0x0000u);
+  EXPECT_EQ(Half::from_double(-0.0).bits(), 0x8000u);
+  EXPECT_EQ(Half::from_double(1.0).bits(), 0x3C00u);
+  EXPECT_EQ(Half::from_double(-1.0).bits(), 0xBC00u);
+  EXPECT_EQ(Half::from_double(2.0).bits(), 0x4000u);
+  EXPECT_EQ(Half::from_double(0.5).bits(), 0x3800u);
+  EXPECT_EQ(Half::from_double(65504.0).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(Half::from_double(1.0 / 1024 / 16384).bits(), 0x0001u);  // 2^-24
+  EXPECT_EQ(Half::from_double(std::ldexp(1.0, -14)).bits(), 0x0400u);  // minnorm
+  EXPECT_TRUE(Half::from_double(1e30).is_inf());
+  EXPECT_TRUE(Half::from_double(std::nan("")).is_nan());
+}
+
+TEST(Half, OverflowBoundaryRNE) {
+  // 65519.999 < 65520 rounds to 65504; >= 65520 rounds to infinity.
+  EXPECT_EQ(Half::from_double(65519.0).bits(), 0x7BFFu);
+  EXPECT_TRUE(Half::from_double(65520.0).is_inf());  // tie -> even -> inf
+  EXPECT_TRUE(Half::from_double(65536.0).is_inf());
+  EXPECT_EQ(Half::from_double(-65519.0).bits(), 0xFBFFu);
+  EXPECT_TRUE(Half::from_double(-65520.0).is_inf());
+}
+
+TEST(Half, SubnormalRounding) {
+  const double q = std::ldexp(1.0, -24);  // denorm_min
+  EXPECT_EQ(Half::from_double(q).bits(), 0x0001u);
+  EXPECT_EQ(Half::from_double(q * 0.5).bits(), 0x0000u);   // tie -> even(0)
+  EXPECT_EQ(Half::from_double(q * 0.50001).bits(), 0x0001u);
+  EXPECT_EQ(Half::from_double(q * 1.5).bits(), 0x0002u);   // tie -> even(2)
+  EXPECT_EQ(Half::from_double(q * 2.5).bits(), 0x0002u);   // tie -> even(2)
+  EXPECT_EQ(Half::from_double(q * 1023.0).bits(), 0x03FFu);  // max subnormal
+  EXPECT_EQ(Half::from_double(q * 1023.6).bits(), 0x0400u);  // rounds normal
+}
+
+TEST(Half, ExhaustiveRoundTrip) {
+  for (std::uint32_t b = 0; b < 65536; ++b) {
+    const Half h = Half::from_bits(b);
+    if (h.is_nan()) continue;
+    EXPECT_EQ(Half::from_double(h.to_double()).bits(), b) << b;
+  }
+}
+
+TEST(Half, ArithmeticBasics) {
+  const Half a(1.5), b(2.25);
+  EXPECT_EQ((a + b).to_double(), 3.75);
+  EXPECT_EQ((a * b).to_double(), 3.375);
+  EXPECT_EQ((b - a).to_double(), 0.75);
+  EXPECT_EQ((Half(1.0) / Half(4.0)).to_double(), 0.25);
+  EXPECT_EQ(pstab::sqrt(Half(9.0)).to_double(), 3.0);
+  EXPECT_TRUE((Half(1e4) * Half(1e4)).is_inf());  // overflow in the format
+}
+
+TEST(Half, IeeeComparisonSemantics) {
+  EXPECT_TRUE(Half(0.0) == -Half(0.0));  // -0 == +0
+  EXPECT_FALSE(Half::quiet_nan() == Half::quiet_nan());
+  EXPECT_FALSE(Half::quiet_nan() < Half(1.0));
+  EXPECT_FALSE(Half::quiet_nan() >= Half(1.0));
+  EXPECT_TRUE(Half(1.0) < Half::infinity());
+  EXPECT_TRUE(-Half::infinity() < Half(1.0));
+}
+
+// SoftFloat<8,23> vs hardware float: conversions and all basic operations
+// must agree bit for bit (modulo NaN payloads).
+TEST(Float32Emulation, ConversionMatchesHardware) {
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t fb = static_cast<std::uint32_t>(rng());
+    const float f = bits_float(fb);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(Float32Emu::from_double(f).bits(), fb) << fb;
+  }
+}
+
+TEST(Float32Emulation, ArithmeticMatchesHardware) {
+  std::mt19937_64 rng(100);
+  int tested = 0;
+  while (tested < 50000) {
+    const float a = bits_float(static_cast<std::uint32_t>(rng()));
+    const float b = bits_float(static_cast<std::uint32_t>(rng()));
+    if (std::isnan(a) || std::isnan(b)) continue;
+    ++tested;
+    const Float32Emu sa = Float32Emu::from_double(a);
+    const Float32Emu sb = Float32Emu::from_double(b);
+    const float hw[4] = {a + b, a - b, a * b, a / b};
+    const Float32Emu sw[4] = {sa + sb, sa - sb, sa * sb, sa / sb};
+    for (int k = 0; k < 4; ++k) {
+      if (std::isnan(hw[k])) {
+        EXPECT_TRUE(sw[k].is_nan());
+      } else {
+        EXPECT_EQ(sw[k].bits(), float_bits(hw[k]))
+            << a << " op" << k << " " << b;
+      }
+    }
+  }
+}
+
+TEST(Float32Emulation, SqrtMatchesHardware) {
+  std::mt19937_64 rng(101);
+  for (int i = 0; i < 50000; ++i) {
+    const float a = std::fabs(bits_float(static_cast<std::uint32_t>(rng())));
+    if (std::isnan(a)) continue;
+    const float hw = std::sqrt(a);
+    EXPECT_EQ(pstab::sqrt(Float32Emu::from_double(a)).bits(), float_bits(hw));
+  }
+}
+
+TEST(BFloat16Format, Basics) {
+  EXPECT_EQ(BFloat16::from_double(1.0).bits(), 0x3F80u >> 0);
+  EXPECT_EQ(BFloat16::one().to_double(), 1.0);
+  // bfloat16 has float32's range: 1e38 is finite, 1e39 overflows.
+  EXPECT_FALSE(BFloat16::from_double(1e38).is_inf());
+  EXPECT_TRUE(BFloat16::from_double(1e39).is_inf());
+  EXPECT_EQ((BFloat16(1.0) + BFloat16(1.0)).to_double(), 2.0);
+}
+
+TEST(SoftFloatTraits, ReportedPrecision) {
+  EXPECT_EQ(pstab::scalar_traits<Half>::significand_bits_at_one(), 11);
+  EXPECT_EQ(pstab::scalar_traits<BFloat16>::significand_bits_at_one(), 8);
+  EXPECT_EQ(pstab::scalar_traits<Float32Emu>::significand_bits_at_one(), 24);
+  EXPECT_EQ(pstab::scalar_traits<Half>::to_double(
+                pstab::scalar_traits<Half>::max()),
+            65504.0);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// pstab — command-line front end to the positstab library.
+//
+//   pstab list                          show the Table I suite
+//   pstab gen-mtx <dir>                 write the synthetic suite as .mtx
+//   pstab cg <matrix> [--rescale]       CG in all four 32-bit formats
+//   pstab chol <matrix> [--rescale]     Cholesky backward errors
+//   pstab ir <matrix> [--higham]        mixed-precision IR in 16-bit formats
+//   pstab precision <value>             how each format represents a number
+//   pstab fuzz <n> [seed]               differential ops vs exact long double
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "ieee/softfloat.hpp"
+#include "matrices/mm_io.hpp"
+#include "matrices/suite.hpp"
+#include "posit/posit_math.hpp"
+
+namespace {
+
+using namespace pstab;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pstab <command> [args]\n"
+               "  list | gen-mtx <dir> | cg <matrix> [--rescale] |\n"
+               "  chol <matrix> [--rescale] | ir <matrix> [--higham] |\n"
+               "  precision <value> | fuzz <n> [seed]\n");
+  return 1;
+}
+
+int cmd_list() {
+  core::Table t({"Matrix", "k(A)", "N", "||A||2", "NNZ"});
+  for (const auto& s : matrices::table1_specs())
+    t.row({s.name, core::fmt_sci(s.cond, 1), core::fmt_int(s.n),
+           core::fmt_sci(s.norm2, 1), core::fmt_int(s.nnz)});
+  t.print();
+  return 0;
+}
+
+int cmd_gen_mtx(const std::string& dir) {
+  for (const auto& s : matrices::table1_specs()) {
+    const auto& g = matrices::suite_matrix(s.name);
+    const std::string path = dir + "/" + s.name + ".mtx";
+    matrices::write_matrix_market_file(path, g.csr, /*symmetric=*/true);
+    std::printf("wrote %s (n=%d nnz=%zu)\n", path.c_str(), g.n, g.csr.nnz());
+  }
+  return 0;
+}
+
+int cmd_cg(const std::string& name, bool rescale) {
+  const auto spec = matrices::find_spec(name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown matrix %s (try 'pstab list')\n",
+                 name.c_str());
+    return 1;
+  }
+  core::CgExperimentOptions opt;
+  opt.rescale_pow2_inf = rescale;
+  const auto row = core::run_cg_experiment(matrices::suite_matrix(name), opt);
+  const auto cell = [](const core::CgCell& c) {
+    if (c.status == la::CgStatus::converged)
+      return std::to_string(c.iterations) + " iters";
+    return std::string(c.status == la::CgStatus::breakdown ? "diverged"
+                                                           : "hit cap");
+  };
+  std::printf("CG on %s%s\n", name.c_str(), rescale ? " (rescaled)" : "");
+  std::printf("  Float64     %s\n", cell(row.f64).c_str());
+  std::printf("  Float32     %s\n", cell(row.f32).c_str());
+  std::printf("  Posit(32,2) %s\n", cell(row.p32_2).c_str());
+  std::printf("  Posit(32,3) %s\n", cell(row.p32_3).c_str());
+  return 0;
+}
+
+int cmd_chol(const std::string& name, bool rescale) {
+  if (!matrices::find_spec(name)) return usage();
+  core::CholExperimentOptions opt;
+  opt.rescale_diag_avg = rescale;
+  const auto row =
+      core::run_cholesky_experiment(matrices::suite_matrix(name), opt);
+  const auto cell = [](const core::CholCell& c) {
+    return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("failed");
+  };
+  std::printf("Cholesky backward error on %s%s\n", name.c_str(),
+              rescale ? " (diag-rescaled)" : "");
+  std::printf("  Float32     %s\n", cell(row.f32).c_str());
+  std::printf("  Posit(32,2) %s (%+.2f digits vs F32)\n",
+              cell(row.p32_2).c_str(), row.extra_digits(row.p32_2));
+  std::printf("  Posit(32,3) %s (%+.2f digits vs F32)\n",
+              cell(row.p32_3).c_str(), row.extra_digits(row.p32_3));
+  return 0;
+}
+
+int cmd_ir(const std::string& name, bool higham) {
+  if (!matrices::find_spec(name)) return usage();
+  core::IrExperimentOptions opt;
+  opt.higham = higham;
+  const auto row = core::run_ir_experiment(matrices::suite_matrix(name), opt);
+  const auto cell = [](const la::IrReport& r) {
+    const bool failed = r.status == la::IrStatus::factorization_failed ||
+                        r.status == la::IrStatus::diverged;
+    return core::fmt_iters(failed, r.status == la::IrStatus::max_iterations,
+                           r.iterations);
+  };
+  std::printf("mixed-precision IR on %s (%s)\n", name.c_str(),
+              higham ? "Higham-scaled" : "naive");
+  std::printf("  Float16     %s\n", cell(row.f16).c_str());
+  std::printf("  Posit(16,1) %s\n", cell(row.p16_1).c_str());
+  std::printf("  Posit(16,2) %s\n", cell(row.p16_2).c_str());
+  return 0;
+}
+
+template <class T>
+void show_precision(const char* label, double v) {
+  const T x = scalar_traits<T>::from_double(v);
+  const double back = scalar_traits<T>::to_double(x);
+  std::printf("  %-12s %-24.17g rel.err %.2e\n", label, back,
+              v != 0 ? std::fabs(back - v) / std::fabs(v) : 0.0);
+}
+
+int cmd_precision(double v) {
+  std::printf("representations of %.17g:\n", v);
+  show_precision<Half>("Float16", v);
+  show_precision<BFloat16>("BFloat16", v);
+  show_precision<Posit16_1>("Posit(16,1)", v);
+  show_precision<Posit16_2>("Posit(16,2)", v);
+  show_precision<float>("Float32", v);
+  show_precision<Posit32_2>("Posit(32,2)", v);
+  show_precision<Posit32_3>("Posit(32,3)", v);
+  show_precision<Posit64_3>("Posit(64,3)", v);
+  return 0;
+}
+
+int cmd_fuzz(long n, unsigned seed) {
+  // Differential check of Posit(32,2) ops against exact long double
+  // arithmetic rounded through from_long_double (single rounding).
+  using P = Posit32_2;
+  std::mt19937_64 rng(seed);
+  long bad = 0;
+  for (long i = 0; i < n; ++i) {
+    const P a = P::from_bits(rng() & 0xffffffffu);
+    const P b = P::from_bits(rng() & 0xffffffffu);
+    if (a.is_nar() || b.is_nar()) continue;
+    const long double la = a.to_long_double(), lb = b.to_long_double();
+    // Products of two <=27-bit significands are exact in long double.
+    if (P::from_long_double(la * lb).bits() != (a * b).bits()) ++bad;
+    if (!b.is_zero()) {
+      // Division is not exact in long double; allow the oracle only where
+      // the quotient is exactly representable (b a power of two).
+      if ((lb == 1.0L || lb == 2.0L || lb == 0.5L) &&
+          P::from_long_double(la / lb).bits() != (a / b).bits())
+        ++bad;
+    }
+  }
+  std::printf("fuzz: %ld multiplication/division trials, %ld mismatches\n", n,
+              bad);
+  return bad == 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const bool flag_rescale =
+      argc > 3 && (std::strcmp(argv[3], "--rescale") == 0 ||
+                   std::strcmp(argv[3], "--higham") == 0);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "gen-mtx" && argc > 2) return cmd_gen_mtx(argv[2]);
+    if (cmd == "cg" && argc > 2) return cmd_cg(argv[2], flag_rescale);
+    if (cmd == "chol" && argc > 2) return cmd_chol(argv[2], flag_rescale);
+    if (cmd == "ir" && argc > 2) return cmd_ir(argv[2], flag_rescale);
+    if (cmd == "precision" && argc > 2)
+      return cmd_precision(std::strtod(argv[2], nullptr));
+    if (cmd == "fuzz" && argc > 2)
+      return cmd_fuzz(std::strtol(argv[2], nullptr, 10),
+                      argc > 3 ? unsigned(std::strtoul(argv[3], nullptr, 10))
+                               : 12345u);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
