@@ -8,18 +8,22 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_for.hpp"
 #include "core/report.hpp"
 #include "matrices/suite.hpp"
+#include "posit/lut.hpp"
 
 namespace pstab::bench {
 
 inline void print_env(const char* what) {
+  const std::size_t lut_bytes = lut::enable_defaults();
   std::printf("positstab reproduction — %s\n", what);
   std::printf("suite: synthetic Table I stand-ins (see DESIGN.md); "
-              "PSTAB_SIZE_CAP=%d%s\n",
+              "PSTAB_SIZE_CAP=%d%s; PSTAB_THREADS=%d; LUT %zu KiB\n",
               matrices::size_cap(),
               std::getenv("PSTAB_MTX_DIR") ? " (PSTAB_MTX_DIR overrides set)"
-                                           : "");
+                                           : "",
+              parallel_threads(), lut_bytes / 1024);
 }
 
 /// All 19 suite matrices in paper (Table I) order.

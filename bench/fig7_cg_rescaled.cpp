@@ -20,8 +20,7 @@ int main() {
 
   core::Table t({"Matrix", "||A||2", "F64", "F32", "P(32,2)", "P(32,3)",
                  "%impr P2", "%impr P3"});
-  for (const auto* m : bench::suite()) {
-    const auto row = core::run_cg_experiment(*m, opt);
+  for (const auto& row : core::run_cg_suite(bench::suite(), opt)) {
     t.row({row.matrix, core::fmt_sci(row.norm2, 1), cell(row.f64),
            cell(row.f32), cell(row.p32_2), cell(row.p32_3),
            core::fmt_fix(row.pct_improvement(row.p32_2), 1),

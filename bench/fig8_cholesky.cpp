@@ -17,8 +17,7 @@ int main() {
 
   core::Table t({"Matrix", "||A||2", "berr F32", "berr P(32,2)",
                  "berr P(32,3)", "digits P2", "digits P3"});
-  for (const auto* m : bench::suite()) {
-    const auto row = core::run_cholesky_experiment(*m);
+  for (const auto& row : core::run_cholesky_suite(bench::suite())) {
     t.row({row.matrix, core::fmt_sci(row.norm2, 1), err(row.f32),
            err(row.p32_2), err(row.p32_3),
            core::fmt_fix(row.extra_digits(row.p32_2), 2),

@@ -20,8 +20,7 @@ int main() {
   double min_digits_p2 = 1e9;
   core::Table t({"Matrix", "||A||2", "berr F32", "berr P(32,2)",
                  "berr P(32,3)", "digits P2", "digits P3"});
-  for (const auto* m : bench::suite()) {
-    const auto row = core::run_cholesky_experiment(*m, opt);
+  for (const auto& row : core::run_cholesky_suite(bench::suite(), opt)) {
     const double d2 = row.extra_digits(row.p32_2);
     const double d3 = row.extra_digits(row.p32_3);
     if (!std::isnan(d2)) {

@@ -1,16 +1,34 @@
-// Throughput microbenchmarks (google-benchmark): the cost of the software
-// arithmetic underpinning every experiment — posit and soft-IEEE scalar ops,
-// quire accumulation, and the two kernels the solvers spend their time in
-// (sparse mat-vec and dense Cholesky).
+// Throughput microbenchmarks for the software arithmetic underpinning every
+// experiment.
+//
+// Default mode — LUT vs scalar comparison:
+//   perf_ops [--out PATH]
+// times every small-posit op through the scalar decode/round path and through
+// the lookup tables of posit/lut.hpp, single-threaded and aggregated across
+// PSTAB_THREADS concurrent lanes (the LUTs are shared, read-only state, so
+// multi-lane throughput doubles as a thread-safety soak).  Results are
+// printed as a table and written as JSON (default ./BENCH_posit_ops.json) so
+// the performance trajectory is tracked across PRs — see docs/performance.md.
+//
+// Legacy mode — the original google-benchmark suite (posit/soft-IEEE scalar
+// ops, quire accumulation, SpMV, Cholesky):
+//   perf_ops --gbench [google-benchmark flags]
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "common/parallel_for.hpp"
 #include "ieee/softfloat.hpp"
 #include "la/cholesky.hpp"
 #include "la/csr.hpp"
 #include "matrices/generator.hpp"
+#include "posit/lut.hpp"
 #include "posit/posit.hpp"
 #include "posit/quire.hpp"
 
@@ -26,6 +44,151 @@ std::vector<T> random_operands(int n, unsigned seed) {
   for (auto& x : v) x = scalar_traits<T>::from_double(u(rng));
   return v;
 }
+
+// ---------------------------------------------------------------------------
+// LUT vs scalar comparison mode
+
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+constexpr int kPool = 4096;  // operand pool size (power of two, L1-resident)
+
+/// Uniformly random bit patterns — every regime/exponent/fraction shape,
+/// including NaR and zero rows, exactly what the tables tabulate.
+template <class P>
+std::vector<P> random_patterns(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<P> v(kPool);
+  for (auto& x : v) x = P::from_bits(rng());
+  return v;
+}
+
+/// Sustained op throughput in Mop/s: chunks of kPool ops are timed until
+/// 40 ms of samples accumulate; the first chunk is discarded as warmup.
+template <class P, class Op>
+double measure_mops(const Op& op, const std::vector<P>& a,
+                    const std::vector<P>& b) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t sink = 0;
+  double secs = 0;
+  std::size_t done = 0;
+  for (int chunk = 0; secs < 0.04 || chunk < 2; ++chunk) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < kPool; ++i) sink += op(a[i], b[i]).bits();
+    const auto t1 = clock::now();
+    if (chunk == 0) continue;
+    secs += std::chrono::duration<double>(t1 - t0).count();
+    done += kPool;
+  }
+  g_sink = g_sink + sink;
+  return double(done) / secs / 1e6;
+}
+
+struct OpRow {
+  std::string format, op;
+  double scalar_mops = 0;   // LUT routing off
+  double lut_mops = 0;      // LUT routing on, single thread
+  double lut_mt_mops = 0;   // LUT routing on, sum over PSTAB_THREADS lanes
+  [[nodiscard]] double speedup() const {
+    return scalar_mops > 0 ? lut_mops / scalar_mops : 0.0;
+  }
+};
+
+template <int N, int ES, class Op>
+OpRow compare_op(const char* opname, const Op& op) {
+  using P = Posit<N, ES>;
+  const auto a = random_patterns<P>(0xA0 + N + ES);
+  const auto b = random_patterns<P>(0xB0 + N + ES);
+  OpRow row;
+  row.format = scalar_traits<P>::name();
+  row.op = opname;
+
+  lut::disable<N, ES>();
+  row.scalar_mops = measure_mops<P>(op, a, b);
+
+  lut::enable<N, ES>();
+  row.lut_mops = measure_mops<P>(op, a, b);
+
+  // Concurrent lanes hammering the same shared tables.
+  const int lanes = parallel_threads();
+  std::vector<double> lane_mops(lanes, 0.0);
+  parallel_for(lanes, [&](std::size_t lane) {
+    lane_mops[lane] = measure_mops<P>(op, a, b);
+  });
+  for (double m : lane_mops) row.lut_mt_mops += m;
+  return row;
+}
+
+template <int N, int ES>
+void compare_format(std::vector<OpRow>& rows) {
+  using P = Posit<N, ES>;
+  rows.push_back(compare_op<N, ES>("add", [](P x, P y) { return x + y; }));
+  rows.push_back(compare_op<N, ES>("sub", [](P x, P y) { return x - y; }));
+  rows.push_back(compare_op<N, ES>("mul", [](P x, P y) { return x * y; }));
+  rows.push_back(compare_op<N, ES>("div", [](P x, P y) { return x / y; }));
+  if constexpr (N <= 8) {
+    rows.push_back(compare_op<N, ES>("sqrt", [](P x, P) { return sqrt(x); }));
+    rows.push_back(
+        compare_op<N, ES>("recip", [](P x, P) { return reciprocal(x); }));
+  }
+}
+
+void write_json(const std::string& path, const std::vector<OpRow>& rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "perf_ops: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  os << "{\n  \"bench\": \"posit_ops\",\n";
+  os << "  \"threads\": " << parallel_threads() << ",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"format\": \"%s\", \"op\": \"%s\", "
+                  "\"scalar_mops\": %.1f, \"lut_mops\": %.1f, "
+                  "\"speedup\": %.2f, \"lut_mt_mops\": %.1f}%s\n",
+                  r.format.c_str(), r.op.c_str(), r.scalar_mops, r.lut_mops,
+                  r.speedup(), r.lut_mt_mops,
+                  i + 1 < rows.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run_lut_comparison(const std::string& out_path) {
+  std::printf("perf_ops: LUT vs scalar throughput (Mop/s); "
+              "PSTAB_THREADS=%d lanes for the MT column\n\n",
+              parallel_threads());
+  std::vector<OpRow> rows;
+  compare_format<8, 0>(rows);
+  compare_format<8, 1>(rows);
+  compare_format<8, 2>(rows);
+  compare_format<16, 1>(rows);  // decode-table assist only
+  compare_format<16, 2>(rows);
+
+  std::printf("%-12s %-6s %12s %12s %9s %14s\n", "format", "op", "scalar",
+              "lut", "speedup", "lut x threads");
+  bool small_posit_fast = true;
+  for (const auto& r : rows) {
+    std::printf("%-12s %-6s %12.1f %12.1f %8.2fx %14.1f\n", r.format.c_str(),
+                r.op.c_str(), r.scalar_mops, r.lut_mops, r.speedup(),
+                r.lut_mt_mops);
+    if (r.format.find("Posit(8") == 0 && (r.op == "add" || r.op == "mul") &&
+        r.speedup() < 3.0) {
+      small_posit_fast = false;
+    }
+  }
+  write_json(out_path, rows);
+  if (!small_posit_fast) {
+    std::printf("WARNING: 8-bit add/mul LUT speedup below the 3x target\n");
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy google-benchmark suite (--gbench)
 
 template <class T>
 void BM_Add(benchmark::State& state) {
@@ -125,4 +288,30 @@ BENCHMARK_TEMPLATE(BM_Spmv, Half);
 BENCHMARK_TEMPLATE(BM_Spmv, Posit32_2);
 BENCHMARK_TEMPLATE(BM_Cholesky, float);
 BENCHMARK_TEMPLATE(BM_Cholesky, Posit32_2);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
+    // Forward everything after --gbench to google-benchmark, scalar paths
+    // exactly as the seed measured them (no LUT routing).
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i) args.push_back(argv[i]);
+    int bargc = static_cast<int>(args.size());
+    benchmark::Initialize(&bargc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::string out = "BENCH_posit_ops.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_ops [--out PATH] | perf_ops --gbench "
+                   "[benchmark flags]\n");
+      return 1;
+    }
+  }
+  return run_lut_comparison(out);
+}

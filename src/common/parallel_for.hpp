@@ -1,0 +1,79 @@
+// Fork-join parallel loops for the embarrassingly parallel outer sweeps
+// (experiment grids, matrix suites, throughput lanes).
+//
+//   * Thread count: PSTAB_THREADS environment override (re-read on every
+//     call so tests can flip it at runtime); unset/0 means hardware
+//     concurrency.  A count of 1 runs inline with no threads spawned.
+//   * Deterministic result ordering: work is handed out by index from an
+//     atomic counter, and fn(i) owns slot i of the output, so results are
+//     identical for any thread count — only wall-clock changes.
+//   * Exceptions: the first exception thrown by any fn(i) is captured,
+//     remaining work is abandoned, and it is rethrown on the calling thread
+//     after the join.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pstab {
+
+/// Worker count parallel_for will use for a sufficiently large loop.
+inline int parallel_threads() {
+  if (const char* env = std::getenv("PSTAB_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Invoke fn(i) for every i in [0, n), spread over parallel_threads()
+/// threads (the caller participates).  Blocks until all work is done.
+template <class Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  const std::size_t want = static_cast<std::size_t>(parallel_threads());
+  const std::size_t workers = want < n ? want : n;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const auto worker = [&]() noexcept {
+    std::size_t i;
+    while (!failed.load(std::memory_order_relaxed) &&
+           (i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+/// parallel_for that collects fn(i) into a vector, in index order.
+template <class T, class Fn>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace pstab

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "common/parallel_for.hpp"
 #include "ieee/softfloat.hpp"
 #include "la/cholesky.hpp"
 #include "la/norms.hpp"
@@ -29,6 +31,7 @@ CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
   CgCell cell;
   cell.status = rep.status;
   cell.iterations = rep.iterations;
+  cell.history = std::move(rep.history);
   // True residual in double.
   la::Vec<double> ax;
   A.spmv(la::to_double_vec(xt), ax);
@@ -82,6 +85,7 @@ CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
   cg.tol = opt.tol;
   cg.max_iter = opt.max_iter_per_n * m.n;
   cg.fused_dots = opt.fused_dots;
+  cg.record_history = opt.record_history;
 
   row.f64 = cg_in_format<double>(A, b, cg);
   row.f32 = cg_in_format<float>(A, b, cg);
@@ -189,6 +193,31 @@ IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
   row.p16_1 = ir_one_format<Posit16_1>(m, opt, scaling::mu_posit<16, 1>());
   row.p16_2 = ir_one_format<Posit16_2>(m, opt, scaling::mu_posit<16, 2>());
   return row;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-grid runners (parallel across matrices)
+
+std::vector<CgRow> run_cg_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const CgExperimentOptions& opt) {
+  return parallel_map<CgRow>(
+      suite.size(), [&](std::size_t i) { return run_cg_experiment(*suite[i], opt); });
+}
+
+std::vector<CholRow> run_cholesky_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const CholExperimentOptions& opt) {
+  return parallel_map<CholRow>(suite.size(), [&](std::size_t i) {
+    return run_cholesky_experiment(*suite[i], opt);
+  });
+}
+
+std::vector<IrRow> run_ir_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const IrExperimentOptions& opt) {
+  return parallel_map<IrRow>(
+      suite.size(), [&](std::size_t i) { return run_ir_experiment(*suite[i], opt); });
 }
 
 }  // namespace pstab::core

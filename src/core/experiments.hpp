@@ -24,6 +24,7 @@ struct CgCell {
   la::CgStatus status = la::CgStatus::max_iterations;
   int iterations = 0;
   double true_relres = 0.0;  // ||b - Ax||/||b|| in double at exit
+  std::vector<double> history;  // per-iteration relres (when recorded)
   [[nodiscard]] bool converged() const {
     return status == la::CgStatus::converged;
   }
@@ -41,6 +42,7 @@ struct CgRow {
 struct CgExperimentOptions {
   bool rescale_pow2_inf = false;  // experiment 2: ||A||_inf -> 2^10
   bool fused_dots = false;        // quire ablation
+  bool record_history = false;    // keep per-iteration residuals in each cell
   double tol = 1e-5;              // the paper's criterion
   int max_iter_per_n = 15;        // cap = max_iter_per_n * n
 };
@@ -90,6 +92,28 @@ struct IrExperimentOptions {
 
 IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
                         const IrExperimentOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Whole-grid runners: one row per input matrix, rows in input order.
+//
+// The outer loop is embarrassingly parallel and runs across PSTAB_THREADS
+// workers (src/common/parallel_for.hpp); results are deterministic and
+// bitwise independent of the thread count — each row is computed by the
+// same sequential solver code, threads only decide who computes it.
+// Callers must pass matrices that are already generated/loaded (e.g.
+// matrices::full_suite()), so no loader races inside the region.
+
+std::vector<CgRow> run_cg_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const CgExperimentOptions& opt = {});
+
+std::vector<CholRow> run_cholesky_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const CholExperimentOptions& opt = {});
+
+std::vector<IrRow> run_ir_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const IrExperimentOptions& opt = {});
 
 /// Generic single-format CG in format T (used by ablation benches).
 template <class T>

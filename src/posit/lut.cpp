@@ -1,0 +1,48 @@
+// Default LUT routing for the standard small posit formats, plus explicit
+// instantiations so every binary linking libpstab shares one copy of each
+// table builder.
+#include "posit/lut.hpp"
+
+#include <cstdlib>
+
+namespace pstab::lut {
+
+// The formats worth pre-wiring: all 8-bit ES variants the paper's §IV-A
+// sweeps, and the two (plus ES=0) 16-bit formats of the IR experiments.
+template const detail::PositOpTables<8>& op_tables<8, 0>();
+template const detail::PositOpTables<8>& op_tables<8, 1>();
+template const detail::PositOpTables<8>& op_tables<8, 2>();
+template const detail::PositDecodeTable<8>& decode_table<8, 0>();
+template const detail::PositDecodeTable<8>& decode_table<8, 1>();
+template const detail::PositDecodeTable<8>& decode_table<8, 2>();
+template const detail::PositDecodeTable<16>& decode_table<16, 0>();
+template const detail::PositDecodeTable<16>& decode_table<16, 1>();
+template const detail::PositDecodeTable<16>& decode_table<16, 2>();
+
+std::size_t enable_defaults() {
+  if (const char* env = std::getenv("PSTAB_LUT")) {
+    if (env[0] == '0' && env[1] == '\0') {
+      disable_defaults();
+      return 0;
+    }
+  }
+  std::size_t bytes = 0;
+  bytes += enable<8, 0>();
+  bytes += enable<8, 1>();
+  bytes += enable<8, 2>();
+  bytes += enable<16, 0>();
+  bytes += enable<16, 1>();
+  bytes += enable<16, 2>();
+  return bytes;
+}
+
+void disable_defaults() noexcept {
+  disable<8, 0>();
+  disable<8, 1>();
+  disable<8, 2>();
+  disable<16, 0>();
+  disable<16, 1>();
+  disable<16, 2>();
+}
+
+}  // namespace pstab::lut

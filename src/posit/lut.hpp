@@ -1,0 +1,132 @@
+// Table-driven fast path for small posits.
+//
+// Software posit arithmetic spends its time in decode -> exact-op -> round;
+// for small N the whole function is cheaper to look up than to compute
+// (the same trick the Universal Numbers Library uses for its 8-bit types):
+//   * N <= 8 : add/sub/mul/div are fully tabulated over all 2^(2N) operand
+//     pairs (64 KiB per table at N = 8) and sqrt/reciprocal over all 2^N
+//     patterns.  Every entry — including the 0 and NaR rows — is computed
+//     by the scalar path, so a LUT result is bit-identical by construction
+//     (and independently re-verified against the GMP oracle by
+//     tests/posit_exhaustive_test.cpp).
+//   * N <= 16 : decode (pattern -> sign/scale/fraction) is tabulated
+//     (2^N entries, 1 MiB at N = 16), accelerating the decode half of every
+//     16-bit op while rounding stays scalar.
+//
+// Tables are built lazily (first use), at most once per (N, ES) (thread-safe
+// magic statics), and published into the hot-path hook in posit.hpp with
+// release semantics; readers acquire-load, so a visible table is a complete
+// table.  enable<N, ES>() / disable<N, ES>() flip the routing at runtime;
+// disabling keeps the built table around for cheap re-enabling.
+//
+// Call lut::enable_defaults() (lut.cpp) once at program start to switch on
+// the standard small formats; it honors the PSTAB_LUT=0 kill switch.
+#pragma once
+
+#include <cstddef>
+
+#include "posit/posit.hpp"
+
+namespace pstab::lut {
+
+/// Build (once) and return the fully tabulated op tables for Posit<N, ES>.
+/// Does not route anything by itself — see enable().
+template <int N, int ES>
+const detail::PositOpTables<N>& op_tables() {
+  static_assert(N <= 8, "binary op tables are only tractable for N <= 8");
+  using P = Posit<N, ES>;
+  static const detail::PositOpTables<N>* const table = [] {
+    auto* t = new detail::PositOpTables<N>();
+    constexpr std::size_t vals = detail::PositOpTables<N>::kVals;
+    for (std::size_t a = 0; a < vals; ++a) {
+      const P pa = P::from_bits(a);
+      t->sqrt[a] = static_cast<std::uint8_t>(sqrt(pa).bits());
+      t->recip[a] = static_cast<std::uint8_t>((P::one() / pa).bits());
+      for (std::size_t b = 0; b < vals; ++b) {
+        const P pb = P::from_bits(b);
+        const std::size_t i = (a << N) | b;
+        t->add[i] = static_cast<std::uint8_t>((pa + pb).bits());
+        t->sub[i] = static_cast<std::uint8_t>((pa - pb).bits());
+        t->mul[i] = static_cast<std::uint8_t>((pa * pb).bits());
+        t->div[i] = static_cast<std::uint8_t>((pa / pb).bits());
+      }
+    }
+    return t;
+  }();
+  return *table;
+}
+
+/// Build (once) and return the decode table for Posit<N, ES>.
+template <int N, int ES>
+const detail::PositDecodeTable<N>& decode_table() {
+  static_assert(N <= 16, "decode tables are only tractable for N <= 16");
+  using P = Posit<N, ES>;
+  static const detail::PositDecodeTable<N>* const table = [] {
+    auto* t = new detail::PositDecodeTable<N>();
+    for (std::size_t b = 0; b < detail::PositDecodeTable<N>::kVals; ++b) {
+      const P p = P::from_bits(b);
+      if (p.is_zero() || p.is_nar()) continue;  // never read; stay zeroed
+      t->u[b] = detail::posit_decode<N, ES>(b);
+    }
+    return t;
+  }();
+  return *table;
+}
+
+/// Bytes of table memory enable<N, ES>() keeps live.
+template <int N, int ES>
+[[nodiscard]] constexpr std::size_t table_bytes() noexcept {
+  std::size_t bytes = 0;
+  if constexpr (N <= 8) bytes += sizeof(detail::PositOpTables<N>);
+  if constexpr (N <= 16) bytes += sizeof(detail::PositDecodeTable<N>);
+  return bytes;
+}
+
+/// Build the tables for Posit<N, ES> if needed and route its arithmetic
+/// through them.  Thread-safe and idempotent.  Returns table_bytes<N, ES>().
+/// N in (8, 16] gets the decode table only; N > 16 is a compile error.
+template <int N, int ES>
+std::size_t enable() {
+  static_assert(N <= 16, "no LUT is tractable beyond N = 16");
+  if constexpr (N <= 8) {
+    detail::LutHook<N, ES>::ops.store(&op_tables<N, ES>(),
+                                      std::memory_order_release);
+  }
+  detail::LutHook<N, ES>::decode.store(&decode_table<N, ES>(),
+                                       std::memory_order_release);
+  return table_bytes<N, ES>();
+}
+
+/// Route Posit<N, ES> back through the scalar path.  Built tables persist.
+template <int N, int ES>
+void disable() noexcept {
+  if constexpr (N <= 8) {
+    detail::LutHook<N, ES>::ops.store(nullptr, std::memory_order_release);
+  }
+  if constexpr (N <= 16) {
+    detail::LutHook<N, ES>::decode.store(nullptr, std::memory_order_release);
+  }
+}
+
+/// True iff any LUT routing is active for Posit<N, ES>.
+template <int N, int ES>
+[[nodiscard]] bool enabled() noexcept {
+  if constexpr (N <= 8) {
+    if (detail::lut_ops<N, ES>() != nullptr) return true;
+  }
+  if constexpr (N <= 16) {
+    return detail::lut_decode<N, ES>() != nullptr;
+  }
+  return false;
+}
+
+/// Enable the small formats the paper, benches and CLI touch:
+/// ops+decode for Posit<8, {0,1,2}>, decode for Posit<16, {0,1,2}>.
+/// Honors the PSTAB_LUT=0 environment kill switch (returns 0 and routes
+/// nothing).  Returns total live table bytes.
+std::size_t enable_defaults();
+
+/// Undo enable_defaults() (tables stay built).
+void disable_defaults() noexcept;
+
+}  // namespace pstab::lut

@@ -17,6 +17,8 @@
 // directed/random sweeps for 16/32/64-bit posits (see tests/posit_vs_gmp).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <compare>
 #include <cstdint>
@@ -43,10 +45,64 @@ constexpr u64 posit_mask() noexcept {
   return N == 64 ? ~u64(0) : ((u64(1) << N) - 1);
 }
 
+// -- LUT fast path hook (tables built by posit/lut.hpp) ----------------------
+//
+// Small posits are cheap to tabulate: every binary op on an N-bit posit fits
+// a 2^(2N)-entry table of N-bit results (64 KiB per op at N = 8), and decode
+// (pattern -> sign/scale/fraction) fits 2^N entries up to N = 16.  The ops
+// below consult these atomic pointers outside constant evaluation; a null
+// pointer means "scalar path".  Publishers build the full table first and
+// store the pointer with release semantics, so any reader that observes a
+// non-null pointer sees a completely initialized table.
+
+/// Fully tabulated results for every operand pattern (pair), N <= 8.
+/// Binary tables are indexed [(a << N) | b], unary tables [a]; the 0 and NaR
+/// rows are tabulated too, so a hit never needs a special-case check.
+template <int N>
+struct PositOpTables {
+  static_assert(N <= 8);
+  static constexpr std::size_t kPairs = std::size_t(1) << (2 * N);
+  static constexpr std::size_t kVals = std::size_t(1) << N;
+  std::array<std::uint8_t, kPairs> add, sub, mul, div;
+  std::array<std::uint8_t, kVals> sqrt, recip;
+};
+
+/// Tabulated decode, N <= 16.  Entries for 0 and NaR are never read (decode
+/// callers handle those patterns first) and are left value-initialized.
+template <int N>
+struct PositDecodeTable {
+  static_assert(N <= 16);
+  static constexpr std::size_t kVals = std::size_t(1) << N;
+  std::array<Unpacked, kVals> u;
+};
+
+template <int N, int ES>
+struct LutHook {
+  static inline std::atomic<const PositOpTables<N <= 8 ? N : 8>*> ops{nullptr};
+  static inline std::atomic<const PositDecodeTable<N <= 16 ? N : 16>*> decode{
+      nullptr};
+};
+
+template <int N, int ES>
+[[nodiscard]] inline const PositOpTables<N <= 8 ? N : 8>* lut_ops() noexcept {
+  return LutHook<N, ES>::ops.load(std::memory_order_acquire);
+}
+
+template <int N, int ES>
+[[nodiscard]] inline const PositDecodeTable<N <= 16 ? N : 16>*
+lut_decode() noexcept {
+  return LutHook<N, ES>::decode.load(std::memory_order_acquire);
+}
+
 /// Decode a nonzero, non-NaR pattern.  Caller must handle 0 / NaR.
 template <int N, int ES>
 constexpr Unpacked posit_decode(u64 bits) noexcept {
   static_assert(3 <= N && N <= 64 && 0 <= ES && ES <= 4);
+  if constexpr (N <= 16) {
+    if (!std::is_constant_evaluated()) {
+      if (const auto* t = lut_decode<N, ES>()) return t->u[bits];
+    }
+  }
   Unpacked u;
   u.sign = (bits >> (N - 1)) & 1;
   if (u.sign) bits = (0 - bits) & posit_mask<N>();
@@ -158,6 +214,16 @@ class Posit {
     return !is_nar() && ((bits() >> (N - 1)) & 1);
   }
 
+  /// True iff a LUT result table covers this format and has been published
+  /// (see posit/lut.hpp); binary ops then resolve in a single indexed load.
+  [[nodiscard]] static bool lut_active() noexcept {
+    if constexpr (N <= 8) {
+      return detail::lut_ops<N, ES>() != nullptr;
+    } else {
+      return false;
+    }
+  }
+
   // -- Conversions ----------------------------------------------------------
 
   [[nodiscard]] static constexpr Posit from_double(double d) noexcept {
@@ -216,7 +282,7 @@ class Posit {
 
   friend constexpr Posit operator+(Posit a, Posit b) noexcept { return add(a, b); }
   friend constexpr Posit operator-(Posit a, Posit b) noexcept {
-    return add(a, -b);
+    return sub(a, b);
   }
   friend constexpr Posit operator*(Posit a, Posit b) noexcept { return mul(a, b); }
   friend constexpr Posit operator/(Posit a, Posit b) noexcept { return div(a, b); }
@@ -272,6 +338,12 @@ class Posit {
   using u128 = detail::u128;
 
   static constexpr Posit add(Posit a, Posit b) noexcept {
+    if constexpr (N <= 8) {
+      if (!std::is_constant_evaluated()) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->add[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
@@ -319,7 +391,23 @@ class Posit {
     return from_bits(detail::posit_encode<N, ES>(ua.sign, scale, frac, sticky));
   }
 
+  static constexpr Posit sub(Posit a, Posit b) noexcept {
+    if constexpr (N <= 8) {
+      if (!std::is_constant_evaluated()) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->sub[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
+    return add(a, -b);
+  }
+
   static constexpr Posit mul(Posit a, Posit b) noexcept {
+    if constexpr (N <= 8) {
+      if (!std::is_constant_evaluated()) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->mul[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero() || b.is_zero()) return zero();
     const auto ua = detail::posit_decode<N, ES>(a.bits());
@@ -335,6 +423,12 @@ class Posit {
   }
 
   static constexpr Posit div(Posit a, Posit b) noexcept {
+    if constexpr (N <= 8) {
+      if (!std::is_constant_evaluated()) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->div[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
     if (a.is_nar() || b.is_nar() || b.is_zero()) return nar();
     if (a.is_zero()) return zero();
     const auto ua = detail::posit_decode<N, ES>(a.bits());
@@ -363,6 +457,12 @@ class Posit {
 template <int N, int ES>
 [[nodiscard]] constexpr Posit<N, ES> sqrt(Posit<N, ES> x) noexcept {
   using P = Posit<N, ES>;
+  if constexpr (N <= 8) {
+    if (!std::is_constant_evaluated()) {
+      if (const auto* t = detail::lut_ops<N, ES>())
+        return P::from_bits(t->sqrt[x.bits()]);
+    }
+  }
   if (x.is_nar() || x.is_negative()) return x.is_zero() ? P::zero() : P::nar();
   if (x.is_zero()) return P::zero();
   const auto u = detail::posit_decode<N, ES>(x.bits());
@@ -377,6 +477,19 @@ template <int N, int ES>
 template <int N, int ES>
 [[nodiscard]] constexpr Posit<N, ES> abs(Posit<N, ES> x) noexcept {
   return x.is_negative() ? -x : x;
+}
+
+/// Correctly rounded reciprocal: round(1/x); NaR for x = 0 or NaR.
+template <int N, int ES>
+[[nodiscard]] constexpr Posit<N, ES> reciprocal(Posit<N, ES> x) noexcept {
+  using P = Posit<N, ES>;
+  if constexpr (N <= 8) {
+    if (!std::is_constant_evaluated()) {
+      if (const auto* t = detail::lut_ops<N, ES>())
+        return P::from_bits(t->recip[x.bits()]);
+    }
+  }
+  return P::one() / x;
 }
 
 /// scalar_traits bridge so the LA kernels can run on posits.

@@ -4,8 +4,14 @@
 // properties the paper's figures rely on.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "common/parallel_for.hpp"
 #include "core/experiments.hpp"
 #include "core/histogram.hpp"
 #include "core/precision.hpp"
@@ -128,6 +134,118 @@ TEST(IrExperiment, PctReductionUsesBestPosit) {
   // A capped format counts as 1000 (paper convention).
   row.p16_1.status = la::IrStatus::max_iterations;
   EXPECT_DOUBLE_EQ(row.pct_reduction(), 37.5);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel grid runner: determinism and ordering.
+
+/// RAII override of PSTAB_THREADS, restored on scope exit.
+class ThreadsEnv {
+ public:
+  explicit ThreadsEnv(const char* v) {
+    const char* old = std::getenv("PSTAB_THREADS");
+    if (old) saved_ = old;
+    had_ = old != nullptr;
+    setenv("PSTAB_THREADS", v, 1);
+  }
+  ~ThreadsEnv() {
+    if (had_)
+      setenv("PSTAB_THREADS", saved_.c_str(), 1);
+    else
+      unsetenv("PSTAB_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+std::vector<const matrices::GeneratedMatrix*> small_suite() {
+  return {&matrices::suite_matrix("bcsstk02"), &matrices::suite_matrix("nos6"),
+          &matrices::suite_matrix("494_bus")};
+}
+
+TEST(ParallelFor, ThreadCountHonorsEnv) {
+  ThreadsEnv env("3");
+  EXPECT_EQ(parallel_threads(), 3);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadsEnv env("8");
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadsEnv env("4");
+  EXPECT_THROW(
+      parallel_for(64,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ExperimentGrid, CgSuiteDeterministicAcrossThreadCounts) {
+  const auto ms = small_suite();  // generate before the parallel region
+  core::CgExperimentOptions opt;
+  opt.record_history = true;
+
+  std::vector<core::CgRow> serial, parallel;
+  {
+    ThreadsEnv env("1");
+    serial = core::run_cg_suite(ms, opt);
+  }
+  {
+    ThreadsEnv env("8");
+    parallel = core::run_cg_suite(ms, opt);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].matrix, ms[i]->spec.name);  // deterministic ordering
+    EXPECT_EQ(parallel[i].matrix, serial[i].matrix);
+    for (auto get :
+         {+[](const core::CgRow& r) { return &r.f64; },
+          +[](const core::CgRow& r) { return &r.f32; },
+          +[](const core::CgRow& r) { return &r.p32_2; },
+          +[](const core::CgRow& r) { return &r.p32_3; }}) {
+      const core::CgCell& s = *get(serial[i]);
+      const core::CgCell& p = *get(parallel[i]);
+      EXPECT_EQ(s.status, p.status) << serial[i].matrix;
+      EXPECT_EQ(s.iterations, p.iterations) << serial[i].matrix;
+      EXPECT_EQ(s.true_relres, p.true_relres) << serial[i].matrix;
+      ASSERT_EQ(s.history.size(), p.history.size()) << serial[i].matrix;
+      for (std::size_t k = 0; k < s.history.size(); ++k)
+        EXPECT_EQ(s.history[k], p.history[k])
+            << serial[i].matrix << " iter " << k;
+      EXPECT_FALSE(s.history.empty()) << serial[i].matrix;
+    }
+  }
+}
+
+TEST(ExperimentGrid, CholeskySuiteDeterministicAcrossThreadCounts) {
+  const auto ms = small_suite();
+  std::vector<core::CholRow> serial, parallel;
+  {
+    ThreadsEnv env("1");
+    serial = core::run_cholesky_suite(ms);
+  }
+  {
+    ThreadsEnv env("8");
+    parallel = core::run_cholesky_suite(ms);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].matrix, parallel[i].matrix);
+    EXPECT_EQ(serial[i].f32.ok, parallel[i].f32.ok);
+    EXPECT_EQ(serial[i].f32.backward_error, parallel[i].f32.backward_error);
+    EXPECT_EQ(serial[i].p32_2.backward_error,
+              parallel[i].p32_2.backward_error);
+    EXPECT_EQ(serial[i].p32_3.backward_error,
+              parallel[i].p32_3.backward_error);
+  }
 }
 
 // ---------------------------------------------------------------------------

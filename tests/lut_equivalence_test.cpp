@@ -1,0 +1,173 @@
+// Property test: routing Posit<16, ES> arithmetic through the tabulated
+// decode path (posit/lut.hpp) is bit-for-bit equivalent to the pure scalar
+// path, for randomized operand pairs and for the directed edge operands
+// (NaR, zero, +-maxpos, +-minpos, +-1) crossed with each other.  Also pins
+// the 8-bit routing at the op level, and that enable/disable actually flips
+// the routing observed by lut_active().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "posit/lut.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+
+namespace {
+
+using pstab::Posit;
+
+/// All results of interest for one operand pair, computed under the current
+/// routing state.
+template <int N, int ES>
+struct OpResults {
+  std::uint64_t add, sub, mul, div, sqrt_a, recip_a, fma_abc;
+};
+
+template <int N, int ES>
+OpResults<N, ES> eval(Posit<N, ES> a, Posit<N, ES> b, Posit<N, ES> c) {
+  OpResults<N, ES> r;
+  r.add = (a + b).bits();
+  r.sub = (a - b).bits();
+  r.mul = (a * b).bits();
+  r.div = (a / b).bits();
+  r.sqrt_a = pstab::sqrt(a).bits();
+  r.recip_a = pstab::reciprocal(a).bits();
+  // The quire decodes products operand-by-operand, so it exercises the
+  // decode table on an independent code path.
+  r.fma_abc = pstab::fma(a, b, c).bits();
+  return r;
+}
+
+template <int N, int ES>
+void expect_paths_agree(std::uint64_t abits, std::uint64_t bbits,
+                        std::uint64_t cbits) {
+  using P = Posit<N, ES>;
+  const P a = P::from_bits(abits), b = P::from_bits(bbits),
+          c = P::from_bits(cbits);
+  pstab::lut::disable<N, ES>();
+  const auto scalar = eval<N, ES>(a, b, c);
+  pstab::lut::enable<N, ES>();
+  const auto lut = eval<N, ES>(a, b, c);
+  pstab::lut::disable<N, ES>();
+  EXPECT_EQ(scalar.add, lut.add) << abits << " + " << bbits;
+  EXPECT_EQ(scalar.sub, lut.sub) << abits << " - " << bbits;
+  EXPECT_EQ(scalar.mul, lut.mul) << abits << " * " << bbits;
+  EXPECT_EQ(scalar.div, lut.div) << abits << " / " << bbits;
+  EXPECT_EQ(scalar.sqrt_a, lut.sqrt_a) << "sqrt " << abits;
+  EXPECT_EQ(scalar.recip_a, lut.recip_a) << "recip " << abits;
+  EXPECT_EQ(scalar.fma_abc, lut.fma_abc)
+      << "fma " << abits << ", " << bbits << ", " << cbits;
+}
+
+template <int N, int ES>
+std::vector<std::uint64_t> edge_patterns() {
+  using P = Posit<N, ES>;
+  return {
+      P::zero().bits(),         P::nar().bits(),
+      P::one().bits(),          (-P::one()).bits(),
+      P::maxpos().bits(),       (-P::maxpos()).bits(),
+      P::minpos().bits(),       (-P::minpos()).bits(),
+      P::one().next_up().bits(), P::maxpos().next_down().bits(),
+  };
+}
+
+template <int N, int ES>
+void run_randomized(unsigned seed, int trials) {
+  std::mt19937_64 rng(seed);
+  const std::uint64_t mask = (std::uint64_t(1) << N) - 1;
+  for (int i = 0; i < trials; ++i)
+    expect_paths_agree<N, ES>(rng() & mask, rng() & mask, rng() & mask);
+}
+
+template <int N, int ES>
+void run_edges() {
+  const auto edges = edge_patterns<N, ES>();
+  for (auto a : edges)
+    for (auto b : edges)
+      expect_paths_agree<N, ES>(a, b, b);
+}
+
+TEST(LutEquivalence, RandomPosit16Es1) { run_randomized<16, 1>(1601, 20000); }
+TEST(LutEquivalence, RandomPosit16Es2) { run_randomized<16, 2>(1602, 20000); }
+TEST(LutEquivalence, EdgesPosit16Es1) { run_edges<16, 1>(); }
+TEST(LutEquivalence, EdgesPosit16Es2) { run_edges<16, 2>(); }
+TEST(LutEquivalence, RandomPosit8AllEs) {
+  run_randomized<8, 0>(800, 8000);
+  run_randomized<8, 1>(801, 8000);
+  run_randomized<8, 2>(802, 8000);
+}
+TEST(LutEquivalence, EdgesPosit8AllEs) {
+  run_edges<8, 0>();
+  run_edges<8, 1>();
+  run_edges<8, 2>();
+}
+
+TEST(LutEquivalence, EnableDisableFlipsRouting) {
+  using P = Posit<8, 1>;
+  pstab::lut::disable<8, 1>();
+  EXPECT_FALSE(P::lut_active());
+  EXPECT_FALSE((pstab::lut::enabled<8, 1>()));
+  const std::size_t bytes = pstab::lut::enable<8, 1>();
+  const std::size_t want_bytes = pstab::lut::table_bytes<8, 1>();
+  EXPECT_TRUE(P::lut_active());
+  EXPECT_TRUE((pstab::lut::enabled<8, 1>()));
+  EXPECT_EQ(bytes, want_bytes);
+  // 4 binary tables at 64 KiB each, two unary at 256 B, decode 256 entries.
+  EXPECT_GE(bytes, std::size_t(4) * 65536);
+  pstab::lut::disable<8, 1>();
+  EXPECT_FALSE(P::lut_active());
+}
+
+TEST(LutEquivalence, EnableDefaultsHonorsKillSwitch) {
+  setenv("PSTAB_LUT", "0", 1);
+  EXPECT_EQ(pstab::lut::enable_defaults(), 0u);
+  EXPECT_FALSE((pstab::lut::enabled<8, 2>()));
+  EXPECT_FALSE((Posit<8, 2>::lut_active()));
+  unsetenv("PSTAB_LUT");
+  EXPECT_GT(pstab::lut::enable_defaults(), 0u);
+  EXPECT_TRUE((pstab::lut::enabled<8, 2>()));
+  EXPECT_TRUE((pstab::lut::enabled<16, 2>()));
+  pstab::lut::disable_defaults();
+  EXPECT_FALSE((pstab::lut::enabled<16, 2>()));
+}
+
+/// Concurrent readers while another thread flips routing on and off: every
+/// result must equal the scalar result no matter which path served it.
+TEST(LutEquivalence, RoutingFlipsAreRaceFree) {
+  using P = Posit<8, 2>;
+  pstab::lut::disable<8, 2>();
+  std::vector<std::uint8_t> want(256 * 256);
+  for (std::uint32_t a = 0; a < 256; ++a)
+    for (std::uint32_t b = 0; b < 256; ++b)
+      want[(a << 8) | b] = static_cast<std::uint8_t>(
+          (P::from_bits(a) * P::from_bits(b)).bits());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::thread flipper([&] {
+    for (int i = 0; i < 2000; ++i) {
+      pstab::lut::enable<8, 2>();
+      pstab::lut::disable<8, 2>();
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    std::mt19937 rng(99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint32_t a = rng() & 0xff, b = rng() & 0xff;
+      const auto got = (P::from_bits(a) * P::from_bits(b)).bits();
+      if (got != want[(a << 8) | b]) mismatches.fetch_add(1);
+    }
+  });
+  flipper.join();
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  pstab::lut::disable<8, 2>();
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Exhaustive differential sweep of 8-bit posit arithmetic through BOTH
+// execution paths (paper §IV-A, extended to the LUT fast path):
+//   * all 256 x 256 operand pairs for add/sub/mul/div,
+//   * all 256 patterns for sqrt/negate/reciprocal,
+// for ES in {0, 1, 2}.  Each result is computed twice — once with the LUT
+// routing disabled (scalar decode/round path) and once with it enabled
+// (posit/lut.hpp tables) — and both must be bit-identical to each other and
+// to the independent GMP oracle.  Labelled `slow` in CMake (ctest -L fast
+// skips it); the rest of the suite is `fast`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mp/mpreal.hpp"
+#include "mp/oracle.hpp"
+#include "posit/lut.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using pstab::Posit;
+
+/// Compute op(a, b) through the scalar path, then through the LUT path, and
+/// check both against `want`.  The LUT hook is an atomic pointer, so
+/// flipping it per evaluation is cheap (tables are built once).
+template <int ES, class Op>
+void check_both_paths(const char* what, std::uint32_t abits,
+                      std::uint32_t bbits, const Op& op,
+                      Posit<8, ES> want) {
+  using P = Posit<8, ES>;
+  const P a = P::from_bits(abits), b = P::from_bits(bbits);
+  pstab::lut::disable<8, ES>();
+  ASSERT_FALSE(P::lut_active());
+  const P scalar = op(a, b);
+  pstab::lut::enable<8, ES>();
+  ASSERT_TRUE(P::lut_active());
+  const P lut = op(a, b);
+  ASSERT_EQ(scalar.bits(), lut.bits())
+      << what << " " << abits << ", " << bbits << ": scalar "
+      << scalar.to_double() << " != lut " << lut.to_double();
+  ASSERT_EQ(scalar.bits(), want.bits())
+      << what << " " << abits << ", " << bbits << " vs oracle";
+}
+
+template <int ES>
+void sweep_binary() {
+  using P = Posit<8, ES>;
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      const P pa = P::from_bits(a), pb = P::from_bits(b);
+      if (pa.is_nar() || pb.is_nar()) {
+        // NaR rows are tabulated too: every op must propagate NaR on both
+        // paths (the oracle handles reals only).
+        check_both_paths<ES>("add", a, b, [](P x, P y) { return x + y; },
+                             P::nar());
+        check_both_paths<ES>("sub", a, b, [](P x, P y) { return x - y; },
+                             P::nar());
+        check_both_paths<ES>("mul", a, b, [](P x, P y) { return x * y; },
+                             P::nar());
+        check_both_paths<ES>("div", a, b, [](P x, P y) { return x / y; },
+                             P::nar());
+        continue;
+      }
+      const mpf_class xa = pstab::mp::to_mpf(pa), xb = pstab::mp::to_mpf(pb);
+
+      const mpf_class sum = xa + xb;
+      check_both_paths<ES>(
+          "add", a, b, [](P x, P y) { return x + y; },
+          sum == 0 ? P::zero() : pstab::mp::oracle_round<8, ES>(sum));
+
+      const mpf_class dif = xa - xb;
+      check_both_paths<ES>(
+          "sub", a, b, [](P x, P y) { return x - y; },
+          dif == 0 ? P::zero() : pstab::mp::oracle_round<8, ES>(dif));
+
+      const mpf_class prd = xa * xb;
+      check_both_paths<ES>(
+          "mul", a, b, [](P x, P y) { return x * y; },
+          prd == 0 ? P::zero() : pstab::mp::oracle_round<8, ES>(prd));
+
+      P want_div = P::nar();  // x / 0 = NaR
+      if (!pb.is_zero()) {
+        const mpf_class quo = xa / xb;
+        want_div = quo == 0 ? P::zero() : pstab::mp::oracle_round<8, ES>(quo);
+      }
+      check_both_paths<ES>("div", a, b, [](P x, P y) { return x / y; },
+                           want_div);
+    }
+  }
+}
+
+template <int ES>
+void sweep_unary() {
+  using P = Posit<8, ES>;
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    const P pa = P::from_bits(a);
+
+    P want_sqrt = P::nar();
+    if (pa.is_zero()) {
+      want_sqrt = P::zero();
+    } else if (!pa.is_nar() && !pa.is_negative()) {
+      mpf_class root(0, pstab::mp::kPrecBits);
+      mpf_sqrt(root.get_mpf_t(), pstab::mp::to_mpf(pa).get_mpf_t());
+      want_sqrt = pstab::mp::oracle_round<8, ES>(root);
+    }
+    check_both_paths<ES>("sqrt", a, a,
+                         [](P x, P) { return pstab::sqrt(x); }, want_sqrt);
+
+    P want_recip = P::nar();  // 1/0 and 1/NaR
+    if (!pa.is_zero() && !pa.is_nar()) {
+      const mpf_class r = pstab::mp::make(1.0) / pstab::mp::to_mpf(pa);
+      want_recip = pstab::mp::oracle_round<8, ES>(r);
+    }
+    check_both_paths<ES>("recip", a, a,
+                         [](P x, P) { return pstab::reciprocal(x); },
+                         want_recip);
+
+    // Negation is not table-routed (two's complement beats a load), but the
+    // sweep still pins its semantics under both routing states.
+    P want_neg = P::nar();
+    if (!pa.is_nar()) {
+      const mpf_class n = -pstab::mp::to_mpf(pa);
+      want_neg = n == 0 ? P::zero() : pstab::mp::oracle_round<8, ES>(n);
+    }
+    check_both_paths<ES>("neg", a, a, [](P x, P) { return -x; }, want_neg);
+  }
+}
+
+TEST(PositExhaustiveBothPaths, BinaryOpsEs0) { sweep_binary<0>(); }
+TEST(PositExhaustiveBothPaths, BinaryOpsEs1) { sweep_binary<1>(); }
+TEST(PositExhaustiveBothPaths, BinaryOpsEs2) { sweep_binary<2>(); }
+TEST(PositExhaustiveBothPaths, UnaryOpsEs0) { sweep_unary<0>(); }
+TEST(PositExhaustiveBothPaths, UnaryOpsEs1) { sweep_unary<1>(); }
+TEST(PositExhaustiveBothPaths, UnaryOpsEs2) { sweep_unary<2>(); }
+
+/// The LUT result tables must literally BE the scalar results: compare every
+/// table entry against a freshly computed scalar op.  This pins the builder
+/// itself (a corrupted build that op routing then faithfully serves would
+/// pass a routed-op comparison).
+template <int ES>
+void check_table_contents() {
+  using P = Posit<8, ES>;
+  const auto& t = pstab::lut::op_tables<8, ES>();
+  pstab::lut::disable<8, ES>();
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    const P pa = P::from_bits(a);
+    ASSERT_EQ(t.sqrt[a], pstab::sqrt(pa).bits());
+    ASSERT_EQ(t.recip[a], (P::one() / pa).bits());
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      const P pb = P::from_bits(b);
+      const std::size_t i = (a << 8) | b;
+      ASSERT_EQ(t.add[i], (pa + pb).bits()) << a << "+" << b;
+      ASSERT_EQ(t.sub[i], (pa - pb).bits()) << a << "-" << b;
+      ASSERT_EQ(t.mul[i], (pa * pb).bits()) << a << "*" << b;
+      ASSERT_EQ(t.div[i], (pa / pb).bits()) << a << "/" << b;
+    }
+  }
+}
+
+TEST(PositExhaustiveBothPaths, TableContentsMatchScalarEs0) {
+  check_table_contents<0>();
+}
+TEST(PositExhaustiveBothPaths, TableContentsMatchScalarEs1) {
+  check_table_contents<1>();
+}
+TEST(PositExhaustiveBothPaths, TableContentsMatchScalarEs2) {
+  check_table_contents<2>();
+}
+
+}  // namespace

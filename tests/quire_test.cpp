@@ -106,6 +106,42 @@ TEST(Quire, DotProductMatchesGmp) {
   }
 }
 
+TEST(Quire, CarryGuardBoundaryCrossing) {
+  // 2^17 accumulations of maxpos * maxpos push the running sum 17 bits into
+  // the carry-guard region above the maxpos^2 position — carries must ripple
+  // across the guard-word boundary and back.  For Posit<16,1>: maxpos =
+  // 2^28, so each product is 2^56 and the full sum is exactly 2^73.
+  using P = Posit<16, 1>;
+  constexpr int kCopies = 1 << 17;
+  Quire<16, 1> q;
+  for (int i = 0; i < kCopies; ++i) q.add_product(P::maxpos(), P::maxpos());
+
+  mpf_class exact(0, pstab::mp::kPrecBits);
+  exact = pstab::mp::to_mpf(P::maxpos()) * pstab::mp::to_mpf(P::maxpos());
+  mpf_mul_2exp(exact.get_mpf_t(), exact.get_mpf_t(), 17);  // * 2^17
+  const P want_sum = pstab::mp::oracle_round<16, 1>(exact);
+  EXPECT_EQ(q.to_posit().bits(), want_sum.bits());
+
+  // Drain all but one copy: the guard bits must carry back down and leave
+  // exactly maxpos^2 (rounds to maxpos by saturation).
+  for (int i = 0; i < kCopies - 1; ++i)
+    q.sub_product(P::maxpos(), P::maxpos());
+  const mpf_class one_prod =
+      pstab::mp::to_mpf(P::maxpos()) * pstab::mp::to_mpf(P::maxpos());
+  const P want_one = pstab::mp::oracle_round<16, 1>(one_prod);
+  EXPECT_EQ(q.to_posit().bits(), want_one.bits());
+  q.sub_product(P::maxpos(), P::maxpos());
+  EXPECT_TRUE(q.is_zero());
+
+  // Same crossing with a minpos tail riding along: after the drain the far
+  // low end of the quire must still hold it exactly.
+  Quire<16, 1> q2;
+  q2.add(P::minpos());
+  for (int i = 0; i < kCopies; ++i) q2.add_product(P::maxpos(), P::maxpos());
+  for (int i = 0; i < kCopies; ++i) q2.sub_product(P::maxpos(), P::maxpos());
+  EXPECT_EQ(q2.to_posit().bits(), P::minpos().bits());
+}
+
 TEST(Quire, NaRPoisons) {
   Quire<16, 2> q;
   q.add(Posit<16, 2>::one());

@@ -20,6 +20,7 @@
 #include "ieee/softfloat.hpp"
 #include "matrices/mm_io.hpp"
 #include "matrices/suite.hpp"
+#include "posit/lut.hpp"
 #include "posit/posit_math.hpp"
 
 namespace {
@@ -167,6 +168,7 @@ int cmd_fuzz(long n, unsigned seed) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  lut::enable_defaults();  // table-driven small posits (PSTAB_LUT=0 disables)
   const std::string cmd = argv[1];
   const bool flag_rescale =
       argc > 3 && (std::strcmp(argv[3], "--rescale") == 0 ||

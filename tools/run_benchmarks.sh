@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Build (Release) and run the performance benchmarks, leaving their JSON
+# artifacts in the build directory.
+#
+#   tools/run_benchmarks.sh [build-dir]        default build-dir: build-bench
+#
+# Env:
+#   PSTAB_THREADS     worker count for the parallel columns (default: cores)
+#   PSTAB_BENCH_FULL  =1 also re-run the figure benches (fig6..fig9)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-bench"}
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 1)" \
+  --target perf_ops fig6_cg fig7_cg_rescaled fig8_cholesky fig9_cholesky_rescaled
+
+cd "$build_dir"
+echo "== perf_ops: LUT vs scalar (writes BENCH_posit_ops.json) =="
+./bench/perf_ops --out BENCH_posit_ops.json
+
+if [ "${PSTAB_BENCH_FULL:-0}" = "1" ]; then
+  for b in fig6_cg fig7_cg_rescaled fig8_cholesky fig9_cholesky_rescaled; do
+    echo "== $b =="
+    ./bench/"$b"
+  done
+fi
+
+echo "benchmark artifacts in $build_dir:"
+ls -l "$build_dir"/BENCH_*.json 2>/dev/null || true
