@@ -10,6 +10,8 @@
 
 #include "common/parallel_for.hpp"
 #include "core/report.hpp"
+#include "core/report_json.hpp"
+#include "core/telemetry/telemetry.hpp"
 #include "matrices/suite.hpp"
 #include "posit/lut.hpp"
 
@@ -29,6 +31,27 @@ inline void print_env(const char* what) {
 /// All 19 suite matrices in paper (Table I) order.
 inline std::vector<const matrices::GeneratedMatrix*> suite() {
   return matrices::full_suite();
+}
+
+/// Start telemetry for an artifact-producing bench: on unless the
+/// environment opts out (PSTAB_TELEMETRY=0), counters zeroed so the emitted
+/// JSON covers exactly this run.
+inline void telemetry_begin() {
+  telemetry::enable_defaults();
+  telemetry::reset();
+}
+
+/// Write a RESULTS_*.json artifact into PSTAB_RESULTS_DIR (default: the
+/// current directory).  Failure warns but does not fail the bench — the
+/// console table is still the primary output.
+inline void write_results(const std::string& doc, const std::string& filename) {
+  const char* dir = std::getenv("PSTAB_RESULTS_DIR");
+  const std::string path =
+      (dir && *dir ? std::string(dir) + "/" : std::string()) + filename;
+  if (core::write_text_file(path, doc))
+    std::printf("\nwrote %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
 }
 
 }  // namespace pstab::bench

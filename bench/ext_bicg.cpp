@@ -37,8 +37,8 @@ int main() {
       return std::string(cg.status == la::CgStatus::breakdown ? "div" : "max");
     }();
     const auto bicell = [&] {
-      if (bi.converged) return std::to_string(bi.iterations);
-      return std::string(bi.breakdown ? "div" : "max");
+      if (bi.converged()) return std::to_string(bi.iterations);
+      return std::string(bi.status == la::SolveStatus::breakdown ? "div" : "max");
     }();
     t.row({m->spec.name, cgcell, bicell, core::fmt_fix(bi.iterate_log_range, 1),
            core::fmt_fix(bid.iterate_log_range, 1)});

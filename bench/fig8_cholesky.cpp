@@ -10,6 +10,7 @@
 int main() {
   using namespace pstab;
   bench::print_env("Fig 8: Cholesky relative backward error, unscaled");
+  bench::telemetry_begin();
 
   const auto err = [](const core::CholCell& c) {
     return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("-");
@@ -17,13 +18,17 @@ int main() {
 
   core::Table t({"Matrix", "||A||2", "berr F32", "berr P(32,2)",
                  "berr P(32,3)", "digits P2", "digits P3"});
-  for (const auto& row : core::run_cholesky_suite(bench::suite())) {
+  const core::CholExperimentOptions opt;
+  const auto rows = core::run_cholesky_suite(bench::suite(), opt);
+  for (const auto& row : rows) {
     t.row({row.matrix, core::fmt_sci(row.norm2, 1), err(row.f32),
            err(row.p32_2), err(row.p32_3),
            core::fmt_fix(row.extra_digits(row.p32_2), 2),
            core::fmt_fix(row.extra_digits(row.p32_3), 2)});
   }
   t.print();
+  bench::write_results(core::cholesky_results_json("cholesky", rows, opt),
+                       "RESULTS_cholesky.json");
   std::printf(
       "\nFig 8(b) series is the (||A||2, digits P2) column pair above; "
       "expected: advantage decreases with increasing norm.\n");

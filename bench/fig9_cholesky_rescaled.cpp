@@ -8,6 +8,7 @@
 int main() {
   using namespace pstab;
   bench::print_env("Fig 9: Cholesky backward error after diagonal re-scaling");
+  bench::telemetry_begin();
 
   const auto err = [](const core::CholCell& c) {
     return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("-");
@@ -20,7 +21,8 @@ int main() {
   double min_digits_p2 = 1e9;
   core::Table t({"Matrix", "||A||2", "berr F32", "berr P(32,2)",
                  "berr P(32,3)", "digits P2", "digits P3"});
-  for (const auto& row : core::run_cholesky_suite(bench::suite(), opt)) {
+  const auto rows = core::run_cholesky_suite(bench::suite(), opt);
+  for (const auto& row : rows) {
     const double d2 = row.extra_digits(row.p32_2);
     const double d3 = row.extra_digits(row.p32_3);
     if (!std::isnan(d2)) {
@@ -34,6 +36,9 @@ int main() {
            core::fmt_fix(d3, 2)});
   }
   t.print();
+  bench::write_results(
+      core::cholesky_results_json("cholesky_rescaled", rows, opt),
+      "RESULTS_cholesky_rescaled.json");
   std::printf(
       "\nP(32,2) beats F32 on %d/%d matrices (min advantage %.2f digits); "
       "P(32,3) on %d.  Paper: both formats win everywhere, P(32,2) >= +1 "

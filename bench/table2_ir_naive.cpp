@@ -10,6 +10,7 @@
 int main() {
   using namespace pstab;
   bench::print_env("Table II: naive mixed-precision IR (factor in 16-bit)");
+  bench::telemetry_begin();
 
   const auto cell = [](const la::IrReport& r) {
     const bool failed = r.status == la::IrStatus::factorization_failed ||
@@ -26,15 +27,18 @@ int main() {
   };
 
   int ok_f16 = 0, ok_p1 = 0, ok_p2 = 0;
+  const core::IrExperimentOptions opt;
+  const auto rows = core::run_ir_suite(bench::suite(), opt);
   core::Table t({"Matrix", "Float16", "Posit(16,1)", "Posit(16,2)"});
-  for (const auto* m : bench::suite()) {
-    const auto row = core::run_ir_experiment(*m);
+  for (const auto& row : rows) {
     ok_f16 += workable(row.f16);
     ok_p1 += workable(row.p16_1);
     ok_p2 += workable(row.p16_2);
     t.row({row.matrix, cell(row.f16), cell(row.p16_1), cell(row.p16_2)});
   }
   t.print();
+  bench::write_results(core::ir_results_json("ir_naive", rows, opt),
+                       "RESULTS_ir_naive.json");
   std::printf(
       "\nWorkable out of the box: Float16 %d, Posit(16,1) %d, Posit(16,2) %d "
       "of 19.  Paper Table II: Posit(16,2) handles the most rows (11), "

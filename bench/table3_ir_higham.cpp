@@ -9,6 +9,7 @@
 int main() {
   using namespace pstab;
   bench::print_env("Table III: mixed-precision IR after Higham scaling");
+  bench::telemetry_begin();
 
   const auto cell = [](const la::IrReport& r) {
     const bool failed = r.status == la::IrStatus::factorization_failed ||
@@ -21,10 +22,10 @@ int main() {
   opt.higham = true;
 
   int posit_wins = 0, comparable = 0;
+  const auto rows = core::run_ir_suite(bench::suite(), opt);
   core::Table t(
       {"Matrix", "Float16", "Posit(16,1)", "Posit(16,2)", "% diff"});
-  for (const auto* m : bench::suite()) {
-    const auto row = core::run_ir_experiment(*m, opt);
+  for (const auto& row : rows) {
     const double pct = row.pct_reduction();
     if (pct > 0) ++posit_wins;
     ++comparable;
@@ -32,6 +33,8 @@ int main() {
            core::fmt_fix(pct, 1)});
   }
   t.print();
+  bench::write_results(core::ir_results_json("ir_higham", rows, opt),
+                       "RESULTS_ir_higham.json");
   std::printf(
       "\nBest posit format needs fewer refinement steps than Float16 on "
       "%d/%d matrices.  Paper: posit wins every row of Table III.\n",

@@ -2,9 +2,15 @@
 // and report where the format's rounding drifts from double — the mechanism
 // beneath Figs 6/7.  Compares Posit(32,2) and Float32 on a golden-zone
 // matrix and a high-norm matrix, before and after re-scaling.
+//
+// Counting goes through the thread-safe telemetry layer, so the per-run
+// reset/snapshot here stays correct even when the solver itself runs under
+// PSTAB_THREADS workers.
 #include "bench_common.hpp"
 #include "common/instrumented.hpp"
 #include "core/experiments.hpp"
+#include "core/report_json.hpp"
+#include "core/telemetry/telemetry.hpp"
 #include "ieee/softfloat.hpp"
 #include "la/cg.hpp"
 #include "scaling/scaling.hpp"
@@ -21,7 +27,7 @@ void run_one(const char* label, const matrices::GeneratedMatrix& m,
   la::Vec<double> b = matrices::paper_rhs(m.dense);
   if (rescale) scaling::scale_pow2_inf(A, b, 10);
 
-  I::stats.reset();
+  telemetry::reset();
   const auto Ai = A.cast<I>();
   const auto bi = la::from_double_vec<I>(b);
   la::Vec<I> x;
@@ -29,7 +35,7 @@ void run_one(const char* label, const matrices::GeneratedMatrix& m,
   opt.max_iter = 15 * m.n;
   const auto rep = la::cg_solve(Ai, bi, x, opt);
 
-  const auto& s = I::stats;
+  const telemetry::FormatCounters s = I::counters();
   t.row({m.spec.name, label, rescale ? "yes" : "no",
          rep.status == la::CgStatus::converged
              ? std::to_string(rep.iterations)
@@ -43,6 +49,7 @@ void run_one(const char* label, const matrices::GeneratedMatrix& m,
 
 int main() {
   bench::print_env("telemetry: per-operation drift of CG vs a double shadow");
+  telemetry::set_enabled(true);
 
   core::Table t({"Matrix", "format", "rescaled", "iters", "ops",
                  "max drift", "mean drift"});

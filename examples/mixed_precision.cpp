@@ -45,6 +45,9 @@ int main(int argc, char** argv) {
         std::printf("  %-12s refinement diverged (factor too inaccurate)\n",
                     fmt);
         break;
+      default:  // remaining SolveStatus values are not produced by mixed_ir
+        std::printf("  %-12s %s\n", fmt, la::to_string(r.status));
+        break;
     }
   };
 

@@ -7,38 +7,29 @@
 // The shadow is advanced with the same sequence of operations in double, so
 // drift = |T result - shadow| / |shadow| measures accumulated format error
 // (not algorithmic error).
+//
+// Counting goes through the telemetry layer (core/telemetry/telemetry.hpp)
+// under the format name "Instrumented<name-of-T>": per-thread counter blocks
+// make totals exact under parallel_for whatever PSTAB_THREADS is.  This
+// replaced a mutable `static OpStats stats` member that was a data race the
+// moment two threads ran instrumented code.  Enable recording with
+// telemetry::set_enabled(true) (or PSTAB_TELEMETRY) and read results back
+// with Instrumented<T>::counters().
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 #include "common/scalar_traits.hpp"
+#include "core/telemetry/telemetry.hpp"
 
 namespace pstab {
-
-struct OpStats {
-  std::uint64_t adds = 0, subs = 0, muls = 0, divs = 0, sqrts = 0;
-  double max_rel_drift = 0.0;
-  double sum_rel_drift = 0.0;
-  std::uint64_t drift_samples = 0;
-
-  void reset() { *this = OpStats{}; }
-  [[nodiscard]] std::uint64_t total_ops() const {
-    return adds + subs + muls + divs + sqrts;
-  }
-  [[nodiscard]] double mean_rel_drift() const {
-    return drift_samples ? sum_rel_drift / double(drift_samples) : 0.0;
-  }
-};
 
 template <class T>
 class Instrumented {
  public:
-  // Per-format global telemetry (single-threaded use; the solvers under
-  // instrumentation run sequentially).
-  static OpStats stats;
-
   Instrumented() : v_(scalar_traits<T>::zero()), shadow_(0.0) {}
   explicit Instrumented(double d)
       : v_(scalar_traits<T>::from_double(d)), shadow_(d) {}
@@ -47,20 +38,33 @@ class Instrumented {
   [[nodiscard]] T value() const { return v_; }
   [[nodiscard]] double shadow() const { return shadow_; }
 
+  /// Telemetry slot of this instantiation, named "Instrumented<T-name>" so
+  /// the adapter's counts stay separate from the underlying format's.
+  [[nodiscard]] static int telemetry_slot() {
+    static const int s = telemetry::register_format(
+        std::string("Instrumented<") + scalar_traits<T>::name() + ">");
+    return s;
+  }
+  /// Aggregated counters for this instantiation (all threads).
+  [[nodiscard]] static telemetry::FormatCounters counters() {
+    return telemetry::snapshot_format(std::string("Instrumented<") +
+                                      scalar_traits<T>::name() + ">");
+  }
+
   friend Instrumented operator+(Instrumented a, Instrumented b) {
-    ++stats.adds;
+    count(telemetry::Event::add);
     return observe({a.v_ + b.v_, a.shadow_ + b.shadow_});
   }
   friend Instrumented operator-(Instrumented a, Instrumented b) {
-    ++stats.subs;
+    count(telemetry::Event::sub);
     return observe({a.v_ - b.v_, a.shadow_ - b.shadow_});
   }
   friend Instrumented operator*(Instrumented a, Instrumented b) {
-    ++stats.muls;
+    count(telemetry::Event::mul);
     return observe({a.v_ * b.v_, a.shadow_ * b.shadow_});
   }
   friend Instrumented operator/(Instrumented a, Instrumented b) {
-    ++stats.divs;
+    count(telemetry::Event::div);
     return observe({a.v_ / b.v_, a.shadow_ / b.shadow_});
   }
   Instrumented operator-() const { return {-v_, -shadow_}; }
@@ -78,13 +82,16 @@ class Instrumented {
            scalar_traits<T>::to_double(b.v_);
   }
 
+  static void count(telemetry::Event e) {
+    if (telemetry::active()) telemetry::count(telemetry_slot(), e);
+  }
+
   static Instrumented observe(Instrumented r) {
+    if (!telemetry::active()) return r;
     const double got = scalar_traits<T>::to_double(r.v_);
     if (std::isfinite(r.shadow_) && r.shadow_ != 0.0 && std::isfinite(got)) {
       const double drift = std::fabs(got - r.shadow_) / std::fabs(r.shadow_);
-      stats.max_rel_drift = std::max(stats.max_rel_drift, drift);
-      stats.sum_rel_drift += drift;
-      ++stats.drift_samples;
+      telemetry::record_drift(telemetry_slot(), drift);
     }
     return r;
   }
@@ -93,9 +100,6 @@ class Instrumented {
   T v_;
   double shadow_;
 };
-
-template <class T>
-OpStats Instrumented<T>::stats{};
 
 template <class T>
 struct scalar_traits<Instrumented<T>> {
@@ -111,7 +115,7 @@ struct scalar_traits<Instrumented<T>> {
     return to_double(x) < 0 ? -x : x;
   }
   static I sqrt(I x) noexcept {
-    ++I::stats.sqrts;
+    I::count(telemetry::Event::sqrt);
     return I::observe(I(scalar_traits<T>::sqrt(x.value()),
                         std::sqrt(x.shadow())));
   }

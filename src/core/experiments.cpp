@@ -27,11 +27,8 @@ CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
   const auto At = A.cast<T>();
   const auto bt = la::from_double_vec<T>(b);
   la::Vec<T> xt;
-  const auto rep = la::cg_solve(At, bt, xt, opt);
-  CgCell cell;
-  cell.status = rep.status;
-  cell.iterations = rep.iterations;
-  cell.history = std::move(rep.history);
+  auto rep = la::cg_solve(At, bt, xt, opt);
+  CgCell cell = std::move(rep);  // CgCell IS la::SolveReport
   // True residual in double.
   la::Vec<double> ax;
   A.spmv(la::to_double_vec(xt), ax);
@@ -83,9 +80,10 @@ CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
 
   la::CgOptions cg;
   cg.tol = opt.tol;
-  cg.max_iter = opt.max_iter_per_n * m.n;
+  cg.max_iter = opt.max_iter > 0 ? opt.max_iter : opt.max_iter_per_n * m.n;
   cg.fused_dots = opt.fused_dots;
   cg.record_history = opt.record_history;
+  cg.record_trace = opt.record_trace;
 
   row.f64 = cg_in_format<double>(A, b, cg);
   row.f32 = cg_in_format<float>(A, b, cg);
@@ -160,7 +158,10 @@ template <class F>
 la::IrReport ir_one_format(const matrices::GeneratedMatrix& m,
                            const IrExperimentOptions& opt, double mu) {
   la::IrOptions iro;
+  iro.tol = opt.tol;
   iro.max_iter = opt.max_iter;
+  iro.record_history = opt.record_history;
+  iro.record_trace = opt.record_trace;
   const la::Dense<double>& A = m.dense;
   const la::Vec<double> b = matrices::paper_rhs(A);
   la::Vec<double> x;

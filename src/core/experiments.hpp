@@ -13,22 +13,29 @@
 
 #include "la/cg.hpp"
 #include "la/ir.hpp"
+#include "la/solve_report.hpp"
 #include "matrices/generator.hpp"
 
 namespace pstab::core {
 
 // ---------------------------------------------------------------------------
+// Shared experiment options: the per-experiment structs extend this base, so
+// generic drivers (the CLI's --json path, the JSON emitter) can treat them
+// uniformly.
+
+struct ExperimentOptions {
+  double tol = 1e-5;            // convergence criterion (per-experiment meaning)
+  int max_iter = 0;             // 0 = per-experiment default cap
+  bool record_history = false;  // keep the per-iteration monitor in each cell
+  bool record_trace = false;    // allocate telemetry traces (phases+residuals)
+};
+
+// ---------------------------------------------------------------------------
 // CG (experiments 1 & 2)
 
-struct CgCell {
-  la::CgStatus status = la::CgStatus::max_iterations;
-  int iterations = 0;
-  double true_relres = 0.0;  // ||b - Ax||/||b|| in double at exit
-  std::vector<double> history;  // per-iteration relres (when recorded)
-  [[nodiscard]] bool converged() const {
-    return status == la::CgStatus::converged;
-  }
-};
+/// One grid cell is exactly the unified solver report (status, iterations,
+/// true_relres recomputed in double, optional history/trace).
+using CgCell = la::SolveReport;
 
 struct CgRow {
   std::string matrix;
@@ -39,12 +46,10 @@ struct CgRow {
   [[nodiscard]] double pct_improvement(const CgCell& posit) const;
 };
 
-struct CgExperimentOptions {
+struct CgExperimentOptions : ExperimentOptions {
   bool rescale_pow2_inf = false;  // experiment 2: ||A||_inf -> 2^10
   bool fused_dots = false;        // quire ablation
-  bool record_history = false;    // keep per-iteration residuals in each cell
-  double tol = 1e-5;              // the paper's criterion
-  int max_iter_per_n = 15;        // cap = max_iter_per_n * n
+  int max_iter_per_n = 15;        // cap = max_iter_per_n * n (if !max_iter)
 };
 
 CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
@@ -67,7 +72,7 @@ struct CholRow {
   [[nodiscard]] double extra_digits(const CholCell& posit) const;
 };
 
-struct CholExperimentOptions {
+struct CholExperimentOptions : ExperimentOptions {
   bool rescale_diag_avg = false;  // experiment 4 (Algorithm 3)
 };
 
@@ -85,9 +90,12 @@ struct IrRow {
   [[nodiscard]] double pct_reduction() const;
 };
 
-struct IrExperimentOptions {
+struct IrExperimentOptions : ExperimentOptions {
+  IrExperimentOptions() {
+    tol = 4.0 * 1.11e-16;  // "accurate to Float64 precision" (la::IrOptions)
+    max_iter = 1000;       // the paper's "1000+" cap
+  }
   bool higham = false;  // experiment 6 (Algorithm 4/5 + mu per format)
-  int max_iter = 1000;  // the paper's "1000+" cap
 };
 
 IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,

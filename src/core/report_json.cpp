@@ -1,0 +1,318 @@
+#include "core/report_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/telemetry/telemetry.hpp"
+#include "la/solve_report.hpp"
+
+namespace pstab::core {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+void JsonWriter::comma() {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+}  // namespace
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  append_escaped(out_, k);
+  out_ += ':';
+  need_comma_.back() = false;  // the member's value completes without a comma
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma();
+  append_escaped(out_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(u));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int i) {
+  comma();
+  out_ += std::to_string(i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Documents
+
+namespace {
+
+void header(JsonWriter& w, const std::string& experiment) {
+  w.key("schema").value("pstab-results-v1");
+  w.key("experiment").value(experiment);
+}
+
+void solve_report(JsonWriter& w, const la::SolveReport& r) {
+  w.begin_object();
+  w.key("status").value(la::to_string(r.status));
+  w.key("iterations").value(r.iterations);
+  w.key("final_relres").value(r.final_relres);
+  w.key("true_relres").value(r.true_relres);
+  if (!r.history.empty()) {
+    w.key("history").begin_array();
+    for (const double h : r.history) w.value(h);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void chol_cell(JsonWriter& w, const CholCell& c) {
+  w.begin_object();
+  w.key("ok").value(c.ok);
+  w.key("backward_error").value(c.backward_error);
+  w.end_object();
+}
+
+void ir_cell(JsonWriter& w, const la::IrReport& r) {
+  w.begin_object();
+  w.key("status").value(la::to_string(r.status));
+  w.key("iterations").value(r.iterations);
+  w.key("final_berr").value(r.final_berr);
+  w.key("factorization_error").value(r.factorization_error);
+  w.key("chol_status").value(la::to_string(r.chol_status));
+  if (!r.history.empty()) {
+    w.key("history").begin_array();
+    for (const double h : r.history) w.value(h);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+// Telemetry block.  Deliberately omits drift sums/means: those are
+// floating-point accumulations whose order depends on the thread schedule, and
+// the artifacts promise thread-count independence.  Integer event counts and
+// the drift max/sample-count are exact whatever the schedule.
+void telemetry_section(JsonWriter& w) {
+  w.key("telemetry").begin_array();
+  for (const auto& f : telemetry::snapshot()) {
+    if (f.total_ops() == 0 && f.regime_total() == 0 && f.drift_samples == 0)
+      continue;  // registered but idle formats would just be noise
+    w.begin_object();
+    w.key("format").value(f.format);
+    w.key("events").begin_object();
+    for (int e = 0; e < telemetry::kEventCount; ++e)
+      w.key(telemetry::event_name(static_cast<telemetry::Event>(e)))
+          .value(f.events[e]);
+    w.end_object();
+    int top = telemetry::kRegimeBuckets;
+    while (top > 0 && f.regime_hist[top - 1] == 0) --top;
+    w.key("regime_hist").begin_array();
+    for (int i = 0; i < top; ++i) w.value(f.regime_hist[i]);
+    w.end_array();
+    if (f.drift_samples > 0) {
+      w.key("max_rel_drift").value(f.max_rel_drift);
+      w.key("drift_samples").value(f.drift_samples);
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string cg_results_json(const std::string& experiment,
+                            const std::vector<CgRow>& rows,
+                            const CgExperimentOptions& opt) {
+  JsonWriter w;
+  w.begin_object();
+  header(w, experiment);
+  w.key("options").begin_object();
+  w.key("tol").value(opt.tol);
+  w.key("max_iter").value(opt.max_iter);
+  w.key("max_iter_per_n").value(opt.max_iter_per_n);
+  w.key("rescale_pow2_inf").value(opt.rescale_pow2_inf);
+  w.key("fused_dots").value(opt.fused_dots);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("matrix").value(r.matrix);
+    w.key("norm2").value(r.norm2);
+    w.key("cond").value(r.cond);
+    w.key("f64");
+    solve_report(w, r.f64);
+    w.key("f32");
+    solve_report(w, r.f32);
+    w.key("p32_2");
+    solve_report(w, r.p32_2);
+    w.key("p32_3");
+    solve_report(w, r.p32_3);
+    w.key("pct_improvement_p32_2").value(r.pct_improvement(r.p32_2));
+    w.key("pct_improvement_p32_3").value(r.pct_improvement(r.p32_3));
+    w.end_object();
+  }
+  w.end_array();
+  telemetry_section(w);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string cholesky_results_json(const std::string& experiment,
+                                  const std::vector<CholRow>& rows,
+                                  const CholExperimentOptions& opt) {
+  JsonWriter w;
+  w.begin_object();
+  header(w, experiment);
+  w.key("options").begin_object();
+  w.key("rescale_diag_avg").value(opt.rescale_diag_avg);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("matrix").value(r.matrix);
+    w.key("norm2").value(r.norm2);
+    w.key("f64");
+    chol_cell(w, r.f64);
+    w.key("f32");
+    chol_cell(w, r.f32);
+    w.key("p32_2");
+    chol_cell(w, r.p32_2);
+    w.key("p32_3");
+    chol_cell(w, r.p32_3);
+    w.key("extra_digits_p32_2").value(r.extra_digits(r.p32_2));
+    w.key("extra_digits_p32_3").value(r.extra_digits(r.p32_3));
+    w.end_object();
+  }
+  w.end_array();
+  telemetry_section(w);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string ir_results_json(const std::string& experiment,
+                            const std::vector<IrRow>& rows,
+                            const IrExperimentOptions& opt) {
+  JsonWriter w;
+  w.begin_object();
+  header(w, experiment);
+  w.key("options").begin_object();
+  w.key("tol").value(opt.tol);
+  w.key("max_iter").value(opt.max_iter);
+  w.key("higham").value(opt.higham);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("matrix").value(r.matrix);
+    w.key("f16");
+    ir_cell(w, r.f16);
+    w.key("p16_1");
+    ir_cell(w, r.p16_1);
+    w.key("p16_2");
+    ir_cell(w, r.p16_2);
+    w.key("pct_reduction").value(r.pct_reduction());
+    w.end_object();
+  }
+  w.end_array();
+  telemetry_section(w);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string telemetry_results_json() {
+  JsonWriter w;
+  w.begin_object();
+  header(w, "telemetry");
+  telemetry_section(w);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace pstab::core

@@ -1,0 +1,164 @@
+#include "core/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace pstab::telemetry {
+
+const char* event_name(Event e) noexcept {
+  switch (e) {
+    case Event::add: return "add";
+    case Event::sub: return "sub";
+    case Event::mul: return "mul";
+    case Event::div: return "div";
+    case Event::sqrt: return "sqrt";
+    case Event::fma: return "fma";
+    case Event::recip: return "recip";
+    case Event::nar_produced: return "nar_produced";
+    case Event::nan_produced: return "nan_produced";
+    case Event::overflow_sat: return "overflow_sat";
+    case Event::underflow_sat: return "underflow_sat";
+    case Event::subnormal: return "subnormal";
+    case Event::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> names;       // slot -> format name
+  std::vector<detail::Block*> live;     // blocks of running threads
+  detail::Block retired;                // merged blocks of exited threads
+};
+
+Registry& reg() {
+  static Registry* r = new Registry;  // immortal: threads may exit at any time
+  return *r;
+}
+
+void merge_into(detail::Block& dst, const detail::Block& src) {
+  for (int s = 0; s < kMaxFormats; ++s) {
+    for (int e = 0; e < kEventCount; ++e) {
+      const auto v = src.ev[s][e].load(std::memory_order_relaxed);
+      if (v) dst.ev[s][e].fetch_add(v, std::memory_order_relaxed);
+    }
+    for (int r = 0; r < kRegimeBuckets; ++r) {
+      const auto v = src.regime[s][r].load(std::memory_order_relaxed);
+      if (v) dst.regime[s][r].fetch_add(v, std::memory_order_relaxed);
+    }
+    const double mx = src.max_drift[s].load(std::memory_order_relaxed);
+    if (mx > dst.max_drift[s].load(std::memory_order_relaxed))
+      dst.max_drift[s].store(mx, std::memory_order_relaxed);
+    const double sum = src.sum_drift[s].load(std::memory_order_relaxed);
+    if (sum != 0.0)
+      dst.sum_drift[s].store(
+          dst.sum_drift[s].load(std::memory_order_relaxed) + sum,
+          std::memory_order_relaxed);
+    const auto n = src.drift_n[s].load(std::memory_order_relaxed);
+    if (n) dst.drift_n[s].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+/// Owns one thread's block; the destructor runs at thread exit and folds the
+/// block into the retired accumulator ("merged at join").
+struct ThreadSlot {
+  detail::Block* b = nullptr;
+  ThreadSlot() : b(new detail::Block) {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.live.push_back(b);
+  }
+  ~ThreadSlot() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    merge_into(r.retired, *b);
+    r.live.erase(std::find(r.live.begin(), r.live.end(), b));
+    delete b;
+  }
+};
+
+void accumulate(FormatCounters& out, const detail::Block& b, int slot) {
+  for (int e = 0; e < kEventCount; ++e)
+    out.events[e] += b.ev[slot][e].load(std::memory_order_relaxed);
+  for (int r = 0; r < kRegimeBuckets; ++r)
+    out.regime_hist[r] += b.regime[slot][r].load(std::memory_order_relaxed);
+  out.max_rel_drift = std::max(
+      out.max_rel_drift, b.max_drift[slot].load(std::memory_order_relaxed));
+  out.sum_rel_drift += b.sum_drift[slot].load(std::memory_order_relaxed);
+  out.drift_samples += b.drift_n[slot].load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+Block& tl_block() {
+  thread_local ThreadSlot slot;
+  return *slot.b;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool env_requested() noexcept {
+  const char* v = std::getenv("PSTAB_TELEMETRY");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+bool enable_defaults() noexcept {
+  const char* v = std::getenv("PSTAB_TELEMETRY");
+  set_enabled(!(v != nullptr && std::strcmp(v, "0") == 0));
+  return active();
+}
+
+void reset() noexcept {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.retired.zero();
+  for (detail::Block* b : r.live) b->zero();
+}
+
+int register_format(const std::string& name) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (std::size_t i = 0; i < r.names.size(); ++i)
+    if (r.names[i] == name) return static_cast<int>(i);
+  if (r.names.size() >= kMaxFormats) return -1;
+  r.names.push_back(name);
+  return static_cast<int>(r.names.size() - 1);
+}
+
+std::vector<FormatCounters> snapshot() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<FormatCounters> out(r.names.size());
+  for (std::size_t s = 0; s < r.names.size(); ++s) {
+    out[s].format = r.names[s];
+    accumulate(out[s], r.retired, static_cast<int>(s));
+    for (const detail::Block* b : r.live)
+      accumulate(out[s], *b, static_cast<int>(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FormatCounters& a, const FormatCounters& b) {
+              return a.format < b.format;
+            });
+  return out;
+}
+
+FormatCounters snapshot_format(const std::string& name) {
+  for (auto& fc : snapshot())
+    if (fc.format == name) return fc;
+  FormatCounters empty;
+  empty.format = name;
+  return empty;
+}
+
+}  // namespace pstab::telemetry

@@ -1,0 +1,76 @@
+// Per-solver convergence traces: residual history plus wall-time per phase,
+// recorded through a scoped TraceSpan.  A Trace is owned by one solver
+// invocation (solvers take a nullable Trace*), so recording is lock-free and
+// deterministic; suite runners keep one Trace per grid cell in index-owned
+// `parallel_map` slots, which is how per-thread buffers get merged at join.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pstab::telemetry {
+
+struct PhaseStat {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+};
+
+struct Trace {
+  std::vector<double> residuals;   // solver's convergence monitor per iteration
+  std::vector<PhaseStat> phases;   // in first-open order
+
+  void residual(double r) { residuals.push_back(r); }
+
+  PhaseStat& phase(const std::string& name) {
+    for (auto& p : phases)
+      if (p.name == name) return p;
+    phases.push_back({name, 0.0, 0});
+    return phases.back();
+  }
+
+  /// Fold another worker's buffer into this one (residuals append, phase
+  /// times accumulate by name).
+  void merge(const Trace& o) {
+    residuals.insert(residuals.end(), o.residuals.begin(), o.residuals.end());
+    for (const auto& p : o.phases) {
+      auto& mine = phase(p.name);
+      mine.seconds += p.seconds;
+      mine.calls += p.calls;
+    }
+  }
+};
+
+/// Scoped phase timer: accumulates elapsed wall time (and a call count) into
+/// `trace->phase(name)` on destruction.  A null trace makes it a no-op, so
+/// solvers can keep one code path.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, const char* name) : trace_(trace), name_(name) {
+    if (trace_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() { close(); }
+
+  /// Record the elapsed time now and disarm the span (idempotent); lets a
+  /// span end before scope exit without nesting blocks.
+  void close() {
+    if (!trace_) return;
+    auto& p = trace_->phase(name_);
+    p.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    ++p.calls;
+    trace_ = nullptr;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  const char* name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace pstab::telemetry

@@ -21,6 +21,7 @@
 
 #include "common/bits.hpp"
 #include "common/scalar_traits.hpp"
+#include "core/telemetry/telemetry.hpp"
 
 namespace pstab {
 
@@ -83,6 +84,21 @@ class SoftFloat {
     return (bits_ & sign_mask()) != 0;
   }
 
+  /// Telemetry slot for this format, named identically to
+  /// scalar_traits<SoftFloat>::name() so counters and reports line up.
+  [[nodiscard]] static int telemetry_slot() {
+    static const int s = telemetry::register_format(format_name());
+    return s;
+  }
+  [[nodiscard]] static std::string format_name() {
+    if (EBITS == 5 && MBITS == 10) return "Float16";
+    if (EBITS == 8 && MBITS == 7) return "BFloat16";
+    if (EBITS == 5 && MBITS == 2) return "Fp8e5m2";
+    if (EBITS == 8 && MBITS == 23) return "Float32Emu";
+    return "SoftFloat(" + std::to_string(EBITS) + "," +
+           std::to_string(MBITS) + ")";
+  }
+
   // -- Conversions ------------------------------------------------------------
 
   [[nodiscard]] static SoftFloat from_double(double d) noexcept {
@@ -114,6 +130,16 @@ class SoftFloat {
             ((guard && (sticky || (kept & 1))) ? 1 : 0);
       }
       // q == 2^MBITS naturally overflows into exponent field = 1 (min normal).
+      if (telemetry::active()) {
+        // Classify the rounding tailpath: a finite nonzero input that rounds
+        // to zero underflowed; one that stays below the min normal is a
+        // subnormal hit (q == 2^MBITS rounded up to the min normal: neither).
+        const int slot = telemetry_slot();
+        if (q == 0)
+          telemetry::count(slot, telemetry::Event::underflow_sat);
+        else if (q < (1u << MBITS))
+          telemetry::count(slot, telemetry::Event::subnormal);
+      }
       return from_bits((neg ? sign_mask() : 0u) | q);
     }
     // Normal path.
@@ -128,7 +154,11 @@ class SoftFloat {
         ++scale;
       }
     }
-    if (scale > emax) return infinity(neg);
+    if (scale > emax) {
+      if (telemetry::active())
+        telemetry::count(telemetry_slot(), telemetry::Event::overflow_sat);
+      return infinity(neg);
+    }
     const std::uint32_t e = static_cast<std::uint32_t>(scale + bias);
     return from_bits((neg ? sign_mask() : 0u) | (e << MBITS) |
                      (static_cast<std::uint32_t>(mant) & mant_mask()));
@@ -154,16 +184,20 @@ class SoftFloat {
   // -- Arithmetic (double + single final rounding = correctly rounded) --------
 
   friend SoftFloat operator+(SoftFloat a, SoftFloat b) noexcept {
-    return from_double(a.to_double() + b.to_double());
+    return record_op(telemetry::Event::add, a, b,
+                     from_double(a.to_double() + b.to_double()));
   }
   friend SoftFloat operator-(SoftFloat a, SoftFloat b) noexcept {
-    return from_double(a.to_double() - b.to_double());
+    return record_op(telemetry::Event::sub, a, b,
+                     from_double(a.to_double() - b.to_double()));
   }
   friend SoftFloat operator*(SoftFloat a, SoftFloat b) noexcept {
-    return from_double(a.to_double() * b.to_double());
+    return record_op(telemetry::Event::mul, a, b,
+                     from_double(a.to_double() * b.to_double()));
   }
   friend SoftFloat operator/(SoftFloat a, SoftFloat b) noexcept {
-    return from_double(a.to_double() / b.to_double());
+    return record_op(telemetry::Event::div, a, b,
+                     from_double(a.to_double() / b.to_double()));
   }
   constexpr SoftFloat operator-() const noexcept {
     return from_bits(bits_ ^ sign_mask());
@@ -188,6 +222,17 @@ class SoftFloat {
   friend bool operator>=(SoftFloat a, SoftFloat b) noexcept { return b <= a; }
 
  private:
+  static SoftFloat record_op(telemetry::Event e, SoftFloat a, SoftFloat b,
+                             SoftFloat r) noexcept {
+    if (telemetry::active()) {
+      const int slot = telemetry_slot();
+      telemetry::count(slot, e);
+      if (r.is_nan() && !a.is_nan() && !b.is_nan())
+        telemetry::count(slot, telemetry::Event::nan_produced);
+    }
+    return r;
+  }
+
   static constexpr std::uint32_t sign_mask() noexcept {
     return 1u << (EBITS + MBITS);
   }
@@ -209,7 +254,15 @@ class SoftFloat {
 
 template <int E, int M>
 [[nodiscard]] SoftFloat<E, M> sqrt(SoftFloat<E, M> x) noexcept {
-  return SoftFloat<E, M>::from_double(std::sqrt(x.to_double()));
+  using F = SoftFloat<E, M>;
+  const F r = F::from_double(std::sqrt(x.to_double()));
+  if (telemetry::active()) {
+    const int slot = F::telemetry_slot();
+    telemetry::count(slot, telemetry::Event::sqrt);
+    if (r.is_nan() && !x.is_nan())
+      telemetry::count(slot, telemetry::Event::nan_produced);
+  }
+  return r;
 }
 template <int E, int M>
 [[nodiscard]] SoftFloat<E, M> abs(SoftFloat<E, M> x) noexcept {
@@ -238,6 +291,8 @@ struct scalar_traits<SoftFloat<E, M>> {
   static F abs(F x) noexcept { return pstab::abs(x); }
   static F sqrt(F x) noexcept { return pstab::sqrt(x); }
   static F fma(F a, F b, F c) noexcept {
+    if (telemetry::active())
+      telemetry::count(F::telemetry_slot(), telemetry::Event::fma);
     // a*b is exact in double (2*(M+1) <= 48 bits); the sum rounds once in
     // double, then once more to the target: faithful to <= 1 ulp.
     return F::from_double(a.to_double() * b.to_double() + c.to_double());

@@ -5,15 +5,12 @@
 #pragma once
 
 #include "la/csr.hpp"
+#include "la/solve_report.hpp"
 #include "la/vector_ops.hpp"
 
 namespace pstab::la {
 
-struct BicgReport {
-  bool converged = false;
-  bool breakdown = false;
-  int iterations = 0;
-  double final_relres = 0.0;
+struct BicgReport : SolveReport {
   // Dynamic range of the iterate magnitudes observed during the run:
   // log10(max |entry|) - log10(min nonzero |entry|), the quantity the
   // paper's hypothesis is about.
@@ -35,7 +32,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
 
   const double normb = nrm2_d(b);
   if (normb == 0) {
-    rep.converged = true;
+    rep.status = SolveStatus::converged;
     return rep;
   }
 
@@ -53,7 +50,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
   for (int it = 1; it <= max_iter; ++it) {
     const T rho_new = dot(rhat, r);
     if (!st::finite(rho_new) || st::to_double(rho_new) == 0.0) {
-      rep.breakdown = true;
+      rep.status = SolveStatus::breakdown;
       rep.iterations = it;
       break;
     }
@@ -63,7 +60,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     A.spmv(p, v);
     const T rhat_v = dot(rhat, v);
     if (!st::finite(rhat_v) || st::to_double(rhat_v) == 0.0) {
-      rep.breakdown = true;
+      rep.status = SolveStatus::breakdown;
       rep.iterations = it;
       break;
     }
@@ -76,7 +73,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       // s is (numerically) the new residual; accept the half step.
       axpy(alpha, p, x);
       rep.final_relres = nrm2_d(s) / normb;
-      rep.converged = rep.final_relres <= tol;
+      if (rep.final_relres <= tol) rep.status = SolveStatus::converged;
       rep.iterations = it;
       break;
     }
@@ -90,11 +87,11 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     rep.final_relres = nrm2_d(r) / normb;
     rep.iterations = it;
     if (!all_finite(r) || !all_finite(x)) {
-      rep.breakdown = true;
+      rep.status = SolveStatus::breakdown;
       break;
     }
     if (rep.final_relres <= tol) {
-      rep.converged = true;
+      rep.status = SolveStatus::converged;
       break;
     }
   }

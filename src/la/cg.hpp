@@ -7,31 +7,25 @@
 
 #include <vector>
 
+#include "core/telemetry/trace.hpp"
 #include "la/csr.hpp"
 #include "la/fused.hpp"
+#include "la/solve_report.hpp"
 #include "la/vector_ops.hpp"
 
 namespace pstab::la {
 
-enum class CgStatus {
-  converged,
-  max_iterations,    // residual still above tolerance at the iteration cap
-  breakdown,         // <p, Ap> or <r, r> became non-positive / NaR / NaN
-};
-
-struct CgReport {
-  CgStatus status = CgStatus::max_iterations;
-  int iterations = 0;
-  double final_relres = 0.0;        // recurrence-residual norm / ||b||
-  double true_relres = 0.0;         // ||b - Ax|| / ||b|| in double
-  std::vector<double> history;      // relres per iteration (double monitor)
-};
+// CgStatus is la::SolveStatus (solve_report.hpp); CG uses the `converged`,
+// `max_iterations` (cap reached) and `breakdown` (<p,Ap> or <r,r> became
+// non-positive / NaR / NaN) cases.  The report is the plain shared base.
+using CgReport = SolveReport;
 
 struct CgOptions {
   double tol = 1e-5;        // the paper's convergence threshold
   int max_iter = 25000;
   bool fused_dots = false;  // quire / extended-accumulator ablation
   bool record_history = false;
+  bool record_trace = false;  // allocate SolveReport::trace (phases+residuals)
 };
 
 template <class T, class Mat>
@@ -40,26 +34,35 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
   using st = scalar_traits<T>;
   const int n = int(b.size());
   CgReport rep;
+  if (opt.record_trace) rep.trace = std::make_shared<telemetry::Trace>();
+  telemetry::Trace* tr = rep.trace.get();
 
   const auto dotp = [&](const Vec<T>& u, const Vec<T>& v) {
     return opt.fused_dots ? dot_fused(u, v) : dot(u, v);
   };
 
   x.assign(n, st::zero());
-  Vec<T> r = b;          // r0 = b - A*0 = b
-  Vec<T> p = r;          // p0 = r0
-  Vec<T> ap(n);
-
-  const double normb = nrm2_d(b);
-  if (normb == 0) {
-    rep.status = CgStatus::converged;
-    return rep;
+  Vec<T> r, p, ap;
+  double normb = 0.0;
+  T rr = st::zero();
+  {
+    telemetry::TraceSpan setup_span(tr, "setup");
+    r = b;             // r0 = b - A*0 = b
+    p = r;             // p0 = r0
+    ap.assign(n, st::zero());
+    normb = nrm2_d(b);
+    if (normb == 0) {
+      rep.status = CgStatus::converged;
+      return rep;
+    }
+    rr = dotp(r, r);
   }
 
-  T rr = dotp(r, r);
+  telemetry::TraceSpan iterate_span(tr, "iterate");
   for (int it = 0; it < opt.max_iter; ++it) {
     const double relres = std::sqrt(std::max(0.0, st::to_double(rr))) / normb;
     if (opt.record_history) rep.history.push_back(relres);
+    if (tr) tr->residual(relres);
     rep.final_relres = relres;
     if (relres <= opt.tol) {
       rep.status = CgStatus::converged;

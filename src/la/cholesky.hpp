@@ -8,29 +8,33 @@
 
 #include <optional>
 
+#include "core/telemetry/trace.hpp"
 #include "la/dense.hpp"
+#include "la/solve_report.hpp"
 
 namespace pstab::la {
 
-enum class CholStatus {
-  ok,
-  not_positive_definite,  // a pivot was <= 0
-  arithmetic_error,       // NaR / NaN / inf encountered mid-factorization
-};
+// CholStatus is la::SolveStatus (solve_report.hpp); Cholesky uses `ok`
+// (= converged), `not_positive_definite` (a pivot was <= 0) and
+// `arithmetic_error` (NaR / NaN / inf mid-factorization).
 
 template <class T>
-struct CholResult {
-  CholStatus status = CholStatus::ok;
+struct CholResult : SolveReport {
   int failed_column = -1;
   Dense<T> R;  // upper triangular factor (valid when status == ok)
+
+  CholResult() { status = CholStatus::ok; }
 };
 
-/// Up-looking Cholesky in format T.
+/// Up-looking Cholesky in format T.  Pass a Trace to time the factorization
+/// phase ("factor").
 template <class T>
-[[nodiscard]] CholResult<T> cholesky(const Dense<T>& A) {
+[[nodiscard]] CholResult<T> cholesky(const Dense<T>& A,
+                                     telemetry::Trace* trace = nullptr) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   CholResult<T> res;
+  telemetry::TraceSpan span(trace, "factor");
   res.R = Dense<T>(n, n);
   Dense<T>& R = res.R;
   for (int k = 0; k < n; ++k) {

@@ -15,11 +15,9 @@
 
 namespace pstab::la {
 
-struct GmresReport {
-  bool converged = false;
-  int iterations = 0;      // total inner iterations across restarts
-  double final_relres = 0.0;
-};
+// GmresReport is the shared base: `iterations` counts total inner iterations
+// across restarts; status is `converged` or `max_iterations`.
+using GmresReport = SolveReport;
 
 /// Solve A x = b in double with left preconditioner M^{-1} (apply_minv),
 /// restarted every `restart` iterations.  Classic Givens-rotation GMRES.
@@ -38,7 +36,7 @@ inline GmresReport gmres_solve(
   const Vec<double> mb = precond(b);
   const double normb = nrm2_d(mb);
   if (normb == 0) {
-    rep.converged = true;
+    rep.status = SolveStatus::converged;
     return rep;
   }
 
@@ -49,7 +47,7 @@ inline GmresReport gmres_solve(
     double beta = nrm2_d(r);
     rep.final_relres = beta / normb;
     if (rep.final_relres <= tol) {
-      rep.converged = true;
+      rep.status = SolveStatus::converged;
       rep.iterations = total;
       return rep;
     }
@@ -107,7 +105,7 @@ inline GmresReport gmres_solve(
     for (int i = 0; i < k; ++i)
       for (int j = 0; j < n; ++j) x[j] += y[i] * V[i][j];
     if (rep.final_relres <= tol) {
-      rep.converged = true;
+      rep.status = SolveStatus::converged;
       rep.iterations = total;
       return rep;
     }

@@ -15,16 +15,12 @@
 
 namespace pstab::la {
 
-enum class IrStatus {
-  converged,
-  max_iterations,         // "1000+" in the paper's tables
-  factorization_failed,   // "-": pivot breakdown or arithmetic error in F
-  diverged,               // "-": refinement blew up (poor factorization)
-};
+// IrStatus is la::SolveStatus (solve_report.hpp); IR uses `converged`,
+// `max_iterations` ("1000+" in the paper's tables), `factorization_failed`
+// ("-": pivot breakdown or arithmetic error in F) and `diverged` ("-": the
+// refinement blew up on a poor factorization).
 
-struct IrReport {
-  IrStatus status = IrStatus::max_iterations;
-  int iterations = 0;
+struct IrReport : SolveReport {
   double final_berr = 0.0;          // normwise backward error at exit
   double factorization_error = 0.0; // ||R^T R - A_h||_F / ||A_h||_F (double)
   la::CholStatus chol_status = la::CholStatus::ok;
@@ -36,6 +32,8 @@ struct IrOptions {
   double tol = 4.0 * 1.11e-16;
   int max_iter = 1000;
   bool record_factorization_error = true;
+  bool record_history = false;  // berr per refinement step -> history
+  bool record_trace = false;    // phases: "factorize", "refine"
 };
 
 /// Naive mixed-precision IR (paper Table II): factor fl_F(A) directly.
@@ -48,11 +46,15 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
                   const Dense<double>* Ah_source = nullptr) {
   IrReport rep;
   const int n = A.rows();
+  if (opt.record_trace) rep.trace = std::make_shared<telemetry::Trace>();
+  telemetry::Trace* tr = rep.trace.get();
 
   // --- O(n^3) stage in format F ---------------------------------------------
   const Dense<double>& src = Ah_source ? *Ah_source : A;
   const Dense<F> Ah = src.template cast_clamped<F>();
+  telemetry::TraceSpan fact_span(tr, "factorize");
   const auto fact = cholesky(Ah);
+  fact_span.close();
   rep.chol_status = fact.status;
   if (fact.status != CholStatus::ok) {
     rep.status = IrStatus::factorization_failed;
@@ -66,6 +68,7 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   const Dense<double> R = fact.R.template cast<double>();
 
   // --- O(n^2) refinement in Float64 -----------------------------------------
+  telemetry::TraceSpan refine_span(tr, "refine");
   const double norm_a = norm_inf(A);
   const double norm_b = norm_inf_d(b);
   x.assign(n, 0.0);
@@ -90,6 +93,8 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
         norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
     rep.final_berr = berr;
     rep.iterations = it;
+    if (opt.record_history) rep.history.push_back(berr);
+    if (tr) tr->residual(berr);
     if (!std::isfinite(berr) ||
         (first_berr > 0 && berr > 1e4 * first_berr && berr > 1.0)) {
       rep.status = IrStatus::diverged;

@@ -1,0 +1,69 @@
+// One status vocabulary and one report base for every solver in la/.
+//
+// Historically each solver grew its own enum (CgStatus, CholStatus, IrStatus,
+// plus bool flags in the GMRES/BiCGSTAB reports).  They are now enumerators
+// of a single la::SolveStatus; the old names survive as aliases, and
+// `ok` aliases `converged` so CholStatus::ok call sites keep compiling.
+// Every solver report derives from la::SolveReport, which carries the shared
+// fields (status, iterations, the solver's own convergence monitor, the true
+// relative residual recomputed in double, the per-iteration history, and an
+// optional telemetry trace handle filled when the caller asks for one).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/telemetry/trace.hpp"
+
+namespace pstab::la {
+
+enum class SolveStatus {
+  converged = 0,
+  ok = converged,          // direct-solver spelling of success
+  max_iterations,          // monitor still above tolerance at the cap
+  breakdown,               // a Krylov scalar became non-positive / NaR / NaN
+  not_positive_definite,   // Cholesky: a pivot was <= 0
+  arithmetic_error,        // NaR / NaN / inf encountered mid-factorization
+  factorization_failed,    // IR: the low-precision factorization broke
+  diverged,                // refinement blew up
+};
+
+[[nodiscard]] constexpr bool succeeded(SolveStatus s) noexcept {
+  return s == SolveStatus::converged;
+}
+
+[[nodiscard]] constexpr const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::converged: return "converged";
+    case SolveStatus::max_iterations: return "max_iterations";
+    case SolveStatus::breakdown: return "breakdown";
+    case SolveStatus::not_positive_definite: return "not_positive_definite";
+    case SolveStatus::arithmetic_error: return "arithmetic_error";
+    case SolveStatus::factorization_failed: return "factorization_failed";
+    case SolveStatus::diverged: return "diverged";
+  }
+  return "?";
+}
+
+/// Thin aliases: the per-solver enums are one type now.
+using CgStatus = SolveStatus;
+using CholStatus = SolveStatus;
+using IrStatus = SolveStatus;
+
+struct SolveReport {
+  SolveStatus status = SolveStatus::max_iterations;
+  int iterations = 0;
+  double final_relres = 0.0;    // solver's own monitor at exit
+  double true_relres = 0.0;     // ||b - Ax|| / ||b|| in double (driver-filled)
+  std::vector<double> history;  // monitor per iteration, when recorded
+
+  /// Residual trace + per-phase wall time; allocated when the caller sets
+  /// record_trace in the solver options, null otherwise.
+  std::shared_ptr<telemetry::Trace> trace;
+
+  [[nodiscard]] bool converged() const noexcept {
+    return status == SolveStatus::converged;
+  }
+};
+
+}  // namespace pstab::la

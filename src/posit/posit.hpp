@@ -27,6 +27,7 @@
 
 #include "common/bits.hpp"
 #include "common/scalar_traits.hpp"
+#include "core/telemetry/telemetry.hpp"
 
 namespace pstab {
 
@@ -119,12 +120,37 @@ constexpr Unpacked posit_decode(u64 bits) noexcept {
   return u;
 }
 
+/// Telemetry classification of one encode, from the exact pre-rounding value
+/// (-1)^sign * frac/2^63 * 2^scale.  Value-based on purpose so the GMP oracle
+/// can classify independently: overflow iff |exact| > maxpos = 2^((N-2)<<ES),
+/// underflow iff 0 < |exact| < minpos = 2^(-(N-2)<<ES) (frac/2^63 lies in
+/// [1, 2), so that reduces to a scale comparison).  The regime length
+/// recorded is that of the unrounded scale's regime field, clamped to the
+/// N-1 available bits.
+template <int N, int ES>
+inline void telemetry_encode_event(int scale, u64 frac, bool sticky) noexcept {
+  const int slot = telemetry::posit_slot<N, ES>();
+  constexpr int kMaxScale = (N - 2) << ES;
+  if (scale > kMaxScale ||
+      (scale == kMaxScale && (frac > (u64(1) << 63) || sticky))) {
+    telemetry::count(slot, telemetry::Event::overflow_sat);
+  } else if (scale < -kMaxScale) {
+    telemetry::count(slot, telemetry::Event::underflow_sat);
+  }
+  const int k = scale >> ES;
+  int reg = k >= 0 ? k + 2 : 1 - k;
+  if (reg > N - 1) reg = N - 1;
+  telemetry::record_regime(slot, reg);
+}
+
 /// Round-to-nearest-even encode of (-1)^sign * frac/2^63 * 2^scale where
 /// `sticky` records whether any nonzero bits lie below frac's LSB.
 /// Returns the N-bit pattern (sign handled via two's complement).
 template <int N, int ES>
 constexpr u64 posit_encode(bool sign, int scale, u64 frac, bool sticky) noexcept {
   static_assert(3 <= N && N <= 64 && 0 <= ES && ES <= 4);
+  if (!std::is_constant_evaluated() && telemetry::active())
+    telemetry_encode_event<N, ES>(scale, frac, sticky);
   constexpr int L = N - 1;  // bits available after the sign
   constexpr u64 kMaxPos = (u64(1) << L) - 1;
   const int k = scale >> ES;  // floor division
@@ -337,13 +363,75 @@ class Posit {
   using u64 = detail::u64;
   using u128 = detail::u128;
 
+  // Routing wrappers: when telemetry is active the op is counted and forced
+  // down the scalar path (a LUT hit would skip the rounding tailpath that
+  // classifies overflow/underflow/regime events); otherwise a published LUT
+  // answers N <= 8 in one load and everything else runs the scalar core.
+
   static constexpr Posit add(Posit a, Posit b) noexcept {
-    if constexpr (N <= 8) {
-      if (!std::is_constant_evaluated()) {
+    if (!std::is_constant_evaluated()) {
+      if (telemetry::active()) {
+        telemetry::count(telemetry::posit_slot<N, ES>(),
+                         telemetry::Event::add);
+        return add_scalar(a, b);
+      }
+      if constexpr (N <= 8) {
         if (const auto* t = detail::lut_ops<N, ES>())
           return from_bits(t->add[(std::size_t(a.bits()) << N) | b.bits()]);
       }
     }
+    return add_scalar(a, b);
+  }
+
+  static constexpr Posit sub(Posit a, Posit b) noexcept {
+    if (!std::is_constant_evaluated()) {
+      if (telemetry::active()) {
+        telemetry::count(telemetry::posit_slot<N, ES>(),
+                         telemetry::Event::sub);
+        return add_scalar(a, -b);
+      }
+      if constexpr (N <= 8) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->sub[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
+    return add_scalar(a, -b);
+  }
+
+  static constexpr Posit mul(Posit a, Posit b) noexcept {
+    if (!std::is_constant_evaluated()) {
+      if (telemetry::active()) {
+        telemetry::count(telemetry::posit_slot<N, ES>(),
+                         telemetry::Event::mul);
+        return mul_scalar(a, b);
+      }
+      if constexpr (N <= 8) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->mul[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
+    return mul_scalar(a, b);
+  }
+
+  static constexpr Posit div(Posit a, Posit b) noexcept {
+    if (!std::is_constant_evaluated()) {
+      if (telemetry::active()) {
+        const int slot = telemetry::posit_slot<N, ES>();
+        telemetry::count(slot, telemetry::Event::div);
+        const Posit r = div_scalar(a, b);
+        if (r.is_nar() && !a.is_nar() && !b.is_nar())
+          telemetry::count(slot, telemetry::Event::nar_produced);
+        return r;
+      }
+      if constexpr (N <= 8) {
+        if (const auto* t = detail::lut_ops<N, ES>())
+          return from_bits(t->div[(std::size_t(a.bits()) << N) | b.bits()]);
+      }
+    }
+    return div_scalar(a, b);
+  }
+
+  static constexpr Posit add_scalar(Posit a, Posit b) noexcept {
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
@@ -391,23 +479,7 @@ class Posit {
     return from_bits(detail::posit_encode<N, ES>(ua.sign, scale, frac, sticky));
   }
 
-  static constexpr Posit sub(Posit a, Posit b) noexcept {
-    if constexpr (N <= 8) {
-      if (!std::is_constant_evaluated()) {
-        if (const auto* t = detail::lut_ops<N, ES>())
-          return from_bits(t->sub[(std::size_t(a.bits()) << N) | b.bits()]);
-      }
-    }
-    return add(a, -b);
-  }
-
-  static constexpr Posit mul(Posit a, Posit b) noexcept {
-    if constexpr (N <= 8) {
-      if (!std::is_constant_evaluated()) {
-        if (const auto* t = detail::lut_ops<N, ES>())
-          return from_bits(t->mul[(std::size_t(a.bits()) << N) | b.bits()]);
-      }
-    }
+  static constexpr Posit mul_scalar(Posit a, Posit b) noexcept {
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero() || b.is_zero()) return zero();
     const auto ua = detail::posit_decode<N, ES>(a.bits());
@@ -422,13 +494,7 @@ class Posit {
         detail::posit_encode<N, ES>(ua.sign != ub.sign, scale, frac, sticky));
   }
 
-  static constexpr Posit div(Posit a, Posit b) noexcept {
-    if constexpr (N <= 8) {
-      if (!std::is_constant_evaluated()) {
-        if (const auto* t = detail::lut_ops<N, ES>())
-          return from_bits(t->div[(std::size_t(a.bits()) << N) | b.bits()]);
-      }
-    }
+  static constexpr Posit div_scalar(Posit a, Posit b) noexcept {
     if (a.is_nar() || b.is_nar() || b.is_zero()) return nar();
     if (a.is_zero()) return zero();
     const auto ua = detail::posit_decode<N, ES>(a.bits());
@@ -457,8 +523,12 @@ class Posit {
 template <int N, int ES>
 [[nodiscard]] constexpr Posit<N, ES> sqrt(Posit<N, ES> x) noexcept {
   using P = Posit<N, ES>;
-  if constexpr (N <= 8) {
-    if (!std::is_constant_evaluated()) {
+  if (!std::is_constant_evaluated()) {
+    if (telemetry::active()) {
+      const int slot = telemetry::posit_slot<N, ES>();
+      telemetry::count(slot, telemetry::Event::sqrt);
+      if (x.is_negative()) telemetry::count(slot, telemetry::Event::nar_produced);
+    } else if constexpr (N <= 8) {
       if (const auto* t = detail::lut_ops<N, ES>())
         return P::from_bits(t->sqrt[x.bits()]);
     }
@@ -480,11 +550,15 @@ template <int N, int ES>
 }
 
 /// Correctly rounded reciprocal: round(1/x); NaR for x = 0 or NaR.
+/// Under telemetry this counts one `recip` plus the `div` it delegates to.
 template <int N, int ES>
 [[nodiscard]] constexpr Posit<N, ES> reciprocal(Posit<N, ES> x) noexcept {
   using P = Posit<N, ES>;
-  if constexpr (N <= 8) {
-    if (!std::is_constant_evaluated()) {
+  if (!std::is_constant_evaluated()) {
+    if (telemetry::active()) {
+      telemetry::count(telemetry::posit_slot<N, ES>(),
+                       telemetry::Event::recip);
+    } else if constexpr (N <= 8) {
       if (const auto* t = detail::lut_ops<N, ES>())
         return P::from_bits(t->recip[x.bits()]);
     }
@@ -509,7 +583,11 @@ struct scalar_traits<Posit<N, ES>> {
   static P one() noexcept { return P::one(); }
   static P abs(P x) noexcept { return pstab::abs(x); }
   static P sqrt(P x) noexcept { return pstab::sqrt(x); }
-  static P fma(P a, P b, P c) noexcept { return a * b + c; }
+  static P fma(P a, P b, P c) noexcept {
+    if (telemetry::active())
+      telemetry::count(telemetry::posit_slot<N, ES>(), telemetry::Event::fma);
+    return a * b + c;
+  }
   static bool finite(P x) noexcept { return !x.is_nar(); }
   static P max() noexcept { return P::maxpos(); }
   static P min_pos() noexcept { return P::minpos(); }

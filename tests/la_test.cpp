@@ -258,7 +258,7 @@ TEST(Bicgstab, SolvesInDouble) {
   const auto b = A * xtrue;
   Vec<double> x;
   const auto rep = la::bicgstab_solve(S, b, x, 1e-9, 2000);
-  EXPECT_TRUE(rep.converged);
+  EXPECT_TRUE(rep.converged());
   const auto r = la::residual(A, b, x);
   EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-8);
   EXPECT_GT(rep.iterate_log_range, 0.0);

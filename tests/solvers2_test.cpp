@@ -31,7 +31,7 @@ TEST(Gmres, SolvesUnpreconditioned) {
   const auto b = matrices::paper_rhs(g.dense);
   la::Vec<double> x;
   const auto rep = la::gmres_solve(g.dense, b, x, nullptr, 1e-10, 400, 60);
-  ASSERT_TRUE(rep.converged);
+  ASSERT_TRUE(rep.converged());
   const auto r = la::residual(g.dense, b, x);
   EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-9);
 }
@@ -48,9 +48,9 @@ TEST(Gmres, PreconditionerCutsIterations) {
     return la::solve_upper(f.R, la::solve_lower_rt(f.R, v));
   };
   const auto pre = la::gmres_solve(g.dense, b, x2, minv, 1e-8, 400, 40);
-  ASSERT_TRUE(pre.converged);
+  ASSERT_TRUE(pre.converged());
   EXPECT_LT(pre.iterations, 4);
-  if (plain.converged) {
+  if (plain.converged()) {
     EXPECT_LT(pre.iterations, plain.iterations);
   }
 }
@@ -63,7 +63,7 @@ TEST(Gmres, RestartStillConverges) {
   const auto b = matrices::paper_rhs(g.dense);
   la::Vec<double> x;
   const auto rep = la::gmres_solve(g.dense, b, x, nullptr, 1e-8, 2000, 5);
-  EXPECT_TRUE(rep.converged);  // tiny restart window, many restarts
+  EXPECT_TRUE(rep.converged());  // tiny restart window, many restarts
 }
 
 TEST(GmresIr, ConvergesWhereApplicable) {
@@ -191,43 +191,63 @@ TEST(Ir3, ConvergesWithSmallBackwardError) {
 // ---------------------------------------------------------------------------
 // Instrumented<T>
 
+// Instrumented counts through the telemetry layer; scope recording per test.
+struct TelemetryOn {
+  TelemetryOn() {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+  }
+  ~TelemetryOn() { telemetry::set_enabled(false); }
+};
+
 TEST(Instrumented, CountsOperations) {
   using I = Instrumented<float>;
-  I::stats.reset();
+  TelemetryOn scope;
   const I a(2.0), b(3.0);
   const I c = a + b;
   const I d = c * a - b;
   (void)d;
   scalar_traits<I>::sqrt(a);
-  EXPECT_EQ(I::stats.adds, 1u);
-  EXPECT_EQ(I::stats.subs, 1u);
-  EXPECT_EQ(I::stats.muls, 1u);
-  EXPECT_EQ(I::stats.sqrts, 1u);
-  EXPECT_EQ(I::stats.total_ops(), 4u);
+  const auto s = I::counters();
+  EXPECT_EQ(s[telemetry::Event::add], 1u);
+  EXPECT_EQ(s[telemetry::Event::sub], 1u);
+  EXPECT_EQ(s[telemetry::Event::mul], 1u);
+  EXPECT_EQ(s[telemetry::Event::sqrt], 1u);
+  EXPECT_EQ(s.total_ops(), 4u);
+}
+
+TEST(Instrumented, CountsNothingWhileDisabled) {
+  using I = Instrumented<float>;
+  telemetry::reset();
+  telemetry::set_enabled(false);
+  const I a(2.0), b(3.0);
+  (void)(a + b);
+  EXPECT_EQ(I::counters().total_ops(), 0u);
 }
 
 TEST(Instrumented, TracksDriftAgainstShadow) {
   using I = Instrumented<Half>;
-  I::stats.reset();
+  TelemetryOn scope;
   // 1/3 in Half is off by ~5e-4 relative; shadow carries the exact double.
   const I x = I(1.0) / I(3.0);
-  EXPECT_GT(I::stats.max_rel_drift, 1e-5);
-  EXPECT_LT(I::stats.max_rel_drift, 1e-3);
+  const auto s = I::counters();
+  EXPECT_GT(s.max_rel_drift, 1e-5);
+  EXPECT_LT(s.max_rel_drift, 1e-3);
   EXPECT_NEAR(scalar_traits<I>::to_double(x), 1.0 / 3.0, 1e-3);
 }
 
 TEST(Instrumented, ZeroDriftInMatchingFormat) {
   using I = Instrumented<double>;
-  I::stats.reset();
+  TelemetryOn scope;
   I s(0.0);
   for (int i = 1; i <= 50; ++i) s += I(double(i)) * I(0.5);
-  EXPECT_EQ(I::stats.max_rel_drift, 0.0);  // shadow IS the format
+  EXPECT_EQ(I::counters().max_rel_drift, 0.0);  // shadow IS the format
   EXPECT_EQ(scalar_traits<I>::to_double(s), 0.5 * 50 * 51 / 2);
 }
 
 TEST(Instrumented, WorksInsideCg) {
   using I = Instrumented<Posit32_2>;
-  I::stats.reset();
+  TelemetryOn scope;
   const auto g = small_spd();
   const auto b = matrices::paper_rhs(g.dense);
   const auto Ai = g.csr.cast<I>();
@@ -235,7 +255,7 @@ TEST(Instrumented, WorksInsideCg) {
   la::Vec<I> x;
   const auto rep = la::cg_solve(Ai, bi, x, {});
   EXPECT_EQ(rep.status, la::CgStatus::converged);
-  EXPECT_GT(I::stats.total_ops(), 1000u);
+  EXPECT_GT(I::counters().total_ops(), 1000u);
 }
 
 }  // namespace

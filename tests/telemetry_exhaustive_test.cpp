@@ -1,0 +1,141 @@
+// Exhaustive differential validation of the telemetry event classification:
+// for every pair of 8-bit posit patterns, run add/sub/mul/div (plus unary
+// sqrt over all patterns) with telemetry on and check the recorded events
+// against an independent 512-bit GMP replay of the same operations:
+//
+//   * op counters equal the number of calls,
+//   * nar_produced equals the number of NaR results from non-NaR operands,
+//   * overflow_sat iff |exact result| > maxpos,
+//   * underflow_sat iff 0 < |exact result| < minpos,
+//   * the regime histogram matches the regime length of floor(log2 |exact|)
+//     per encode, and its total equals the number of operations that reach
+//     the encoder (non-NaR operands, nonzero operands, nonzero result).
+//
+// Counters are compared cumulatively after every row of the operand grid, so
+// a failure pinpoints the first `a` whose row diverges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/telemetry/telemetry.hpp"
+#include "mp/oracle.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+
+template <int N, int ES>
+class Harness {
+ public:
+  Harness() {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    for (int p = 0; p < (1 << N); ++p) {
+      using P = Posit<N, ES>;
+      const P x = P::from_bits(std::uint64_t(p));
+      if (x.is_nar() || x.is_zero()) {
+        vals_[p] = 0;
+        continue;
+      }
+      vals_[p] = x.is_negative()
+                     ? mpf_class(-mp::oracle_decode((-x).bits(), N, ES))
+                     : mp::oracle_decode(std::uint64_t(p), N, ES);
+    }
+    maxv_ = mp::oracle_decode(Posit<N, ES>::maxpos().bits(), N, ES);
+    minv_ = mp::oracle_decode(1, N, ES);
+  }
+  ~Harness() { telemetry::set_enabled(false); }
+
+  /// Record the expected events of one encoder visit for exact result `r`.
+  void classify(const mpf_class& r) {
+    if (r == 0) return;  // exact zero never reaches the encoder
+    ++encodes_;
+    const mpf_class ax = r < 0 ? mpf_class(-r) : r;
+    if (ax > maxv_) ++over_;
+    if (ax < minv_) ++under_;
+    long exp = 0;
+    (void)mpf_get_d_2exp(&exp, ax.get_mpf_t());  // ax in [2^(exp-1), 2^exp)
+    const int scale = static_cast<int>(exp) - 1;
+    const int k = scale >> ES;
+    int reg = k >= 0 ? k + 2 : 1 - k;
+    if (reg > N - 1) reg = N - 1;
+    ++regime_[reg];
+  }
+
+  void run() {
+    using P = Posit<N, ES>;
+    const std::string name =
+        "Posit(" + std::to_string(N) + "," + std::to_string(ES) + ")";
+    std::uint64_t adds = 0, subs = 0, muls = 0, divs = 0, nars = 0;
+    for (int ai = 0; ai < (1 << N); ++ai) {
+      const P a = P::from_bits(std::uint64_t(ai));
+      const bool a_bad = a.is_nar() || a.is_zero();
+      for (int bi = 0; bi < (1 << N); ++bi) {
+        const P b = P::from_bits(std::uint64_t(bi));
+        const bool any_nar = a.is_nar() || b.is_nar();
+        const bool skip = a_bad || b.is_nar() || b.is_zero();
+
+        (void)(a + b);
+        ++adds;
+        if (!skip) classify(vals_[ai] + vals_[bi]);
+        (void)(a - b);
+        ++subs;
+        if (!skip) classify(vals_[ai] - vals_[bi]);
+        (void)(a * b);
+        ++muls;
+        if (!skip) classify(vals_[ai] * vals_[bi]);
+        (void)(a / b);
+        ++divs;
+        if (!any_nar && b.is_zero()) ++nars;
+        if (!skip) classify(vals_[ai] / vals_[bi]);
+      }
+      // Cumulative check after each row localizes the first divergence.
+      const auto c = telemetry::snapshot_format(name);
+      ASSERT_EQ(c[telemetry::Event::add], adds) << "after a=" << ai;
+      ASSERT_EQ(c[telemetry::Event::sub], subs) << "after a=" << ai;
+      ASSERT_EQ(c[telemetry::Event::mul], muls) << "after a=" << ai;
+      ASSERT_EQ(c[telemetry::Event::div], divs) << "after a=" << ai;
+      ASSERT_EQ(c[telemetry::Event::nar_produced], nars) << "after a=" << ai;
+      ASSERT_EQ(c[telemetry::Event::overflow_sat], over_) << "after a=" << ai;
+      ASSERT_EQ(c[telemetry::Event::underflow_sat], under_)
+          << "after a=" << ai;
+      ASSERT_EQ(c.regime_total(), encodes_) << "after a=" << ai;
+      for (int r = 0; r < telemetry::kRegimeBuckets; ++r)
+        ASSERT_EQ(c.regime_hist[r], regime_[r])
+            << "regime bucket " << r << " after a=" << ai;
+    }
+
+    // Unary sqrt over every pattern.
+    std::uint64_t sqrts = 0, sqrt_nars = 0;
+    for (int p = 0; p < (1 << N); ++p) {
+      const P x = P::from_bits(std::uint64_t(p));
+      (void)sqrt(x);
+      ++sqrts;
+      if (x.is_negative()) ++sqrt_nars;
+      if (!x.is_nar() && !x.is_zero() && !x.is_negative()) {
+        mpf_class r(0, mp::kPrecBits);
+        mpf_sqrt(r.get_mpf_t(), vals_[p].get_mpf_t());
+        classify(r);
+      }
+    }
+    const auto c = telemetry::snapshot_format(name);
+    ASSERT_EQ(c[telemetry::Event::sqrt], sqrts);
+    ASSERT_EQ(c[telemetry::Event::nar_produced], nars + sqrt_nars);
+    ASSERT_EQ(c[telemetry::Event::overflow_sat], over_);
+    ASSERT_EQ(c[telemetry::Event::underflow_sat], under_);
+    ASSERT_EQ(c.regime_total(), encodes_);
+  }
+
+ private:
+  mpf_class vals_[1 << N];
+  mpf_class maxv_, minv_;
+  std::uint64_t over_ = 0, under_ = 0, encodes_ = 0;
+  std::uint64_t regime_[telemetry::kRegimeBuckets] = {};
+};
+
+TEST(TelemetryExhaustive, Posit8_0AllPairs) { Harness<8, 0>().run(); }
+
+TEST(TelemetryExhaustive, Posit8_2AllPairs) { Harness<8, 2>().run(); }
+
+}  // namespace

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate pstab-results-v1 JSON artifacts (RESULTS_*.json).
+
+Usage: check_results_schema.py FILE [FILE...]
+
+Checks the envelope every emitter in src/core/report_json.cpp promises:
+schema tag, experiment name, an options object, a rows array whose entries
+carry a matrix name plus per-format cells, and a telemetry array of
+per-format counter objects.  Exits nonzero on the first malformed file.
+"""
+import json
+import sys
+
+SCHEMA = "pstab-results-v1"
+SOLVE_STATUSES = {
+    "converged", "max_iterations", "breakdown", "not_positive_definite",
+    "arithmetic_error", "factorization_failed", "diverged",
+}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_solve_report(path, cell, where):
+    for key in ("status", "iterations", "final_relres", "true_relres"):
+        if key not in cell:
+            fail(path, f"{where}: missing '{key}'")
+    if cell["status"] not in SOLVE_STATUSES:
+        fail(path, f"{where}: unknown status {cell['status']!r}")
+    if not isinstance(cell["iterations"], int):
+        fail(path, f"{where}: iterations must be an integer")
+
+
+def check_telemetry(path, entries):
+    if not isinstance(entries, list):
+        fail(path, "'telemetry' must be an array")
+    for i, t in enumerate(entries):
+        where = f"telemetry[{i}]"
+        for key in ("format", "events", "regime_hist"):
+            if key not in t:
+                fail(path, f"{where}: missing '{key}'")
+        if not isinstance(t["events"], dict):
+            fail(path, f"{where}: events must be an object")
+        for name, count in t["events"].items():
+            if not isinstance(count, int) or count < 0:
+                fail(path, f"{where}: event {name!r} count must be a "
+                           f"non-negative integer")
+        if not all(isinstance(c, int) and c >= 0 for c in t["regime_hist"]):
+            fail(path, f"{where}: regime_hist must hold non-negative integers")
+
+
+def check_file(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    experiment = doc.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        fail(path, "missing experiment name")
+    if experiment != "telemetry":
+        if not isinstance(doc.get("options"), dict):
+            fail(path, "missing options object")
+        rows = doc.get("rows")
+        if not isinstance(rows, list) or not rows:
+            fail(path, "rows must be a non-empty array")
+        for i, row in enumerate(rows):
+            if not isinstance(row.get("matrix"), str):
+                fail(path, f"rows[{i}]: missing matrix name")
+            if experiment.startswith("cg"):
+                for fmt in ("f64", "f32", "p32_2", "p32_3"):
+                    if fmt not in row:
+                        fail(path, f"rows[{i}]: missing cell '{fmt}'")
+                    check_solve_report(path, row[fmt], f"rows[{i}].{fmt}")
+            elif experiment.startswith("cholesky"):
+                for fmt in ("f64", "f32", "p32_2", "p32_3"):
+                    cell = row.get(fmt)
+                    if not isinstance(cell, dict) or "ok" not in cell \
+                            or "backward_error" not in cell:
+                        fail(path, f"rows[{i}].{fmt}: bad Cholesky cell")
+            elif experiment.startswith("ir"):
+                for fmt in ("f16", "p16_1", "p16_2"):
+                    cell = row.get(fmt)
+                    if not isinstance(cell, dict) \
+                            or cell.get("status") not in SOLVE_STATUSES:
+                        fail(path, f"rows[{i}].{fmt}: bad IR cell")
+    check_telemetry(path, doc.get("telemetry", []))
+    print(f"{path}: ok ({experiment}, {len(doc.get('rows', []))} rows, "
+          f"{len(doc.get('telemetry', []))} telemetry formats)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

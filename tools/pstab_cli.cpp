@@ -8,7 +8,9 @@
 //   pstab precision <value>             how each format represents a number
 //   pstab fuzz <n> [seed]               differential ops vs exact long double
 //
-// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+// cg|chol|ir additionally take `--json <path>`: write the run as a
+// pstab-results-v1 artifact (with telemetry counters) next to the console
+// table.  Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +19,8 @@
 
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "core/report_json.hpp"
+#include "core/telemetry/telemetry.hpp"
 #include "ieee/softfloat.hpp"
 #include "matrices/mm_io.hpp"
 #include "matrices/suite.hpp"
@@ -32,8 +36,47 @@ int usage() {
                "usage: pstab <command> [args]\n"
                "  list | gen-mtx <dir> | cg <matrix> [--rescale] |\n"
                "  chol <matrix> [--rescale] | ir <matrix> [--higham] |\n"
-               "  precision <value> | fuzz <n> [seed]\n");
+               "  precision <value> | fuzz <n> [seed]\n"
+               "  cg|chol|ir also accept: --json <path>\n");
   return 1;
+}
+
+// Flags shared by the solver subcommands (cg/chol/ir).
+struct SolverFlags {
+  bool rescale = false;  // --rescale (cg/chol) or --higham (ir)
+  std::string json_path;  // --json <path>; empty = no artifact
+  bool ok = true;
+};
+
+SolverFlags parse_solver_flags(int argc, char** argv, int first) {
+  SolverFlags f;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rescale") == 0 ||
+        std::strcmp(argv[i], "--higham") == 0) {
+      f.rescale = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      f.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      f.ok = false;
+      return f;
+    }
+  }
+  // Artifacts embed telemetry counters, so recording must be on for the run.
+  if (!f.json_path.empty()) {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+  }
+  return f;
+}
+
+int emit_json(const std::string& path, const std::string& doc) {
+  if (!core::write_text_file(path, doc)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 int cmd_list() {
@@ -55,13 +98,14 @@ int cmd_gen_mtx(const std::string& dir) {
   return 0;
 }
 
-int cmd_cg(const std::string& name, bool rescale) {
+int cmd_cg(const std::string& name, const SolverFlags& flags) {
   const auto spec = matrices::find_spec(name);
   if (!spec) {
     std::fprintf(stderr, "unknown matrix %s (try 'pstab list')\n",
                  name.c_str());
     return 1;
   }
+  const bool rescale = flags.rescale;
   core::CgExperimentOptions opt;
   opt.rescale_pow2_inf = rescale;
   const auto row = core::run_cg_experiment(matrices::suite_matrix(name), opt);
@@ -76,11 +120,16 @@ int cmd_cg(const std::string& name, bool rescale) {
   std::printf("  Float32     %s\n", cell(row.f32).c_str());
   std::printf("  Posit(32,2) %s\n", cell(row.p32_2).c_str());
   std::printf("  Posit(32,3) %s\n", cell(row.p32_3).c_str());
+  if (!flags.json_path.empty())
+    return emit_json(flags.json_path,
+                     core::cg_results_json(rescale ? "cg_rescaled" : "cg",
+                                           {row}, opt));
   return 0;
 }
 
-int cmd_chol(const std::string& name, bool rescale) {
+int cmd_chol(const std::string& name, const SolverFlags& flags) {
   if (!matrices::find_spec(name)) return usage();
+  const bool rescale = flags.rescale;
   core::CholExperimentOptions opt;
   opt.rescale_diag_avg = rescale;
   const auto row =
@@ -95,11 +144,17 @@ int cmd_chol(const std::string& name, bool rescale) {
               cell(row.p32_2).c_str(), row.extra_digits(row.p32_2));
   std::printf("  Posit(32,3) %s (%+.2f digits vs F32)\n",
               cell(row.p32_3).c_str(), row.extra_digits(row.p32_3));
+  if (!flags.json_path.empty())
+    return emit_json(
+        flags.json_path,
+        core::cholesky_results_json(
+            rescale ? "cholesky_rescaled" : "cholesky", {row}, opt));
   return 0;
 }
 
-int cmd_ir(const std::string& name, bool higham) {
+int cmd_ir(const std::string& name, const SolverFlags& flags) {
   if (!matrices::find_spec(name)) return usage();
+  const bool higham = flags.rescale;
   core::IrExperimentOptions opt;
   opt.higham = higham;
   const auto row = core::run_ir_experiment(matrices::suite_matrix(name), opt);
@@ -114,6 +169,10 @@ int cmd_ir(const std::string& name, bool higham) {
   std::printf("  Float16     %s\n", cell(row.f16).c_str());
   std::printf("  Posit(16,1) %s\n", cell(row.p16_1).c_str());
   std::printf("  Posit(16,2) %s\n", cell(row.p16_2).c_str());
+  if (!flags.json_path.empty())
+    return emit_json(flags.json_path,
+                     core::ir_results_json(higham ? "ir_higham" : "ir_naive",
+                                           {row}, opt));
   return 0;
 }
 
@@ -169,16 +228,20 @@ int cmd_fuzz(long n, unsigned seed) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   lut::enable_defaults();  // table-driven small posits (PSTAB_LUT=0 disables)
+  if (telemetry::env_requested()) telemetry::set_enabled(true);
   const std::string cmd = argv[1];
-  const bool flag_rescale =
-      argc > 3 && (std::strcmp(argv[3], "--rescale") == 0 ||
-                   std::strcmp(argv[3], "--higham") == 0);
+  const bool is_solver = cmd == "cg" || cmd == "chol" || cmd == "ir";
+  SolverFlags flags;
+  if (is_solver && argc > 2) {
+    flags = parse_solver_flags(argc, argv, 3);
+    if (!flags.ok) return usage();
+  }
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "gen-mtx" && argc > 2) return cmd_gen_mtx(argv[2]);
-    if (cmd == "cg" && argc > 2) return cmd_cg(argv[2], flag_rescale);
-    if (cmd == "chol" && argc > 2) return cmd_chol(argv[2], flag_rescale);
-    if (cmd == "ir" && argc > 2) return cmd_ir(argv[2], flag_rescale);
+    if (cmd == "cg" && argc > 2) return cmd_cg(argv[2], flags);
+    if (cmd == "chol" && argc > 2) return cmd_chol(argv[2], flags);
+    if (cmd == "ir" && argc > 2) return cmd_ir(argv[2], flags);
     if (cmd == "precision" && argc > 2)
       return cmd_precision(std::strtod(argv[2], nullptr));
     if (cmd == "fuzz" && argc > 2)

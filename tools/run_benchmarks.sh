@@ -6,7 +6,13 @@
 #
 # Env:
 #   PSTAB_THREADS     worker count for the parallel columns (default: cores)
-#   PSTAB_BENCH_FULL  =1 also re-run the figure benches (fig6..fig9)
+#   PSTAB_BENCH_FULL  =1 also run the remaining figure/table benches
+#
+# Always runs fig6_cg, so every invocation leaves a schema-checked
+# RESULTS_cg.json (the acceptance artifact for the telemetry layer); with
+# PSTAB_BENCH_FULL=1 the other experiment benches add their RESULTS_*.json
+# files.  Every RESULTS_*.json is validated with tools/check_results_schema.py
+# when python3 is available.
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -14,18 +20,30 @@ build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 1)" \
-  --target perf_ops fig6_cg fig7_cg_rescaled fig8_cholesky fig9_cholesky_rescaled
+  --target perf_ops fig6_cg fig7_cg_rescaled fig8_cholesky \
+           fig9_cholesky_rescaled table2_ir_naive table3_ir_higham
 
 cd "$build_dir"
 echo "== perf_ops: LUT vs scalar (writes BENCH_posit_ops.json) =="
 ./bench/perf_ops --out BENCH_posit_ops.json
 
+echo "== fig6_cg (writes RESULTS_cg.json) =="
+./bench/fig6_cg
+
 if [ "${PSTAB_BENCH_FULL:-0}" = "1" ]; then
-  for b in fig6_cg fig7_cg_rescaled fig8_cholesky fig9_cholesky_rescaled; do
+  for b in fig7_cg_rescaled fig8_cholesky fig9_cholesky_rescaled \
+           table2_ir_naive table3_ir_higham; do
     echo "== $b =="
     ./bench/"$b"
   done
 fi
 
+if command -v python3 >/dev/null 2>&1; then
+  echo "== schema check =="
+  python3 "$repo_root/tools/check_results_schema.py" "$build_dir"/RESULTS_*.json
+else
+  echo "python3 not found; skipping RESULTS_*.json schema check"
+fi
+
 echo "benchmark artifacts in $build_dir:"
-ls -l "$build_dir"/BENCH_*.json 2>/dev/null || true
+ls -l "$build_dir"/BENCH_*.json "$build_dir"/RESULTS_*.json 2>/dev/null || true
