@@ -16,7 +16,7 @@ template <class T>
 std::string run_pcg(const la::Csr<double>& A, const la::Vec<double>& b,
                     const la::Dense<double>& Ad, int max_iter) {
   const auto At = A.cast<T>();
-  const auto bt = la::from_double_vec<T>(b);
+  const auto bt = la::kernels::from_double_vec<T>(b);
   la::Vec<T> diag(Ad.rows());
   for (int i = 0; i < Ad.rows(); ++i)
     diag[i] = scalar_traits<T>::from_double(Ad(i, i));

@@ -24,7 +24,7 @@ int main() {
     const auto cg = core::cg_in_format<Posit32_2>(A, b, cgopt);
 
     const auto Ap = A.cast<Posit32_2>();
-    const auto bp = la::from_double_vec<Posit32_2>(b);
+    const auto bp = la::kernels::from_double_vec<Posit32_2>(b);
     la::Vec<Posit32_2> xp;
     const auto bi = la::bicgstab_solve(Ap, bp, xp, 1e-5, 15 * m->n);
 

@@ -44,7 +44,7 @@ la::Vec<double> posit_lu_quire_ir(const la::Dense<double>& A,
                                   int refine_steps) {
   using P = Posit<32, ES>;
   const auto Ap = A.template cast<P>();
-  const auto bp = la::from_double_vec<P>(b);
+  const auto bp = la::kernels::from_double_vec<P>(b);
   const auto f = la::lu_factor(Ap);
   if (f.status != la::LuStatus::ok) return {};
   auto x = la::lu_solve(f, bp);
@@ -61,7 +61,7 @@ la::Vec<double> posit_lu_quire_ir(const la::Dense<double>& A,
     const auto d = la::lu_solve(f, r);
     for (int i = 0; i < n; ++i) x[i] += d[i];
   }
-  return la::to_double_vec(x);
+  return la::kernels::to_double_vec(x);
 }
 
 }  // namespace
@@ -85,14 +85,14 @@ int main() {
 
     const auto x64 = la::lu_solve(A, b);
     const auto Af = A.cast<float>();
-    const auto x32 = la::lu_solve(Af, la::from_double_vec<float>(b));
+    const auto x32 = la::lu_solve(Af, la::kernels::from_double_vec<float>(b));
     const auto xp0 = posit_lu_quire_ir<2>(A, b, 0);
     const auto xp1 = posit_lu_quire_ir<2>(A, b, 1);
     const auto xp2 = posit_lu_quire_ir<2>(A, b, 2);
 
     t.row({scale == 1.0 ? "uniform [0,1)" : "uniform, scale 1e8",
            core::fmt_sci(x64 ? ferr(*x64, xtrue) : NAN, 1),
-           core::fmt_sci(x32 ? ferr(la::to_double_vec(*x32), xtrue) : NAN, 1),
+           core::fmt_sci(x32 ? ferr(la::kernels::to_double_vec(*x32), xtrue) : NAN, 1),
            core::fmt_sci(xp0.empty() ? NAN : ferr(xp0, xtrue), 1),
            core::fmt_sci(xp1.empty() ? NAN : ferr(xp1, xtrue), 1),
            core::fmt_sci(xp2.empty() ? NAN : ferr(xp2, xtrue), 1)});

@@ -1,0 +1,54 @@
+// Scalar-vs-batched throughput for the la::kernels backends: dot / axpy /
+// gemv over posit16_1, posit32_2 and half, each timed through
+// Backend::Scalar and Backend::Batched and checked bitwise identical.
+// Writes BENCH_kernels.json (pstab-results-v1, experiment "kernels") into
+// PSTAB_RESULTS_DIR so the batched-plane speedup is tracked across PRs —
+// the acceptance floor is 3x on posit32_2 dot/gemv at n = 4096 against the
+// seed-era scalar kernels (~27 Mop/s on the reference box; see
+// docs/kernels.md for why the scalar column itself has sped up since).
+//
+// Telemetry is deliberately NOT started: active telemetry forces the
+// batched backend to fall back to scalar (counters are per-op), which
+// would turn every comparison into scalar-vs-scalar.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/kernels_bench.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace pstab;
+  bench::print_env("kernel backends: scalar vs batched decoded-plane");
+
+  constexpr int kN = 4096;
+  const auto rows = core::run_kernels_bench(kN);
+
+  core::Table t({"Kernel", "Format", "n", "Scalar Mop/s", "Batched Mop/s",
+                 "Speedup", "Identical"});
+  bool all_identical = true;
+  bool posit32_fast = true;
+  for (const auto& r : rows) {
+    t.row({r.kernel, r.format, core::fmt_int(r.n),
+           core::fmt_fix(r.scalar_mops, 1), core::fmt_fix(r.batched_mops, 1),
+           core::fmt_fix(r.speedup(), 2) + "x", r.identical ? "yes" : "NO"});
+    all_identical = all_identical && r.identical;
+    if (r.format == "posit32_2" && (r.kernel == "dot" || r.kernel == "gemv") &&
+        r.speedup() < 3.0) {
+      posit32_fast = false;
+    }
+  }
+  t.print();
+
+  if (!all_identical) {
+    std::printf("ERROR: batched backend diverged from scalar bitwise\n");
+    return 2;
+  }
+  if (!posit32_fast) {
+    std::printf("WARNING: posit32_2 dot/gemv batched speedup below the 3x "
+                "target against the current scalar column (the seed-era "
+                "scalar baseline is slower; see docs/kernels.md)\n");
+  }
+  bench::write_results(core::kernels_results_json(rows, kN),
+                       "BENCH_kernels.json");
+  return 0;
+}

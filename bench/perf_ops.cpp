@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
@@ -302,7 +303,13 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
     return 0;
   }
-  std::string out = "BENCH_posit_ops.json";
+  // Default path honors PSTAB_RESULTS_DIR like every other bench artifact
+  // (bench_common.hpp write_results); an explicit --out is used verbatim.
+  const char* results_dir = std::getenv("PSTAB_RESULTS_DIR");
+  std::string out =
+      (results_dir && *results_dir ? std::string(results_dir) + "/"
+                                   : std::string()) +
+      "BENCH_posit_ops.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];

@@ -29,7 +29,7 @@ void run_one(const char* label, const matrices::GeneratedMatrix& m,
 
   telemetry::reset();
   const auto Ai = A.cast<I>();
-  const auto bi = la::from_double_vec<I>(b);
+  const auto bi = la::kernels::from_double_vec<I>(b);
   la::Vec<I> x;
   la::CgOptions opt;
   opt.max_iter = 15 * m.n;

@@ -25,13 +25,13 @@ template <class T>
 CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
                     const la::CgOptions& opt) {
   const auto At = A.cast<T>();
-  const auto bt = la::from_double_vec<T>(b);
+  const auto bt = la::kernels::from_double_vec<T>(b);
   la::Vec<T> xt;
   auto rep = la::cg_solve(At, bt, xt, opt);
   CgCell cell = std::move(rep);  // CgCell IS la::SolveReport
   // True residual in double.
   la::Vec<double> ax;
-  A.spmv(la::to_double_vec(xt), ax);
+  A.spmv(la::kernels::to_double_vec(xt), ax);
   double num = 0, den = 0;
   for (std::size_t i = 0; i < b.size(); ++i) {
     num += (b[i] - ax[i]) * (b[i] - ax[i]);
@@ -84,6 +84,7 @@ CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
   cg.fused_dots = opt.fused_dots;
   cg.record_history = opt.record_history;
   cg.record_trace = opt.record_trace;
+  cg.kernels = opt.kernel_context();
 
   row.f64 = cg_in_format<double>(A, b, cg);
   row.f32 = cg_in_format<float>(A, b, cg);
@@ -97,33 +98,40 @@ CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
 
 template <class T>
 CholCell cholesky_in_format(const la::Dense<double>& A,
-                            const la::Vec<double>& b) {
+                            const la::Vec<double>& b,
+                            const la::kernels::Context& kc) {
   CholCell cell;
   const auto At = A.cast<T>();
-  const auto bt = la::from_double_vec<T>(b);
-  const auto x = la::cholesky_solve(At, bt);
-  if (!x || !la::all_finite(*x)) return cell;  // ok = false
-  const auto xd = la::to_double_vec(*x);
+  const auto bt = la::kernels::from_double_vec<T>(b);
+  const auto x = la::cholesky_solve(At, bt, kc);
+  if (!x || !la::kernels::all_finite(*x)) return cell;  // ok = false
+  const auto xd = la::kernels::to_double_vec(*x);
   const auto r = la::residual(A, b, xd);
   double den = 0;
   for (double v : b) den += v * v;
   cell.ok = true;
-  cell.backward_error = la::nrm2_d(r) / std::sqrt(den);
+  cell.backward_error = la::kernels::nrm2_d(r) / std::sqrt(den);
   return cell;
 }
 
 template CholCell cholesky_in_format<double>(const la::Dense<double>&,
-                                             const la::Vec<double>&);
+                                             const la::Vec<double>&,
+                                             const la::kernels::Context&);
 template CholCell cholesky_in_format<float>(const la::Dense<double>&,
-                                            const la::Vec<double>&);
+                                            const la::Vec<double>&,
+                                            const la::kernels::Context&);
 template CholCell cholesky_in_format<Posit32_2>(const la::Dense<double>&,
-                                                const la::Vec<double>&);
+                                                const la::Vec<double>&,
+                                                const la::kernels::Context&);
 template CholCell cholesky_in_format<Posit32_3>(const la::Dense<double>&,
-                                                const la::Vec<double>&);
+                                                const la::Vec<double>&,
+                                                const la::kernels::Context&);
 template CholCell cholesky_in_format<Posit<32, 1>>(const la::Dense<double>&,
-                                                   const la::Vec<double>&);
+                                                   const la::Vec<double>&,
+                                                   const la::kernels::Context&);
 template CholCell cholesky_in_format<Posit<32, 4>>(const la::Dense<double>&,
-                                                   const la::Vec<double>&);
+                                                   const la::Vec<double>&,
+                                                   const la::kernels::Context&);
 
 double CholRow::extra_digits(const CholCell& posit) const {
   if (!f32.ok || !posit.ok || posit.backward_error <= 0 ||
@@ -142,10 +150,11 @@ CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
   la::Vec<double> b = matrices::paper_rhs(m.dense);
   if (opt.rescale_diag_avg) scaling::scale_diag_avg(A, b);
 
-  row.f64 = cholesky_in_format<double>(A, b);
-  row.f32 = cholesky_in_format<float>(A, b);
-  row.p32_2 = cholesky_in_format<Posit32_2>(A, b);
-  row.p32_3 = cholesky_in_format<Posit32_3>(A, b);
+  const la::kernels::Context kc = opt.kernel_context();
+  row.f64 = cholesky_in_format<double>(A, b, kc);
+  row.f32 = cholesky_in_format<float>(A, b, kc);
+  row.p32_2 = cholesky_in_format<Posit32_2>(A, b, kc);
+  row.p32_3 = cholesky_in_format<Posit32_3>(A, b, kc);
   return row;
 }
 
@@ -162,6 +171,7 @@ la::IrReport ir_one_format(const matrices::GeneratedMatrix& m,
   iro.max_iter = opt.max_iter;
   iro.record_history = opt.record_history;
   iro.record_trace = opt.record_trace;
+  iro.kernels = opt.kernel_context();
   const la::Dense<double>& A = m.dense;
   const la::Vec<double> b = matrices::paper_rhs(A);
   la::Vec<double> x;

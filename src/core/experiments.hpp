@@ -28,6 +28,13 @@ struct ExperimentOptions {
   int max_iter = 0;             // 0 = per-experiment default cap
   bool record_history = false;  // keep the per-iteration monitor in each cell
   bool record_trace = false;    // allocate telemetry traces (phases+residuals)
+  // Kernel backend for the BLAS-1/2 stages.  Every backend is bit-identical,
+  // so this only affects speed; recorded in the JSON options for provenance.
+  la::kernels::Backend backend = la::kernels::Backend::Auto;
+
+  [[nodiscard]] la::kernels::Context kernel_context() const {
+    return la::kernels::Context{backend};
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -131,6 +138,7 @@ CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
 /// Generic single-format Cholesky solve backward error.
 template <class T>
 CholCell cholesky_in_format(const la::Dense<double>& A,
-                            const la::Vec<double>& b);
+                            const la::Vec<double>& b,
+                            const la::kernels::Context& kc = {});
 
 }  // namespace pstab::core

@@ -1,0 +1,35 @@
+// Scalar-vs-batched kernel micro-benchmark shared by `pstab kernels --bench`
+// and bench/perf_kernels.  Times dot / axpy / gemv in both backends, checks
+// the results are bit-identical, and serializes a pstab-results-v1 document
+// (experiment "kernels") so tools/check_results_schema.py can validate it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pstab::core {
+
+struct KernelBenchRow {
+  std::string kernel;  // "dot" | "axpy" | "gemv"
+  std::string format;  // "posit16_1" | "posit32_2" | "half"
+  int n = 0;           // vector length (gemv: column count)
+  double scalar_mops = 0.0;
+  double batched_mops = 0.0;
+  bool identical = true;  // batched result bitwise equal to scalar
+
+  [[nodiscard]] double speedup() const {
+    return scalar_mops > 0 ? batched_mops / scalar_mops : 0.0;
+  }
+};
+
+/// Run the full grid (3 kernels x 3 formats).  `n` is the vector length;
+/// gemv uses a `gemv_rows` x `n` matrix so the run stays short while the
+/// inner loops still see `n`-length rows.
+std::vector<KernelBenchRow> run_kernels_bench(int n = 4096,
+                                              int gemv_rows = 256);
+
+/// pstab-results-v1 JSON (experiment "kernels").
+std::string kernels_results_json(const std::vector<KernelBenchRow>& rows,
+                                 int n);
+
+}  // namespace pstab::core

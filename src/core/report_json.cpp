@@ -212,6 +212,7 @@ std::string cg_results_json(const std::string& experiment,
   w.key("max_iter_per_n").value(opt.max_iter_per_n);
   w.key("rescale_pow2_inf").value(opt.rescale_pow2_inf);
   w.key("fused_dots").value(opt.fused_dots);
+  w.key("kernels").value(la::kernels::to_string(opt.backend));
   w.end_object();
   w.key("rows").begin_array();
   for (const auto& r : rows) {
@@ -245,6 +246,7 @@ std::string cholesky_results_json(const std::string& experiment,
   header(w, experiment);
   w.key("options").begin_object();
   w.key("rescale_diag_avg").value(opt.rescale_diag_avg);
+  w.key("kernels").value(la::kernels::to_string(opt.backend));
   w.end_object();
   w.key("rows").begin_array();
   for (const auto& r : rows) {
@@ -279,6 +281,7 @@ std::string ir_results_json(const std::string& experiment,
   w.key("tol").value(opt.tol);
   w.key("max_iter").value(opt.max_iter);
   w.key("higham").value(opt.higham);
+  w.key("kernels").value(la::kernels::to_string(opt.backend));
   w.end_object();
   w.key("rows").begin_array();
   for (const auto& r : rows) {

@@ -19,7 +19,8 @@ struct BicgReport : SolveReport {
 
 template <class T, class Mat>
 BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
-                          double tol = 1e-5, int max_iter = 25000) {
+                          double tol = 1e-5, int max_iter = 25000,
+                          const kernels::Context& kc = {}) {
   using st = scalar_traits<T>;
   const int n = int(b.size());
   BicgReport rep;
@@ -30,7 +31,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
   Vec<T> p(n, st::zero()), v(n, st::zero()), s(n), t(n);
   T rho = st::one(), alpha = st::one(), omega = st::one();
 
-  const double normb = nrm2_d(b);
+  const double normb = kernels::nrm2_d(b);
   if (normb == 0) {
     rep.status = SolveStatus::converged;
     return rep;
@@ -48,7 +49,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
   };
 
   for (int it = 1; it <= max_iter; ++it) {
-    const T rho_new = dot(rhat, r);
+    const T rho_new = kernels::dot(kc, rhat, r);
     if (!st::finite(rho_new) || st::to_double(rho_new) == 0.0) {
       rep.status = SolveStatus::breakdown;
       rep.iterations = it;
@@ -57,8 +58,8 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     const T beta = (rho_new / rho) * (alpha / omega);
     // p = r + beta (p - omega v)
     for (int i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
-    A.spmv(p, v);
-    const T rhat_v = dot(rhat, v);
+    kernels::apply(kc, A, p, v);
+    const T rhat_v = kernels::dot(kc, rhat, v);
     if (!st::finite(rhat_v) || st::to_double(rhat_v) == 0.0) {
       rep.status = SolveStatus::breakdown;
       rep.iterations = it;
@@ -67,26 +68,26 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     alpha = rho_new / rhat_v;
     for (int i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
     track(s);
-    A.spmv(s, t);
-    const T tt = dot(t, t);
+    kernels::apply(kc, A, s, t);
+    const T tt = kernels::dot(kc, t, t);
     if (!st::finite(tt) || st::to_double(tt) == 0.0) {
       // s is (numerically) the new residual; accept the half step.
-      axpy(alpha, p, x);
-      rep.final_relres = nrm2_d(s) / normb;
+      kernels::axpy(kc, alpha, p, x);
+      rep.final_relres = kernels::nrm2_d(s) / normb;
       if (rep.final_relres <= tol) rep.status = SolveStatus::converged;
       rep.iterations = it;
       break;
     }
-    omega = dot(t, s) / tt;
+    omega = kernels::dot(kc, t, s) / tt;
     for (int i = 0; i < n; ++i) x[i] += alpha * p[i] + omega * s[i];
     for (int i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
     track(r);
     track(x);
     rho = rho_new;
 
-    rep.final_relres = nrm2_d(r) / normb;
+    rep.final_relres = kernels::nrm2_d(r) / normb;
     rep.iterations = it;
-    if (!all_finite(r) || !all_finite(x)) {
+    if (!kernels::all_finite(r) || !kernels::all_finite(x)) {
       rep.status = SolveStatus::breakdown;
       break;
     }

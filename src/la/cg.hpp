@@ -26,6 +26,7 @@ struct CgOptions {
   bool fused_dots = false;  // quire / extended-accumulator ablation
   bool record_history = false;
   bool record_trace = false;  // allocate SolveReport::trace (phases+residuals)
+  kernels::Context kernels{};  // backend for the BLAS kernels (bit-identical)
 };
 
 template <class T, class Mat>
@@ -37,8 +38,9 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
   if (opt.record_trace) rep.trace = std::make_shared<telemetry::Trace>();
   telemetry::Trace* tr = rep.trace.get();
 
+  const kernels::Context& kc = opt.kernels;
   const auto dotp = [&](const Vec<T>& u, const Vec<T>& v) {
-    return opt.fused_dots ? dot_fused(u, v) : dot(u, v);
+    return opt.fused_dots ? kernels::dot_fused(kc, u, v) : kernels::dot(kc, u, v);
   };
 
   x.assign(n, st::zero());
@@ -50,7 +52,7 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     r = b;             // r0 = b - A*0 = b
     p = r;             // p0 = r0
     ap.assign(n, st::zero());
-    normb = nrm2_d(b);
+    normb = kernels::nrm2_d(b);
     if (normb == 0) {
       rep.status = CgStatus::converged;
       return rep;
@@ -75,7 +77,7 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       return rep;
     }
 
-    A.spmv(p, ap);
+    kernels::apply(kc, A, p, ap);
     const T pap = dotp(p, ap);
     if (!st::finite(pap) || !(st::to_double(pap) > 0.0)) {
       rep.status = CgStatus::breakdown;
@@ -83,8 +85,8 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       return rep;
     }
     const T alpha = rr / pap;
-    axpy(alpha, p, x);        // x += alpha p
-    axpy(-alpha, ap, r);      // r -= alpha A p   (the recurrence residual)
+    kernels::axpy(kc, alpha, p, x);    // x += alpha p
+    kernels::axpy(kc, -alpha, ap, r);  // r -= alpha A p  (recurrence residual)
     const T rr_new = dotp(r, r);
     if (!st::finite(rr_new)) {
       rep.status = CgStatus::breakdown;
@@ -92,7 +94,7 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       return rep;
     }
     const T beta = rr_new / rr;
-    xpby(r, beta, p, p);      // p = r + beta p
+    kernels::xpby(kc, r, beta, p, p);  // p = r + beta p
     rr = rr_new;
   }
   rep.status = CgStatus::max_iterations;
@@ -101,10 +103,13 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
 }
 
 /// Convenience wrapper for Dense matrices (adapts gemv to the spmv name).
+/// Carries its own kernel context so kernels::apply routes the gemv through
+/// the selected backend.
 template <class T>
 struct DenseAsOperator {
   const Dense<T>& A;
-  void spmv(const Vec<T>& x, Vec<T>& y) const { A.gemv(x, y); }
+  kernels::Context ctx{};
+  void spmv(const Vec<T>& x, Vec<T>& y) const { kernels::gemv(ctx, A, x, y); }
 };
 
 }  // namespace pstab::la

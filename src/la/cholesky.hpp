@@ -27,20 +27,23 @@ struct CholResult : SolveReport {
 };
 
 /// Up-looking Cholesky in format T.  Pass a Trace to time the factorization
-/// phase ("factor").
+/// phase ("factor").  The multiply-subtract chains run through
+/// kernels::update_chain, so `kc` selects the (bit-identical) backend.
 template <class T>
 [[nodiscard]] CholResult<T> cholesky(const Dense<T>& A,
-                                     telemetry::Trace* trace = nullptr) {
+                                     telemetry::Trace* trace = nullptr,
+                                     const kernels::Context& kc = {}) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   CholResult<T> res;
   telemetry::TraceSpan span(trace, "factor");
   res.R = Dense<T>(n, n);
   Dense<T>& R = res.R;
+  const T* rd = R.data().data();  // column i of R: rd + i, stride n
   for (int k = 0; k < n; ++k) {
     // Diagonal pivot: A(k,k) - sum_{i<k} R(i,k)^2
-    T s = A(k, k);
-    for (int i = 0; i < k; ++i) s -= R(i, k) * R(i, k);
+    const T s = kernels::update_chain(kc, A(k, k), rd + k, n, rd + k, n,
+                                      std::size_t(k), /*subtract=*/true);
     if (!st::finite(s)) {
       res.status = CholStatus::arithmetic_error;
       res.failed_column = k;
@@ -56,8 +59,8 @@ template <class T>
     // Off-diagonal row of R: R(k,j) = (A(k,j) - sum_{i<k} R(i,k) R(i,j)) / rkk
 #pragma omp parallel for schedule(static)
     for (int j = k + 1; j < n; ++j) {
-      T t = A(k, j);
-      for (int i = 0; i < k; ++i) t -= R(i, k) * R(i, j);
+      const T t = kernels::update_chain(kc, A(k, j), rd + k, n, rd + j, n,
+                                        std::size_t(k), /*subtract=*/true);
       R(k, j) = t / rkk;
     }
     for (int j = k + 1; j < n; ++j) {
@@ -73,12 +76,15 @@ template <class T>
 
 /// Solve R^T y = b (forward substitution; R upper triangular).
 template <class T>
-[[nodiscard]] Vec<T> solve_lower_rt(const Dense<T>& R, const Vec<T>& b) {
+[[nodiscard]] Vec<T> solve_lower_rt(const Dense<T>& R, const Vec<T>& b,
+                                    const kernels::Context& kc = {}) {
   const int n = R.rows();
+  const T* rd = R.data().data();
   Vec<T> y(n);
   for (int i = 0; i < n; ++i) {
-    T s = b[i];
-    for (int j = 0; j < i; ++j) s -= R(j, i) * y[j];
+    // s = b[i] - sum_{j<i} R(j,i) y[j]
+    const T s = kernels::update_chain(kc, b[i], rd + i, n, y.data(), 1,
+                                      std::size_t(i), /*subtract=*/true);
     y[i] = s / R(i, i);
   }
   return y;
@@ -86,12 +92,16 @@ template <class T>
 
 /// Solve R x = y (backward substitution; R upper triangular).
 template <class T>
-[[nodiscard]] Vec<T> solve_upper(const Dense<T>& R, const Vec<T>& y) {
+[[nodiscard]] Vec<T> solve_upper(const Dense<T>& R, const Vec<T>& y,
+                                 const kernels::Context& kc = {}) {
   const int n = R.rows();
+  const T* rd = R.data().data();
   Vec<T> x(n);
   for (int i = n - 1; i >= 0; --i) {
-    T s = y[i];
-    for (int j = i + 1; j < n; ++j) s -= R(i, j) * x[j];
+    // s = y[i] - sum_{j>i} R(i,j) x[j]
+    const T s = kernels::update_chain(
+        kc, y[i], rd + std::size_t(i) * n + (i + 1), 1, x.data() + (i + 1), 1,
+        std::size_t(n - 1 - i), /*subtract=*/true);
     x[i] = s / R(i, i);
   }
   return x;
@@ -99,11 +109,11 @@ template <class T>
 
 /// Full direct solve of A x = b via Cholesky in format T.
 template <class T>
-[[nodiscard]] std::optional<Vec<T>> cholesky_solve(const Dense<T>& A,
-                                                   const Vec<T>& b) {
-  auto f = cholesky(A);
+[[nodiscard]] std::optional<Vec<T>> cholesky_solve(
+    const Dense<T>& A, const Vec<T>& b, const kernels::Context& kc = {}) {
+  auto f = cholesky(A, nullptr, kc);
   if (f.status != CholStatus::ok) return std::nullopt;
-  return solve_upper(f.R, solve_lower_rt(f.R, b));
+  return solve_upper(f.R, solve_lower_rt(f.R, b, kc), kc);
 }
 
 /// Factorization backward error ||R^T R - A||_F / ||A||_F, evaluated in

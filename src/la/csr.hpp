@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "la/dense.hpp"
-#include "la/vector_ops.hpp"
+#include "la/kernels/kernels.hpp"
 
 namespace pstab::la {
 
@@ -43,7 +43,7 @@ class Csr {
       }
     }
     for (int i = 0; i < rows; ++i) m.ptr_[i + 1] += m.ptr_[i];
-    m.val_ = from_double_vec<T>(m.vals_d_);
+    m.val_ = kernels::from_double_vec<T>(m.vals_d_);
     return m;
   }
 
@@ -98,7 +98,7 @@ class Csr {
     r.ptr_ = ptr_;
     r.col_ = col_;
     r.vals_d_ = vals_d_;
-    r.val_ = from_double_vec<U>(to_double_vec(val_));
+    r.val_ = kernels::from_double_vec<U>(kernels::to_double_vec(val_));
     return r;
   }
 

@@ -7,7 +7,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "la/vector_ops.hpp"
+#include "la/kernels/kernels.hpp"
 
 namespace pstab::la {
 
@@ -55,14 +55,14 @@ class Dense {
   template <class U>
   [[nodiscard]] Dense<U> cast_clamped() const {
     Dense<U> r(rows_, cols_);
-    r.data() = from_double_clamped<U>(to_double_vec(a_));
+    r.data() = kernels::from_double_clamped<U>(kernels::to_double_vec(a_));
     return r;
   }
 
   template <class U>
   [[nodiscard]] Dense<U> cast() const {
     Dense<U> r(rows_, cols_);
-    r.data() = from_double_vec<U>(to_double_vec(a_));
+    r.data() = kernels::from_double_vec<U>(kernels::to_double_vec(a_));
     return r;
   }
 

@@ -1,29 +1,21 @@
 // Fused (deferred-rounding) dot products — the capability the paper's
 // experiments deliberately exclude (§II-C) and which bench/ablation_quire
-// measures.  For posits this is the standard quire; for IEEE formats it is
-// the analogous extended-precision accumulator (double), mirroring
-// Michelogiannakis-style rounding-deferred reduction hardware.
+// measures.  The implementation lives in la::kernels::dot_fused (the quire
+// for posits, a double accumulator for IEEE formats); this forwarder keeps
+// the historical free-function name alive.
 #pragma once
 
-#include "la/vector_ops.hpp"
+#include "la/kernels/kernels.hpp"
 #include "posit/quire.hpp"
 
 namespace pstab::la {
 
-/// Generic: accumulate in double, round once.
+/// Posits: exact quire accumulation; otherwise accumulate in double.  Rounded
+/// once either way.
 template <class T>
-[[nodiscard]] T dot_fused(const Vec<T>& x, const Vec<T>& y) {
-  double s = 0;
-  for (std::size_t i = 0; i < x.size(); ++i)
-    s += scalar_traits<T>::to_double(x[i]) * scalar_traits<T>::to_double(y[i]);
-  return scalar_traits<T>::from_double(s);
-}
-
-/// Posit: exact quire accumulation, rounded once.
-template <int N, int ES>
-[[nodiscard]] Posit<N, ES> dot_fused(const Vec<Posit<N, ES>>& x,
-                                     const Vec<Posit<N, ES>>& y) {
-  return quire_dot(x.data(), y.data(), x.size());
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] T dot_fused(const Vec<T>& x,
+                                                   const Vec<T>& y) {
+  return kernels::dot_fused(kernels::Context{}, x, y);
 }
 
 }  // namespace pstab::la

@@ -33,8 +33,9 @@ inline GmresReport gmres_solve(
     return apply_minv ? apply_minv(v) : v;
   };
 
+  const kernels::Context kc{};  // double stays scalar; names route uniformly
   const Vec<double> mb = precond(b);
-  const double normb = nrm2_d(mb);
+  const double normb = kernels::nrm2_d(mb);
   if (normb == 0) {
     rep.status = SolveStatus::converged;
     return rep;
@@ -44,7 +45,7 @@ inline GmresReport gmres_solve(
   while (total < max_iter) {
     // r = M^{-1}(b - A x)
     Vec<double> r = precond(residual(A, b, x));
-    double beta = nrm2_d(r);
+    double beta = kernels::nrm2_d(r);
     rep.final_relres = beta / normb;
     if (rep.final_relres <= tol) {
       rep.status = SolveStatus::converged;
@@ -61,14 +62,14 @@ inline GmresReport gmres_solve(
     int k = 0;
     for (; k < m; ++k) {
       Vec<double> w;
-      A.gemv(V[k], w);
+      kernels::gemv(kc, A, V[k], w);
       w = precond(std::move(w));
       // Modified Gram-Schmidt.
       for (int i = 0; i <= k; ++i) {
-        H(i, k) = dot(V[i], w);
+        H(i, k) = kernels::dot(kc, V[i], w);
         for (int j = 0; j < n; ++j) w[j] -= H(i, k) * V[i][j];
       }
-      H(k + 1, k) = nrm2_d(w);
+      H(k + 1, k) = kernels::nrm2_d(w);
       if (H(k + 1, k) > 0)
         for (int j = 0; j < n; ++j) V[k + 1][j] = w[j] / H(k + 1, k);
       // Apply accumulated Givens rotations to the new column.
@@ -123,6 +124,7 @@ struct GmresIrOptions {
   int max_outer = 200;
   int gmres_iters = 40;    // inner budget per correction
   double gmres_tol = 1e-4; // inner (preconditioned) residual reduction
+  kernels::Context kernels{};  // backend for the format-F factorization
 };
 
 template <class F>
@@ -131,7 +133,7 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
   IrReport rep;
   const int n = A.rows();
   const Dense<F> Ah = A.template cast_clamped<F>();
-  const auto fact = cholesky(Ah);
+  const auto fact = cholesky(Ah, nullptr, opt.kernels);
   rep.chol_status = fact.status;
   if (fact.status != CholStatus::ok) {
     rep.status = IrStatus::factorization_failed;
@@ -143,8 +145,8 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
     return solve_upper(R, solve_lower_rt(R, v));
   };
 
-  const double norm_a = norm_inf(A);
-  const double norm_b = norm_inf_d(b);
+  const double norm_a = kernels::norm_inf(A);
+  const double norm_b = kernels::norm_inf_d(b);
   x.assign(n, 0.0);
   for (int it = 1; it <= opt.max_outer; ++it) {
     const Vec<double> r = residual(A, b, x);
@@ -153,7 +155,9 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
                 opt.gmres_iters);
     for (int i = 0; i < n; ++i) x[i] += d[i];
     const Vec<double> r2 = residual(A, b, x);
-    const double berr = norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
+    const double berr =
+        kernels::norm_inf_d(r2) /
+        (norm_a * kernels::norm_inf_d(x) + norm_b);
     rep.final_berr = berr;
     rep.iterations = it;
     if (!std::isfinite(berr)) {

@@ -34,6 +34,7 @@ struct IrOptions {
   bool record_factorization_error = true;
   bool record_history = false;  // berr per refinement step -> history
   bool record_trace = false;    // phases: "factorize", "refine"
+  kernels::Context kernels{};   // backend for the format-F factorization
 };
 
 /// Naive mixed-precision IR (paper Table II): factor fl_F(A) directly.
@@ -53,7 +54,7 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   const Dense<double>& src = Ah_source ? *Ah_source : A;
   const Dense<F> Ah = src.template cast_clamped<F>();
   telemetry::TraceSpan fact_span(tr, "factorize");
-  const auto fact = cholesky(Ah);
+  const auto fact = cholesky(Ah, nullptr, opt.kernels);
   fact_span.close();
   rep.chol_status = fact.status;
   if (fact.status != CholStatus::ok) {
@@ -69,8 +70,8 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
 
   // --- O(n^2) refinement in Float64 -----------------------------------------
   telemetry::TraceSpan refine_span(tr, "refine");
-  const double norm_a = norm_inf(A);
-  const double norm_b = norm_inf_d(b);
+  const double norm_a = kernels::norm_inf(A);
+  const double norm_b = kernels::norm_inf_d(b);
   x.assign(n, 0.0);
 
   double first_berr = -1.0;
@@ -90,7 +91,7 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
 
     Vec<double> r2 = residual(A, b, x);
     const double berr =
-        norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
+        kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
     rep.final_berr = berr;
     rep.iterations = it;
     if (opt.record_history) rep.history.push_back(berr);

@@ -17,7 +17,7 @@ IrReport mixed_ir3(const Dense<double>& A, const Vec<double>& b,
   IrReport rep;
   const int n = A.rows();
   const Dense<F> Ah = A.template cast_clamped<F>();
-  const auto fact = cholesky(Ah);
+  const auto fact = cholesky(Ah, nullptr, opt.kernels);
   rep.chol_status = fact.status;
   if (fact.status != CholStatus::ok) {
     rep.status = IrStatus::factorization_failed;
@@ -27,8 +27,8 @@ IrReport mixed_ir3(const Dense<double>& A, const Vec<double>& b,
     rep.factorization_error = factorization_backward_error(Ah, fact.R);
   const Dense<double> R = fact.R.template cast<double>();
 
-  const double norm_a = norm_inf(A);
-  const double norm_b = norm_inf_d(b);
+  const double norm_a = kernels::norm_inf(A);
+  const double norm_b = kernels::norm_inf_d(b);
   x.assign(n, 0.0);
   double first_berr = -1.0;
   for (int it = 1; it <= opt.max_iter; ++it) {
@@ -38,7 +38,8 @@ IrReport mixed_ir3(const Dense<double>& A, const Vec<double>& b,
     for (int i = 0; i < n; ++i) x[i] += d[i];
 
     const Vec<double> r2 = mp::dd_residual(A, b, x);
-    const double berr = norm_inf_d(r2) / (norm_a * norm_inf_d(x) + norm_b);
+    const double berr =
+        kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
     rep.final_berr = berr;
     rep.iterations = it;
     if (!std::isfinite(berr) ||

@@ -1,0 +1,504 @@
+// Batched "decoded plane" kernel implementations (backend Backend::Batched;
+// dispatch lives in la/kernels/kernels.hpp).
+//
+// The scalar kernels pay a full decode -> op -> round -> re-encode round-trip
+// per element, and for chained reductions (dot, gemv rows) additionally
+// re-decode the accumulator they just encoded.  The batched path removes both
+// costs while preserving the scalar rounding sequence EXACTLY, so results are
+// bit-identical:
+//
+//   * Posit<N, ES>: operands are decoded once into a struct-of-arrays plane of
+//     exact unpacked values (sign / scale / 64-bit significand — NOT doubles:
+//     a Posit<32, 2> product carries 56 significant bits and Posit<64, 3>
+//     values do not fit a double at all, so a double plane would double-round).
+//     Each chain step applies detail::mul_exact / add_exact and re-rounds with
+//     detail::posit_round_unpacked, which produces exactly
+//     posit_decode(posit_encode(...)) without materializing the pattern; one
+//     encode per OUTPUT element remains instead of two per term.
+//   * SoftFloat<E, M>: the scalar ops are already "convert to double, operate,
+//     round once" (ieee/softfloat.hpp), so the plane holds exact doubles and
+//     each step re-rounds through from_double().to_double().
+//   * Everything else (double, float, Instrumented<T>, multiprecision types)
+//     reports supported == false and always takes the scalar path.
+//
+// Elementwise kernels and gemv/spmv row loops are OpenMP-chunked like the
+// scalar Dense::gemv/Csr::spmv already are; every index owns its output slot,
+// so results do not depend on the thread count.  Reduction chains (dot,
+// update_chain) stay sequential because their per-term rounding order is
+// semantic; the quire-fused dot parallelizes by chunked partial quires, which
+// merge exactly (quire addition is associative).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "ieee/softfloat.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+
+namespace pstab::la::kernels::batched {
+
+/// Backend trait: the primary template marks a format as scalar-only.
+template <class T>
+struct ops {
+  static constexpr bool supported = false;
+};
+
+// ---------------------------------------------------------------------------
+// Posit<N, ES>
+// ---------------------------------------------------------------------------
+template <int N, int ES>
+struct ops<Posit<N, ES>> {
+  static constexpr bool supported = true;
+  using P = Posit<N, ES>;
+  using U = pstab::detail::Unpacked;
+
+  /// Auto dispatch hint: once the 8-bit op LUT is published, one table load
+  /// per op beats any decode-based path.
+  static bool prefer_scalar() noexcept { return P::lut_active(); }
+
+  static constexpr unsigned char kZero = 1, kNar = 2, kNeg = 4;
+  using u64_t = pstab::detail::u64;
+
+  /// Struct-of-arrays decoded plane: flag[i] classifies the element, and for
+  /// ordinary values (flag 0 or kNeg) scale/frac hold the unpacked form.
+  struct Plane {
+    std::vector<u64_t> frac;
+    std::vector<int> scale;
+    std::vector<unsigned char> flag;
+
+    void resize(std::size_t n) {
+      frac.resize(n);
+      scale.resize(n);
+      flag.resize(n);
+    }
+    [[nodiscard]] PSTAB_HOT_INLINE U get(std::size_t i) const noexcept {
+      return U{(flag[i] & kNeg) != 0, scale[i], frac[i]};
+    }
+  };
+
+  PSTAB_HOT_INLINE static U decode1(P p) noexcept {
+    return pstab::detail::posit_decode<N, ES>(p.bits());
+  }
+  /// Exact re-encode of an already-rounded unpacked value.
+  PSTAB_HOT_INLINE static P enc(const U& u) noexcept {
+    return P::from_bits(
+        pstab::detail::posit_encode<N, ES>(u.sign, u.scale, u.frac, false));
+  }
+
+  static void decode(const P* x, std::size_t n, Plane& pl) {
+    pl.resize(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const P p = x[i];
+      if (p.is_zero()) {
+        pl.flag[i] = kZero;
+      } else if (p.is_nar()) {
+        pl.flag[i] = kNar;
+      } else {
+        const U u = decode1(p);
+        pl.frac[i] = u.frac;
+        pl.scale[i] = u.scale;
+        pl.flag[i] = u.sign ? kNeg : 0;
+      }
+    }
+  }
+
+  /// Unpacked accumulator for  t = t ± a*b  chains: the scalar sequence is
+  /// round(mul), then round(add), and both roundings happen here via
+  /// posit_round_unpacked — the accumulator never round-trips a pattern.
+  /// Minimum number of trailing zero bits in any rounded format value's
+  /// significand: the pattern keeps at most max_frac_bits fraction bits
+  /// below the hidden bit, the rest of the u64 frac is zero.
+  static constexpr int kFracFloor = 63 - P::max_frac_bits;
+
+  /// x = round(x + t) for two ALREADY-ROUNDED format values (every chain
+  /// operand is: decoded seeds are format values, and both the product and
+  /// the accumulator pass through posit_round_unpacked).  Returns false on
+  /// exact cancellation (the chain result is exactly zero).
+  ///
+  /// Bit-identical to add_exact + posit_round_unpacked, but latency-lean:
+  /// when the scale gap is at most kFracFloor, aligning the smaller operand
+  /// cannot shift significant bits out (both fracs have >= kFracFloor
+  /// trailing zeros), so a single 64-bit add/sub is exact; the only bit ever
+  /// dropped is the same-sign carry's LSB, which lands strictly below the
+  /// round point (drop >= kFracFloor >= 2 whenever a fraction survives) and
+  /// therefore belongs to sticky.  This chain is the serial dependency of
+  /// dot/gemv, so it is kept branch-free except for two rare, well-predicted
+  /// exits (far-apart scales, exact cancellation).
+  PSTAB_HOT_INLINE static bool chain_add(U& x, const U& t) noexcept {
+    const int d0 = x.scale - t.scale;
+    const bool swp = d0 < 0;
+    const int d = swp ? -d0 : d0;
+    if (d > kFracFloor) {  // alignment could lose bits: generic exact core
+      const auto s = pstab::detail::add_exact(x, t);
+      if (s.zero) return false;
+      x = pstab::detail::posit_round_unpacked<N, ES>(s.sign, s.scale, s.frac,
+                                                     s.sticky);
+      return true;
+    }
+    const u64_t fa = swp ? t.frac : x.frac;
+    const u64_t fb = (swp ? x.frac : t.frac) >> d;
+    const int sa = swp ? t.scale : x.scale;
+    const bool asign = swp ? t.sign : x.sign;
+    const bool sub = x.sign != t.sign;
+    const u64_t s0 = fa + (sub ? u64_t(0) - fb : fb);
+    // swp orients by scale alone, so a d == 0 subtraction may borrow
+    // (|b| > |a|): negate back to a magnitude and remember to flip the sign.
+    // (d >= 1 cannot borrow: fb < 2^63 <= fa.)
+    const bool borrow = sub && fb > fa;
+    const u64_t s1 = borrow ? u64_t(0) - s0 : s0;
+    const bool sign = asign != borrow;
+    if (sub && (s1 >> 62) == 0) {
+      // Deep cancellation: two or more leading bits vanished.  Rare for
+      // real data, so a predicted-not-taken branch with a full clz here
+      // keeps the clz off the common path's serial dependency chain.
+      // s1 == 0 is exact cancellation (same-sign s0 == 0 is NOT zero: fa +
+      // fb can carry to exactly 2^64, reconstructed by the carry path).
+      if (s1 == 0) return false;
+      const int lz = std::countl_zero(s1);
+      x = pstab::detail::posit_round_unpacked<N, ES>(sign, sa - lz, s1 << lz,
+                                                     false);
+      return true;
+    }
+    const bool carry = !sub && s0 < fa;
+    const int lz = int(sub) & int((s1 >> 63) ^ 1);  // 0 or 1 past the branch
+    const u64_t frac = carry ? (u64_t(1) << 63) | (s1 >> 1) : s1 << lz;
+    const int scale = sa + int(carry) - lz;
+    const bool sticky = carry && (s1 & 1);
+    x = pstab::detail::posit_round_unpacked<N, ES>(sign, scale, frac, sticky);
+    return true;
+  }
+
+  struct Acc {
+    U u{};
+    bool zero = true;
+
+    /// acc = acc ± a*b for ordinary (nonzero, non-NaR) operands.  Negation of
+    /// the rounded product is exact (posit negation flips the pattern), so
+    /// folding the sign flip into the product's rounding is bit-identical.
+    PSTAB_HOT_INLINE void mac(const U& a, const U& b, bool negate) noexcept {
+      const auto m = pstab::detail::mul_exact(a, b);
+      const U t = pstab::detail::posit_round_unpacked<N, ES>(
+          m.sign != negate, m.scale, m.frac, m.sticky);
+      if (zero) {
+        u = t;  // 0 + t = t, exactly (add_scalar's zero early-out)
+        zero = false;
+        return;
+      }
+      zero = !chain_add(u, t);
+    }
+
+    [[nodiscard]] P value() const noexcept {
+      return zero ? P::zero() : enc(u);
+    }
+  };
+
+  /// t = seed; t ∓= a[i*sa] * b[i*sb] for i in [0, n).  NaR anywhere makes
+  /// the scalar chain NaR for good, so it returns early.
+  static P update_chain(P seed, const P* a, std::ptrdiff_t sa, const P* b,
+                        std::ptrdiff_t sb, std::size_t n, bool subtract) {
+    if (seed.is_nar()) return P::nar();
+    Acc acc;
+    if (!seed.is_zero()) {
+      acc.u = decode1(seed);
+      acc.zero = false;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const P ai = a[static_cast<std::ptrdiff_t>(i) * sa];
+      const P bi = b[static_cast<std::ptrdiff_t>(i) * sb];
+      if (ai.is_nar() || bi.is_nar()) return P::nar();
+      if (ai.is_zero() || bi.is_zero()) continue;  // t ± 0 leaves t
+      acc.mac(decode1(ai), decode1(bi), subtract);
+    }
+    return acc.value();
+  }
+
+  static P dot(const P* x, const P* y, std::size_t n) {
+    return update_chain(P::zero(), x, 1, y, 1, n, false);
+  }
+
+  /// y += alpha * x (elementwise; each slot independent, OpenMP-chunked).
+  static void axpy(P alpha, const P* x, P* y, std::size_t n) {
+    if (alpha.is_nar()) {
+      for (std::size_t i = 0; i < n; ++i) y[i] = P::nar();
+      return;
+    }
+    if (alpha.is_zero()) {
+      // alpha * x[i] is zero except for x[i] = NaR, which still poisons y[i].
+      for (std::size_t i = 0; i < n; ++i)
+        if (x[i].is_nar()) y[i] = P::nar();
+      return;
+    }
+    const U ua = decode1(alpha);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const P xi = x[i];
+      if (xi.is_nar()) {
+        y[i] = P::nar();
+        continue;
+      }
+      if (xi.is_zero()) continue;  // y += 0
+      const auto m = pstab::detail::mul_exact(ua, decode1(xi));
+      const U t = pstab::detail::posit_round_unpacked<N, ES>(m.sign, m.scale,
+                                                             m.frac, m.sticky);
+      const P yi = y[i];
+      if (yi.is_nar()) continue;  // NaR + t = NaR
+      if (yi.is_zero()) {
+        y[i] = enc(t);  // 0 + t = t
+        continue;
+      }
+      const auto s = pstab::detail::add_exact(decode1(yi), t);
+      y[i] = s.zero ? P::zero()
+                    : P::from_bits(pstab::detail::posit_encode<N, ES>(
+                          s.sign, s.scale, s.frac, s.sticky));
+    }
+  }
+
+  /// x *= alpha.
+  static void scal(P alpha, P* x, std::size_t n) {
+    if (alpha.is_nar()) {
+      for (std::size_t i = 0; i < n; ++i) x[i] = P::nar();
+      return;
+    }
+    if (alpha.is_zero()) {
+      for (std::size_t i = 0; i < n; ++i)
+        x[i] = x[i].is_nar() ? P::nar() : P::zero();
+      return;
+    }
+    const U ua = decode1(alpha);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const P xi = x[i];
+      if (xi.is_zero() || xi.is_nar()) continue;
+      const auto m = pstab::detail::mul_exact(decode1(xi), ua);
+      x[i] = P::from_bits(pstab::detail::posit_encode<N, ES>(m.sign, m.scale,
+                                                             m.frac, m.sticky));
+    }
+  }
+
+  /// z = x + beta * y (z may alias x or y; each slot reads before it writes).
+  static void xpby(const P* x, P beta, const P* y, P* z, std::size_t n) {
+    const bool bnar = beta.is_nar(), bzero = beta.is_zero();
+    U ub{};
+    if (!bnar && !bzero) ub = decode1(beta);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const P xi = x[i], yi = y[i];
+      if (bnar || yi.is_nar() || xi.is_nar()) {
+        z[i] = P::nar();
+        continue;
+      }
+      if (bzero || yi.is_zero()) {
+        z[i] = xi;  // x + 0 = x
+        continue;
+      }
+      const auto m = pstab::detail::mul_exact(ub, decode1(yi));
+      const U t = pstab::detail::posit_round_unpacked<N, ES>(m.sign, m.scale,
+                                                             m.frac, m.sticky);
+      if (xi.is_zero()) {
+        z[i] = enc(t);
+        continue;
+      }
+      const auto s = pstab::detail::add_exact(decode1(xi), t);
+      z[i] = s.zero ? P::zero()
+                    : P::from_bits(pstab::detail::posit_encode<N, ES>(
+                          s.sign, s.scale, s.frac, s.sticky));
+    }
+  }
+
+  /// One gemv row: the plain chained loop (also the <4-row tail).
+  static void gemv_row(const P* row, int cols, const Plane& px, P* yi) {
+    Acc acc;
+    bool nar = false;
+    for (int j = 0; j < cols; ++j) {
+      const unsigned char f = px.flag[j];
+      const P aij = row[j];
+      if (aij.is_nar() || (f & kNar)) {
+        nar = true;
+        break;
+      }
+      if (aij.is_zero() || (f & kZero)) continue;
+      acc.mac(decode1(aij), px.get(j), false);
+    }
+    *yi = nar ? P::nar() : acc.value();
+  }
+
+  /// Four gemv rows in one pass over x's plane.  Each row's chain still runs
+  /// strictly in j order (bit-identical to gemv_row); the win is amortizing
+  /// the per-element flag load, zero/NaR branch, and plane read over four
+  /// rows' worth of multiply-accumulates.
+  static void gemv_rows4(const P* a, int cols, const Plane& px, int i, P* y) {
+    const P* r0 = a + static_cast<std::size_t>(i) * cols;
+    const P* r1 = r0 + cols;
+    const P* r2 = r1 + cols;
+    const P* r3 = r2 + cols;
+    Acc a0, a1, a2, a3;
+    bool n0 = false, n1 = false, n2 = false, n3 = false;
+    for (int j = 0; j < cols; ++j) {
+      const unsigned char f = px.flag[j];
+      const P e0 = r0[j], e1 = r1[j], e2 = r2[j], e3 = r3[j];
+      // NaR records come before the zero skips: NaR * 0 is NaR.
+      const bool xnar = (f & kNar) != 0;
+      n0 = n0 || xnar || e0.is_nar();
+      n1 = n1 || xnar || e1.is_nar();
+      n2 = n2 || xnar || e2.is_nar();
+      n3 = n3 || xnar || e3.is_nar();
+      if (xnar) break;  // every row is NaR from here on
+      if (f & kZero) continue;
+      const U ux = px.get(j);
+      if (!n0 && !e0.is_zero()) a0.mac(decode1(e0), ux, false);
+      if (!n1 && !e1.is_zero()) a1.mac(decode1(e1), ux, false);
+      if (!n2 && !e2.is_zero()) a2.mac(decode1(e2), ux, false);
+      if (!n3 && !e3.is_zero()) a3.mac(decode1(e3), ux, false);
+    }
+    y[i + 0] = n0 ? P::nar() : a0.value();
+    y[i + 1] = n1 ? P::nar() : a1.value();
+    y[i + 2] = n2 ? P::nar() : a2.value();
+    y[i + 3] = n3 ? P::nar() : a3.value();
+  }
+
+  /// y = A * x, row-major dense: x is decoded once and its plane amortized
+  /// across all rows, four rows in flight per pass.
+  static void gemv(const P* a, int rows, int cols, const P* x, P* y) {
+    Plane px;
+    decode(x, static_cast<std::size_t>(cols), px);
+    const int r4 = rows & ~3;
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < r4; i += 4) gemv_rows4(a, cols, px, i, y);
+    for (int i = r4; i < rows; ++i)
+      gemv_row(a + static_cast<std::size_t>(i) * cols, cols, px, y + i);
+  }
+
+  /// y = A * x, CSR: the x plane is reused for every stored entry.
+  static void spmv(const P* val, const int* col, const int* ptr, int rows,
+                   int cols, const P* x, P* y) {
+    Plane px;
+    decode(x, static_cast<std::size_t>(cols), px);
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < rows; ++i) {
+      Acc acc;
+      bool nar = false;
+      for (int k = ptr[i]; k < ptr[i + 1]; ++k) {
+        const unsigned char f = px.flag[col[k]];
+        const P v = val[k];
+        if (v.is_nar() || (f & kNar)) {
+          nar = true;
+          break;
+        }
+        if (v.is_zero() || (f & kZero)) continue;
+        acc.mac(decode1(v), px.get(col[k]), false);
+      }
+      y[i] = nar ? P::nar() : acc.value();
+    }
+  }
+
+  /// Quire-fused dot: partial quires per chunk, merged exactly (quire
+  /// addition is associative), so the result is quire_dot's bits for every
+  /// thread count and chunking.
+  static P dot_fused(const P* x, const P* y, std::size_t n) {
+    const auto workers = static_cast<std::size_t>(pstab::parallel_threads());
+    if (workers <= 1 || n < 4096) return quire_dot(x, y, n);
+    const std::size_t chunks = workers < n / 1024 ? workers : n / 1024;
+    std::vector<Quire<N, ES>> part(chunks);
+    pstab::parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t lo = n * c / chunks, hi = n * (c + 1) / chunks;
+      for (std::size_t i = lo; i < hi; ++i) part[c].add_product(x[i], y[i]);
+    });
+    Quire<N, ES> q;
+    for (const auto& p : part) q.add(p);
+    return q.to_posit();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SoftFloat<E, M>
+// ---------------------------------------------------------------------------
+//
+// The scalar ops are from_double(a.to_double() OP b.to_double()) — see
+// ieee/softfloat.hpp — so a double plane is exact and one
+// from_double().to_double() per step reproduces the pattern sequence: both
+// conversions are deterministic functions (to_double is exact, from_double is
+// correctly rounded and canonicalizes NaN), hence bit-identical results.
+template <int E, int M>
+struct ops<SoftFloat<E, M>> {
+  static constexpr bool supported = true;
+  using F = SoftFloat<E, M>;
+
+  static bool prefer_scalar() noexcept { return false; }
+
+  static double round1(double v) noexcept {
+    return F::from_double(v).to_double();
+  }
+
+  static F dot(const F* x, const F* y, std::size_t n) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      s = round1(s + round1(x[i].to_double() * y[i].to_double()));
+    return F::from_double(s);
+  }
+
+  static F update_chain(F seed, const F* a, std::ptrdiff_t sa, const F* b,
+                        std::ptrdiff_t sb, std::size_t n, bool subtract) {
+    double t = seed.to_double();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double m =
+          round1(a[static_cast<std::ptrdiff_t>(i) * sa].to_double() *
+                 b[static_cast<std::ptrdiff_t>(i) * sb].to_double());
+      t = round1(subtract ? t - m : t + m);
+    }
+    return F::from_double(t);
+  }
+
+  static void axpy(F alpha, const F* x, F* y, std::size_t n) {
+    const double ad = alpha.to_double();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+      y[i] = F::from_double(y[i].to_double() + round1(ad * x[i].to_double()));
+  }
+
+  static void scal(F alpha, F* x, std::size_t n) {
+    const double ad = alpha.to_double();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+      x[i] = F::from_double(x[i].to_double() * ad);
+  }
+
+  static void xpby(const F* x, F beta, const F* y, F* z, std::size_t n) {
+    const double bd = beta.to_double();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+      z[i] = F::from_double(x[i].to_double() + round1(bd * y[i].to_double()));
+  }
+
+  static void gemv(const F* a, int rows, int cols, const F* x, F* y) {
+    std::vector<double> xd(static_cast<std::size_t>(cols));
+    for (int j = 0; j < cols; ++j) xd[j] = x[j].to_double();
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < rows; ++i) {
+      const F* row = a + static_cast<std::size_t>(i) * cols;
+      double s = 0.0;
+      for (int j = 0; j < cols; ++j)
+        s = round1(s + round1(row[j].to_double() * xd[j]));
+      y[i] = F::from_double(s);
+    }
+  }
+
+  static void spmv(const F* val, const int* col, const int* ptr, int rows,
+                   int cols, const F* x, F* y) {
+    std::vector<double> xd(static_cast<std::size_t>(cols));
+    for (int j = 0; j < cols; ++j) xd[j] = x[j].to_double();
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < rows; ++i) {
+      double s = 0.0;
+      for (int k = ptr[i]; k < ptr[i + 1]; ++k)
+        s = round1(s + round1(val[k].to_double() * xd[col[k]]));
+      y[i] = F::from_double(s);
+    }
+  }
+};
+
+}  // namespace pstab::la::kernels::batched

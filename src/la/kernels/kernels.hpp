@@ -1,0 +1,342 @@
+// la::kernels — the single entry point for the BLAS-1/2 kernels the solvers
+// use, with a pluggable backend per call site.
+//
+//   kernels::Context ctx{kernels::Backend::Auto};   // or Scalar / Batched
+//   T s = kernels::dot(ctx, x, y);
+//
+// Backends:
+//   * Scalar  — the original per-element loops (decode/op/encode per scalar).
+//   * Batched — decoded-plane kernels (la/kernels/batched.hpp), bit-identical
+//               to Scalar by construction.
+//   * Auto    — Batched for supported formats and non-tiny vectors, unless
+//               the process default says otherwise (see below).
+//
+// The process default backend is Auto, overridden by the PSTAB_KERNELS
+// environment variable — "scalar" or "0" is the kill switch mirroring
+// PSTAB_LUT, "batched" forces batching on — and by set_default_backend() at
+// runtime (tests).  An explicit per-context Scalar/Batched choice wins over
+// the default; Auto defers to it.
+//
+// Telemetry: when telemetry::active(), every dispatch falls back to the
+// scalar path so the per-op/per-encode counters record exactly the totals the
+// scalar kernels would — the batched path skips the instrumented tailpaths.
+//
+// The old free functions (la::dot, la::axpy, ... in vector_ops.hpp/fused.hpp/
+// norms.hpp) forward here with a default context; define
+// PSTAB_DEPRECATE_FREE_KERNELS to mark them [[deprecated]].
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/scalar_traits.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "la/kernels/batched.hpp"
+
+#if defined(PSTAB_DEPRECATE_FREE_KERNELS)
+#define PSTAB_KERNELS_DEPRECATED \
+  [[deprecated("use the la::kernels Context entry points")]]
+#else
+#define PSTAB_KERNELS_DEPRECATED
+#endif
+
+namespace pstab::la {
+
+template <class T>
+using Vec = std::vector<T>;
+
+template <class T>
+class Dense;
+template <class T>
+class Csr;
+
+namespace kernels {
+
+enum class Backend { Scalar, Batched, Auto };
+
+[[nodiscard]] constexpr const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::Scalar:
+      return "scalar";
+    case Backend::Batched:
+      return "batched";
+    default:
+      return "auto";
+  }
+}
+
+namespace detail {
+inline std::atomic<Backend>& default_backend_state() {
+  static std::atomic<Backend> state{[] {
+    if (const char* e = std::getenv("PSTAB_KERNELS")) {
+      if (std::strcmp(e, "scalar") == 0 || std::strcmp(e, "0") == 0)
+        return Backend::Scalar;
+      if (std::strcmp(e, "batched") == 0) return Backend::Batched;
+    }
+    return Backend::Auto;
+  }()};
+  return state;
+}
+}  // namespace detail
+
+/// Backend an Auto context resolves to (PSTAB_KERNELS at startup, then
+/// set_default_backend).  Backend::Auto means "batched where supported".
+[[nodiscard]] inline Backend default_backend() noexcept {
+  return detail::default_backend_state().load(std::memory_order_relaxed);
+}
+inline void set_default_backend(Backend b) noexcept {
+  detail::default_backend_state().store(b, std::memory_order_relaxed);
+}
+
+/// Per-call-site backend selection, threaded through CgOptions /
+/// ExperimentOptions down to every kernel invocation.
+struct Context {
+  Backend backend = Backend::Auto;
+};
+
+/// Below this length Auto stays scalar: plane setup isn't worth it.
+inline constexpr std::size_t kAutoMinN = 8;
+
+/// The dispatch predicate (exposed so tests can pin the routing itself).
+template <class T>
+[[nodiscard]] inline bool use_batched(const Context& c,
+                                      std::size_t n) noexcept {
+  if constexpr (!batched::ops<T>::supported) {
+    (void)c;
+    (void)n;
+    return false;
+  } else {
+    const Backend b =
+        c.backend == Backend::Auto ? default_backend() : c.backend;
+    if (b == Backend::Scalar) return false;
+    if (telemetry::active()) return false;  // keep counter totals scalar-exact
+    if (b == Backend::Batched) return true;
+    return n >= kAutoMinN && !batched::ops<T>::prefer_scalar();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1
+// ---------------------------------------------------------------------------
+
+/// dot(x, y) with per-operation rounding in T (paper §II-C ground rule).
+template <class T>
+[[nodiscard]] T dot(const Context& c, const Vec<T>& x, const Vec<T>& y) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, x.size()))
+      return batched::ops<T>::dot(x.data(), y.data(), x.size());
+  }
+  T s = scalar_traits<T>::zero();
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+/// Fused (deferred-rounding) dot: the quire for posits, a double accumulator
+/// for everything else.  The posit batched variant chunks partial quires
+/// across threads; quire addition is exact, so the bits never depend on the
+/// thread count.
+template <class T>
+[[nodiscard]] T dot_fused(const Context& c, const Vec<T>& x, const Vec<T>& y) {
+  if constexpr (requires {
+                  batched::ops<T>::dot_fused(x.data(), y.data(), x.size());
+                }) {
+    if (use_batched<T>(c, x.size()))
+      return batched::ops<T>::dot_fused(x.data(), y.data(), x.size());
+    return quire_dot(x.data(), y.data(), x.size());
+  } else {
+    (void)c;
+    double s = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      s += scalar_traits<T>::to_double(x[i]) * scalar_traits<T>::to_double(y[i]);
+    return scalar_traits<T>::from_double(s);
+  }
+}
+
+/// y += alpha * x
+template <class T>
+void axpy(const Context& c, T alpha, const Vec<T>& x, Vec<T>& y) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, x.size())) {
+      batched::ops<T>::axpy(alpha, x.data(), y.data(), x.size());
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha
+template <class T>
+void scal(const Context& c, T alpha, Vec<T>& x) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, x.size())) {
+      batched::ops<T>::scal(alpha, x.data(), x.size());
+      return;
+    }
+  }
+  for (auto& v : x) v *= alpha;
+}
+
+/// z = x + beta * y (z may alias x or y)
+template <class T>
+void xpby(const Context& c, const Vec<T>& x, T beta, const Vec<T>& y,
+          Vec<T>& z) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, x.size())) {
+      batched::ops<T>::xpby(x.data(), beta, y.data(), z.data(), x.size());
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + beta * y[i];
+}
+
+/// 2-norm computed in T (sqrt of the T-rounded dot).
+template <class T>
+[[nodiscard]] T nrm2(const Context& c, const Vec<T>& x) {
+  return scalar_traits<T>::sqrt(dot(c, x, x));
+}
+
+/// t = seed; for i in [0, n): t = t ∓ a[i*sa] * b[i*sb] — the strided
+/// multiply-accumulate chain inside Cholesky columns and triangular solves,
+/// with per-operation rounding in T.
+template <class T>
+[[nodiscard]] T update_chain(const Context& c, T seed, const T* a,
+                             std::ptrdiff_t sa, const T* b, std::ptrdiff_t sb,
+                             std::size_t n, bool subtract) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, n))
+      return batched::ops<T>::update_chain(seed, a, sa, b, sb, n, subtract);
+  }
+  T t = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const T m = a[static_cast<std::ptrdiff_t>(i) * sa] *
+                b[static_cast<std::ptrdiff_t>(i) * sb];
+    if (subtract)
+      t -= m;
+    else
+      t += m;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-2
+// ---------------------------------------------------------------------------
+
+/// y = A * x for dense row-major A.
+template <class T>
+void gemv(const Context& c, const Dense<T>& A, const Vec<T>& x, Vec<T>& y) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, x.size())) {
+      y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());
+      batched::ops<T>::gemv(A.data().data(), A.rows(), A.cols(), x.data(),
+                            y.data());
+      return;
+    }
+  }
+  A.gemv(x, y);
+}
+
+/// y = A * x for CSR A.
+template <class T>
+void spmv(const Context& c, const Csr<T>& A, const Vec<T>& x, Vec<T>& y) {
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, x.size())) {
+      y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());
+      batched::ops<T>::spmv(A.values().data(), A.col_idx().data(),
+                            A.row_ptr().data(), A.rows(), A.cols(), x.data(),
+                            y.data());
+      return;
+    }
+  }
+  A.spmv(x, y);
+}
+
+/// y = A * x for any operator: routes Csr/Dense through the backend kernels
+/// and falls back to the operator's own spmv/gemv member otherwise.
+template <class Op, class T>
+void apply(const Context& c, const Op& A, const Vec<T>& x, Vec<T>& y) {
+  if constexpr (std::is_same_v<Op, Csr<T>>) {
+    spmv(c, A, x, y);
+  } else if constexpr (std::is_same_v<Op, Dense<T>>) {
+    gemv(c, A, x, y);
+  } else if constexpr (requires { A.spmv(x, y); }) {
+    A.spmv(x, y);
+  } else {
+    A.gemv(x, y);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monitors and conversions (always double; backend-independent)
+// ---------------------------------------------------------------------------
+
+/// Reference 2-norm in double regardless of T (for monitoring only).
+template <class T>
+[[nodiscard]] double nrm2_d(const Vec<T>& x) {
+  double s = 0;
+  for (const auto& v : x) {
+    const double d = scalar_traits<T>::to_double(v);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+template <class T>
+[[nodiscard]] double norm_inf_d(const Vec<T>& x) {
+  double m = 0;
+  for (const auto& v : x) {
+    const double d = std::fabs(scalar_traits<T>::to_double(v));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// True when every element can still participate in arithmetic.
+template <class T>
+[[nodiscard]] bool all_finite(const Vec<T>& x) {
+  for (const auto& v : x)
+    if (!scalar_traits<T>::finite(v)) return false;
+  return true;
+}
+
+/// Elementwise conversion from double with overflow clamped to the largest
+/// finite value of T (the paper's rule when loading a matrix into a 16-bit
+/// format: "if an entry is larger than the maximum representable value we
+/// round down to this value").
+template <class T>
+[[nodiscard]] Vec<T> from_double_clamped(const Vec<double>& x) {
+  using st = scalar_traits<T>;
+  const double tmax = st::to_double(st::max());
+  Vec<T> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double d = x[i];
+    if (d > tmax) d = tmax;
+    if (d < -tmax) d = -tmax;
+    r[i] = st::from_double(d);
+  }
+  return r;
+}
+
+template <class T>
+[[nodiscard]] Vec<double> to_double_vec(const Vec<T>& x) {
+  Vec<double> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    r[i] = scalar_traits<T>::to_double(x[i]);
+  return r;
+}
+
+template <class T>
+[[nodiscard]] Vec<T> from_double_vec(const Vec<double>& x) {
+  Vec<T> r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    r[i] = scalar_traits<T>::from_double(x[i]);
+  return r;
+}
+
+}  // namespace kernels
+}  // namespace pstab::la

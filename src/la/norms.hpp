@@ -1,5 +1,8 @@
 // Matrix norms and conditioning estimates (always computed in double; these
-// characterize the PROBLEM, not the format under test).
+// characterize the PROBLEM, not the format under test).  Owned by the
+// la::kernels namespace alongside the other kernels; the unqualified names
+// remain as forwarders.  Double is a scalar-only backend, so these take no
+// Context.
 #pragma once
 
 #include <cmath>
@@ -9,16 +12,7 @@
 #include "la/dense.hpp"
 
 namespace pstab::la {
-
-namespace detail_norms {
-inline void apply(const Dense<double>& A, const Vec<double>& x,
-                  Vec<double>& y) {
-  A.gemv(x, y);
-}
-inline void apply(const Csr<double>& A, const Vec<double>& x, Vec<double>& y) {
-  A.spmv(x, y);
-}
-}  // namespace detail_norms
+namespace kernels {
 
 /// ||A||_inf = max row sum of |a_ij| (the paper's re-scaling target norm,
 /// chosen "because it is much easier to compute" than the 2-norm).
@@ -60,7 +54,7 @@ double norm2_est(const Mat& A, int iters = 300, unsigned seed = 12345) {
   double lambda = 0;
   Vec<double> w;
   for (int it = 0; it < iters; ++it) {
-    detail_norms::apply(A, v, w);
+    apply(Context{}, A, v, w);
     double nw = 0;
     for (double x : w) nw += x * x;
     nw = std::sqrt(nw);
@@ -95,6 +89,31 @@ double lambda_min_est(int n, const Solve& solve, int iters = 300,
     if (it > 10 && std::fabs(mu - prev) <= 1e-10 * mu) break;
   }
   return mu > 0 ? 1.0 / mu : 0.0;
+}
+
+}  // namespace kernels
+
+PSTAB_KERNELS_DEPRECATED inline double norm_inf(const Dense<double>& A) {
+  return kernels::norm_inf(A);
+}
+PSTAB_KERNELS_DEPRECATED inline double norm_inf(const Csr<double>& A) {
+  return kernels::norm_inf(A);
+}
+PSTAB_KERNELS_DEPRECATED inline double norm_frob(const Dense<double>& A) {
+  return kernels::norm_frob(A);
+}
+
+template <class Mat>
+PSTAB_KERNELS_DEPRECATED double norm2_est(const Mat& A, int iters = 300,
+                                          unsigned seed = 12345) {
+  return kernels::norm2_est(A, iters, seed);
+}
+
+template <class Solve>
+PSTAB_KERNELS_DEPRECATED double lambda_min_est(int n, const Solve& solve,
+                                               int iters = 300,
+                                               unsigned seed = 54321) {
+  return kernels::lambda_min_est(n, solve, iters, seed);
 }
 
 }  // namespace pstab::la

@@ -18,6 +18,7 @@ CgReport pcg_jacobi_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
                           const Vec<T>& diag, const CgOptions& opt = {}) {
   using st = scalar_traits<T>;
   const int n = int(b.size());
+  const kernels::Context& kc = opt.kernels;
   CgReport rep;
 
   Vec<T> invd(n);
@@ -34,15 +35,15 @@ CgReport pcg_jacobi_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
   Vec<T> z(n), p(n), ap(n);
   for (int i = 0; i < n; ++i) z[i] = invd[i] * r[i];
   p = z;
-  const double normb = nrm2_d(b);
+  const double normb = kernels::nrm2_d(b);
   if (normb == 0) {
     rep.status = CgStatus::converged;
     return rep;
   }
 
-  T rz = dot(r, z);
+  T rz = kernels::dot(kc, r, z);
   for (int it = 0; it < opt.max_iter; ++it) {
-    const double relres = nrm2_d(r) / normb;
+    const double relres = kernels::nrm2_d(r) / normb;
     rep.final_relres = relres;
     if (opt.record_history) rep.history.push_back(relres);
     if (relres <= opt.tol) {
@@ -55,25 +56,25 @@ CgReport pcg_jacobi_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       rep.iterations = it;
       return rep;
     }
-    A.spmv(p, ap);
-    const T pap = dot(p, ap);
+    kernels::apply(kc, A, p, ap);
+    const T pap = kernels::dot(kc, p, ap);
     if (!st::finite(pap) || !(st::to_double(pap) > 0.0)) {
       rep.status = CgStatus::breakdown;
       rep.iterations = it;
       return rep;
     }
     const T alpha = rz / pap;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-    if (!all_finite(r)) {
+    kernels::axpy(kc, alpha, p, x);
+    kernels::axpy(kc, -alpha, ap, r);
+    if (!kernels::all_finite(r)) {
       rep.status = CgStatus::breakdown;
       rep.iterations = it;
       return rep;
     }
     for (int i = 0; i < n; ++i) z[i] = invd[i] * r[i];
-    const T rz_new = dot(r, z);
+    const T rz_new = kernels::dot(kc, r, z);
     const T beta = rz_new / rz;
-    xpby(z, beta, p, p);
+    kernels::xpby(kc, z, beta, p, p);
     rz = rz_new;
   }
   rep.status = CgStatus::max_iterations;

@@ -1,111 +1,85 @@
-// BLAS-1 kernels templated over the scalar format.
+// BLAS-1 free functions — thin forwarders into la::kernels (kernels.hpp),
+// which owns the implementations and the Scalar/Batched backend dispatch.
+// Kept so out-of-tree callers and the older tests compile unchanged; new code
+// should pass a kernels::Context explicitly.  Define
+// PSTAB_DEPRECATE_FREE_KERNELS to surface [[deprecated]] warnings here.
 //
-// Every reduction here rounds after each operation — the paper's §II-C
-// ground rule (no quire / no deferred rounding for either format).  The
-// fused variants used by the quire ablation live in fused.hpp.
+// Every reduction rounds after each operation — the paper's §II-C ground
+// rule (no quire / no deferred rounding for either format).  The fused
+// variants used by the quire ablation live in fused.hpp.
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
-#include "common/scalar_traits.hpp"
+#include "la/kernels/kernels.hpp"
 
 namespace pstab::la {
 
 template <class T>
-using Vec = std::vector<T>;
-
-/// Elementwise conversion from double with overflow clamped to the largest
-/// finite value of T (the paper's rule when loading a matrix into a 16-bit
-/// format: "if an entry is larger than the maximum representable value we
-/// round down to this value").
-template <class T>
-[[nodiscard]] Vec<T> from_double_clamped(const Vec<double>& x) {
-  using st = scalar_traits<T>;
-  const double tmax = st::to_double(st::max());
-  Vec<T> r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    double d = x[i];
-    if (d > tmax) d = tmax;
-    if (d < -tmax) d = -tmax;
-    r[i] = st::from_double(d);
-  }
-  return r;
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] Vec<T> from_double_clamped(
+    const Vec<double>& x) {
+  return kernels::from_double_clamped<T>(x);
 }
 
 template <class T>
-[[nodiscard]] Vec<double> to_double_vec(const Vec<T>& x) {
-  Vec<double> r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) r[i] = scalar_traits<T>::to_double(x[i]);
-  return r;
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] Vec<double> to_double_vec(
+    const Vec<T>& x) {
+  return kernels::to_double_vec(x);
 }
 
 template <class T>
-[[nodiscard]] Vec<T> from_double_vec(const Vec<double>& x) {
-  Vec<T> r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) r[i] = scalar_traits<T>::from_double(x[i]);
-  return r;
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] Vec<T> from_double_vec(
+    const Vec<double>& x) {
+  return kernels::from_double_vec<T>(x);
 }
 
 /// dot(x, y) with per-operation rounding in T.
 template <class T>
-[[nodiscard]] T dot(const Vec<T>& x, const Vec<T>& y) {
-  T s = scalar_traits<T>::zero();
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
-  return s;
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] T dot(const Vec<T>& x,
+                                             const Vec<T>& y) {
+  return kernels::dot(kernels::Context{}, x, y);
 }
 
 /// y += alpha * x
 template <class T>
-void axpy(T alpha, const Vec<T>& x, Vec<T>& y) {
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+PSTAB_KERNELS_DEPRECATED void axpy(T alpha, const Vec<T>& x, Vec<T>& y) {
+  kernels::axpy(kernels::Context{}, alpha, x, y);
 }
 
 /// x *= alpha
 template <class T>
-void scal(T alpha, Vec<T>& x) {
-  for (auto& v : x) v *= alpha;
+PSTAB_KERNELS_DEPRECATED void scal(T alpha, Vec<T>& x) {
+  kernels::scal(kernels::Context{}, alpha, x);
 }
 
 /// z = x + beta * y
 template <class T>
-void xpby(const Vec<T>& x, T beta, const Vec<T>& y, Vec<T>& z) {
-  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + beta * y[i];
+PSTAB_KERNELS_DEPRECATED void xpby(const Vec<T>& x, T beta, const Vec<T>& y,
+                                   Vec<T>& z) {
+  kernels::xpby(kernels::Context{}, x, beta, y, z);
 }
 
 /// 2-norm computed in T (sqrt of the T-rounded dot).
 template <class T>
-[[nodiscard]] T nrm2(const Vec<T>& x) {
-  return scalar_traits<T>::sqrt(dot(x, x));
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] T nrm2(const Vec<T>& x) {
+  return kernels::nrm2(kernels::Context{}, x);
 }
 
 /// Reference 2-norm in double regardless of T (for monitoring only).
 template <class T>
-[[nodiscard]] double nrm2_d(const Vec<T>& x) {
-  double s = 0;
-  for (const auto& v : x) {
-    const double d = scalar_traits<T>::to_double(v);
-    s += d * d;
-  }
-  return std::sqrt(s);
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] double nrm2_d(const Vec<T>& x) {
+  return kernels::nrm2_d(x);
 }
 
 template <class T>
-[[nodiscard]] double norm_inf_d(const Vec<T>& x) {
-  double m = 0;
-  for (const auto& v : x) {
-    const double d = std::fabs(scalar_traits<T>::to_double(v));
-    if (d > m) m = d;
-  }
-  return m;
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] double norm_inf_d(const Vec<T>& x) {
+  return kernels::norm_inf_d(x);
 }
 
 /// True when every element can still participate in arithmetic.
 template <class T>
-[[nodiscard]] bool all_finite(const Vec<T>& x) {
-  for (const auto& v : x)
-    if (!scalar_traits<T>::finite(v)) return false;
-  return true;
+PSTAB_KERNELS_DEPRECATED [[nodiscard]] bool all_finite(const Vec<T>& x) {
+  return kernels::all_finite(x);
 }
 
 }  // namespace pstab::la

@@ -57,7 +57,7 @@ GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap) {
   }
 
   // Shift to the target core conditioning: L + eps I.
-  const double lmax_l = la::norm2_est(A, 300, unsigned(name_seed(spec.name)));
+  const double lmax_l = la::kernels::norm2_est(A, 300, unsigned(name_seed(spec.name)));
   const double eps = lmax_l / spec.cond_core;
   for (int i = 0; i < n; ++i) A(i, i) += eps;
 
@@ -81,7 +81,7 @@ GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap) {
     for (int j = i + 1; j < n; ++j) A(j, i) = A(i, j);
 
   // Measure the spectrum edges in double.
-  double lmax = la::norm2_est(A, 400, 2 + unsigned(name_seed(spec.name)));
+  double lmax = la::kernels::norm2_est(A, 400, 2 + unsigned(name_seed(spec.name)));
   auto fact = la::cholesky(A);
   if (fact.status != la::CholStatus::ok)
     throw std::runtime_error(spec.name + ": synthetic base not SPD");
@@ -89,7 +89,7 @@ GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap) {
     return la::solve_upper(fact.R, la::solve_lower_rt(fact.R, v));
   };
   double lmin =
-      la::lambda_min_est(n, solve, 400, 3 + unsigned(name_seed(spec.name)));
+      la::kernels::lambda_min_est(n, solve, 400, 3 + unsigned(name_seed(spec.name)));
   if (!(lmin > 0) || !(lmax > 0))
     throw std::runtime_error(spec.name + ": spectrum estimation failed");
 

@@ -72,7 +72,7 @@ GeneratedMatrix load_or_generate(const MatrixSpec& spec) {
     g.csr = read_matrix_market_file(*path);
     g.n = g.csr.rows();
     g.dense = g.csr.to_dense();
-    g.lambda_max = la::norm2_est(g.csr);
+    g.lambda_max = la::kernels::norm2_est(g.csr);
     g.lambda_min = 0;  // not estimated for loaded matrices
     return g;
   }

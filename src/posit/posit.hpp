@@ -97,7 +97,7 @@ lut_decode() noexcept {
 
 /// Decode a nonzero, non-NaR pattern.  Caller must handle 0 / NaR.
 template <int N, int ES>
-constexpr Unpacked posit_decode(u64 bits) noexcept {
+PSTAB_HOT_INLINE constexpr Unpacked posit_decode(u64 bits) noexcept {
   static_assert(3 <= N && N <= 64 && 0 <= ES && ES <= 4);
   if constexpr (N <= 16) {
     if (!std::is_constant_evaluated()) {
@@ -147,7 +147,8 @@ inline void telemetry_encode_event(int scale, u64 frac, bool sticky) noexcept {
 /// `sticky` records whether any nonzero bits lie below frac's LSB.
 /// Returns the N-bit pattern (sign handled via two's complement).
 template <int N, int ES>
-constexpr u64 posit_encode(bool sign, int scale, u64 frac, bool sticky) noexcept {
+PSTAB_HOT_INLINE constexpr u64 posit_encode(bool sign, int scale, u64 frac,
+                                            bool sticky) noexcept {
   static_assert(3 <= N && N <= 64 && 0 <= ES && ES <= 4);
   if (!std::is_constant_evaluated() && telemetry::active())
     telemetry_encode_event<N, ES>(scale, frac, sticky);
@@ -179,6 +180,145 @@ constexpr u64 posit_encode(bool sign, int scale, u64 frac, bool sticky) noexcept
     if (pat == 0) pat = 1;
   }
   return sign ? ((0 - pat) & posit_mask<N>()) : pat;
+}
+
+/// Exact (pre-rounding) result of a posit add/mul on nonzero, non-NaR
+/// operands: value = (-1)^sign * frac/2^63 * 2^scale, with `sticky` covering
+/// every discarded bit below frac's LSB.  `zero` marks exact cancellation
+/// (add only); the other fields are meaningless then.
+struct ExactVal {
+  bool sign = false;
+  bool sticky = false;
+  bool zero = false;
+  int scale = 0;
+  u64 frac = 0;
+};
+
+/// Exact sum of two unpacked posit values (add_scalar's core, shared with the
+/// batched kernels, which keep accumulators unpacked between terms).
+PSTAB_HOT_INLINE constexpr ExactVal add_exact(const Unpacked& ua,
+                                              const Unpacked& ub) noexcept {
+  // Order so |a| >= |b|.  Selects instead of a swap branch: the order is
+  // data-dependent and a mispredict here costs more than the four cmovs.
+  const int d0 = ua.scale - ub.scale;
+  const bool swp = d0 < 0 || (d0 == 0 && ua.frac < ub.frac);
+  const u64 bigf = swp ? ub.frac : ua.frac;
+  const u64 smlf = swp ? ua.frac : ub.frac;
+  const int bigs = swp ? ub.scale : ua.scale;
+  const bool sub = ua.sign != ub.sign;
+  const int d = swp ? -d0 : d0;
+  // Work with the hidden bit at bit 125: 62 bits of alignment headroom
+  // below the 64-bit significand before sticky takes over.
+  const u128 fa = u128(bigf) << 62;
+  u128 fb = u128(smlf) << 62;
+  ExactVal r;
+  r.sign = swp ? ub.sign : ua.sign;
+  // Align b.  d == 0 degenerates to a zero mask / zero shift, so the common
+  // small-d cases run the same straight-line code; only the (rare) shift-out
+  // case selects differently, and via cmov rather than a branch.
+  {
+    const bool far = d >= 126;
+    const int ds = far ? 0 : d;
+    const u128 tail = fb & ((u128(1) << ds) - 1);
+    r.sticky = far ? fb != 0 : tail != 0;
+    fb = far ? u128(0) : fb >> ds;
+  }
+  // Same sign: fa + fb.  Opposite: fa - fb - sticky (the true value of b's
+  // discarded tail is in (0,1) ULP of bit 0; borrowing one keeps truncation
+  // + sticky rounding correct).  Branchless: the operand signs are as random
+  // as the data, so select the addend instead of branching on `sub`.
+  const u128 addend = sub ? u128(0) - fb - u128(r.sticky ? 1 : 0) : fb;
+  const u128 sum = fa + addend;
+  if (sum == 0) {
+    r.zero = true;
+    return r;
+  }
+  const int p = msb128(sum);
+  r.scale = bigs + (p - 125);
+  if (p >= 63) {
+    // sh == 0 degenerates to a zero mask, so no inner branch needed.
+    const int sh = p - 63;
+    r.frac = static_cast<u64>(sum >> sh);
+    r.sticky = r.sticky | ((sum & ((u128(1) << sh) - 1)) != 0);
+  } else {
+    r.frac = static_cast<u64>(sum) << (63 - p);
+  }
+  return r;
+}
+
+/// Exact product of two unpacked posit values (mul_scalar's core).
+PSTAB_HOT_INLINE constexpr ExactVal mul_exact(const Unpacked& ua,
+                                              const Unpacked& ub) noexcept {
+  const u128 prod = u128(ua.frac) * ub.frac;  // in [2^126, 2^128)
+  // The product's top bit is at position 126 or 127, so normalization needs
+  // no clz and no variable 128-bit shifts: split into halves and select on
+  // bit 63 of the high half.  (Variable u128 shifts cost several dependent
+  // uops each and dominate this function otherwise.)
+  const u64 hi = static_cast<u64>(prod >> 64);
+  const u64 lo = static_cast<u64>(prod);
+  const int t = static_cast<int>(hi >> 63);  // 1 iff msb is at 127
+  ExactVal r;
+  r.sign = ua.sign != ub.sign;
+  r.scale = ua.scale + ub.scale + t;
+  r.frac = t ? hi : (hi << 1) | (lo >> 63);
+  r.sticky = (lo << (1 - t)) != 0;
+  return r;
+}
+
+/// Round an exact nonzero value to Posit<N, ES> precision but keep it
+/// unpacked: returns exactly posit_decode(posit_encode(sign, scale, frac,
+/// sticky)) without materializing the pattern (the encoder saturates at
+/// maxpos/minpos, so the result is never zero or NaR).  This is the batched
+/// kernels' per-term rounding step; skipping the pattern round-trip is where
+/// the decoded-plane speedup comes from.
+template <int N, int ES>
+PSTAB_HOT_INLINE constexpr Unpacked posit_round_unpacked(bool sign, int scale,
+                                                         u64 frac,
+                                                         bool sticky) noexcept {
+  constexpr int L = N - 1;
+  constexpr int kMaxScale = (N - 2) << ES;
+  Unpacked r;
+  r.sign = sign;
+  const int k = scale >> ES;  // floor division
+  if (k >= L - 1) {  // at or beyond maxpos: saturate
+    r.scale = kMaxScale;
+    r.frac = u64(1) << 63;
+    return r;
+  }
+  if (k <= -L) {  // below minpos: saturate
+    r.scale = -kMaxScale;
+    r.frac = u64(1) << 63;
+    return r;
+  }
+  const int reglen = k >= 0 ? k + 2 : 1 - k;
+  const int fb = L - reglen - ES;  // fraction bits the pattern keeps
+  if (fb >= 1) {
+    // The pattern's LSB is a fraction bit, so round-to-nearest-even on the
+    // pattern reduces to RNE on the fraction at bit (63 - fb).  A round-up
+    // carry out of the hidden bit lands exactly on the next binade; k+1
+    // cannot saturate because k = L-2 (regime fills the word) already has
+    // fb <= 0 and took the fallback below.  Branchless bias-add rounding:
+    // or the sticky into bit 0 (drop >= 2, so it stays below the guard),
+    // then add (half - 1) + LSB; the carry out of the guard column is the
+    // RNE round-up decision, and a carry out of bit 63 is the next binade.
+    // This keeps the dependent chain ~4 uops shorter than the explicit
+    // guard/sticky formulation, which matters in the serial chained-add of
+    // the batched kernels (this is their hot path).
+    const int drop = 63 - fb;
+    const u64 f2 = frac | u64(sticky);
+    const u64 lsb = (frac >> drop) & 1;
+    const u64 sum = f2 + ((u64(1) << (drop - 1)) - 1) + lsb;
+    const bool carry = sum < f2;  // rounded past all-ones: 2^64
+    r.scale = scale + int(carry);
+    r.frac = carry ? u64(1) << 63 : (sum >> drop) << drop;
+    return r;
+  }
+  // Short patterns (no fraction bits kept): rounding happens inside the
+  // exponent/regime fields ("tapered rounding") — defer to the encoder.
+  const u64 pat = posit_encode<N, ES>(false, scale, frac, sticky);
+  r = posit_decode<N, ES>(pat);
+  r.sign = sign;
+  return r;
 }
 
 }  // namespace detail
@@ -435,63 +575,20 @@ class Posit {
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
-    auto ua = detail::posit_decode<N, ES>(a.bits());
-    auto ub = detail::posit_decode<N, ES>(b.bits());
-    // Order so |a| >= |b|.
-    if (ua.scale < ub.scale ||
-        (ua.scale == ub.scale && ua.frac < ub.frac)) {
-      std::swap(ua, ub);
-    }
-    // Work with the hidden bit at bit 125: 62 bits of alignment headroom
-    // below the 64-bit significand before sticky takes over.
-    u128 fa = u128(ua.frac) << 62;
-    u128 fb = u128(ub.frac) << 62;
-    bool sticky = false;
-    const int d = ua.scale - ub.scale;
-    if (d > 0) {
-      if (d >= 126) {
-        sticky = fb != 0;
-        fb = 0;
-      } else {
-        sticky = (fb & ((u128(1) << d) - 1)) != 0;
-        fb >>= d;
-      }
-    }
-    u128 sum = 0;
-    if (ua.sign == ub.sign) {
-      sum = fa + fb;
-    } else {
-      // True value of the discarded tail is in (0,1) ULP of bit 0; borrow one
-      // so truncation + sticky still round correctly.
-      sum = fa - fb - (sticky ? 1 : 0);
-      if (sum == 0) return zero();
-    }
-    const int p = detail::msb128(sum);
-    const int scale = ua.scale + (p - 125);
-    u64 frac = 0;
-    if (p >= 63) {
-      const int sh = p - 63;
-      frac = static_cast<u64>(sum >> sh);
-      if (sh > 0) sticky = sticky || (sum & ((u128(1) << sh) - 1)) != 0;
-    } else {
-      frac = static_cast<u64>(sum) << (63 - p);
-    }
-    return from_bits(detail::posit_encode<N, ES>(ua.sign, scale, frac, sticky));
+    const auto e = detail::add_exact(detail::posit_decode<N, ES>(a.bits()),
+                                     detail::posit_decode<N, ES>(b.bits()));
+    if (e.zero) return zero();
+    return from_bits(
+        detail::posit_encode<N, ES>(e.sign, e.scale, e.frac, e.sticky));
   }
 
   static constexpr Posit mul_scalar(Posit a, Posit b) noexcept {
     if (a.is_nar() || b.is_nar()) return nar();
     if (a.is_zero() || b.is_zero()) return zero();
-    const auto ua = detail::posit_decode<N, ES>(a.bits());
-    const auto ub = detail::posit_decode<N, ES>(b.bits());
-    const u128 prod = u128(ua.frac) * ub.frac;  // in [2^126, 2^128)
-    const int p = detail::msb128(prod);         // 126 or 127
-    const int scale = ua.scale + ub.scale + (p - 126);
-    const int sh = p - 63;
-    const u64 frac = static_cast<u64>(prod >> sh);
-    const bool sticky = (prod & ((u128(1) << sh) - 1)) != 0;
+    const auto e = detail::mul_exact(detail::posit_decode<N, ES>(a.bits()),
+                                     detail::posit_decode<N, ES>(b.bits()));
     return from_bits(
-        detail::posit_encode<N, ES>(ua.sign != ub.sign, scale, frac, sticky));
+        detail::posit_encode<N, ES>(e.sign, e.scale, e.frac, e.sticky));
   }
 
   static constexpr Posit div_scalar(Posit a, Posit b) noexcept {

@@ -68,6 +68,22 @@ class Quire {
   /// q -= a * b, exactly.
   constexpr void sub_product(P a, P b) noexcept { add_product(-a, b); }
 
+  /// q += o, exactly.  Quire addition is associative (plain fixed-point
+  /// two's-complement add), so partial quires accumulated over chunks of a
+  /// dot product merge to the same bits in any order — the batched fused dot
+  /// relies on this for thread-count-independent results.
+  constexpr void add(const Quire& o) noexcept {
+    nar_ = nar_ || o.nar_;
+    if (nar_) return;
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < words; ++i) {
+      const unsigned __int128 s =
+          static_cast<unsigned __int128>(w_[i]) + o.w_[i] + carry;
+      w_[i] = static_cast<std::uint64_t>(s);
+      carry = s >> 64;
+    }
+  }
+
   /// Round the accumulated value to the nearest posit (ties to even encoding,
   /// saturating at minpos/maxpos, never rounding a nonzero sum to zero).
   [[nodiscard]] constexpr P to_posit() const noexcept {

@@ -38,7 +38,7 @@ namespace pstab::scaling {
 /// x unchanged.  Returns the factor s.
 inline double scale_pow2_inf(la::Csr<double>& A, la::Vec<double>& b,
                              int target_log2 = 10) {
-  const double s = pow2_inf_factor(la::norm_inf(A), target_log2);
+  const double s = pow2_inf_factor(la::kernels::norm_inf(A), target_log2);
   A.scale_values(s);
   for (auto& v : b) v *= s;
   return s;
@@ -46,7 +46,7 @@ inline double scale_pow2_inf(la::Csr<double>& A, la::Vec<double>& b,
 
 inline double scale_pow2_inf(la::Dense<double>& A, la::Vec<double>& b,
                              int target_log2 = 10) {
-  const double s = pow2_inf_factor(la::norm_inf(A), target_log2);
+  const double s = pow2_inf_factor(la::kernels::norm_inf(A), target_log2);
   for (auto& v : A.data()) v *= s;
   for (auto& v : b) v *= s;
   return s;

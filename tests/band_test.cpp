@@ -55,7 +55,7 @@ TEST(Band, SolveMatchesDense) {
   const auto b = matrices::paper_rhs(g.dense);
   const auto x = la::band_cholesky_solve(*rb, b);
   const auto r = la::residual(g.dense, b, x);
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-10);
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-10);
 }
 
 TEST(Band, DetectsIndefinite) {
@@ -75,9 +75,9 @@ TEST(Band, WorksInPosit) {
   ASSERT_TRUE(rb.has_value());
   const auto b = matrices::paper_rhs(g.dense);
   const auto x =
-      la::band_cholesky_solve(*rb, la::from_double_vec<Posit32_2>(b));
-  const auto r = la::residual(g.dense, b, la::to_double_vec(x));
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-5);
+      la::band_cholesky_solve(*rb, la::kernels::from_double_vec<Posit32_2>(b));
+  const auto r = la::residual(g.dense, b, la::kernels::to_double_vec(x));
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-5);
 }
 
 }  // namespace

@@ -115,7 +115,7 @@ TEST(MixedIr, RefinementSolvesTheOriginalSystemUnderScaling) {
   const auto rep = la::mixed_ir<Posit16_2>(g.dense, b, x, opt, &hs, &Ah);
   ASSERT_EQ(rep.status, la::IrStatus::converged);
   const auto r = la::residual(g.dense, b, x);
-  EXPECT_LT(la::norm_inf_d(r) / la::norm_inf_d(b), 1e-13);
+  EXPECT_LT(la::kernels::norm_inf_d(r) / la::kernels::norm_inf_d(b), 1e-13);
 }
 
 TEST(MixedIr, IterationCapReported) {

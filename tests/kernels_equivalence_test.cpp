@@ -1,0 +1,294 @@
+// Backend-equivalence suite for la::kernels: the batched decoded-plane
+// kernels must be bit-identical to the scalar loops on every input —
+// random data, specials (NaR / zero / ±maxpos / ±minpos, IEEE inf/NaN),
+// degenerate and odd sizes — and the dispatch predicate itself must route
+// exactly as documented (Auto thresholds, default-backend kill switch,
+// telemetry fallback).  Solver-level identity (CG, Cholesky) and the
+// thread-count determinism of batched artifacts close the loop.
+// (The all-pairs 8-bit sweep against the GMP oracle is
+// kernels_exhaustive_test.)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/report_json.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "ieee/softfloat.hpp"
+#include "la/cg.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/kernels/kernels.hpp"
+#include "matrices/generator.hpp"
+#include "matrices/suite.hpp"
+#include "posit/lut.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+namespace ker = pstab::la::kernels;
+
+const ker::Context kScalar{ker::Backend::Scalar};
+const ker::Context kBatched{ker::Backend::Batched};
+
+template <class T>
+bool bits_equal(const la::Vec<T>& a, const la::Vec<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+template <class T>
+bool bits_equal(const T& a, const T& b) {
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+/// Random vector; when `specials` is set roughly one element in eight is a
+/// special value (posit NaR / zero / ±maxpos / ±minpos, IEEE ±inf / NaN /
+/// zero) so the flag paths and propagation rules get exercised.
+template <class T>
+la::Vec<T> rand_vec(int n, unsigned seed, bool specials) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  la::Vec<T> v(n);
+  for (auto& x : v) x = scalar_traits<T>::from_double(dist(rng));
+  if (!specials) return v;
+  std::vector<T> s;
+  if constexpr (requires { T::nar(); }) {
+    s = {T::zero(),   T::nar(),     T::maxpos(),
+         -T::maxpos(), T::minpos(), -T::minpos()};
+  } else {
+    const double inf = std::numeric_limits<double>::infinity();
+    s = {scalar_traits<T>::zero(), scalar_traits<T>::from_double(inf),
+         scalar_traits<T>::from_double(-inf),
+         scalar_traits<T>::from_double(std::nan("")), scalar_traits<T>::max()};
+  }
+  for (auto& x : v)
+    if (rng() % 8 == 0) x = s[rng() % s.size()];
+  return v;
+}
+
+const int kSizes[] = {0, 1, 2, 3, 17, 257, 1000};
+
+template <class T>
+void check_blas1(bool specials) {
+  unsigned seed = specials ? 900 : 100;
+  for (const int n : kSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n) +
+                 (specials ? " specials" : " random"));
+    const auto x = rand_vec<T>(n, seed++, specials);
+    const auto y = rand_vec<T>(n, seed++, specials);
+    const T alpha = scalar_traits<T>::from_double(1.25);
+    const T beta = scalar_traits<T>::from_double(-0.75);
+
+    EXPECT_TRUE(bits_equal(ker::dot(kScalar, x, y), ker::dot(kBatched, x, y)));
+    EXPECT_TRUE(bits_equal(ker::dot_fused(kScalar, x, y),
+                           ker::dot_fused(kBatched, x, y)));
+    EXPECT_TRUE(
+        bits_equal(ker::nrm2(kScalar, x), ker::nrm2(kBatched, x)));
+
+    auto ys = y, yb = y;
+    ker::axpy(kScalar, alpha, x, ys);
+    ker::axpy(kBatched, alpha, x, yb);
+    EXPECT_TRUE(bits_equal(ys, yb));
+
+    auto xs = x, xb = x;
+    ker::scal(kScalar, alpha, xs);
+    ker::scal(kBatched, alpha, xb);
+    EXPECT_TRUE(bits_equal(xs, xb));
+
+    la::Vec<T> zs(n), zb(n);
+    ker::xpby(kScalar, x, beta, y, zs);
+    ker::xpby(kBatched, x, beta, y, zb);
+    EXPECT_TRUE(bits_equal(zs, zb));
+
+    // Strided multiply-accumulate chains, both directions.
+    for (const bool sub : {false, true}) {
+      const std::size_t m = n / 2;
+      const T ss = ker::update_chain(kScalar, alpha, x.data(), 2, y.data(), 1,
+                                     m, sub);
+      const T sb = ker::update_chain(kBatched, alpha, x.data(), 2, y.data(), 1,
+                                     m, sub);
+      EXPECT_TRUE(bits_equal(ss, sb));
+    }
+  }
+}
+
+template <class T>
+void check_blas2(bool specials) {
+  const int rows = 37, cols = 53;
+  std::mt19937_64 rng(specials ? 7000 : 77);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  la::Dense<double> Ad(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) Ad(i, j) = dist(rng);
+  const auto A = Ad.template cast<T>();
+  const auto x = rand_vec<T>(cols, specials ? 7001 : 78, specials);
+
+  la::Vec<T> ys, yb;
+  ker::gemv(kScalar, A, x, ys);
+  ker::gemv(kBatched, A, x, yb);
+  EXPECT_TRUE(bits_equal(ys, yb));
+
+  // CSR with the x-side specials flowing through the gather.
+  const matrices::MatrixSpec spec{"kerneq", 64, 640, 1e3, 1e1, 1e1};
+  const auto g = matrices::generate_spd(spec, 3);
+  const auto S = g.csr.template cast<T>();
+  const auto xs = rand_vec<T>(64, specials ? 7002 : 79, specials);
+  la::Vec<T> ss, sb;
+  ker::spmv(kScalar, S, xs, ss);
+  ker::spmv(kBatched, S, xs, sb);
+  EXPECT_TRUE(bits_equal(ss, sb));
+}
+
+TEST(KernelsEquivalence, Posit16Blas1) {
+  check_blas1<Posit16_1>(false);
+  check_blas1<Posit16_1>(true);
+}
+TEST(KernelsEquivalence, Posit32Blas1) {
+  check_blas1<Posit32_2>(false);
+  check_blas1<Posit32_2>(true);
+}
+TEST(KernelsEquivalence, HalfBlas1) {
+  check_blas1<Half>(false);
+  check_blas1<Half>(true);
+}
+TEST(KernelsEquivalence, Posit16Blas2) {
+  check_blas2<Posit16_1>(false);
+  check_blas2<Posit16_1>(true);
+}
+TEST(KernelsEquivalence, Posit32Blas2) {
+  check_blas2<Posit32_2>(false);
+  check_blas2<Posit32_2>(true);
+}
+TEST(KernelsEquivalence, HalfBlas2) {
+  check_blas2<Half>(false);
+  check_blas2<Half>(true);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch routing.
+
+TEST(KernelsDispatch, ExplicitBackendsWin) {
+  EXPECT_FALSE(ker::use_batched<Posit32_2>(kScalar, 1 << 20));
+  EXPECT_TRUE(ker::use_batched<Posit32_2>(kBatched, 1));
+}
+
+TEST(KernelsDispatch, AutoRespectsSizeFloor) {
+  const ker::Context a{ker::Backend::Auto};
+  EXPECT_FALSE(ker::use_batched<Posit32_2>(a, ker::kAutoMinN - 1));
+  EXPECT_TRUE(ker::use_batched<Posit32_2>(a, ker::kAutoMinN));
+}
+
+TEST(KernelsDispatch, AutoDefersToLutPreference) {
+  // Only the N <= 8 single-load result tables make the scalar path preferable
+  // (the 16-bit decode-assist does not: batched still wins there).
+  using P8 = Posit<8, 2>;
+  const ker::Context a{ker::Backend::Auto};
+  lut::enable<8, 2>();
+  EXPECT_FALSE(ker::use_batched<P8>(a, 4096));        // LUT path preferred
+  EXPECT_TRUE(ker::use_batched<P8>(kBatched, 4096));  // explicit wins
+  lut::disable<8, 2>();
+  EXPECT_TRUE(ker::use_batched<P8>(a, 4096));
+}
+
+TEST(KernelsDispatch, DefaultBackendKillSwitch) {
+  // set_default_backend(Scalar) is exactly what PSTAB_KERNELS=scalar (or =0)
+  // latches at startup: Auto contexts fall back, explicit contexts still win.
+  const ker::Context a{ker::Backend::Auto};
+  ASSERT_TRUE(ker::use_batched<Posit32_2>(a, 4096));
+  ker::set_default_backend(ker::Backend::Scalar);
+  EXPECT_FALSE(ker::use_batched<Posit32_2>(a, 4096));
+  EXPECT_TRUE(ker::use_batched<Posit32_2>(kBatched, 4096));
+  ker::set_default_backend(ker::Backend::Batched);
+  EXPECT_TRUE(ker::use_batched<Posit32_2>(a, 1));  // forced, no size floor
+  ker::set_default_backend(ker::Backend::Auto);
+  EXPECT_TRUE(ker::use_batched<Posit32_2>(a, 4096));
+}
+
+TEST(KernelsDispatch, TelemetryForcesScalar) {
+  telemetry::set_enabled(true);
+  EXPECT_FALSE(ker::use_batched<Posit32_2>(kBatched, 4096));
+  telemetry::set_enabled(false);
+  telemetry::reset();
+  EXPECT_TRUE(ker::use_batched<Posit32_2>(kBatched, 4096));
+}
+
+TEST(KernelsDispatch, UnsupportedScalarTypesStayScalar) {
+  EXPECT_FALSE(ker::use_batched<float>(kBatched, 4096));
+  EXPECT_FALSE(ker::use_batched<double>(kBatched, 4096));
+}
+
+// ---------------------------------------------------------------------------
+// Solver-level identity: the backend choice must not change a single bit of
+// any solve.
+
+TEST(KernelsSolvers, CgBackendInvariant) {
+  const auto& m = matrices::suite_matrix("bcsstk02");
+  const la::Vec<double> b(static_cast<std::size_t>(m.csr.rows()), 1.0);
+  la::CgOptions optS, optB;
+  optS.kernels = kScalar;
+  optB.kernels = kBatched;
+  const auto cs = core::cg_in_format<Posit32_2>(m.csr, b, optS);
+  const auto cb = core::cg_in_format<Posit32_2>(m.csr, b, optB);
+  EXPECT_EQ(cs.status, cb.status);
+  EXPECT_EQ(cs.iterations, cb.iterations);
+  EXPECT_EQ(cs.final_relres, cb.final_relres);
+  EXPECT_EQ(cs.true_relres, cb.true_relres);
+}
+
+TEST(KernelsSolvers, CholeskyBackendInvariant) {
+  const auto& m = matrices::suite_matrix("bcsstk02");
+  const la::Vec<double> b(static_cast<std::size_t>(m.dense.rows()), 1.0);
+  const auto cs = core::cholesky_in_format<Posit32_2>(m.dense, b, kScalar);
+  const auto cb = core::cholesky_in_format<Posit32_2>(m.dense, b, kBatched);
+  EXPECT_EQ(cs.ok, cb.ok);
+  EXPECT_EQ(cs.backward_error, cb.backward_error);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism: RESULTS artifacts from the batched backend must
+// be byte-identical no matter how many threads ran the planes.
+
+class ThreadsEnv {
+ public:
+  explicit ThreadsEnv(const char* v) {
+    const char* old = std::getenv("PSTAB_THREADS");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    setenv("PSTAB_THREADS", v, 1);
+  }
+  ~ThreadsEnv() {
+    if (had_)
+      setenv("PSTAB_THREADS", saved_.c_str(), 1);
+    else
+      unsetenv("PSTAB_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(KernelsSolvers, BatchedArtifactsThreadCountInvariant) {
+  const std::vector<const matrices::GeneratedMatrix*> suite = {
+      &matrices::suite_matrix("bcsstk02"), &matrices::suite_matrix("lund_b")};
+  core::CgExperimentOptions opt;
+  opt.backend = ker::Backend::Batched;
+
+  const auto run = [&](const char* threads) {
+    ThreadsEnv env(threads);
+    const auto rows = core::run_cg_suite(suite, opt);
+    return core::cg_results_json("cg", rows, opt);
+  };
+  const std::string doc1 = run("1");
+  const std::string doc8 = run("8");
+  EXPECT_EQ(doc1, doc8);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Exhaustive 8-bit validation of the batched kernels against the GMP
+// oracle (mp/oracle.hpp): every nonzero, non-NaR pair (a, b) runs through a
+// two-step batched dot — mul-round then add-round, the paper's §II-C
+// per-operation rounding contract — and must match both the scalar kernels
+// and an independently decoded, correctly rounded ground truth.  Long
+// chained dots then pin the batched chain and the chunked-quire fused dot
+// against an exact 512-bit accumulation rounded once.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "la/kernels/kernels.hpp"
+#include "mp/oracle.hpp"
+#include "mp/mpreal.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+
+namespace {
+
+using namespace pstab;
+namespace ker = pstab::la::kernels;
+
+const ker::Context kScalar{ker::Backend::Scalar};
+const ker::Context kBatched{ker::Backend::Batched};
+
+/// Signed value of a pattern via the oracle's independent decoder (the
+/// library decoder never touches this path).
+template <int N, int ES>
+mpf_class oracle_value(Posit<N, ES> p) {
+  if (p.is_zero()) return mp::make(0.0);
+  const bool neg = (p.bits() >> (N - 1)) & 1;
+  const std::uint64_t mag = neg ? (-p).bits() : p.bits();
+  const mpf_class v = mp::oracle_decode(mag, N, ES);
+  return neg ? mpf_class(-v) : v;
+}
+
+/// All 8-bit pairs: dot([a], [b]) is one mul-round (the add against the zero
+/// seed is exact), so scalar, batched, and oracle_round(exact product) must
+/// agree pattern-for-pattern.
+template <int ES>
+void all_pairs_dot() {
+  using P = Posit<8, ES>;
+  for (unsigned ab = 0; ab < 256; ++ab) {
+    const P a = P::from_bits(ab);
+    if (a.is_nar() || a.is_zero()) continue;
+    const mpf_class va = oracle_value(a);
+    for (unsigned bb = 0; bb < 256; ++bb) {
+      const P b = P::from_bits(bb);
+      if (b.is_nar() || b.is_zero()) continue;
+      const la::Vec<P> x{a}, y{b};
+      const P ds = ker::dot(kScalar, x, y);
+      const P db = ker::dot(kBatched, x, y);
+      ASSERT_EQ(ds.bits(), db.bits())
+          << "a=" << ab << " b=" << bb << " es=" << ES;
+      const mpf_class exact = va * oracle_value(b);
+      const P ref = mp::oracle_round<8, ES>(exact);
+      ASSERT_EQ(db.bits(), ref.bits())
+          << "a=" << ab << " b=" << bb << " es=" << ES;
+    }
+  }
+}
+
+TEST(KernelsExhaustive, AllPairsDotPosit8es0) { all_pairs_dot<0>(); }
+TEST(KernelsExhaustive, AllPairsDotPosit8es2) { all_pairs_dot<2>(); }
+
+/// Long chains: the batched chained dot must match the scalar chain bit for
+/// bit, and the fused (chunked-quire) dot must equal the exact sum of
+/// products rounded exactly once — independent of how the chunks split.
+TEST(KernelsExhaustive, ChainedAndFusedDotVsExactSum) {
+  using P = Posit<8, 2>;
+  std::mt19937_64 rng(41);
+  for (int rep = 0; rep < 64; ++rep) {
+    const int n = 1 + int(rng() % 4096);
+    la::Vec<P> x(n), y(n);
+    mpf_class exact = mp::make(0.0);
+    for (int i = 0; i < n; ++i) {
+      // Nonzero, non-NaR patterns only: specials are covered elsewhere and
+      // would poison the exact accumulation.
+      do {
+        x[i] = P::from_bits(rng() & 0xff);
+      } while (x[i].is_nar() || x[i].is_zero());
+      do {
+        y[i] = P::from_bits(rng() & 0xff);
+      } while (y[i].is_nar() || y[i].is_zero());
+      exact += oracle_value(x[i]) * oracle_value(y[i]);
+    }
+    const P ds = ker::dot(kScalar, x, y);
+    const P db = ker::dot(kBatched, x, y);
+    ASSERT_EQ(ds.bits(), db.bits()) << "rep=" << rep << " n=" << n;
+
+    const P fs = ker::dot_fused(kScalar, x, y);
+    const P fb = ker::dot_fused(kBatched, x, y);
+    ASSERT_EQ(fs.bits(), fb.bits()) << "rep=" << rep << " n=" << n;
+    const P ref =
+        exact == 0 ? P::zero() : mp::oracle_round<8, 2>(exact);
+    ASSERT_EQ(fb.bits(), ref.bits()) << "rep=" << rep << " n=" << n;
+  }
+}
+
+}  // namespace

@@ -39,22 +39,22 @@ Dense<double> random_spd(int n, double shift, unsigned seed) {
 
 TEST(VectorOps, DotAxpyNrm2) {
   Vec<double> x{1, 2, 3}, y{4, 5, 6};
-  EXPECT_EQ(la::dot(x, y), 32.0);
-  la::axpy(2.0, x, y);
+  EXPECT_EQ(la::kernels::dot(la::kernels::Context{}, x, y), 32.0);
+  la::kernels::axpy(la::kernels::Context{}, 2.0, x, y);
   EXPECT_EQ(y[0], 6.0);
   EXPECT_EQ(y[2], 12.0);
-  EXPECT_DOUBLE_EQ(la::nrm2_d(x), std::sqrt(14.0));
-  EXPECT_EQ(la::norm_inf_d(y), 12.0);
+  EXPECT_DOUBLE_EQ(la::kernels::nrm2_d(x), std::sqrt(14.0));
+  EXPECT_EQ(la::kernels::norm_inf_d(y), 12.0);
 }
 
 TEST(VectorOps, ClampedCast) {
   Vec<double> x{1.0, 1e9, -1e9, 1e-30, 0.0};
-  const auto h = la::from_double_clamped<Half>(x);
+  const auto h = la::kernels::from_double_clamped<Half>(x);
   EXPECT_EQ(h[0].to_double(), 1.0);
   EXPECT_EQ(h[1].to_double(), 65504.0);   // clamped, not inf
   EXPECT_EQ(h[2].to_double(), -65504.0);
   EXPECT_EQ(h[3].to_double(), 0.0);       // underflow to zero (IEEE)
-  const auto p = la::from_double_clamped<Posit16_2>(x);
+  const auto p = la::kernels::from_double_clamped<Posit16_2>(x);
   EXPECT_GT(p[3].to_double(), 0.0);       // posit never underflows to zero
 }
 
@@ -173,10 +173,10 @@ TEST(Norms, KnownValues) {
   A(0, 1) = -3;
   A(1, 0) = 2;
   A(1, 1) = 1;
-  EXPECT_EQ(la::norm_inf(A), 4.0);
-  EXPECT_DOUBLE_EQ(la::norm_frob(A), std::sqrt(15.0));
+  EXPECT_EQ(la::kernels::norm_inf(A), 4.0);
+  EXPECT_DOUBLE_EQ(la::kernels::norm_frob(A), std::sqrt(15.0));
   const auto S = Csr<double>::from_dense(A);
-  EXPECT_EQ(la::norm_inf(S), 4.0);
+  EXPECT_EQ(la::kernels::norm_inf(S), 4.0);
 }
 
 TEST(Norms, PowerIterationFindsTopEigenvalue) {
@@ -184,7 +184,7 @@ TEST(Norms, PowerIterationFindsTopEigenvalue) {
   Dense<double> A(5, 5);
   const double d[5] = {0.1, 2.0, -7.5, 3.0, 1.0};
   for (int i = 0; i < 5; ++i) A(i, i) = d[i];
-  EXPECT_NEAR(la::norm2_est(A), 7.5, 1e-6);
+  EXPECT_NEAR(la::kernels::norm2_est(A), 7.5, 1e-6);
 }
 
 TEST(Cg, SolvesInDouble) {
@@ -199,7 +199,7 @@ TEST(Cg, SolvesInDouble) {
   EXPECT_EQ(rep.status, la::CgStatus::converged);
   EXPECT_LT(rep.iterations, 200);
   const auto r = la::residual(A, b, x);
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-9);
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-9);
 }
 
 TEST(Cg, Posit32SolvesWellScaledSystem) {
@@ -209,14 +209,14 @@ TEST(Cg, Posit32SolvesWellScaledSystem) {
   Vec<double> xtrue(40, 1.0 / std::sqrt(40.0));
   const auto b = A * xtrue;
   const auto Sp = S.cast<P>();
-  const auto bp = la::from_double_vec<P>(b);
+  const auto bp = la::kernels::from_double_vec<P>(b);
   Vec<P> xp;
   const auto rep = la::cg_solve(Sp, bp, xp);
   EXPECT_EQ(rep.status, la::CgStatus::converged);
   // True residual in double must honour the 1e-5 criterion roughly.
-  const auto xd = la::to_double_vec(xp);
+  const auto xd = la::kernels::to_double_vec(xp);
   const auto r = la::residual(A, b, xd);
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 5e-5);
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 5e-5);
 }
 
 TEST(Cg, ReportsBreakdownOnIndefinite) {
@@ -237,8 +237,8 @@ TEST(Cg, FusedDotsConvergeAtLeastAsFast) {
   const auto A = random_spd(30, 3.0, 17);
   const auto S = Csr<double>::from_dense(A).cast<P>();
   Vec<double> xtrue(30, 1.0 / std::sqrt(30.0));
-  const auto b = la::from_double_vec<P>(
-      la::to_double_vec(S * la::from_double_vec<P>(xtrue)));
+  const auto b = la::kernels::from_double_vec<P>(
+      la::kernels::to_double_vec(S * la::kernels::from_double_vec<P>(xtrue)));
   Vec<P> x1, x2;
   la::CgOptions plain, fused;
   plain.max_iter = fused.max_iter = 2000;
@@ -260,7 +260,7 @@ TEST(Bicgstab, SolvesInDouble) {
   const auto rep = la::bicgstab_solve(S, b, x, 1e-9, 2000);
   EXPECT_TRUE(rep.converged());
   const auto r = la::residual(A, b, x);
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-8);
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-8);
   EXPECT_GT(rep.iterate_log_range, 0.0);
 }
 
@@ -269,7 +269,7 @@ TEST(FusedDot, QuireExactness) {
   // Ill-conditioned dot: fused (quire) recovers it, plain loses digits.
   Vec<P> x{P::from_double(1e15), P::from_double(3.0), P::from_double(-1e15)};
   Vec<P> y{P::from_double(1.0), P::from_double(1.0), P::from_double(1.0)};
-  EXPECT_EQ(la::dot_fused(x, y).to_double(), 3.0);
+  EXPECT_EQ(la::kernels::dot_fused(la::kernels::Context{}, x, y).to_double(), 3.0);
 }
 
 }  // namespace

@@ -91,10 +91,10 @@ TEST(Lu, WorksInPosit32) {
   const auto g = matrices::generate_spd(spec, 0);
   const auto Ap = g.dense.cast<Posit32_2>();
   const auto b = matrices::paper_rhs(g.dense);
-  const auto x = la::lu_solve(Ap, la::from_double_vec<Posit32_2>(b));
+  const auto x = la::lu_solve(Ap, la::kernels::from_double_vec<Posit32_2>(b));
   ASSERT_TRUE(x.has_value());
-  const auto r = la::residual(g.dense, b, la::to_double_vec(*x));
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-5);
+  const auto r = la::residual(g.dense, b, la::kernels::to_double_vec(*x));
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-5);
 }
 
 TEST(Lu, GrowthBoundedByPivoting) {

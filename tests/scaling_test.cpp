@@ -53,7 +53,7 @@ TEST(Pow2Scaling, SolutionInvariant) {
   for (int i = 0; i < A.rows(); ++i)
     for (int j = 0; j < A.cols(); ++j) EXPECT_EQ(A2(i, j), s * A(i, j));
   for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b2[i], s * b[i]);
-  EXPECT_NEAR(std::log2(la::norm_inf(A2)), 10.0, 1.0);
+  EXPECT_NEAR(std::log2(la::kernels::norm_inf(A2)), 10.0, 1.0);
 }
 
 TEST(Pow2Scaling, CsrAndDenseAgree) {

@@ -33,7 +33,7 @@ TEST(Gmres, SolvesUnpreconditioned) {
   const auto rep = la::gmres_solve(g.dense, b, x, nullptr, 1e-10, 400, 60);
   ASSERT_TRUE(rep.converged());
   const auto r = la::residual(g.dense, b, x);
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-9);
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-9);
 }
 
 TEST(Gmres, PreconditionerCutsIterations) {
@@ -74,7 +74,7 @@ TEST(GmresIr, ConvergesWhereApplicable) {
   ASSERT_EQ(rep.status, la::IrStatus::converged);
   EXPECT_LE(rep.final_berr, 4.5e-16);
   const auto r = la::residual(g.dense, b, x);
-  EXPECT_LT(la::norm_inf_d(r) / la::norm_inf_d(b), 1e-12);
+  EXPECT_LT(la::kernels::norm_inf_d(r) / la::kernels::norm_inf_d(b), 1e-12);
 }
 
 TEST(GmresIr, AtLeastAsRobustAsPlainIr) {
@@ -106,7 +106,7 @@ TEST(Pcg, MatchesCgSolutionInDouble) {
   const auto rep = la::pcg_jacobi_solve(S, b, x, diag, opt);
   ASSERT_EQ(rep.status, la::CgStatus::converged);
   const auto r = la::residual(g.dense, b, x);
-  EXPECT_LT(la::nrm2_d(r) / la::nrm2_d(b), 1e-8);
+  EXPECT_LT(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-8);
 }
 
 TEST(Pcg, AcceleratesBadlyScaledSystems) {
@@ -251,7 +251,7 @@ TEST(Instrumented, WorksInsideCg) {
   const auto g = small_spd();
   const auto b = matrices::paper_rhs(g.dense);
   const auto Ai = g.csr.cast<I>();
-  const auto bi = la::from_double_vec<I>(b);
+  const auto bi = la::kernels::from_double_vec<I>(b);
   la::Vec<I> x;
   const auto rep = la::cg_solve(Ai, bi, x, {});
   EXPECT_EQ(rep.status, la::CgStatus::converged);

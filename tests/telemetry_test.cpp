@@ -288,7 +288,7 @@ TEST(TraceTest, MergeCombinesResidualsAndPhases) {
 TEST(TraceTest, CgRecordsTrace) {
   const auto& m = matrices::suite_matrix("bcsstk02");
   const auto A = m.csr.cast<double>();
-  const auto b = la::from_double_vec<double>(matrices::paper_rhs(m.dense));
+  const auto b = la::kernels::from_double_vec<double>(matrices::paper_rhs(m.dense));
   la::Vec<double> x;
   la::CgOptions opt;
   opt.record_trace = true;

@@ -69,6 +69,21 @@ def check_file(path):
         if not isinstance(rows, list) or not rows:
             fail(path, "rows must be a non-empty array")
         for i, row in enumerate(rows):
+            if experiment == "kernels":
+                # Backend micro-benchmark rows (core/kernels_bench.cpp):
+                # no matrix, one row per (kernel, format) pair.
+                for key in ("kernel", "format", "n", "scalar_mops",
+                            "batched_mops", "speedup", "identical"):
+                    if key not in row:
+                        fail(path, f"rows[{i}]: missing '{key}'")
+                if not isinstance(row["n"], int) or row["n"] <= 0:
+                    fail(path, f"rows[{i}]: n must be a positive integer")
+                if not isinstance(row["identical"], bool):
+                    fail(path, f"rows[{i}]: identical must be a boolean")
+                if row["identical"] is not True:
+                    fail(path, f"rows[{i}]: batched backend diverged from "
+                               f"scalar ({row['kernel']}/{row['format']})")
+                continue
             if not isinstance(row.get("matrix"), str):
                 fail(path, f"rows[{i}]: missing matrix name")
             if experiment.startswith("cg"):

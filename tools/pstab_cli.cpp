@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/experiments.hpp"
+#include "core/kernels_bench.hpp"
 #include "core/report.hpp"
 #include "core/report_json.hpp"
 #include "core/telemetry/telemetry.hpp"
@@ -36,26 +37,58 @@ int usage() {
                "usage: pstab <command> [args]\n"
                "  list | gen-mtx <dir> | cg <matrix> [--rescale] |\n"
                "  chol <matrix> [--rescale] | ir <matrix> [--higham] |\n"
+               "  kernels --bench [--n <len>] |\n"
                "  precision <value> | fuzz <n> [seed]\n"
-               "  cg|chol|ir also accept: --json <path>\n");
+               "  cg|chol|ir also accept: --json <path> --tol <v>\n"
+               "    --max-iter <n> --kernels scalar|batched|auto\n"
+               "  kernels also accepts: --json <path>\n");
   return 1;
 }
 
-// Flags shared by the solver subcommands (cg/chol/ir).
-struct SolverFlags {
-  bool rescale = false;  // --rescale (cg/chol) or --higham (ir)
+// Flags shared by the solver subcommands (cg/chol/ir).  One parser for all
+// three: each flag overlays the common core::ExperimentOptions base via
+// apply(), so per-command defaults survive when a flag is absent.
+struct SolverArgs {
+  bool rescale = false;   // --rescale (cg/chol) or --higham (ir)
   std::string json_path;  // --json <path>; empty = no artifact
+  double tol = 0.0;       // --tol <v>; 0 = keep the command default
+  int max_iter = 0;       // --max-iter <n>; 0 = keep the command default
+  la::kernels::Backend backend = la::kernels::Backend::Auto;  // --kernels
   bool ok = true;
+
+  void apply(core::ExperimentOptions& o) const {
+    if (tol > 0) o.tol = tol;
+    if (max_iter > 0) o.max_iter = max_iter;
+    o.backend = backend;
+  }
 };
 
-SolverFlags parse_solver_flags(int argc, char** argv, int first) {
-  SolverFlags f;
+bool parse_backend(const char* s, la::kernels::Backend& out) {
+  if (std::strcmp(s, "scalar") == 0) out = la::kernels::Backend::Scalar;
+  else if (std::strcmp(s, "batched") == 0) out = la::kernels::Backend::Batched;
+  else if (std::strcmp(s, "auto") == 0) out = la::kernels::Backend::Auto;
+  else return false;
+  return true;
+}
+
+SolverArgs parse_solver_args(int argc, char** argv, int first) {
+  SolverArgs f;
   for (int i = first; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rescale") == 0 ||
         std::strcmp(argv[i], "--higham") == 0) {
       f.rescale = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       f.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      f.tol = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--max-iter") == 0 && i + 1 < argc) {
+      f.max_iter = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--kernels") == 0 && i + 1 < argc) {
+      if (!parse_backend(argv[++i], f.backend)) {
+        std::fprintf(stderr, "unknown backend %s\n", argv[i]);
+        f.ok = false;
+        return f;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       f.ok = false;
@@ -98,7 +131,7 @@ int cmd_gen_mtx(const std::string& dir) {
   return 0;
 }
 
-int cmd_cg(const std::string& name, const SolverFlags& flags) {
+int cmd_cg(const std::string& name, const SolverArgs& flags) {
   const auto spec = matrices::find_spec(name);
   if (!spec) {
     std::fprintf(stderr, "unknown matrix %s (try 'pstab list')\n",
@@ -108,6 +141,7 @@ int cmd_cg(const std::string& name, const SolverFlags& flags) {
   const bool rescale = flags.rescale;
   core::CgExperimentOptions opt;
   opt.rescale_pow2_inf = rescale;
+  flags.apply(opt);
   const auto row = core::run_cg_experiment(matrices::suite_matrix(name), opt);
   const auto cell = [](const core::CgCell& c) {
     if (c.status == la::CgStatus::converged)
@@ -127,11 +161,12 @@ int cmd_cg(const std::string& name, const SolverFlags& flags) {
   return 0;
 }
 
-int cmd_chol(const std::string& name, const SolverFlags& flags) {
+int cmd_chol(const std::string& name, const SolverArgs& flags) {
   if (!matrices::find_spec(name)) return usage();
   const bool rescale = flags.rescale;
   core::CholExperimentOptions opt;
   opt.rescale_diag_avg = rescale;
+  flags.apply(opt);
   const auto row =
       core::run_cholesky_experiment(matrices::suite_matrix(name), opt);
   const auto cell = [](const core::CholCell& c) {
@@ -152,11 +187,12 @@ int cmd_chol(const std::string& name, const SolverFlags& flags) {
   return 0;
 }
 
-int cmd_ir(const std::string& name, const SolverFlags& flags) {
+int cmd_ir(const std::string& name, const SolverArgs& flags) {
   if (!matrices::find_spec(name)) return usage();
   const bool higham = flags.rescale;
   core::IrExperimentOptions opt;
   opt.higham = higham;
+  flags.apply(opt);
   const auto row = core::run_ir_experiment(matrices::suite_matrix(name), opt);
   const auto cell = [](const la::IrReport& r) {
     const bool failed = r.status == la::IrStatus::factorization_failed ||
@@ -173,6 +209,38 @@ int cmd_ir(const std::string& name, const SolverFlags& flags) {
     return emit_json(flags.json_path,
                      core::ir_results_json(higham ? "ir_higham" : "ir_naive",
                                            {row}, opt));
+  return 0;
+}
+
+int cmd_kernels(int argc, char** argv) {
+  bool bench = false;
+  int n = 4096;
+  std::string json_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench") == 0) {
+      bench = true;
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (!bench || n <= 0) return usage();
+  // No telemetry here: counters force the scalar fallback, which would turn
+  // the comparison into scalar-vs-scalar.
+  const auto rows = core::run_kernels_bench(n);
+  core::Table t({"Kernel", "Format", "n", "Scalar Mop/s", "Batched Mop/s",
+                 "Speedup", "Identical"});
+  for (const auto& r : rows)
+    t.row({r.kernel, r.format, core::fmt_int(r.n),
+           core::fmt_fix(r.scalar_mops, 1), core::fmt_fix(r.batched_mops, 1),
+           core::fmt_fix(r.speedup(), 2) + "x", r.identical ? "yes" : "NO"});
+  t.print();
+  if (!json_path.empty())
+    return emit_json(json_path, core::kernels_results_json(rows, n));
   return 0;
 }
 
@@ -231,9 +299,9 @@ int main(int argc, char** argv) {
   if (telemetry::env_requested()) telemetry::set_enabled(true);
   const std::string cmd = argv[1];
   const bool is_solver = cmd == "cg" || cmd == "chol" || cmd == "ir";
-  SolverFlags flags;
+  SolverArgs flags;
   if (is_solver && argc > 2) {
-    flags = parse_solver_flags(argc, argv, 3);
+    flags = parse_solver_args(argc, argv, 3);
     if (!flags.ok) return usage();
   }
   try {
@@ -242,6 +310,7 @@ int main(int argc, char** argv) {
     if (cmd == "cg" && argc > 2) return cmd_cg(argv[2], flags);
     if (cmd == "chol" && argc > 2) return cmd_chol(argv[2], flags);
     if (cmd == "ir" && argc > 2) return cmd_ir(argv[2], flags);
+    if (cmd == "kernels") return cmd_kernels(argc, argv);
     if (cmd == "precision" && argc > 2)
       return cmd_precision(std::strtod(argv[2], nullptr));
     if (cmd == "fuzz" && argc > 2)

@@ -9,10 +9,11 @@
 #   PSTAB_BENCH_FULL  =1 also run the remaining figure/table benches
 #
 # Always runs fig6_cg, so every invocation leaves a schema-checked
-# RESULTS_cg.json (the acceptance artifact for the telemetry layer); with
-# PSTAB_BENCH_FULL=1 the other experiment benches add their RESULTS_*.json
-# files.  Every RESULTS_*.json is validated with tools/check_results_schema.py
-# when python3 is available.
+# RESULTS_cg.json (the acceptance artifact for the telemetry layer), and
+# perf_kernels, which leaves BENCH_kernels.json (the acceptance artifact for
+# the batched kernel backends); with PSTAB_BENCH_FULL=1 the other experiment
+# benches add their RESULTS_*.json files.  Every artifact is validated with
+# tools/check_results_schema.py when python3 is available.
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -20,12 +21,15 @@ build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 1)" \
-  --target perf_ops fig6_cg fig7_cg_rescaled fig8_cholesky \
+  --target perf_ops perf_kernels fig6_cg fig7_cg_rescaled fig8_cholesky \
            fig9_cholesky_rescaled table2_ir_naive table3_ir_higham
 
 cd "$build_dir"
 echo "== perf_ops: LUT vs scalar (writes BENCH_posit_ops.json) =="
 ./bench/perf_ops --out BENCH_posit_ops.json
+
+echo "== perf_kernels: scalar vs batched backends (writes BENCH_kernels.json) =="
+./bench/perf_kernels
 
 echo "== fig6_cg (writes RESULTS_cg.json) =="
 ./bench/fig6_cg
@@ -40,9 +44,10 @@ fi
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== schema check =="
-  python3 "$repo_root/tools/check_results_schema.py" "$build_dir"/RESULTS_*.json
+  python3 "$repo_root/tools/check_results_schema.py" \
+    "$build_dir"/RESULTS_*.json "$build_dir"/BENCH_kernels.json
 else
-  echo "python3 not found; skipping RESULTS_*.json schema check"
+  echo "python3 not found; skipping results schema check"
 fi
 
 echo "benchmark artifacts in $build_dir:"
