@@ -1,0 +1,130 @@
+// Differential fuzzing subsystem: a deterministic, seed-replayable case
+// generator driving every arithmetic surface of the library against the GMP
+// oracles (mp/oracle.hpp, mp/oracle_ieee.hpp), plus solver micro-cases
+// checked for internal invariants.
+//
+// Surfaces:
+//   posit     — Posit<N, ES> add/sub/mul/div/sqrt/recip and the quire fma
+//               across the paper's N×ES grid, vs the pattern-space oracle
+//   softfloat — SoftFloat<E, M> ops, sqrt and scalar_traits::fma vs the IEEE
+//               oracle; Float32Emu is additionally cross-checked bit-for-bit
+//               against hardware float
+//   quire     — Quire accumulate / read-back and chunked partial-quire merges
+//               (the batched dot_fused structure) vs the exact GMP sum
+//   convert   — from_double / to_double round trips and posit recasts
+//   solver    — tiny SPD systems through cholesky / mixed_ir, with and
+//               without Higham scaling: no non-finite escapes, status-field
+//               consistency, scaled-vs-unscaled residual agreement in double
+//
+// Everything is keyed by a SplitMix64 seed: the same (seed, cases, surfaces)
+// triple reproduces the same case stream, verdicts, and digest.  A mismatch
+// is auto-minimized (greedy operand-bit clearing under the failure predicate)
+// and serialized as a one-line replay record; checked-in records live in
+// tests/corpus/ and are re-executed forever by fuzz_corpus_test.
+//
+// Record format (one case per line, '#' starts a comment):
+//   pstab-fuzz-v1 <surface> <format> <op> <hex arg>... [# note]
+//   e.g.  pstab-fuzz-v1 posit p16_2 mul 0x7fff 0x0001
+//
+// Link against pstab_fuzz (which pulls in pstab_mp / GMP).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pstab::fuzz {
+
+/// SplitMix64 (Steele, Lea & Flood): tiny, fast, and trivially seedable —
+/// the entire case stream is a pure function of the 64-bit seed.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state(seed) {}
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n); n == 0 returns 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    return n ? next() % n : 0;
+  }
+};
+
+/// One replayable differential case.  `args` are raw bit patterns (or, for
+/// solver cases, [n, case_seed, higham]); `note` is free-text detail carried
+/// in the record comment.
+struct Case {
+  std::string surface;  // posit | softfloat | quire | convert | solver
+  std::string format;   // p<N>_<ES> or sf<E>_<M>
+  std::string op;       // add sub mul div sqrt recip fma dot fromd ...
+  std::vector<std::uint64_t> args;
+  std::string note;
+};
+
+/// Serialize to / parse from the one-line corpus format.
+[[nodiscard]] std::string format_line(const Case& c);
+[[nodiscard]] bool parse_line(const std::string& line, Case& out);
+
+struct Verdict {
+  bool ok = true;
+  std::string detail;  // expected/actual on failure
+};
+
+/// Re-execute one case against the oracle; pure and deterministic.
+[[nodiscard]] Verdict replay(const Case& c);
+
+/// Greedy auto-minimization: repeatedly clear operand bits while the case
+/// still fails.  Returns the smallest failing variant found (the input
+/// unchanged if it does not fail, or is a solver case).
+[[nodiscard]] Case minimize(const Case& c);
+
+enum Surface {
+  kPosit = 0,
+  kSoftFloat,
+  kQuire,
+  kConvert,
+  kSolver,
+  kSurfaceCount
+};
+[[nodiscard]] const char* surface_name(int s) noexcept;
+
+struct Options {
+  std::uint64_t seed = 1;
+  long cases = 1000000;
+  /// Comma-separated subset of {posit,softfloat,quire,convert,solver} or
+  /// "all".
+  std::string surfaces = "all";
+  /// When non-empty, minimized failures are appended to
+  /// <corpus_dir>/<surface>.corpus as replay records.
+  std::string corpus_dir;
+  long max_failures = 32;  // stop collecting (not fuzzing) past this many
+  bool minimize = true;
+};
+
+struct Stats {
+  long cases = 0;
+  long mismatches = 0;
+  /// Order-sensitive FNV-1a digest over every case's bits and verdict:
+  /// equal seeds/options produce equal digests (the determinism contract).
+  std::uint64_t digest = 0;
+  long per_surface[kSurfaceCount] = {0, 0, 0, 0, 0};
+  std::vector<Case> failures;  // minimized, with detail in `note`
+};
+
+/// Run the fuzzer.  Deterministic: Stats (including digest and failure list)
+/// is a pure function of `opt`.
+[[nodiscard]] Stats run(const Options& opt);
+
+/// Replay every record of every *.corpus file under `dir` (sorted by file
+/// name, then line order).  Returns the number of failing records; `total`
+/// (optional) receives the number of records executed, `failures` (optional)
+/// the failing cases with their verdict detail in `note`.
+int replay_corpus_dir(const std::string& dir, long* total,
+                      std::vector<Case>* failures);
+
+/// Append one case to `path` as a replay record.  Returns false on I/O error.
+bool append_corpus(const std::string& path, const Case& c);
+
+}  // namespace pstab::fuzz

@@ -14,6 +14,7 @@
 // theorem for +, -, *, /, sqrt).
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -293,9 +294,33 @@ struct scalar_traits<SoftFloat<E, M>> {
   static F fma(F a, F b, F c) noexcept {
     if (telemetry::active())
       telemetry::count(F::telemetry_slot(), telemetry::Event::fma);
-    // a*b is exact in double (2*(M+1) <= 48 bits); the sum rounds once in
-    // double, then once more to the target: faithful to <= 1 ulp.
-    return F::from_double(a.to_double() * b.to_double() + c.to_double());
+    // a*b is exact in double (2*(M+1) <= 48 bits), but the sum with c rounds
+    // once in double and then once more to the target, and for wide formats
+    // that double rounding is NOT correct (Figueroa's bound needs
+    // 53 >= 2*(M+1) + 2 significand bits of the *exact* sum, which a fused
+    // product + addend can exceed for M = 23).  Recover the correctly
+    // rounded result with an error-free transformation: 2Sum gives the exact
+    // rounding error of the double sum, and nudging the sum to round-to-odd
+    // before the final target rounding makes the two roundings compose
+    // (RN_p(RO_53(x)) = RN_p(x) whenever 53 >= p + 2, and p = M+1 <= 24).
+    const double ad = a.to_double(), bd = b.to_double(), cd = c.to_double();
+    if (!std::isfinite(ad) || !std::isfinite(bd) || !std::isfinite(cd))
+      return F::from_double(ad * bd + cd);  // IEEE special-value semantics
+    const double p = ad * bd;  // exact: 2*(M+1) <= 48 significand bits
+    const double s = p + cd;   // rounded once in double
+    // 2Sum (Knuth): err is exactly (p + cd) - s.  All finite, no overflow
+    // (|p| <= 2^256, |cd| <= 2^128 for every instantiable format).
+    const double t = s - p;
+    const double err = (p - (s - t)) + (cd - t);
+    double v = s;
+    if (err != 0.0 && (std::bit_cast<std::uint64_t>(s) & 1) == 0) {
+      // s sits between the exact sum and the odd neighbor: step one ulp
+      // toward the exact value so v = RO_53(p + cd).
+      v = std::nextafter(
+          s, err > 0.0 ? std::numeric_limits<double>::infinity()
+                       : -std::numeric_limits<double>::infinity());
+    }
+    return F::from_double(v);
   }
   static bool finite(F x) noexcept { return !x.is_nan() && !x.is_inf(); }
   static F max() noexcept { return F::max_finite(); }

@@ -96,14 +96,23 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
     rep.iterations = it;
     if (opt.record_history) rep.history.push_back(berr);
     if (tr) tr->residual(berr);
-    if (!std::isfinite(berr) ||
-        (first_berr > 0 && berr > 1e4 * first_berr && berr > 1.0)) {
-      rep.status = IrStatus::diverged;
-      return rep;
-    }
-    if (first_berr < 0) first_berr = berr;
     if (berr <= opt.tol) {
       rep.status = IrStatus::converged;
+      return rep;
+    }
+    // Divergence.  berr <= 1 for every finite iterate (triangle inequality:
+    // ||b - Ax|| <= ||A|| ||x|| + ||b||), and berr(x = 0) = 1 exactly, so:
+    //   * non-finite berr: the correction overflowed;
+    //   * a first step still at ~1: the factorization carried no information
+    //     (e.g. a garbage factorization that reported CholStatus::ok) and
+    //     refinement cannot contract — previously this was undetectable
+    //     because first_berr was recorded only after the guard;
+    //   * later steps blowing up 1e4x over the first step's error.
+    const bool catastrophic_first = first_berr < 0 && berr > 0.9;
+    if (first_berr < 0) first_berr = berr;
+    if (!std::isfinite(berr) || catastrophic_first ||
+        (berr > 1e4 * first_berr && berr > 1e-2)) {
+      rep.status = IrStatus::diverged;
       return rep;
     }
   }

@@ -1,0 +1,103 @@
+// Correctly rounded real -> SoftFloat<E, M> conversion computed WITHOUT the
+// library's encoder or decoder, used as ground truth by the differential
+// fuzzer (the IEEE sibling of mp/oracle.hpp's posit oracle).
+//
+// IEEE round-to-nearest-even is round-to-nearest-value with arithmetic-mean
+// midpoints and ties broken toward the pattern with an even mantissa LSB.
+// Positive finite patterns 0 .. (exp_mask - 1) are monotone in value across
+// the subnormal/normal boundary, so the same monotone-search construction as
+// the posit oracle applies: decode patterns independently into GMP, binary
+// search for the bracketing pattern, compare against the exact midpoint.
+// Overflow follows the IEEE rule: magnitudes at or above
+// 2^emax * (2 - 2^(-M-1)) round to infinity.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+
+#include "ieee/softfloat.hpp"
+#include "mp/mpreal.hpp"
+
+namespace pstab::mp {
+
+/// Value of a POSITIVE finite SoftFloat<E, M> pattern (sign bit zero),
+/// decoded directly per the IEEE-754 format definition.  Independent of
+/// SoftFloat::to_double.
+template <int E, int M>
+[[nodiscard]] mpf_class ieee_decode(std::uint32_t pat) {
+  using F = SoftFloat<E, M>;
+  const std::uint32_t e = (pat >> M) & ((1u << E) - 1);
+  const std::uint32_t m = pat & ((1u << M) - 1);
+  mpf_class f(0, kPrecBits);
+  long scale = 0;
+  if (e == 0) {
+    f = static_cast<unsigned long>(m);  // subnormal: m * 2^(emin - M)
+    scale = F::emin - M;
+  } else {
+    f = static_cast<unsigned long>((1u << M) | m);  // normal: 1.m * 2^(e-bias)
+    scale = long(e) - F::bias - M;
+  }
+  if (scale >= 0)
+    mpf_mul_2exp(f.get_mpf_t(), f.get_mpf_t(), static_cast<unsigned>(scale));
+  else
+    mpf_div_2exp(f.get_mpf_t(), f.get_mpf_t(), static_cast<unsigned>(-scale));
+  return f;
+}
+
+/// Round an exact real to SoftFloat<E, M> under IEEE RNE semantics.
+/// x == 0 returns +0; pass the sign of a signed zero via `neg_zero`.
+template <int E, int M>
+[[nodiscard]] SoftFloat<E, M> oracle_round_ieee(const mpf_class& x,
+                                                bool neg_zero = false) {
+  using F = SoftFloat<E, M>;
+  const std::uint32_t sign_mask = 1u << (E + M);
+  if (x == 0) return F::from_bits(neg_zero ? sign_mask : 0u);
+  const bool neg = x < 0;
+  const mpf_class ax = neg ? mpf_class(-x) : x;
+  const std::uint32_t smask = neg ? sign_mask : 0u;
+
+  // Underflow: below half of denorm_min rounds to zero; the exact half is a
+  // tie and pattern 0 is even.
+  mpf_class half_min = ieee_decode<E, M>(1);
+  mpf_div_2exp(half_min.get_mpf_t(), half_min.get_mpf_t(), 1);
+  if (ax <= half_min) return F::from_bits(smask);
+
+  // Overflow: 2^emax * (2 - 2^(-M-1)), the midpoint between max_finite and
+  // the next (hypothetical) binade; a tie here rounds to the "even" infinity.
+  const std::uint32_t maxpat = (((1u << E) - 1) << M) - 1;  // max finite
+  {
+    mpf_class vmax = ieee_decode<E, M>(maxpat);
+    mpf_class ulp(1, kPrecBits);
+    const long ulp_scale = F::emax - M - 1;  // half ulp at emax
+    if (ulp_scale >= 0)
+      mpf_mul_2exp(ulp.get_mpf_t(), ulp.get_mpf_t(),
+                   static_cast<unsigned>(ulp_scale));
+    else
+      mpf_div_2exp(ulp.get_mpf_t(), ulp.get_mpf_t(),
+                   static_cast<unsigned>(-ulp_scale));
+    if (ax >= vmax + ulp) return F::infinity(neg);
+  }
+
+  // Largest positive finite pattern whose value is <= ax (monotone).
+  std::uint32_t lo = 0, hi = maxpat;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+    if (ieee_decode<E, M>(mid) <= ax)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  if (lo == maxpat) return F::from_bits(smask | maxpat);  // below the overflow cut
+  // Arithmetic-mean midpoint between lo and lo + 1 (exact in GMP).
+  mpf_class vmid = ieee_decode<E, M>(lo) + ieee_decode<E, M>(lo + 1);
+  mpf_div_2exp(vmid.get_mpf_t(), vmid.get_mpf_t(), 1);
+  std::uint32_t pat = lo;
+  if (ax > vmid)
+    pat = lo + 1;
+  else if (ax == vmid)  // tie: even mantissa LSB wins
+    pat = (lo & 1) == 0 ? lo : lo + 1;
+  return F::from_bits(smask | pat);
+}
+
+}  // namespace pstab::mp

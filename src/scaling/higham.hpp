@@ -30,33 +30,50 @@ struct HighamScaling {
 };
 
 /// Algorithm 5: two-sided diagonal equilibration of a symmetric matrix.
-/// Modifies A in place to R A R and returns diag(R).
+/// Modifies A in place to R A R and returns diag(R).  A structurally zero
+/// row can never reach row-max 1 (its scale factor is left at 1), so it is
+/// excluded from the convergence metric; otherwise it would pin `worst` at
+/// 1 and force every sweep to run.  Pass `sweeps_used` to observe how many
+/// sweeps actually ran (tests).
 inline std::vector<double> equilibrate_sym(la::Dense<double>& A,
                                            double tolerance = 1e-2,
-                                           int max_sweeps = 25) {
+                                           int max_sweeps = 25,
+                                           int* sweeps_used = nullptr) {
   const int n = A.rows();
   std::vector<double> rdiag(n, 1.0);
+  int used = 0;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     double worst = 0.0;
     std::vector<double> r(n, 1.0);
     for (int i = 0; i < n; ++i) {
       double m = 0;
       for (int j = 0; j < n; ++j) m = std::max(m, std::fabs(A(i, j)));
-      if (m > 0) r[i] = 1.0 / std::sqrt(m);
-      worst = std::max(worst, std::fabs(m - 1.0));
+      if (m > 0) {
+        r[i] = 1.0 / std::sqrt(m);
+        worst = std::max(worst, std::fabs(m - 1.0));
+      }
     }
     if (worst <= tolerance) break;
+    ++used;
     for (int i = 0; i < n; ++i)
       for (int j = 0; j < n; ++j) A(i, j) *= r[i] * r[j];
     for (int i = 0; i < n; ++i) rdiag[i] *= r[i];
   }
+  if (sweeps_used) *sweeps_used = used;
   return rdiag;
 }
 
 /// Round to the nearest power of four (in log space), paper §V-D.2.
+/// Clamped to the powers of four representable in double: without the clamp,
+/// extreme inputs produce ldexp(1.0, 2k) = inf (or 0), which higham_scale
+/// would then multiply into every matrix entry.
 [[nodiscard]] inline double nearest_pow4(double x) {
   if (!(x > 0)) return 1.0;
-  const long k = std::lround(std::log2(x) / 2.0);
+  if (std::isinf(x)) return std::ldexp(1.0, 1022);
+  long k = std::lround(std::log2(x) / 2.0);
+  // Largest double power of four is 2^1022; smallest (subnormal) is 2^-1074.
+  if (k > 511) k = 511;
+  if (k < -537) k = -537;
   return std::ldexp(1.0, int(2 * k));
 }
 

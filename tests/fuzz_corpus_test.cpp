@@ -1,0 +1,111 @@
+// Fuzzing subsystem tests: the checked-in corpus must replay clean forever,
+// and the fuzzer itself must honor its determinism contract (same seed ->
+// same case stream, verdicts, and digest).  PSTAB_CORPUS_DIR points at the
+// source-tree tests/corpus/ (set by tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+
+namespace {
+
+using namespace pstab::fuzz;
+
+TEST(FuzzCorpus, ReplaysClean) {
+  long total = 0;
+  std::vector<Case> failures;
+  const int failing = replay_corpus_dir(PSTAB_CORPUS_DIR, &total, &failures);
+  for (const auto& f : failures)
+    ADD_FAILURE() << format_line(f) << "\n    " << f.note;
+  EXPECT_EQ(failing, 0);
+  // Guard against silently replaying an empty/missing directory.
+  EXPECT_GE(total, 40) << "corpus not found at " PSTAB_CORPUS_DIR;
+}
+
+TEST(FuzzCorpus, MissingDirectoryIsAFailure) {
+  long total = 0;
+  EXPECT_GT(replay_corpus_dir(std::string(PSTAB_CORPUS_DIR) + "/no_such_dir",
+                              &total, nullptr),
+            0);
+  EXPECT_EQ(total, 0);
+}
+
+TEST(FuzzRun, DigestIsDeterministic) {
+  Options opt;
+  opt.seed = 7;
+  opt.cases = 20000;
+  const Stats a = run(opt);
+  const Stats b = run(opt);
+  EXPECT_EQ(a.cases, opt.cases);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+  for (int s = 0; s < kSurfaceCount; ++s)
+    EXPECT_EQ(a.per_surface[s], b.per_surface[s]) << surface_name(s);
+
+  opt.seed = 8;
+  EXPECT_NE(run(opt).digest, a.digest) << "digest must depend on the seed";
+}
+
+TEST(FuzzRun, CleanOnEverySurface) {
+  // A short differential sweep of each surface in isolation: any mismatch
+  // here is a real library-vs-oracle bug, reported with its replay record.
+  for (int s = 0; s < kSurfaceCount; ++s) {
+    Options opt;
+    opt.seed = 1234 + s;
+    opt.cases = 4000;
+    opt.surfaces = surface_name(s);
+    const Stats st = run(opt);
+    for (const auto& f : st.failures)
+      ADD_FAILURE() << format_line(f) << "\n    " << f.note;
+    EXPECT_EQ(st.mismatches, 0) << surface_name(s);
+    EXPECT_EQ(st.per_surface[s], st.cases) << surface_name(s);
+    for (int o = 0; o < kSurfaceCount; ++o)
+      if (o != s) EXPECT_EQ(st.per_surface[o], 0) << surface_name(o);
+  }
+}
+
+TEST(FuzzRecord, FormatParseRoundTrip) {
+  Case c;
+  c.surface = "posit";
+  c.format = "p16_2";
+  c.op = "mul";
+  c.args = {0x7fffu, 0x0001u};
+  c.note = "expected 0x4000 got 0x3fff";
+  Case back;
+  ASSERT_TRUE(parse_line(format_line(c), back));
+  EXPECT_EQ(back.surface, c.surface);
+  EXPECT_EQ(back.format, c.format);
+  EXPECT_EQ(back.op, c.op);
+  EXPECT_EQ(back.args, c.args);
+  EXPECT_EQ(back.note, c.note);
+
+  EXPECT_FALSE(parse_line("", back));
+  EXPECT_FALSE(parse_line("# just a comment", back));
+  EXPECT_FALSE(parse_line("pstab-fuzz-v2 posit p16_2 mul 0x1 0x1", back));
+  EXPECT_FALSE(parse_line("pstab-fuzz-v1 posit p16_2 mul zzz", back));
+}
+
+TEST(FuzzReplay, RejectsUnknownFormat) {
+  Case c;
+  c.surface = "posit";
+  c.format = "p12_1";  // not in the grid
+  c.op = "add";
+  c.args = {1, 2};
+  const Verdict v = replay(c);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(FuzzReplay, PassingCaseSurvivesMinimizeUnchanged) {
+  Case c;
+  c.surface = "posit";
+  c.format = "p16_2";
+  c.op = "add";
+  c.args = {0x4000u, 0x4000u};  // 1 + 1 = 2, correct
+  ASSERT_TRUE(replay(c).ok);
+  const Case m = minimize(c);
+  EXPECT_EQ(m.args, c.args);
+}
+
+}  // namespace

@@ -118,6 +118,44 @@ TEST(MixedIr, RefinementSolvesTheOriginalSystemUnderScaling) {
   EXPECT_LT(la::kernels::norm_inf_d(r) / la::kernels::norm_inf_d(b), 1e-13);
 }
 
+TEST(MixedIr, GarbageFactorizationDetectedAsDiverged) {
+  // Ah_source pointing at a *different* SPD matrix: Cholesky succeeds
+  // (CholStatus::ok) but the factor carries no information about A, so the
+  // first refinement step leaves berr at ~1 and refinement cannot contract.
+  // The old guard recorded first_berr before testing it, so this inert case
+  // silently ran the whole max_iter budget and was reported max_iterations;
+  // it must trip `diverged` on the first step.
+  const auto g = nice_matrix();
+  const auto b = matrices::paper_rhs(g.dense);
+  la::Dense<double> wrong(g.n, g.n);
+  for (int i = 0; i < g.n; ++i) wrong(i, i) = 65536.0;
+  la::Vec<double> x;
+  la::IrOptions opt;
+  opt.record_history = true;
+  const auto rep = la::mixed_ir<double>(g.dense, b, x, opt, nullptr, &wrong);
+  EXPECT_EQ(rep.chol_status, la::CholStatus::ok);
+  EXPECT_EQ(rep.status, la::IrStatus::diverged);
+  EXPECT_EQ(rep.iterations, 1) << "inert first step must be caught at once";
+  ASSERT_EQ(rep.history.size(), 1u);
+  EXPECT_GT(rep.history.back(), 0.9);
+  EXPECT_EQ(rep.history.back(), rep.final_berr);
+}
+
+TEST(MixedIr, DivergenceGuardDoesNotMisfireOnSlowStart) {
+  // A legitimate low-precision factorization whose first step already
+  // contracts (berr well under the 0.9 inertness threshold) must be allowed
+  // to keep refining to convergence.
+  const auto g = nice_matrix();
+  const auto b = matrices::paper_rhs(g.dense);
+  la::Vec<double> x;
+  la::IrOptions opt;
+  opt.record_history = true;
+  const auto rep = la::mixed_ir<Half>(g.dense, b, x, opt);
+  ASSERT_EQ(rep.status, la::IrStatus::converged);
+  ASSERT_FALSE(rep.history.empty());
+  EXPECT_LT(rep.history.front(), 0.9);
+}
+
 TEST(MixedIr, IterationCapReported) {
   const auto g = nice_matrix();
   const auto b = matrices::paper_rhs(g.dense);

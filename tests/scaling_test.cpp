@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ieee/softfloat.hpp"
 #include "la/cholesky.hpp"
@@ -119,6 +120,78 @@ TEST(Higham, MuChoices) {
   // Posits: USEED (already a power of four for ES >= 1).
   EXPECT_EQ((scaling::mu_posit<16, 1>()), 4.0);
   EXPECT_EQ((scaling::mu_posit<16, 2>()), 16.0);
+}
+
+TEST(Higham, EquilibrationConvergesWithZeroRow) {
+  // A structurally zero row can never reach row-max 1.  It used to pin the
+  // convergence metric at |0 - 1| = 1, so every call burned all max_sweeps
+  // even though the nonzero rows equilibrated after the first sweep; zero
+  // rows are now excluded from the metric (fuzz-found, solver surface).
+  la::Dense<double> A(3, 3);
+  A(0, 0) = 4.0;
+  A(0, 2) = A(2, 0) = 2.0;
+  A(2, 2) = 9.0;  // row/col 1 entirely zero
+  int sweeps = -1;
+  const auto rdiag = scaling::equilibrate_sym(A, 1e-2, 25, &sweeps);
+  EXPECT_GE(sweeps, 1);
+  EXPECT_LT(sweeps, 25) << "zero row must not defeat convergence";
+  EXPECT_EQ(rdiag[1], 1.0);  // zero row keeps scale factor 1
+  for (const int i : {0, 2}) {
+    double m = 0;
+    for (int j = 0; j < 3; ++j) m = std::max(m, std::fabs(A(i, j)));
+    EXPECT_NEAR(m, 1.0, 1e-2) << "row " << i;
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(A(1, j), 0.0);
+    EXPECT_EQ(A(j, 1), 0.0);
+  }
+}
+
+TEST(Higham, EquilibrationAllZeroMatrixIsIdentityNoSweeps) {
+  la::Dense<double> A(4, 4);
+  int sweeps = -1;
+  const auto rdiag = scaling::equilibrate_sym(A, 1e-2, 25, &sweeps);
+  EXPECT_EQ(sweeps, 0);
+  for (const double r : rdiag) EXPECT_EQ(r, 1.0);
+}
+
+TEST(Higham, NearestPow4ExtremeRangeStaysFinite) {
+  // Without the exponent clamp, log-space rounding produced ldexp(1, 2k)
+  // = inf (or 0) for extreme inputs, and higham_scale would multiply that
+  // into every matrix entry.
+  const double top = scaling::nearest_pow4(1e308);
+  EXPECT_TRUE(std::isfinite(top));
+  EXPECT_GT(top, 1e300);
+  EXPECT_EQ(scaling::nearest_pow4(std::numeric_limits<double>::infinity()),
+            std::ldexp(1.0, 1022));
+  const double bottom =
+      scaling::nearest_pow4(std::numeric_limits<double>::denorm_min());
+  EXPECT_GT(bottom, 0.0);
+  // Degenerate inputs keep the documented "no scaling" fallback.
+  EXPECT_EQ(scaling::nearest_pow4(0.0), 1.0);
+  EXPECT_EQ(scaling::nearest_pow4(-3.0), 1.0);
+  EXPECT_EQ(scaling::nearest_pow4(std::nan("")), 1.0);
+  // Round-trip sanity: every clamped result is still an exact power of 4.
+  for (const double x : {1e308, 1e-308, 5e-324}) {
+    const double p4 = scaling::nearest_pow4(x);
+    int e = 0;
+    EXPECT_EQ(std::frexp(p4, &e), 0.5) << x;
+    EXPECT_EQ((e - 1) % 2, 0) << x;  // even exponent: a power of four
+  }
+}
+
+TEST(Higham, MuIeeeFiniteAcrossFormats) {
+  // mu = nearest_pow4(0.1 * max_finite) must stay finite and positive for
+  // every instantiable SoftFloat, including the widest-range ones.
+  const double mu_half = scaling::mu_ieee<Half>();
+  const double mu_bf16 = scaling::mu_ieee<BFloat16>();
+  const double mu_f32 = scaling::mu_ieee<Float32Emu>();
+  for (const double mu : {mu_half, mu_bf16, mu_f32}) {
+    EXPECT_TRUE(std::isfinite(mu));
+    EXPECT_GT(mu, 0.0);
+  }
+  EXPECT_EQ(mu_half, 4096.0);
+  EXPECT_EQ(mu_bf16, mu_f32);  // same exponent range, same max_finite decade
 }
 
 TEST(Higham, FullScaleBoundsEntriesByMu) {

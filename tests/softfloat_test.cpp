@@ -125,6 +125,69 @@ TEST(Float32Emulation, SqrtMatchesHardware) {
   }
 }
 
+TEST(Float32Emulation, FmaDoubleRoundingRegressions) {
+  // Directed double-rounding triples: a*b lands exactly on a 24-bit rounding
+  // midpoint and c sits below the 53-bit rounding horizon of the double sum,
+  // so rounding a*b+c once in double and then once to float loses the
+  // tiebreak direction.  The EFT-based scalar_traits::fma must match
+  // hardware fmaf bit-for-bit on all of them, and the naive double-rounded
+  // formula must NOT (proving the regression is live).  The same triples are
+  // pinned as GMP-oracle records in tests/corpus/softfloat.corpus.
+  struct Triple {
+    std::uint32_t a, b, c, naive, want;
+  };
+  // First group: even tie candidate, c = +2^-60 (naive rounds down, the
+  // correct result is one ulp up); second group: odd tie candidate,
+  // c = -2^-60 (naive rounds up, correct is one ulp down).
+  const Triple cases[] = {
+      {0x3f8000a0, 0x3f8a0000, 0x22000000, 0x3f8a00ac, 0x3f8a00ad},
+      {0x3fc40000, 0x3f800010, 0x22000000, 0x3fc40018, 0x3fc40019},
+      {0x3fa10000, 0x3f820040, 0x22000000, 0x3fa38450, 0x3fa38451},
+      {0x3f900000, 0x3f800044, 0x22000000, 0x3f90004c, 0x3f90004d},
+      {0x3f840000, 0x3f840010, 0x22000000, 0x3f882010, 0x3f882011},
+      {0x3f900000, 0x3fa00004, 0x22000000, 0x3fb40004, 0x3fb40005},
+      {0x3f800004, 0x3f900000, 0x22000000, 0x3f900004, 0x3f900005},
+      {0x3fc00000, 0x3f802001, 0xa2000000, 0x3fc03002, 0x3fc03001},
+      {0x3f860000, 0x3f800420, 0xa2000000, 0x3f860452, 0x3f860451},
+      {0x3f830000, 0x3f804040, 0xa2000000, 0x3f8341c2, 0x3f8341c1},
+  };
+  using T = pstab::scalar_traits<Float32Emu>;
+  for (const auto& t : cases) {
+    const float av = bits_float(t.a), bv = bits_float(t.b),
+                cv = bits_float(t.c);
+    const Float32Emu r = T::fma(Float32Emu::from_bits(t.a),
+                                Float32Emu::from_bits(t.b),
+                                Float32Emu::from_bits(t.c));
+    EXPECT_EQ(r.bits(), t.want) << std::hex << t.a << ' ' << t.b;
+    EXPECT_EQ(r.bits(), float_bits(std::fmaf(av, bv, cv)))
+        << std::hex << t.a << ' ' << t.b;
+    const float naive =
+        float(double(av) * double(bv) + double(cv));  // the old formula
+    EXPECT_EQ(float_bits(naive), t.naive) << std::hex << t.a << ' ' << t.b;
+    EXPECT_NE(float_bits(naive), t.want)
+        << "triple no longer discriminates: " << std::hex << t.a;
+  }
+}
+
+TEST(Float32Emulation, FmaMatchesHardware) {
+  std::mt19937_64 rng(303);
+  for (int i = 0; i < 50000; ++i) {
+    const float a = bits_float(static_cast<std::uint32_t>(rng()));
+    const float b = bits_float(static_cast<std::uint32_t>(rng()));
+    const float c = bits_float(static_cast<std::uint32_t>(rng()));
+    if (std::isnan(a) || std::isnan(b) || std::isnan(c)) continue;
+    const float hw = std::fmaf(a, b, c);
+    const Float32Emu r = pstab::scalar_traits<Float32Emu>::fma(
+        Float32Emu::from_double(a), Float32Emu::from_double(b),
+        Float32Emu::from_double(c));
+    if (std::isnan(hw)) {
+      EXPECT_TRUE(r.is_nan()) << i;
+    } else {
+      EXPECT_EQ(r.bits(), float_bits(hw)) << i;
+    }
+  }
+}
+
 TEST(BFloat16Format, Basics) {
   EXPECT_EQ(BFloat16::from_double(1.0).bits(), 0x3F80u >> 0);
   EXPECT_EQ(BFloat16::one().to_double(), 1.0);

@@ -6,7 +6,7 @@
 //   pstab chol <matrix> [--rescale]     Cholesky backward errors
 //   pstab ir <matrix> [--higham]        mixed-precision IR in 16-bit formats
 //   pstab precision <value>             how each format represents a number
-//   pstab fuzz <n> [seed]               differential ops vs exact long double
+//   pstab fuzz [--seed S] [--cases N]   differential fuzzing vs the GMP oracle
 //
 // cg|chol|ir additionally take `--json <path>`: write the run as a
 // pstab-results-v1 artifact (with telemetry counters) next to the console
@@ -22,6 +22,7 @@
 #include "core/report.hpp"
 #include "core/report_json.hpp"
 #include "core/telemetry/telemetry.hpp"
+#include "fuzz/fuzz.hpp"
 #include "ieee/softfloat.hpp"
 #include "matrices/mm_io.hpp"
 #include "matrices/suite.hpp"
@@ -38,7 +39,9 @@ int usage() {
                "  list | gen-mtx <dir> | cg <matrix> [--rescale] |\n"
                "  chol <matrix> [--rescale] | ir <matrix> [--higham] |\n"
                "  kernels --bench [--n <len>] |\n"
-               "  precision <value> | fuzz <n> [seed]\n"
+               "  precision <value> |\n"
+               "  fuzz [--seed S] [--cases N] [--surfaces LIST]\n"
+               "       [--corpus DIR] [--no-minimize] [--replay DIR]\n"
                "  cg|chol|ir also accept: --json <path> --tol <v>\n"
                "    --max-iter <n> --kernels scalar|batched|auto\n"
                "  kernels also accepts: --json <path>\n");
@@ -265,30 +268,49 @@ int cmd_precision(double v) {
   return 0;
 }
 
-int cmd_fuzz(long n, unsigned seed) {
-  // Differential check of Posit(32,2) ops against exact long double
-  // arithmetic rounded through from_long_double (single rounding).
-  using P = Posit32_2;
-  std::mt19937_64 rng(seed);
-  long bad = 0;
-  for (long i = 0; i < n; ++i) {
-    const P a = P::from_bits(rng() & 0xffffffffu);
-    const P b = P::from_bits(rng() & 0xffffffffu);
-    if (a.is_nar() || b.is_nar()) continue;
-    const long double la = a.to_long_double(), lb = b.to_long_double();
-    // Products of two <=27-bit significands are exact in long double.
-    if (P::from_long_double(la * lb).bits() != (a * b).bits()) ++bad;
-    if (!b.is_zero()) {
-      // Division is not exact in long double; allow the oracle only where
-      // the quotient is exactly representable (b a power of two).
-      if ((lb == 1.0L || lb == 2.0L || lb == 0.5L) &&
-          P::from_long_double(la / lb).bits() != (a / b).bits())
-        ++bad;
+int cmd_fuzz(int argc, char** argv) {
+  // Differential fuzzing of every arithmetic surface against the GMP oracle
+  // (src/fuzz).  Deterministic per seed; failures are auto-minimized and
+  // printed as replay records (and appended under --corpus).
+  fuzz::Options opt;
+  opt.cases = 100000;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed" && i + 1 < argc)
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    else if (a == "--cases" && i + 1 < argc)
+      opt.cases = std::strtol(argv[++i], nullptr, 10);
+    else if (a == "--surfaces" && i + 1 < argc)
+      opt.surfaces = argv[++i];
+    else if (a == "--corpus" && i + 1 < argc)
+      opt.corpus_dir = argv[++i];
+    else if (a == "--no-minimize")
+      opt.minimize = false;
+    else if (a == "--replay" && i + 1 < argc) {
+      // Replay a corpus directory instead of fuzzing.
+      long total = 0;
+      std::vector<fuzz::Case> failures;
+      const int bad = fuzz::replay_corpus_dir(argv[++i], &total, &failures);
+      for (const auto& c : failures)
+        std::printf("FAIL %s\n", fuzz::format_line(c).c_str());
+      std::printf("fuzz replay: %ld records, %d failing\n", total, bad);
+      return bad == 0 ? 0 : 2;
+    } else {
+      return usage();
     }
   }
-  std::printf("fuzz: %ld multiplication/division trials, %ld mismatches\n", n,
-              bad);
-  return bad == 0 ? 0 : 2;
+  if (opt.cases <= 0) return usage();
+  const fuzz::Stats st = fuzz::run(opt);
+  for (const auto& c : st.failures)
+    std::printf("FAIL %s\n", fuzz::format_line(c).c_str());
+  std::printf("fuzz: seed=%llu cases=%ld (", (unsigned long long)opt.seed,
+              st.cases);
+  for (int s = 0; s < fuzz::kSurfaceCount; ++s)
+    std::printf("%s%s=%ld", s ? " " : "", fuzz::surface_name(s),
+                st.per_surface[s]);
+  std::printf(") mismatches=%ld digest=%016llx\n", st.mismatches,
+              (unsigned long long)st.digest);
+  return st.mismatches == 0 ? 0 : 2;
 }
 
 }  // namespace
@@ -313,10 +335,7 @@ int main(int argc, char** argv) {
     if (cmd == "kernels") return cmd_kernels(argc, argv);
     if (cmd == "precision" && argc > 2)
       return cmd_precision(std::strtod(argv[2], nullptr));
-    if (cmd == "fuzz" && argc > 2)
-      return cmd_fuzz(std::strtol(argv[2], nullptr, 10),
-                      argc > 3 ? unsigned(std::strtoul(argv[3], nullptr, 10))
-                               : 12345u);
+    if (cmd == "fuzz") return cmd_fuzz(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

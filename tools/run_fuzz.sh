@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Build and run the differential-fuzzing matrix: a plain tree plus one tree
+# per sanitizer preset, each running the fuzz-labelled ctest suite (corpus
+# replay + determinism + short differential sweeps) and a pstab-fuzz budget
+# across every arithmetic surface.
+#
+#   tools/run_fuzz.sh [cases] [seed]      default: 2000000 cases, seed 1
+#
+# Env:
+#   PSTAB_FUZZ_SAN    space-separated sanitizer presets to run in addition
+#                     to the plain build (default: "address undefined";
+#                     set to "" to skip sanitizer trees, or add "thread")
+#   PSTAB_FUZZ_DIR    scratch prefix for build trees (default: build-fuzz)
+#
+# Exit status is nonzero if any build, test, or fuzz budget fails; new
+# minimized failure records are appended under tests/corpus/ so a red run
+# leaves behind the replayable evidence.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cases=${1:-2000000}
+seed=${2:-1}
+prefix=${PSTAB_FUZZ_DIR:-"$repo_root/build-fuzz"}
+sans=${PSTAB_FUZZ_SAN-"address undefined"}
+
+run_tree() {
+  san=$1
+  if [ -n "$san" ]; then
+    dir="$prefix-$san"
+    echo "== configure ($san sanitizer) =="
+    cmake -S "$repo_root" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPSTAB_SAN="$san"
+  else
+    dir="$prefix"
+    echo "== configure (plain) =="
+    cmake -S "$repo_root" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  fi
+  cmake --build "$dir" -j"$(nproc 2>/dev/null || echo 1)" \
+    --target pstab_cli fuzz_corpus_test
+
+  echo "== ctest -L fuzz (${san:-plain}) =="
+  (cd "$dir" && ctest -L fuzz --output-on-failure)
+
+  echo "== pstab fuzz --seed $seed --cases $cases (${san:-plain}) =="
+  "$dir/tools/pstab" fuzz --seed "$seed" --cases "$cases" \
+    --corpus "$repo_root/tests/corpus"
+}
+
+run_tree ""
+for san in $sans; do
+  run_tree "$san"
+done
+
+echo "fuzz matrix complete: plain ${sans:++ $sans}"
