@@ -1,0 +1,34 @@
+// SplitMix64 (Steele, Lea & Flood): tiny, fast, and trivially seedable.
+// Shared by the differential fuzzer (src/fuzz) and the fault injector
+// (src/resilience): everything both subsystems produce is a pure function of
+// the 64-bit seed, which is what makes their runs replayable.
+#pragma once
+
+#include <cstdint>
+
+namespace pstab {
+
+struct SplitMix64 {
+  std::uint64_t state = 0;
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state(seed) {}
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n); n == 0 returns 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    return n ? next() % n : 0;
+  }
+};
+
+/// One mixing step: fold `salt` into `seed` and diffuse.  Used to derive
+/// independent per-cell / per-trial streams from one campaign seed.
+[[nodiscard]] constexpr std::uint64_t splitmix_mix(std::uint64_t seed,
+                                                  std::uint64_t salt) noexcept {
+  SplitMix64 s(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+  return s.next();
+}
+
+}  // namespace pstab

@@ -22,6 +22,8 @@
 #include "mp/oracle_ieee.hpp"
 #include "posit/posit.hpp"
 #include "posit/quire.hpp"
+#include "resilience/campaign.hpp"
+#include "resilience/inject.hpp"
 #include "scaling/higham.hpp"
 
 namespace pstab::fuzz {
@@ -686,6 +688,108 @@ template <class F>
 }
 
 // ---------------------------------------------------------------------------
+// Inject surface: the resilience bit-flip injector (src/resilience).
+//
+//   flip      args = [seed, site, field, pattern (, expected_after)]
+//             Two injectors armed with the same FaultPlan must flip the same
+//             single bit, inside the requested field mask of the original
+//             pattern (or the non-sign body when the field is empty for that
+//             value); a checked-in record's optional 5th arg pins the exact
+//             flipped pattern forever.
+//   campaign  args = [solver, seed, n, trials, recovery (, expected_digest)]
+//             (solver: 0 = cg, 1 = cholesky, 2 = ir; format = campaign format
+//             filter.)  Replays a whole miniature campaign and checks its
+//             determinism digest — the corpus pins end-to-end classification.
+
+template <class T>
+[[nodiscard]] Verdict check_inject_flip(const Case& c) {
+  using FF = resilience::FaultFormat<T>;
+  if (c.args.size() < 4 || c.args.size() > 5)
+    return fail("malformed: flip wants 4-5 args");
+  if (c.args[1] >= std::uint64_t(la::fault::kSiteCount))
+    return fail("malformed: bad site");
+  if (c.args[2] >= std::uint64_t(resilience::kBitFieldCount))
+    return fail("malformed: bad field");
+  resilience::FaultPlan plan;
+  plan.seed = c.args[0];
+  plan.site = la::fault::Site(int(c.args[1]));
+  plan.field = resilience::BitField(int(c.args[2]));
+  plan.iteration = 0;
+  const u64 width_mask =
+      FF::width >= 64 ? ~u64(0) : (u64(1) << FF::width) - 1;
+  const u64 pattern = c.args[3] & width_mask;
+
+  T v1 = FF::from_bits(pattern), v2 = FF::from_bits(pattern);
+  resilience::Injector<T> a(plan), b(plan);
+  a.iteration(0);
+  a.touch(plan.site, &v1, sizeof(T), 1);
+  b.iteration(0);
+  b.touch(plan.site, &v2, sizeof(T), 1);
+  if (!a.fired() || !b.fired()) return fail("armed injector did not fire");
+  if (a.bit() != b.bit() || a.after_bits() != b.after_bits())
+    return fail("same plan flipped different bits");
+  const u64 diff = a.before_bits() ^ a.after_bits();
+  if (std::popcount(diff) != 1) return fail("flip changed != 1 bit");
+  u64 mask = FF::field_mask(a.before_bits(), plan.field);
+  if (mask == 0) mask = width_mask >> 1;  // empty field: non-sign body
+  if ((diff & mask) == 0) return fail("flipped bit escaped the field mask");
+  if (FF::bits(v1) != a.after_bits())
+    return fail("stored value disagrees with the flip record");
+  if (c.args.size() == 5 && a.after_bits() != c.args[4]) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "expected 0x%llx got 0x%llx",
+                  static_cast<unsigned long long>(c.args[4]),
+                  static_cast<unsigned long long>(a.after_bits()));
+    return fail(buf);
+  }
+  return {};
+}
+
+[[nodiscard]] Verdict check_inject_campaign(const Case& c) {
+  if (c.args.size() < 5 || c.args.size() > 6)
+    return fail("malformed: campaign wants 5-6 args");
+  static constexpr const char* kSolvers[] = {"cg", "cholesky", "ir"};
+  if (c.args[0] >= 3) return fail("malformed: bad campaign solver");
+  resilience::CampaignOptions opt;
+  opt.solver = kSolvers[c.args[0]];
+  opt.seed = c.args[1];
+  opt.n = int(c.args[2]);
+  opt.trials = int(c.args[3]);
+  opt.recovery = c.args[4] != 0;
+  opt.formats = c.format;
+  if (opt.n < 4 || opt.n > 64 || opt.trials < 1 || opt.trials > 8)
+    return fail("malformed: campaign size out of range");
+  const auto r = resilience::run_campaign(opt);
+  if (r.cells.empty()) return fail("malformed: campaign matched no formats");
+  if (c.args.size() == 6 && r.digest != c.args[5]) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "digest expected 0x%llx got 0x%llx",
+                  static_cast<unsigned long long>(c.args[5]),
+                  static_cast<unsigned long long>(r.digest));
+    return fail(buf);
+  }
+  return {};
+}
+
+[[nodiscard]] Verdict check_inject(const Case& c) {
+  if (c.op == "campaign") return check_inject_campaign(c);
+  if (c.op != "flip")
+    return fail("malformed: unknown inject op " + c.op);
+#define X(N, ES) \
+  if (c.format == "p" #N "_" #ES) \
+    return check_inject_flip<Posit<N, ES>>(c);
+  PSTAB_FUZZ_POSIT_GRID(X)
+#undef X
+#define X(E, M) \
+  if (c.format == "sf" #E "_" #M) return check_inject_flip<SoftFloat<E, M>>(c);
+  PSTAB_FUZZ_SF_GRID(X)
+#undef X
+  if (c.format == "f64") return check_inject_flip<double>(c);
+  if (c.format == "f32") return check_inject_flip<float>(c);
+  return fail("malformed: unknown inject format " + c.format);
+}
+
+// ---------------------------------------------------------------------------
 // Case generation: boundary-biased operand distributions.
 
 template <int N, int ES>
@@ -870,6 +974,23 @@ template <int E, int M>
   return c;
 }
 
+[[nodiscard]] Case gen_inject_case(SplitMix64& r) {
+  Case c;
+  c.surface = "inject";
+  c.op = "flip";  // campaign cases are corpus-only (too costly per-case)
+  static constexpr const char* kFmts[] = {"p8_0",   "p16_1", "p16_2", "p32_2",
+                                          "p64_3",  "sf5_10", "sf8_7",
+                                          "sf8_23", "f64",   "f32"};
+  static constexpr int kWidths[] = {8, 16, 16, 32, 64, 16, 16, 32, 64, 32};
+  const u64 f = r.below(std::size(kFmts));
+  c.format = kFmts[f];
+  const u64 mask =
+      kWidths[f] >= 64 ? ~u64(0) : (u64(1) << kWidths[f]) - 1;
+  c.args = {r.next(), r.below(la::fault::kSiteCount),
+            r.below(resilience::kBitFieldCount), r.next() & mask};
+  return c;
+}
+
 [[nodiscard]] Case gen_solver_case(SplitMix64& r) {
   Case c;
   c.surface = "solver";
@@ -905,6 +1026,8 @@ using GenFn = Case (*)(SplitMix64&);
       return kQuireGens[r.below(std::size(kQuireGens))](r);
     case kConvert:
       return kConvertGens[r.below(std::size(kConvertGens))](r);
+    case kInject:
+      return gen_inject_case(r);
     default:
       return gen_solver_case(r);
   }
@@ -936,8 +1059,8 @@ void digest_str(std::uint64_t& h, const std::string& s) {
 }  // namespace
 
 const char* surface_name(int s) noexcept {
-  static constexpr const char* kNames[] = {"posit", "softfloat", "quire",
-                                           "convert", "solver"};
+  static constexpr const char* kNames[] = {"posit",  "softfloat", "quire",
+                                           "convert", "inject",   "solver"};
   return (s >= 0 && s < kSurfaceCount) ? kNames[s] : "?";
 }
 
@@ -1006,6 +1129,8 @@ Verdict replay(const Case& c) {
   if (c.format == "sf" #E "_" #M) return check_sf<E, M>(c);
     PSTAB_FUZZ_SF_GRID(X)
 #undef X
+  } else if (c.surface == "inject") {
+    return check_inject(c);
   } else if (c.surface == "solver") {
     return check_solver(c);
   }

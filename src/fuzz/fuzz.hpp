@@ -12,6 +12,11 @@
 //   quire     — Quire accumulate / read-back and chunked partial-quire merges
 //               (the batched dot_fused structure) vs the exact GMP sum
 //   convert   — from_double / to_double round trips and posit recasts
+//   inject    — the resilience bit-flip injector (src/resilience): same
+//               (seed, plan, pattern) must flip the same bit, the flip must
+//               land inside the requested field mask, and corpus records can
+//               additionally pin expected flipped bits and whole-campaign
+//               digests
 //   solver    — tiny SPD systems through cholesky / mixed_ir, with and
 //               without Higham scaling: no non-finite escapes, status-field
 //               consistency, scaled-vs-unscaled residual agreement in double
@@ -33,30 +38,20 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace pstab::fuzz {
 
-/// SplitMix64 (Steele, Lea & Flood): tiny, fast, and trivially seedable —
-/// the entire case stream is a pure function of the 64-bit seed.
-struct SplitMix64 {
-  std::uint64_t state = 0;
-  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state(seed) {}
-  constexpr std::uint64_t next() noexcept {
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-  /// Uniform in [0, n); n == 0 returns 0.
-  constexpr std::uint64_t below(std::uint64_t n) noexcept {
-    return n ? next() % n : 0;
-  }
-};
+/// The case stream is a pure function of the 64-bit seed; the generator is
+/// the shared pstab::SplitMix64 (common/rng.hpp), also used by the fault
+/// injector (src/resilience) so both subsystems share one replay story.
+using SplitMix64 = pstab::SplitMix64;
 
 /// One replayable differential case.  `args` are raw bit patterns (or, for
 /// solver cases, [n, case_seed, higham]); `note` is free-text detail carried
 /// in the record comment.
 struct Case {
-  std::string surface;  // posit | softfloat | quire | convert | solver
+  std::string surface;  // posit | softfloat | quire | convert | inject | solver
   std::string format;   // p<N>_<ES> or sf<E>_<M>
   std::string op;       // add sub mul div sqrt recip fma dot fromd ...
   std::vector<std::uint64_t> args;
@@ -85,7 +80,8 @@ enum Surface {
   kSoftFloat,
   kQuire,
   kConvert,
-  kSolver,
+  kInject,
+  kSolver,  // rationed: keep last among the fuzzed surfaces
   kSurfaceCount
 };
 [[nodiscard]] const char* surface_name(int s) noexcept;
@@ -93,8 +89,8 @@ enum Surface {
 struct Options {
   std::uint64_t seed = 1;
   long cases = 1000000;
-  /// Comma-separated subset of {posit,softfloat,quire,convert,solver} or
-  /// "all".
+  /// Comma-separated subset of
+  /// {posit,softfloat,quire,convert,inject,solver} or "all".
   std::string surfaces = "all";
   /// When non-empty, minimized failures are appended to
   /// <corpus_dir>/<surface>.corpus as replay records.
@@ -109,7 +105,7 @@ struct Stats {
   /// Order-sensitive FNV-1a digest over every case's bits and verdict:
   /// equal seeds/options produce equal digests (the determinism contract).
   std::uint64_t digest = 0;
-  long per_surface[kSurfaceCount] = {0, 0, 0, 0, 0};
+  long per_surface[kSurfaceCount] = {};
   std::vector<Case> failures;  // minimized, with detail in `note`
 };
 

@@ -66,19 +66,44 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       break;
     }
     alpha = rho_new / rhat_v;
+    if (!st::finite(alpha)) {  // overflow of the ratio (tiny <rhat, v>)
+      rep.status = SolveStatus::breakdown;
+      rep.iterations = it;
+      break;
+    }
     for (int i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
     track(s);
     kernels::apply(kc, A, s, t);
     const T tt = kernels::dot(kc, t, t);
-    if (!st::finite(tt) || st::to_double(tt) == 0.0) {
-      // s is (numerically) the new residual; accept the half step.
+    // <t, t> must be strictly positive (CG-parity check: NaR / NaN / zero /
+    // negative all classify as the end of the recurrence).
+    if (!st::finite(tt) || !(st::to_double(tt) > 0.0)) {
+      // s is (numerically) the new residual; accept the half step — unless
+      // it poisons x, in which case keep the last finite iterate.
+      const Vec<T> x_prev = x;
       kernels::axpy(kc, alpha, p, x);
+      if (!kernels::all_finite(x)) {
+        x = x_prev;
+        rep.status = SolveStatus::breakdown;
+        rep.iterations = it;
+        break;
+      }
       rep.final_relres = kernels::nrm2_d(s) / normb;
-      if (rep.final_relres <= tol) rep.status = SolveStatus::converged;
+      rep.status = rep.final_relres <= tol ? SolveStatus::converged
+                                           : SolveStatus::breakdown;
       rep.iterations = it;
       break;
     }
     omega = kernels::dot(kc, t, s) / tt;
+    if (!st::finite(omega)) {  // NaR / NaN crept into <t, s>
+      rep.status = SolveStatus::breakdown;
+      rep.iterations = it;
+      break;
+    }
+    // The scalars are finite, but elementwise update arithmetic can still
+    // poison x (e.g. inf - inf in IEEE formats): snapshot so a detected
+    // breakdown never returns a non-finite solution.
+    const Vec<T> x_prev = x;
     for (int i = 0; i < n; ++i) x[i] += alpha * p[i] + omega * s[i];
     for (int i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
     track(r);
@@ -89,6 +114,7 @@ BicgReport bicgstab_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     rep.iterations = it;
     if (!kernels::all_finite(r) || !kernels::all_finite(x)) {
       rep.status = SolveStatus::breakdown;
+      x = x_prev;  // last finite iterate
       break;
     }
     if (rep.final_relres <= tol) {

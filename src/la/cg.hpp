@@ -3,12 +3,23 @@
 // from the definition), and convergence is declared when the recurrence
 // residual's 2-norm drops below tol * ||b||.  All arithmetic runs in the
 // format under test with per-operation rounding.
+//
+// Two optional robustness layers (both default-off and bit-transparent when
+// off):
+//   * fault hooks (la/fault.hpp): an installed Observer is clocked once per
+//     iteration and offered the residual vector and the Krylov inner products
+//     for in-place corruption — the resilience campaign's injection surface;
+//   * self-healing (ResilientOptions): periodic true-residual recomputation
+//     (r = b - A x, shedding recurrence drift) and restart-on-breakdown from
+//     the last finite checkpoint, each attempt recorded in
+//     SolveReport::recovery and in the "recover" trace phase.
 #pragma once
 
 #include <vector>
 
 #include "core/telemetry/trace.hpp"
 #include "la/csr.hpp"
+#include "la/fault.hpp"
 #include "la/fused.hpp"
 #include "la/solve_report.hpp"
 #include "la/vector_ops.hpp"
@@ -27,6 +38,8 @@ struct CgOptions {
   bool record_history = false;
   bool record_trace = false;  // allocate SolveReport::trace (phases+residuals)
   kernels::Context kernels{};  // backend for the BLAS kernels (bit-identical)
+  ResilientOptions resilience{};   // self-healing (off by default)
+  fault::Observer* fault = nullptr;  // injection hook (null = no overhead)
 };
 
 template <class T, class Mat>
@@ -60,8 +73,34 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     rr = dotp(r, r);
   }
 
+  const ResilientOptions& res = opt.resilience;
+  // Last iterate known to produce a finite, positive <r, r>; the restart
+  // target.  Only maintained when recovery is on, so a disabled solve stays
+  // allocation- and bit-identical to the plain algorithm.
+  Vec<T> x_ckpt;
+  if (res.enabled) x_ckpt = x;
+  int restarts_used = 0;
+
+  // r = b - A x in T (per-operation rounding), then p = r, rr = <r, r>.
+  // Returns false if the recomputed <r, r> is unusable.
+  const auto recompute_residual = [&]() -> bool {
+    kernels::apply(kc, A, x, ap);
+    for (int i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+    p = r;
+    rr = dotp(r, r);
+    return st::finite(rr) && st::to_double(rr) > 0.0;
+  };
+
   telemetry::TraceSpan iterate_span(tr, "iterate");
   for (int it = 0; it < opt.max_iter; ++it) {
+    fault::on_iteration(opt.fault, it);
+    if (res.enabled && res.recompute_every > 0 && it > 0 &&
+        it % res.recompute_every == 0) {
+      telemetry::TraceSpan recover_span(tr, "recover");
+      if (recompute_residual()) x_ckpt = x;
+      rep.recovery.push_back(
+          {it, "recompute", std::sqrt(std::max(0.0, st::to_double(rr))) / normb});
+    }
     const double relres = std::sqrt(std::max(0.0, st::to_double(rr))) / normb;
     if (opt.record_history) rep.history.push_back(relres);
     if (tr) tr->residual(relres);
@@ -71,26 +110,47 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
       rep.iterations = it;
       return rep;
     }
-    if (!st::finite(rr) || !(st::to_double(rr) > 0.0)) {
+
+    // Breakdown of any Krylov scalar: either restart from the checkpoint
+    // (recovery on, budget left) or classify and stop.  `broke` burns the
+    // iteration either way, so the loop stays bounded by max_iter.
+    const auto broke = [&](int at) -> bool {
+      if (res.enabled && restarts_used < res.max_restarts) {
+        telemetry::TraceSpan recover_span(tr, "recover");
+        ++restarts_used;
+        x = x_ckpt;
+        const bool ok = recompute_residual();
+        rep.recovery.push_back(
+            {at, "restart",
+             std::sqrt(std::max(0.0, st::to_double(rr))) / normb});
+        if (ok) return true;  // resume from the checkpoint
+      }
       rep.status = CgStatus::breakdown;
-      rep.iterations = it;
+      rep.iterations = at;
+      return false;
+    };
+
+    if (!st::finite(rr) || !(st::to_double(rr) > 0.0)) {
+      if (broke(it)) continue;
       return rep;
     }
 
     kernels::apply(kc, A, p, ap);
-    const T pap = dotp(p, ap);
+    T pap = dotp(p, ap);
+    fault::touch_scalar(opt.fault, fault::Site::dot_result, pap);
     if (!st::finite(pap) || !(st::to_double(pap) > 0.0)) {
-      rep.status = CgStatus::breakdown;
-      rep.iterations = it;
+      if (broke(it)) continue;
       return rep;
     }
     const T alpha = rr / pap;
     kernels::axpy(kc, alpha, p, x);    // x += alpha p
     kernels::axpy(kc, -alpha, ap, r);  // r -= alpha A p  (recurrence residual)
-    const T rr_new = dotp(r, r);
+    fault::touch_range(opt.fault, fault::Site::vector_entry, r.data(),
+                       r.size());
+    T rr_new = dotp(r, r);
+    fault::touch_scalar(opt.fault, fault::Site::dot_result, rr_new);
     if (!st::finite(rr_new)) {
-      rep.status = CgStatus::breakdown;
-      rep.iterations = it;
+      if (broke(it)) continue;
       return rep;
     }
     const T beta = rr_new / rr;

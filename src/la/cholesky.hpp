@@ -6,10 +6,12 @@
 // Every inner product rounds after each operation in the target format.
 #pragma once
 
+#include <cmath>
 #include <optional>
 
 #include "core/telemetry/trace.hpp"
 #include "la/dense.hpp"
+#include "la/fault.hpp"
 #include "la/solve_report.hpp"
 
 namespace pstab::la {
@@ -21,6 +23,8 @@ namespace pstab::la {
 template <class T>
 struct CholResult : SolveReport {
   int failed_column = -1;
+  double shift_used = 0.0;  // diagonal shift of the accepted attempt
+                            // (cholesky_resilient; 0 = unshifted)
   Dense<T> R;  // upper triangular factor (valid when status == ok)
 
   CholResult() { status = CholStatus::ok; }
@@ -29,10 +33,14 @@ struct CholResult : SolveReport {
 /// Up-looking Cholesky in format T.  Pass a Trace to time the factorization
 /// phase ("factor").  The multiply-subtract chains run through
 /// kernels::update_chain, so `kc` selects the (bit-identical) backend.
+/// An installed fault observer is clocked once per column and offered the
+/// pivot chain result and the freshly computed factor row (outside the
+/// parallel region, so injection stays deterministic under PSTAB_THREADS).
 template <class T>
 [[nodiscard]] CholResult<T> cholesky(const Dense<T>& A,
                                      telemetry::Trace* trace = nullptr,
-                                     const kernels::Context& kc = {}) {
+                                     const kernels::Context& kc = {},
+                                     fault::Observer* fault = nullptr) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   CholResult<T> res;
@@ -41,9 +49,11 @@ template <class T>
   Dense<T>& R = res.R;
   const T* rd = R.data().data();  // column i of R: rd + i, stride n
   for (int k = 0; k < n; ++k) {
+    fault::on_iteration(fault, k);
     // Diagonal pivot: A(k,k) - sum_{i<k} R(i,k)^2
-    const T s = kernels::update_chain(kc, A(k, k), rd + k, n, rd + k, n,
-                                      std::size_t(k), /*subtract=*/true);
+    T s = kernels::update_chain(kc, A(k, k), rd + k, n, rd + k, n,
+                                std::size_t(k), /*subtract=*/true);
+    fault::touch_scalar(fault, fault::Site::dot_result, s);
     if (!st::finite(s)) {
       res.status = CholStatus::arithmetic_error;
       res.failed_column = k;
@@ -63,6 +73,9 @@ template <class T>
                                         std::size_t(k), /*subtract=*/true);
       R(k, j) = t / rkk;
     }
+    if (k + 1 < n)
+      fault::touch_range(fault, fault::Site::vector_entry, &R(k, k + 1),
+                         std::size_t(n - k - 1));
     for (int j = k + 1; j < n; ++j) {
       if (!st::finite(R(k, j))) {
         res.status = CholStatus::arithmetic_error;
@@ -72,6 +85,50 @@ template <class T>
     }
   }
   return res;
+}
+
+/// Cholesky with the diagonal-shift retry ladder (ResilientOptions).  The
+/// first attempt is the plain factorization; when recovery is off (or the
+/// first attempt succeeds) the result is bit-identical to cholesky().  On
+/// failure, retry with A + shift*I, the shift starting at
+/// shift0_rel * mean|diag(A)| and multiplying by shift_growth per rung, at
+/// most max_shifts attempts.  Every failed rung is recorded as a "shift"
+/// RecoveryEvent (iteration = the failed column, value = the shift that
+/// failed); on success `shift_used` holds the accepted shift.
+template <class T>
+[[nodiscard]] CholResult<T> cholesky_resilient(
+    const Dense<T>& A, const ResilientOptions& res,
+    telemetry::Trace* trace = nullptr, const kernels::Context& kc = {},
+    fault::Observer* fault = nullptr) {
+  using st = scalar_traits<T>;
+  CholResult<T> out = cholesky(A, trace, kc, fault);
+  if (out.status == CholStatus::ok || !res.enabled) return out;
+
+  const int n = A.rows();
+  double mean_diag = 0.0;
+  for (int i = 0; i < n; ++i) mean_diag += std::abs(st::to_double(A(i, i)));
+  mean_diag = n > 0 ? mean_diag / n : 0.0;
+  if (!std::isfinite(mean_diag) || !(mean_diag > 0.0)) mean_diag = 1.0;
+
+  std::vector<RecoveryEvent> events;
+  events.push_back({out.failed_column, "shift", 0.0});  // the unshifted try
+  double shift = res.shift0_rel * mean_diag;
+  Dense<T> As = A;
+  for (int attempt = 0; attempt < res.max_shifts;
+       ++attempt, shift *= res.shift_growth) {
+    const T sh = st::from_double(shift);
+    for (int i = 0; i < n; ++i) As(i, i) = A(i, i) + sh;
+    CholResult<T> r = cholesky(As, trace, kc, fault);
+    if (r.status == CholStatus::ok) {
+      r.shift_used = shift;
+      r.recovery = std::move(events);
+      return r;
+    }
+    events.push_back({r.failed_column, "shift", shift});
+    out = std::move(r);
+  }
+  out.recovery = std::move(events);  // exhausted the ladder; report the trail
+  return out;
 }
 
 /// Solve R^T y = b (forward substitution; R upper triangular).

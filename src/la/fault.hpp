@@ -1,0 +1,72 @@
+// Fault-injection hook for the solver loops.
+//
+// Every solver in la/ accepts a nullable fault::Observer* (threaded through
+// its options struct).  The default is null, and every hook below is a plain
+// null check, so solves without an observer execute bit-identically to a tree
+// that never heard of fault injection — the zero-overhead contract the
+// resilience campaign tests pin.
+//
+// The observer sees two things:
+//   * iteration(it) at the top of each CG iteration / Cholesky column /
+//     IR refinement step — the injector's clock;
+//   * touch(site, data, elem_bytes, count) at each injection site, with
+//     MUTABLE access to the scalars flowing through the solve.  An armed
+//     injector flips bits in place; a passive observer can merely record.
+//
+// Sites are deliberately coarse — the three the resilience study sweeps:
+//   matrix_entry  — an entry of the (decoded) coefficient data.  Persistent
+//                   faults: the campaign driver flips stored matrix bits
+//                   before the solve; the in-loop hook is not offered the
+//                   matrix (solvers take it const).
+//   vector_entry  — an entry of the solver's live state vector (CG residual,
+//                   Cholesky factor row, IR residual).
+//   dot_result    — the scalar result of an inner product / update chain,
+//                   i.e. a transient ALU fault.
+//
+// The concrete injector lives in src/resilience/inject.hpp; la/ only defines
+// the interface so the solver headers stay dependency-free.
+#pragma once
+
+#include <cstddef>
+
+namespace pstab::la::fault {
+
+enum class Site : int { matrix_entry = 0, vector_entry, dot_result };
+inline constexpr int kSiteCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(Site s) noexcept {
+  switch (s) {
+    case Site::matrix_entry: return "matrix_entry";
+    case Site::vector_entry: return "vector_entry";
+    case Site::dot_result: return "dot_result";
+  }
+  return "?";
+}
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// Clock tick: CG iteration, Cholesky column, or IR refinement step.
+  virtual void iteration(int it) noexcept = 0;
+  /// Mutable window onto `count` elements of `elem_bytes` each at `site`.
+  virtual void touch(Site site, void* data, std::size_t elem_bytes,
+                     std::size_t count) noexcept = 0;
+};
+
+// -- Hook helpers: no-op (one null check) when no observer is installed. -----
+
+inline void on_iteration(Observer* o, int it) noexcept {
+  if (o) o->iteration(it);
+}
+
+template <class T>
+inline void touch_scalar(Observer* o, Site s, T& v) noexcept {
+  if (o) o->touch(s, &v, sizeof(T), 1);
+}
+
+template <class T>
+inline void touch_range(Observer* o, Site s, T* data, std::size_t n) noexcept {
+  if (o) o->touch(s, data, sizeof(T), n);
+}
+
+}  // namespace pstab::la::fault

@@ -46,6 +46,13 @@ inline GmresReport gmres_solve(
     // r = M^{-1}(b - A x)
     Vec<double> r = precond(residual(A, b, x));
     double beta = kernels::nrm2_d(r);
+    // NaN / inf in the (preconditioned) residual: without this check the
+    // poisoned Krylov basis spins to max_iter and corrupts x on the way out.
+    if (!std::isfinite(beta)) {
+      rep.status = SolveStatus::breakdown;
+      rep.iterations = total;
+      return rep;
+    }
     rep.final_relres = beta / normb;
     if (rep.final_relres <= tol) {
       rep.status = SolveStatus::converged;
@@ -70,6 +77,13 @@ inline GmresReport gmres_solve(
         for (int j = 0; j < n; ++j) w[j] -= H(i, k) * V[i][j];
       }
       H(k + 1, k) = kernels::nrm2_d(w);
+      // A non-finite Arnoldi coefficient poisons every later rotation; x has
+      // not been touched this cycle, so it is still the last finite iterate.
+      if (!std::isfinite(H(k + 1, k))) {
+        rep.status = SolveStatus::breakdown;
+        rep.iterations = total;
+        return rep;
+      }
       if (H(k + 1, k) > 0)
         for (int j = 0; j < n; ++j) V[k + 1][j] = w[j] / H(k + 1, k);
       // Apply accumulated Givens rotations to the new column.
@@ -103,8 +117,17 @@ inline GmresReport gmres_solve(
       for (int j = i + 1; j < k; ++j) s -= H(i, j) * y[j];
       y[i] = H(i, i) != 0 ? s / H(i, i) : 0.0;
     }
+    const Vec<double> x_prev = x;
     for (int i = 0; i < k; ++i)
       for (int j = 0; j < n; ++j) x[j] += y[i] * V[i][j];
+    if (!kernels::all_finite(x)) {
+      // Overflowed correction (near-singular H pivot): report breakdown with
+      // the last finite iterate instead of a poisoned solution.
+      x = x_prev;
+      rep.status = SolveStatus::breakdown;
+      rep.iterations = total;
+      return rep;
+    }
     if (rep.final_relres <= tol) {
       rep.status = SolveStatus::converged;
       rep.iterations = total;
@@ -153,6 +176,7 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
     Vec<double> d;
     gmres_solve(A, r, d, minv, opt.gmres_tol, opt.gmres_iters,
                 opt.gmres_iters);
+    const Vec<double> x_prev = x;
     for (int i = 0; i < n; ++i) x[i] += d[i];
     const Vec<double> r2 = residual(A, b, x);
     const double berr =
@@ -162,6 +186,7 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
     rep.iterations = it;
     if (!std::isfinite(berr)) {
       rep.status = IrStatus::diverged;
+      x = x_prev;  // never hand back a poisoned iterate
       return rep;
     }
     if (berr <= opt.tol) {

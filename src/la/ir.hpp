@@ -23,6 +23,7 @@ namespace pstab::la {
 struct IrReport : SolveReport {
   double final_berr = 0.0;          // normwise backward error at exit
   double factorization_error = 0.0; // ||R^T R - A_h||_F / ||A_h||_F (double)
+  double shift_used = 0.0;          // diagonal shift the factorization needed
   la::CholStatus chol_status = la::CholStatus::ok;
 };
 
@@ -35,6 +36,10 @@ struct IrOptions {
   bool record_history = false;  // berr per refinement step -> history
   bool record_trace = false;    // phases: "factorize", "refine"
   kernels::Context kernels{};   // backend for the format-F factorization
+  ResilientOptions resilience{};   // Cholesky shift ladder (escalation across
+                                   // formats lives in resilience::ir_escalate)
+  fault::Observer* fault = nullptr;  // clocked per refinement step; also
+                                     // passed down into the factorization
 };
 
 /// Naive mixed-precision IR (paper Table II): factor fl_F(A) directly.
@@ -54,9 +59,12 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   const Dense<double>& src = Ah_source ? *Ah_source : A;
   const Dense<F> Ah = src.template cast_clamped<F>();
   telemetry::TraceSpan fact_span(tr, "factorize");
-  const auto fact = cholesky(Ah, nullptr, opt.kernels);
+  const auto fact =
+      cholesky_resilient(Ah, opt.resilience, nullptr, opt.kernels, opt.fault);
   fact_span.close();
   rep.chol_status = fact.status;
+  rep.shift_used = fact.shift_used;
+  rep.recovery = fact.recovery;  // "shift" rungs, if the ladder was climbed
   if (fact.status != CholStatus::ok) {
     rep.status = IrStatus::factorization_failed;
     return rep;
@@ -76,7 +84,10 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
 
   double first_berr = -1.0;
   for (int it = 1; it <= opt.max_iter; ++it) {
+    fault::on_iteration(opt.fault, it - 1);
     Vec<double> r = residual(A, b, x);
+    fault::touch_range(opt.fault, fault::Site::vector_entry, r.data(),
+                       r.size());
     // Correction solve: plain  R^T R d = r, or through Higham's scaling:
     // (mu R A R) z = mu * rdiag .* r, then d = rdiag .* z.
     Vec<double> rhs = r;
@@ -90,8 +101,11 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
     for (int i = 0; i < n; ++i) x[i] += d[i];
 
     Vec<double> r2 = residual(A, b, x);
-    const double berr =
+    double berr =
         kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
+    // The berr reduction is IR's dot_result site: a flipped monitor can fake
+    // convergence (SDC) or fake divergence (detected) without touching x.
+    fault::touch_scalar(opt.fault, fault::Site::dot_result, berr);
     rep.final_berr = berr;
     rep.iterations = it;
     if (opt.record_history) rep.history.push_back(berr);

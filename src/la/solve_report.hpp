@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/telemetry/trace.hpp"
@@ -50,12 +51,55 @@ using CgStatus = SolveStatus;
 using CholStatus = SolveStatus;
 using IrStatus = SolveStatus;
 
+// ---------------------------------------------------------------------------
+// Self-healing recovery (src/resilience is the study built on top of this).
+//
+// ResilientOptions is carried by every solver's options struct.  Disabled is
+// the default and costs nothing: the recovery branches sit behind `enabled`
+// checks, so a disabled solve is bit-identical to a tree without recovery.
+
+struct ResilientOptions {
+  bool enabled = false;
+
+  // CG: recompute the true residual r = b - A x every `recompute_every`
+  // iterations (0 = never) to shed recurrence drift, and on breakdown restart
+  // from the last finite checkpoint, at most `max_restarts` times.
+  int recompute_every = 0;
+  int max_restarts = 2;
+
+  // Cholesky: on a failed factorization retry with A + shift*I, the shift
+  // ladder starting at shift0_rel * mean|diag| and growing by shift_growth
+  // per rung, at most max_shifts attempts (cholesky_resilient).
+  int max_shifts = 12;
+  double shift0_rel = 1e-10;
+  double shift_growth = 10.0;
+
+  // IR: on factorization_failed / diverged, re-run the factorization one
+  // working-precision tier up (Half -> Float32Emu -> double, Posit16 ->
+  // Posit32), at most max_escalations tiers (resilience::ir_resilient).
+  bool escalate = true;
+  int max_escalations = 2;
+};
+
+/// One recovery attempt, recorded in SolveReport::recovery so self-healing is
+/// observable: what the solver did ("recompute", "restart", "shift",
+/// "escalate:<format>"), when, and with what parameter (shift magnitude,
+/// residual at the restart point, ...).
+struct RecoveryEvent {
+  int iteration = 0;
+  std::string action;
+  double value = 0.0;
+};
+
 struct SolveReport {
   SolveStatus status = SolveStatus::max_iterations;
   int iterations = 0;
   double final_relres = 0.0;    // solver's own monitor at exit
   double true_relres = 0.0;     // ||b - Ax|| / ||b|| in double (driver-filled)
   std::vector<double> history;  // monitor per iteration, when recorded
+
+  /// Recovery attempts, in order (empty unless ResilientOptions engaged).
+  std::vector<RecoveryEvent> recovery;
 
   /// Residual trace + per-phase wall time; allocated when the caller sets
   /// record_trace in the solver options, null otherwise.
@@ -64,6 +108,7 @@ struct SolveReport {
   [[nodiscard]] bool converged() const noexcept {
     return status == SolveStatus::converged;
   }
+  [[nodiscard]] bool recovered() const noexcept { return !recovery.empty(); }
 };
 
 }  // namespace pstab::la

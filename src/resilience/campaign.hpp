@@ -1,0 +1,112 @@
+// Fault-injection campaign driver.
+//
+// A campaign fixes one synthetic SPD problem and one solver (cg | cholesky |
+// ir), then sweeps formats × injection sites × bit fields, running `trials`
+// seeded single-bit-flip solves per cell and classifying each against the
+// GMP-verified clean solution:
+//
+//   masked     — solver claimed success, answer within the acceptance band,
+//                no corrective recovery (includes flips that never landed)
+//   corrected  — fault landed, recovery acted (restart / shift / escalate),
+//                and the answer is within the acceptance band
+//   detected   — solver reported failure (breakdown, not_positive_definite,
+//                arithmetic_error, factorization_failed, diverged)
+//   sdc        — solver claimed success but the answer is outside the band:
+//                silent data corruption, the class the study is about
+//   hang       — solver hit its iteration cap although the clean run converged
+//
+// Acceptance band: err <= max(10 * err_clean, accept_tol) where err is the
+// infinity-norm relative error against a 512-bit GMP Cholesky solution of the
+// clean double-precision system and err_clean is the same format's clean-run
+// error — a format is only blamed for fault damage, not for its native
+// rounding.
+//
+// Determinism: every trial's plan derives from splitmix_mix(campaign seed,
+// cell index, trial); cells are computed via parallel_map into index-owned
+// slots and the digest/JSON are serialized from the collected results, so the
+// artifact is byte-identical whatever PSTAB_THREADS is.
+//
+// Link against pstab_resilience (pulls in pstab_mp / GMP for the reference
+// solution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/fault.hpp"
+#include "la/solve_report.hpp"
+#include "resilience/inject.hpp"
+
+namespace pstab::resilience {
+
+enum class Outcome : int { masked = 0, corrected, detected, sdc, hang };
+inline constexpr int kOutcomeCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::masked: return "masked";
+    case Outcome::corrected: return "corrected";
+    case Outcome::detected: return "detected";
+    case Outcome::sdc: return "sdc";
+    case Outcome::hang: return "hang";
+  }
+  return "?";
+}
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::string solver = "cg";    // cg | cholesky | ir
+  std::string formats = "all";  // comma list (e.g. "f32,p32_2") or "all"
+  int n = 24;                   // synthetic SPD problem size
+  double cond = 1e3;            // its 2-norm condition number
+  int trials = 8;               // injections per (format, site, field) cell
+  bool recovery = false;        // engage recovery during injected runs
+  /// Recovery knobs used when `recovery` is true (enabled is forced on).
+  la::ResilientOptions resilience{};
+  double accept_tol = 1e-2;     // absolute floor of the acceptance band
+};
+
+/// One injected solve: what was flipped and how the run was classified.
+struct TrialRecord {
+  Outcome outcome = Outcome::masked;
+  bool fired = false;       // did the flip land before the solve ended?
+  int bit = -1;             // flipped bit position (in the format encoding)
+  int iteration = -1;       // solver clock tick of the flip (-1 = pre-solve)
+  std::uint64_t before_bits = 0, after_bits = 0;
+  double error = 0.0;       // inf-norm relative error vs the GMP reference
+};
+
+struct CampaignCell {
+  std::string format;
+  la::fault::Site site{};
+  BitField field{};
+  int counts[kOutcomeCount] = {0, 0, 0, 0, 0};
+  std::vector<TrialRecord> trials;
+};
+
+struct CleanRun {
+  std::string format;
+  la::SolveStatus status{};
+  int iterations = 0;
+  double error = 0.0;  // inf-norm relative error vs the GMP reference
+};
+
+struct CampaignResult {
+  CampaignOptions options;
+  std::vector<CleanRun> clean;    // one per format, input order
+  std::vector<CampaignCell> cells;  // formats × sites × fields, fixed order
+  /// Order-sensitive FNV-1a over every trial's (flip, outcome) record: equal
+  /// seeds/options produce equal digests whatever PSTAB_THREADS is.
+  std::uint64_t digest = 0;
+};
+
+/// Run a campaign.  Deterministic: the result is a pure function of `opt`.
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& opt);
+
+/// Serialize to the "pstab-results-v1" envelope ("experiment":
+/// "fault_campaign"); the conventional artifact name is
+/// RESULTS_fault_campaign.json.
+[[nodiscard]] std::string campaign_json(const CampaignResult& r);
+
+}  // namespace pstab::resilience

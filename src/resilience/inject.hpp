@@ -1,0 +1,265 @@
+// Seeded, replayable single-bit-flip fault injector.
+//
+// An Injector<T> is a la::fault::Observer armed with a FaultPlan: at the
+// planned solver iteration it picks one element of the touched data (SplitMix64
+// from the plan seed), decodes that element's bit layout in format T, picks one
+// bit inside the planned BitField, and flips it in place — exactly once per
+// solve (one-shot), so recovery retries and escalations run clean, which is
+// what lets a campaign distinguish *corrected* from *detected*.
+//
+// Field taxonomy:
+//   posits — sign / regime / exponent / fraction.  Field extents are dynamic
+//     (the regime is run-length encoded), so the layout is decoded per value:
+//     the magnitude pattern |p| (two's-complement negation for negatives) is
+//     scanned for the regime run, and the flip position found there is applied
+//     to the *stored* pattern — the bit-position-in-register fault model.
+//   IEEE (SoftFloat / float / double) — sign / exponent / fraction, fixed
+//     masks; `regime` has no IEEE meaning and falls back like an empty field.
+//   BitField::any — any bit of the encoding, sign included.
+//
+// A planned field that is empty for the actual value (e.g. `fraction` when the
+// regime ate the whole body) falls back to the whole non-sign body, so every
+// (plan, value) pair flips exactly one bit.  Everything here is a pure
+// function of (plan, touched values); same plan + same solve → same flip —
+// the determinism contract pinned by tests/corpus/inject.corpus.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "ieee/softfloat.hpp"
+#include "la/fault.hpp"
+#include "posit/posit.hpp"
+
+namespace pstab::resilience {
+
+enum class BitField : int { any = 0, sign, regime, exponent, fraction };
+inline constexpr int kBitFieldCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(BitField f) noexcept {
+  switch (f) {
+    case BitField::any: return "any";
+    case BitField::sign: return "sign";
+    case BitField::regime: return "regime";
+    case BitField::exponent: return "exponent";
+    case BitField::fraction: return "fraction";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Per-format bit layout: width, pattern <-> value, and the mask of bit
+// positions belonging to each field *for a given pattern*.
+
+template <class T>
+struct FaultFormat;  // primary template intentionally undefined
+
+namespace detail {
+
+[[nodiscard]] constexpr std::uint64_t low_mask(int bits) noexcept {
+  return bits >= 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+/// Decode the dynamic posit layout of `pattern` (low N bits) into field masks.
+/// Negatives are analyzed on the two's-complement magnitude; mask positions
+/// refer to the stored pattern.
+template <int N, int ES>
+[[nodiscard]] constexpr std::uint64_t posit_field_mask(std::uint64_t pattern,
+                                                       BitField f) noexcept {
+  const std::uint64_t all = low_mask(N);
+  pattern &= all;
+  const std::uint64_t sign_bit = 1ull << (N - 1);
+  if (f == BitField::any) return all;
+  if (f == BitField::sign) return sign_bit;
+  // Magnitude pattern: zero and NaR have an all-zero body and decode to an
+  // untermimated regime run spanning the whole body.
+  std::uint64_t mag = pattern;
+  if ((pattern & sign_bit) && pattern != sign_bit)
+    mag = (~pattern + 1) & all;
+  // Regime: run of identical bits from N-2 downward plus one terminator.
+  const int first = int((mag >> (N - 2)) & 1);
+  int run = 0;
+  while (run < N - 1 && int((mag >> (N - 2 - run)) & 1) == first) ++run;
+  const int regime_len = run < N - 1 ? run + 1 : N - 1;  // +1 = terminator
+  const int exp_len = ES < (N - 1 - regime_len) ? ES : (N - 1 - regime_len);
+  const int frac_len = N - 1 - regime_len - exp_len;
+  switch (f) {
+    case BitField::regime:
+      return low_mask(regime_len) << (N - 1 - regime_len);
+    case BitField::exponent:
+      return low_mask(exp_len) << frac_len;
+    case BitField::fraction:
+      return low_mask(frac_len);
+    default:
+      return 0;
+  }
+}
+
+/// Fixed IEEE sign/exponent/fraction split; `regime` yields 0 (fallback).
+[[nodiscard]] constexpr std::uint64_t ieee_field_mask(int ebits, int mbits,
+                                                      BitField f) noexcept {
+  switch (f) {
+    case BitField::any: return low_mask(1 + ebits + mbits);
+    case BitField::sign: return 1ull << (ebits + mbits);
+    case BitField::exponent: return low_mask(ebits) << mbits;
+    case BitField::fraction: return low_mask(mbits);
+    default: return 0;
+  }
+}
+
+}  // namespace detail
+
+template <int N, int ES>
+struct FaultFormat<Posit<N, ES>> {
+  using T = Posit<N, ES>;
+  static constexpr int width = N;
+  [[nodiscard]] static std::uint64_t bits(const T& v) noexcept {
+    return v.bits();
+  }
+  [[nodiscard]] static T from_bits(std::uint64_t b) noexcept {
+    return T::from_bits(b);
+  }
+  [[nodiscard]] static std::uint64_t field_mask(std::uint64_t pattern,
+                                                BitField f) noexcept {
+    return detail::posit_field_mask<N, ES>(pattern, f);
+  }
+};
+
+template <int E, int M>
+struct FaultFormat<SoftFloat<E, M>> {
+  using T = SoftFloat<E, M>;
+  static constexpr int width = 1 + E + M;
+  [[nodiscard]] static std::uint64_t bits(const T& v) noexcept {
+    return v.bits();
+  }
+  [[nodiscard]] static T from_bits(std::uint64_t b) noexcept {
+    return T::from_bits(std::uint32_t(b));
+  }
+  [[nodiscard]] static std::uint64_t field_mask(std::uint64_t,
+                                                BitField f) noexcept {
+    return detail::ieee_field_mask(E, M, f);
+  }
+};
+
+template <>
+struct FaultFormat<double> {
+  static constexpr int width = 64;
+  [[nodiscard]] static std::uint64_t bits(double v) noexcept {
+    return std::bit_cast<std::uint64_t>(v);
+  }
+  [[nodiscard]] static double from_bits(std::uint64_t b) noexcept {
+    return std::bit_cast<double>(b);
+  }
+  [[nodiscard]] static std::uint64_t field_mask(std::uint64_t,
+                                                BitField f) noexcept {
+    return detail::ieee_field_mask(11, 52, f);
+  }
+};
+
+template <>
+struct FaultFormat<float> {
+  static constexpr int width = 32;
+  [[nodiscard]] static std::uint64_t bits(float v) noexcept {
+    return std::bit_cast<std::uint32_t>(v);
+  }
+  [[nodiscard]] static float from_bits(std::uint64_t b) noexcept {
+    return std::bit_cast<float>(std::uint32_t(b));
+  }
+  [[nodiscard]] static std::uint64_t field_mask(std::uint64_t,
+                                                BitField f) noexcept {
+    return detail::ieee_field_mask(8, 23, f);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+/// What to corrupt: fire at solver clock tick `iteration`, at the first
+/// matching `site` touch, flipping one bit of `field`.  Everything downstream
+/// (element index, bit position) derives from `seed`.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  la::fault::Site site = la::fault::Site::dot_result;
+  BitField field = BitField::any;
+  int iteration = 0;
+};
+
+/// One-shot bit-flip injector for scalar format T.  Install via the solver
+/// options' `fault` pointer; inspect after the solve for the flip record.
+template <class T>
+class Injector final : public la::fault::Observer {
+ public:
+  using FF = FaultFormat<T>;
+
+  explicit Injector(const FaultPlan& plan) noexcept
+      : plan_(plan), rng_(plan.seed) {}
+
+  void iteration(int it) noexcept override { it_ = it; }
+
+  void touch(la::fault::Site site, void* data, std::size_t elem_bytes,
+             std::size_t count) noexcept override {
+    if (fired_ || site != plan_.site || it_ < plan_.iteration) return;
+    if (elem_bytes != sizeof(T) || count == 0) return;
+    T* v = static_cast<T*>(data);
+    element_ = count > 1 ? std::size_t(rng_.below(count)) : 0;
+    before_bits_ = FF::bits(v[element_]);
+    bit_ = pick_bit(before_bits_);
+    after_bits_ = before_bits_ ^ (1ull << bit_);
+    v[element_] = FF::from_bits(after_bits_);
+    fired_iteration_ = it_;
+    fired_ = true;
+  }
+
+  /// Flip one bit of `value` directly (the campaign's pre-solve matrix-entry
+  /// path, where no in-loop hook sees the data).  Records like touch().
+  void flip_now(T& value) noexcept {
+    before_bits_ = FF::bits(value);
+    bit_ = pick_bit(before_bits_);
+    after_bits_ = before_bits_ ^ (1ull << bit_);
+    value = FF::from_bits(after_bits_);
+    fired_iteration_ = -1;
+    fired_ = true;
+  }
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+  [[nodiscard]] int bit() const noexcept { return bit_; }
+  [[nodiscard]] std::size_t element() const noexcept { return element_; }
+  [[nodiscard]] int fired_iteration() const noexcept {
+    return fired_iteration_;
+  }
+  [[nodiscard]] std::uint64_t before_bits() const noexcept {
+    return before_bits_;
+  }
+  [[nodiscard]] std::uint64_t after_bits() const noexcept {
+    return after_bits_;
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  [[nodiscard]] int pick_bit(std::uint64_t pattern) noexcept {
+    std::uint64_t mask = FF::field_mask(pattern, plan_.field);
+    if (mask == 0)  // field empty for this value: whole non-sign body
+      mask = detail::low_mask(FF::width - 1);
+    const int nbits = std::popcount(mask);
+    int pick = int(rng_.below(std::uint64_t(nbits)));
+    for (int b = 0; b < 64; ++b) {
+      if ((mask >> b) & 1) {
+        if (pick == 0) return b;
+        --pick;
+      }
+    }
+    return 0;  // unreachable: mask is never empty
+  }
+
+  FaultPlan plan_;
+  SplitMix64 rng_;
+  int it_ = -1;
+  bool fired_ = false;
+  int bit_ = -1;
+  std::size_t element_ = 0;
+  int fired_iteration_ = -1;
+  std::uint64_t before_bits_ = 0, after_bits_ = 0;
+};
+
+}  // namespace pstab::resilience

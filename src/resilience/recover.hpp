@@ -1,0 +1,89 @@
+// Mixed-precision escalation for iterative refinement.
+//
+// la::mixed_ir<F> is templated on the factorization format F, so escalating
+// "one precision tier up" changes a template argument — it cannot live inside
+// the solver.  ir_escalate<F> wraps it: when the solve comes back
+// factorization_failed or diverged and ResilientOptions{enabled, escalate}
+// allows, it re-runs the whole solve with F promoted along
+//
+//   Half -> Float32Emu -> double          (IEEE ladder)
+//   BFloat16 -> Float32Emu -> double
+//   Posit16_1 / Posit16_2 -> Posit32_2    (posit ladder)
+//
+// at most max_escalations rungs.  Each rung is recorded as an
+// "escalate:<format>" RecoveryEvent prepended to the final report's recovery
+// trail, so a corrected run is distinguishable from a first-try success.
+// With recovery disabled this is exactly one mixed_ir<F> call.
+#pragma once
+
+#include <string>
+#include <type_traits>
+
+#include "la/ir.hpp"
+
+namespace pstab::resilience {
+
+/// Next precision tier for the factorization format; `void` terminates the
+/// ladder (double factors in the working precision already — nothing above).
+template <class F>
+struct NextTier {
+  using type = void;
+};
+template <>
+struct NextTier<Half> {
+  using type = Float32Emu;
+};
+template <>
+struct NextTier<BFloat16> {
+  using type = Float32Emu;
+};
+template <>
+struct NextTier<Float32Emu> {
+  using type = double;
+};
+template <>
+struct NextTier<Posit16_1> {
+  using type = Posit32_2;
+};
+template <>
+struct NextTier<Posit16_2> {
+  using type = Posit32_2;
+};
+
+template <class F>
+la::IrReport ir_escalate(const la::Dense<double>& A, const la::Vec<double>& b,
+                         la::Vec<double>& x, const la::IrOptions& opt = {},
+                         const scaling::HighamScaling* hs = nullptr,
+                         const la::Dense<double>* Ah_source = nullptr,
+                         int budget = -1) {
+  if (budget < 0) budget = opt.resilience.max_escalations;
+  la::IrReport rep = la::mixed_ir<F>(A, b, x, opt, hs, Ah_source);
+  // max_iterations counts as failure here: a tier that cannot contract within
+  // the cap will not be saved by more of the same precision, and escalating
+  // is what keeps an injected campaign free of hangs.
+  const bool failed = rep.status == la::IrStatus::factorization_failed ||
+                      rep.status == la::IrStatus::diverged ||
+                      rep.status == la::IrStatus::max_iterations;
+  if (!failed || budget <= 0 || !opt.resilience.enabled ||
+      !opt.resilience.escalate)
+    return rep;
+  using G = typename NextTier<F>::type;
+  if constexpr (std::is_void_v<G>) {
+    return rep;
+  } else {
+    std::vector<la::RecoveryEvent> trail = std::move(rep.recovery);
+    trail.push_back({rep.iterations,
+                     std::string("escalate:") + scalar_traits<G>::name(),
+                     double(opt.resilience.max_escalations - budget + 1)});
+    // Escalation re-reads the factorization input from the authoritative
+    // source.  A Higham-scaled Ah_source is part of the algorithm and is
+    // kept; an unscaled one stands in for the (possibly corrupted)
+    // low-precision cast buffer, which a fresh cast from A leaves behind.
+    const la::Dense<double>* src = hs ? Ah_source : nullptr;
+    la::IrReport up = ir_escalate<G>(A, b, x, opt, hs, src, budget - 1);
+    up.recovery.insert(up.recovery.begin(), trail.begin(), trail.end());
+    return up;
+  }
+}
+
+}  // namespace pstab::resilience

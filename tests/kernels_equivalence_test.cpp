@@ -172,6 +172,83 @@ TEST(KernelsEquivalence, HalfBlas2) {
 }
 
 // ---------------------------------------------------------------------------
+// Directed NaR propagation: a single poisoned element anywhere in the input
+// must poison the reductions identically in both backends — the decoded-plane
+// flag machinery may not lose, duplicate, or reorder the NaR no matter which
+// lane or tail position it lands in.
+
+template <class T>
+void check_nar_propagation() {
+  for (const int n : {1, 2, 7, 8, 9, 64, 257}) {
+    const auto base = rand_vec<T>(n, 4242 + n, false);
+    const auto y = rand_vec<T>(n, 5252 + n, false);
+    for (const int pos : {0, n / 2, n - 1}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " pos=" + std::to_string(pos));
+      auto x = base;
+      x[pos] = T::nar();
+
+      const T ds = ker::dot(kScalar, x, y);
+      const T db = ker::dot(kBatched, x, y);
+      EXPECT_TRUE(ds.is_nar());
+      EXPECT_TRUE(bits_equal(ds, db));
+
+      const T fs = ker::dot_fused(kScalar, x, y);
+      const T fb = ker::dot_fused(kBatched, x, y);
+      EXPECT_TRUE(fs.is_nar());
+      EXPECT_TRUE(bits_equal(fs, fb));
+
+      // Poison on the update-chain side too (the Cholesky inner loop).
+      const T alpha = scalar_traits<T>::from_double(-1.5);
+      const T cs =
+          ker::update_chain(kScalar, alpha, x.data(), 1, y.data(), 1,
+                            std::size_t(n), true);
+      const T cb =
+          ker::update_chain(kBatched, alpha, x.data(), 1, y.data(), 1,
+                            std::size_t(n), true);
+      EXPECT_TRUE(cs.is_nar());
+      EXPECT_TRUE(bits_equal(cs, cb));
+
+      // And through the elementwise updates into a full vector.
+      auto as = y, ab = y;
+      ker::axpy(kScalar, alpha, x, as);
+      ker::axpy(kBatched, alpha, x, ab);
+      EXPECT_TRUE(as[pos].is_nar());
+      EXPECT_TRUE(bits_equal(as, ab));
+    }
+  }
+}
+
+TEST(KernelsEquivalence, NaRPropagationPosit16) {
+  check_nar_propagation<Posit16_1>();
+}
+TEST(KernelsEquivalence, NaRPropagationPosit32) {
+  check_nar_propagation<Posit32_2>();
+}
+
+TEST(KernelsEquivalence, NanPropagationHalf) {
+  // IEEE twin of the NaR sweep: one quiet NaN must surface identically.
+  for (const int n : {1, 8, 9, 257}) {
+    const auto base = rand_vec<Half>(n, 6400 + n, false);
+    const auto y = rand_vec<Half>(n, 6500 + n, false);
+    for (const int pos : {0, n - 1}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " pos=" + std::to_string(pos));
+      auto x = base;
+      x[pos] = scalar_traits<Half>::from_double(std::nan(""));
+      const Half ds = ker::dot(kScalar, x, y);
+      const Half db = ker::dot(kBatched, x, y);
+      EXPECT_TRUE(std::isnan(ds.to_double()));
+      EXPECT_TRUE(bits_equal(ds, db));
+      const Half cs = ker::update_chain(kScalar, Half(1.0), x.data(), 1,
+                                        y.data(), 1, std::size_t(n), false);
+      const Half cb = ker::update_chain(kBatched, Half(1.0), x.data(), 1,
+                                        y.data(), 1, std::size_t(n), false);
+      EXPECT_TRUE(std::isnan(cs.to_double()));
+      EXPECT_TRUE(bits_equal(cs, cb));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch routing.
 
 TEST(KernelsDispatch, ExplicitBackendsWin) {

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "ieee/softfloat.hpp"
+#include "la/bicgstab.hpp"
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
+#include "la/gmres.hpp"
 #include "la/ir.hpp"
 #include "la/lu.hpp"
 #include "matrices/generator.hpp"
@@ -103,6 +105,73 @@ TEST(Robustness, OneByOneSystems) {
   const auto rep = la::cg_solve(Sp, bp, xp, {});
   EXPECT_EQ(rep.status, la::CgStatus::converged);
   EXPECT_EQ(xp[0].to_double(), 3.0);
+}
+
+TEST(Robustness, BicgstabWithNaRRhsBreaksDownCleanly) {
+  const auto g = clean();
+  const auto S = g.csr.cast<Posit32_2>();
+  la::Vec<Posit32_2> b(g.n, Posit32_2::from_double(1.0));
+  b[3] = Posit32_2::nar();
+  la::Vec<Posit32_2> x;
+  const auto rep = la::bicgstab_solve(S, b, x, 1e-5, 100);
+  EXPECT_EQ(rep.status, la::SolveStatus::breakdown);
+  EXPECT_LE(rep.iterations, 2);
+  // Breakdown must never propagate NaR into the returned solution.
+  for (const auto& v : x) EXPECT_FALSE(v.is_nar());
+}
+
+TEST(Robustness, BicgstabWithInfRhsInHalf) {
+  const auto g = clean();
+  const auto S = g.csr.cast<Half>();
+  la::Vec<Half> b(g.n, Half(1.0));
+  b[0] = Half::infinity();
+  la::Vec<Half> x;
+  const auto rep = la::bicgstab_solve(S, b, x, 1e-5, 100);
+  EXPECT_EQ(rep.status, la::SolveStatus::breakdown);
+  for (const auto& v : x) EXPECT_TRUE(std::isfinite(v.to_double()));
+}
+
+TEST(Robustness, BicgstabCleanStillConverges) {
+  const auto g = clean();
+  la::Vec<double> b(g.n, 1.0), x;
+  const auto rep = la::bicgstab_solve(g.csr, b, x, 1e-8, 2000);
+  EXPECT_EQ(rep.status, la::SolveStatus::converged);
+  const auto r = la::residual(g.dense, b, x);
+  EXPECT_LE(la::kernels::nrm2_d(r) / la::kernels::nrm2_d(b), 1e-6);
+}
+
+TEST(Robustness, GmresWithNanRhsBreaksDown) {
+  const auto g = clean();
+  la::Vec<double> b(g.n, 1.0);
+  b[5] = std::numeric_limits<double>::quiet_NaN();
+  la::Vec<double> x;
+  const auto rep = la::gmres_solve(g.dense, b, x, nullptr, 1e-10, 200);
+  // A poisoned residual must classify as breakdown, not spin to the
+  // iteration cap, and must leave x finite.
+  EXPECT_EQ(rep.status, la::SolveStatus::breakdown);
+  EXPECT_TRUE(la::kernels::all_finite(x));
+}
+
+TEST(Robustness, GmresWithNanPreconditionerBreaksDown) {
+  const auto g = clean();
+  la::Vec<double> b(g.n, 1.0), x;
+  const auto minv = [&](const la::Vec<double>& v) {
+    la::Vec<double> out = v;
+    out[0] = std::numeric_limits<double>::quiet_NaN();
+    return out;
+  };
+  const auto rep = la::gmres_solve(g.dense, b, x, minv, 1e-10, 200);
+  EXPECT_EQ(rep.status, la::SolveStatus::breakdown);
+  EXPECT_TRUE(la::kernels::all_finite(x));
+}
+
+TEST(Robustness, GmresIrOnNanRhsNeverReturnsPoisonedIterate) {
+  const auto g = clean();
+  la::Vec<double> b(g.n, std::numeric_limits<double>::quiet_NaN());
+  la::Vec<double> x;
+  const auto rep = la::gmres_ir<Half>(g.dense, b, x);
+  EXPECT_NE(rep.status, la::IrStatus::converged);
+  EXPECT_TRUE(la::kernels::all_finite(x));
 }
 
 TEST(Robustness, SaturatedCastStillFactorizable) {

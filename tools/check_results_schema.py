@@ -51,6 +51,56 @@ def check_telemetry(path, entries):
             fail(path, f"{where}: regime_hist must hold non-negative integers")
 
 
+FAULT_OUTCOMES = ("masked", "corrected", "detected", "sdc", "hang")
+FAULT_SITES = {"matrix_entry", "vector_entry", "dot_result"}
+FAULT_FIELDS = {"any", "sign", "regime", "exponent", "fraction"}
+
+
+def check_fault_campaign(path, doc):
+    """Fault-injection campaign artifact (src/resilience/campaign.cpp):
+    per-format clean baselines plus one cell per (format, site, bit-field)
+    with outcome counts, and a determinism digest over all trial records."""
+    if not isinstance(doc.get("options"), dict):
+        fail(path, "missing options object")
+    for key in ("seed", "solver", "trials", "recovery"):
+        if key not in doc["options"]:
+            fail(path, f"options: missing '{key}'")
+    clean = doc.get("clean")
+    if not isinstance(clean, list) or not clean:
+        fail(path, "clean must be a non-empty array")
+    for i, c in enumerate(clean):
+        if not isinstance(c.get("format"), str):
+            fail(path, f"clean[{i}]: missing format")
+        if c.get("status") not in SOLVE_STATUSES:
+            fail(path, f"clean[{i}]: unknown status {c.get('status')!r}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail(path, "cells must be a non-empty array")
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell.get("format"), str):
+            fail(path, f"{where}: missing format")
+        if cell.get("site") not in FAULT_SITES:
+            fail(path, f"{where}: unknown site {cell.get('site')!r}")
+        if cell.get("field") not in FAULT_FIELDS:
+            fail(path, f"{where}: unknown field {cell.get('field')!r}")
+        trials = cell.get("trials")
+        if not isinstance(trials, int) or trials <= 0:
+            fail(path, f"{where}: trials must be a positive integer")
+        total = 0
+        for o in FAULT_OUTCOMES:
+            count = cell.get(o)
+            if not isinstance(count, int) or count < 0:
+                fail(path, f"{where}: outcome {o!r} must be a non-negative "
+                           f"integer")
+            total += count
+        if total != trials:
+            fail(path, f"{where}: outcome counts sum to {total}, "
+                       f"expected {trials}")
+    if not isinstance(doc.get("digest"), int):
+        fail(path, "missing determinism digest")
+
+
 def check_file(path):
     try:
         with open(path, "rb") as f:
@@ -62,7 +112,9 @@ def check_file(path):
     experiment = doc.get("experiment")
     if not isinstance(experiment, str) or not experiment:
         fail(path, "missing experiment name")
-    if experiment != "telemetry":
+    if experiment == "fault_campaign":
+        check_fault_campaign(path, doc)
+    elif experiment != "telemetry":
         if not isinstance(doc.get("options"), dict):
             fail(path, "missing options object")
         rows = doc.get("rows")

@@ -7,6 +7,8 @@
 //   pstab ir <matrix> [--higham]        mixed-precision IR in 16-bit formats
 //   pstab precision <value>             how each format represents a number
 //   pstab fuzz [--seed S] [--cases N]   differential fuzzing vs the GMP oracle
+//   pstab inject [--solver cg|cholesky|ir] [--seed S] [--trials N]
+//                [--recovery] [--json PATH]   bit-flip fault campaign
 //
 // cg|chol|ir additionally take `--json <path>`: write the run as a
 // pstab-results-v1 artifact (with telemetry counters) next to the console
@@ -28,6 +30,7 @@
 #include "matrices/suite.hpp"
 #include "posit/lut.hpp"
 #include "posit/posit_math.hpp"
+#include "resilience/campaign.hpp"
 
 namespace {
 
@@ -42,6 +45,9 @@ int usage() {
                "  precision <value> |\n"
                "  fuzz [--seed S] [--cases N] [--surfaces LIST]\n"
                "       [--corpus DIR] [--no-minimize] [--replay DIR]\n"
+               "  inject [--solver cg|cholesky|ir] [--seed S] [--trials N]\n"
+               "         [--formats LIST] [--n SIZE] [--cond K] [--recovery]\n"
+               "         [--json PATH]\n"
                "  cg|chol|ir also accept: --json <path> --tol <v>\n"
                "    --max-iter <n> --kernels scalar|batched|auto\n"
                "  kernels also accepts: --json <path>\n");
@@ -313,6 +319,61 @@ int cmd_fuzz(int argc, char** argv) {
   return st.mismatches == 0 ? 0 : 2;
 }
 
+int cmd_inject(int argc, char** argv) {
+  // Fault-injection campaign (src/resilience): sweep formats x sites x bit
+  // fields with seeded single-bit flips, classify each solve against the
+  // GMP-verified clean solution.  Deterministic per seed and thread count.
+  resilience::CampaignOptions opt;
+  std::string json_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--solver" && i + 1 < argc)
+      opt.solver = argv[++i];
+    else if (a == "--seed" && i + 1 < argc)
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    else if (a == "--trials" && i + 1 < argc)
+      opt.trials = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--formats" && i + 1 < argc)
+      opt.formats = argv[++i];
+    else if (a == "--n" && i + 1 < argc)
+      opt.n = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--cond" && i + 1 < argc)
+      opt.cond = std::strtod(argv[++i], nullptr);
+    else if (a == "--recovery")
+      opt.recovery = true;
+    else if (a == "--json" && i + 1 < argc)
+      json_path = argv[++i];
+    else
+      return usage();
+  }
+  if (opt.trials <= 0 || opt.n < 4 ||
+      (opt.solver != "cg" && opt.solver != "cholesky" && opt.solver != "ir"))
+    return usage();
+  const auto result = resilience::run_campaign(opt);
+  core::Table t({"Format", "Site", "Field", "Masked", "Corrected", "Detected",
+                 "SDC", "Hang"});
+  for (const auto& c : result.cells)
+    t.row({c.format, la::fault::to_string(c.site),
+           resilience::to_string(c.field),
+           core::fmt_int(c.counts[0]), core::fmt_int(c.counts[1]),
+           core::fmt_int(c.counts[2]), core::fmt_int(c.counts[3]),
+           core::fmt_int(c.counts[4])});
+  t.print();
+  int totals[resilience::kOutcomeCount] = {0, 0, 0, 0, 0};
+  for (const auto& c : result.cells)
+    for (int o = 0; o < resilience::kOutcomeCount; ++o)
+      totals[o] += c.counts[o];
+  std::printf(
+      "inject: solver=%s seed=%llu recovery=%s masked=%d corrected=%d "
+      "detected=%d sdc=%d hang=%d digest=%016llx\n",
+      opt.solver.c_str(), (unsigned long long)opt.seed,
+      opt.recovery ? "on" : "off", totals[0], totals[1], totals[2], totals[3],
+      totals[4], (unsigned long long)result.digest);
+  if (!json_path.empty())
+    return emit_json(json_path, resilience::campaign_json(result));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -336,6 +397,7 @@ int main(int argc, char** argv) {
     if (cmd == "precision" && argc > 2)
       return cmd_precision(std::strtod(argv[2], nullptr));
     if (cmd == "fuzz") return cmd_fuzz(argc, argv);
+    if (cmd == "inject") return cmd_inject(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

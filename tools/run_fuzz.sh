@@ -8,8 +8,8 @@
 #
 # Env:
 #   PSTAB_FUZZ_SAN    space-separated sanitizer presets to run in addition
-#                     to the plain build (default: "address undefined";
-#                     set to "" to skip sanitizer trees, or add "thread")
+#                     to the plain build (default: "address undefined thread";
+#                     set to "" to skip sanitizer trees)
 #   PSTAB_FUZZ_DIR    scratch prefix for build trees (default: build-fuzz)
 #
 # Exit status is nonzero if any build, test, or fuzz budget fails; new
@@ -21,7 +21,7 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cases=${1:-2000000}
 seed=${2:-1}
 prefix=${PSTAB_FUZZ_DIR:-"$repo_root/build-fuzz"}
-sans=${PSTAB_FUZZ_SAN-"address undefined"}
+sans=${PSTAB_FUZZ_SAN-"address undefined thread"}
 
 run_tree() {
   san=$1
