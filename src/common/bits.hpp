@@ -49,6 +49,44 @@ constexpr u128 isqrt128(u128 x) noexcept {
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Widened branchless helpers for the f64-domain SIMD kernels
+// (la/kernels/simd/).  Each is the scalar model of a vector lane: no branches,
+// no table lookups, defined for every input the lanes can produce.
+// ---------------------------------------------------------------------------
+
+/// Raw IEEE-754 bits of a double (and back).  The SIMD round/accumulate
+/// cores live on the observation that for exactly-representable posit values
+/// the double pattern IS the arithmetic state.
+constexpr u64 f64_bits(double d) noexcept { return std::bit_cast<u64>(d); }
+constexpr double bits_f64(u64 b) noexcept { return std::bit_cast<double>(b); }
+
+/// IEEE double with the given unbiased exponent and a mantissa of 1.5
+/// (pattern 1.1000...): the canonical "rounding pin" constant C = 1.5 * 2^e
+/// used by the biased-accumulator trick.  Valid for |e| <= 1022.
+constexpr double c_pin(int e) noexcept {
+  return bits_f64((u64(1023 + e) << 52) | (u64(1) << 51));
+}
+
+/// IEEE double 2^e for |e| <= 1022 (normal range), branch-free.
+constexpr double pow2_f64(int e) noexcept {
+  return bits_f64(u64(1023 + e) << 52);
+}
+
+/// Index of the most significant set bit of a value in [1, 2^52) via the
+/// integer->double "OR-magic" trick: bit-or the value under 2^52's exponent,
+/// subtract 2^52 exactly, read the result's exponent field.  Branch-free and
+/// directly vectorizable (one FP subtract per lane); precondition x != 0.
+constexpr int msb_via_f64(u64 x) noexcept {
+  const u64 d = f64_bits(bits_f64(x | (u64(1075) << 52)) - 0x1p52);
+  return int(d >> 52) - 1023;
+}
+
+/// Branchless select: mask must be 0 or ~0.
+constexpr u64 sel64(u64 mask, u64 a, u64 b) noexcept {
+  return (a & mask) | (b & ~mask);
+}
+
 /// Assembles a left-justified bit string in a 128-bit register.  Fields are
 /// appended MSB-first; any bits pushed past the bottom are folded into a
 /// sticky flag.  This is exactly the structure needed to round a posit:

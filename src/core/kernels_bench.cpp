@@ -57,6 +57,7 @@ void bench_format(const char* name, int n, int gemv_rows,
                   std::vector<KernelBenchRow>& out) {
   const la::kernels::Context sc{la::kernels::Backend::Scalar};
   const la::kernels::Context bc{la::kernels::Backend::Batched};
+  const la::kernels::Context vc{la::kernels::Backend::Simd};
 
   std::mt19937_64 rng(0x9e3779b97f4a7c15ull);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
@@ -68,10 +69,12 @@ void bench_format(const char* name, int n, int gemv_rows,
   const T alpha = scalar_traits<T>::from_double(dist(rng));
 
   {
-    KernelBenchRow row{"dot", name, n, 0, 0, true};
+    KernelBenchRow row{"dot", name, n};
     const T ds = la::kernels::dot(sc, x, y);
     const T db = la::kernels::dot(bc, x, y);
+    const T dv = la::kernels::dot(vc, x, y);
     row.identical = bits_equal(ds, db);
+    row.simd_identical = bits_equal(ds, dv);
     volatile double sink = 0;  // keep the reductions observable
     row.scalar_mops = measure_mops(2.0 * n, [&] {
       sink = scalar_traits<T>::to_double(la::kernels::dot(sc, x, y));
@@ -79,39 +82,51 @@ void bench_format(const char* name, int n, int gemv_rows,
     row.batched_mops = measure_mops(2.0 * n, [&] {
       sink = scalar_traits<T>::to_double(la::kernels::dot(bc, x, y));
     });
+    row.simd_mops = measure_mops(2.0 * n, [&] {
+      sink = scalar_traits<T>::to_double(la::kernels::dot(vc, x, y));
+    });
     (void)sink;
     out.push_back(row);
   }
   {
-    KernelBenchRow row{"axpy", name, n, 0, 0, true};
-    auto ys = y, yb = y;
+    KernelBenchRow row{"axpy", name, n};
+    auto ys = y, yb = y, yv = y;
     la::kernels::axpy(sc, alpha, x, ys);
     la::kernels::axpy(bc, alpha, x, yb);
+    la::kernels::axpy(vc, alpha, x, yv);
     row.identical = bits_equal(ys, yb);
+    row.simd_identical = bits_equal(ys, yv);
     auto yw = y;
     row.scalar_mops =
         measure_mops(2.0 * n, [&] { la::kernels::axpy(sc, alpha, x, yw); });
     yw = y;
     row.batched_mops =
         measure_mops(2.0 * n, [&] { la::kernels::axpy(bc, alpha, x, yw); });
+    yw = y;
+    row.simd_mops =
+        measure_mops(2.0 * n, [&] { la::kernels::axpy(vc, alpha, x, yw); });
     out.push_back(row);
   }
   {
-    KernelBenchRow row{"gemv", name, n, 0, 0, true};
+    KernelBenchRow row{"gemv", name, n};
     la::Dense<double> Ad(gemv_rows, n);
     for (int i = 0; i < gemv_rows; ++i)
       for (int j = 0; j < n; ++j) Ad(i, j) = dist(rng);
     const auto A = Ad.template cast<T>();
-    la::Vec<T> ys, yb;
+    la::Vec<T> ys, yb, yv;
     la::kernels::gemv(sc, A, x, ys);
     la::kernels::gemv(bc, A, x, yb);
+    la::kernels::gemv(vc, A, x, yv);
     row.identical = bits_equal(ys, yb);
+    row.simd_identical = bits_equal(ys, yv);
     la::Vec<T> yw;
     const double ops = 2.0 * gemv_rows * n;
     row.scalar_mops =
         measure_mops(ops, [&] { la::kernels::gemv(sc, A, x, yw); });
     row.batched_mops =
         measure_mops(ops, [&] { la::kernels::gemv(bc, A, x, yw); });
+    row.simd_mops =
+        measure_mops(ops, [&] { la::kernels::gemv(vc, A, x, yw); });
     out.push_back(row);
   }
 }
@@ -136,6 +151,8 @@ std::string kernels_results_json(const std::vector<KernelBenchRow>& rows,
   w.key("n").value(n);
   w.key("default_backend")
       .value(la::kernels::to_string(la::kernels::default_backend()));
+  w.key("simd_isa")
+      .value(la::kernels::simd::isa_name(la::kernels::simd::active_isa()));
   w.end_object();
   w.key("rows").begin_array();
   for (const auto& r : rows) {
@@ -145,8 +162,11 @@ std::string kernels_results_json(const std::vector<KernelBenchRow>& rows,
     w.key("n").value(r.n);
     w.key("scalar_mops").value(r.scalar_mops);
     w.key("batched_mops").value(r.batched_mops);
+    w.key("simd_mops").value(r.simd_mops);
     w.key("speedup").value(r.speedup());
+    w.key("simd_speedup").value(r.simd_speedup());
     w.key("identical").value(r.identical);
+    w.key("simd_identical").value(r.simd_identical);
     w.end_object();
   }
   w.end_array();

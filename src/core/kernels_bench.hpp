@@ -1,7 +1,8 @@
-// Scalar-vs-batched kernel micro-benchmark shared by `pstab kernels --bench`
-// and bench/perf_kernels.  Times dot / axpy / gemv in both backends, checks
-// the results are bit-identical, and serializes a pstab-results-v1 document
-// (experiment "kernels") so tools/check_results_schema.py can validate it.
+// Scalar-vs-batched-vs-simd kernel micro-benchmark shared by `pstab kernels
+// --bench` and bench/perf_kernels.  Times dot / axpy / gemv in all three
+// backends, checks the results are bit-identical, and serializes a
+// pstab-results-v1 document (experiment "kernels") so
+// tools/check_results_schema.py can validate it.
 #pragma once
 
 #include <string>
@@ -15,10 +16,15 @@ struct KernelBenchRow {
   int n = 0;           // vector length (gemv: column count)
   double scalar_mops = 0.0;
   double batched_mops = 0.0;
-  bool identical = true;  // batched result bitwise equal to scalar
+  double simd_mops = 0.0;      // Backend::Simd (scalar path when no ISA)
+  bool identical = true;       // batched result bitwise equal to scalar
+  bool simd_identical = true;  // simd result bitwise equal to scalar
 
   [[nodiscard]] double speedup() const {
     return scalar_mops > 0 ? batched_mops / scalar_mops : 0.0;
+  }
+  [[nodiscard]] double simd_speedup() const {
+    return scalar_mops > 0 ? simd_mops / scalar_mops : 0.0;
   }
 };
 

@@ -17,6 +17,8 @@
 #include "ieee/softfloat.hpp"
 #include "la/dense.hpp"
 #include "la/ir.hpp"
+#include "la/kernels/kernels.hpp"
+#include "la/kernels/simd/simd.hpp"
 #include "mp/mpreal.hpp"
 #include "mp/oracle.hpp"
 #include "mp/oracle_ieee.hpp"
@@ -790,6 +792,97 @@ template <class T>
 }
 
 // ---------------------------------------------------------------------------
+// Simd surface: the vector backend (la/kernels/simd) differentially against
+// the scalar kernels, on every ISA the host can execute.  Cases carry a
+// (length, stream seed) shape instead of raw operands: the vectors are
+// re-expanded from the seed with the boundary-biased posit pattern generator,
+// which keeps replay records one line long at any chain length.  Bit identity
+// per ISA is the verdict; a host with no vector ISA degenerates to
+// scalar-vs-scalar and trivially passes (the CI ISA matrix keeps the vector
+// legs exercised).
+
+template <int N, int ES>
+[[nodiscard]] u64 gen_posit_pattern(SplitMix64& r);
+
+template <int N, int ES>
+[[nodiscard]] Verdict check_simd(const Case& c) {
+  using P = Posit<N, ES>;
+  namespace ker = la::kernels;
+  namespace simd = la::kernels::simd;
+  const std::size_t arity = c.op == "chain" ? 3 : 2;
+  if (c.args.size() != arity) return fail("malformed: bad arity for " + c.op);
+  const u64 n = c.args[0];
+  if (n < 1 || n > 8192) return fail("malformed: simd length out of range");
+  if (c.op != "dot" && c.op != "chain" && c.op != "axpy")
+    return fail("malformed: unknown simd op " + c.op);
+
+  // Deterministic expansion: scalar knobs first (statement order!), then the
+  // operand vectors.  The generator's special-value branches seed NaR and
+  // near-zero patterns into the stream on their own.
+  SplitMix64 r(c.args[1]);
+  const P knob = P::from_bits(gen_posit_pattern<N, ES>(r));
+  la::Vec<P> x(n), y(n);
+  for (u64 i = 0; i < n; ++i) x[i] = P::from_bits(gen_posit_pattern<N, ES>(r));
+  for (u64 i = 0; i < n; ++i) y[i] = P::from_bits(gen_posit_pattern<N, ES>(r));
+
+  const ker::Context ks{ker::Backend::Scalar}, kv{ker::Backend::Simd};
+  const bool sub = arity == 3 && c.args[2] != 0;
+
+  // Scalar reference once; then every executable vector ISA against it.
+  P ref_s{};
+  la::Vec<P> ref_v;
+  if (c.op == "dot") {
+    ref_s = ker::dot(ks, x, y);
+  } else if (c.op == "chain") {
+    ref_s = ker::update_chain(ks, knob, x.data(), 1, y.data(), 1,
+                              std::size_t(n), sub);
+  } else {
+    ref_v = y;
+    ker::axpy(ks, knob, x, ref_v);
+  }
+
+  const auto run_vector = [&]() -> Verdict {
+    if (c.op == "dot") {
+      const P dv = ker::dot(kv, x, y);
+      if (dv.bits() != ref_s.bits())
+        return fail_bits("dot", ref_s.bits(), dv.bits());
+    } else if (c.op == "chain") {
+      const P cv = ker::update_chain(kv, knob, x.data(), 1, y.data(), 1,
+                                     std::size_t(n), sub);
+      if (cv.bits() != ref_s.bits())
+        return fail_bits("chain", ref_s.bits(), cv.bits());
+    } else {
+      la::Vec<P> yv = y;
+      ker::axpy(kv, knob, x, yv);
+      for (u64 i = 0; i < n; ++i)
+        if (yv[i].bits() != ref_v[i].bits())
+          return fail_bits("axpy", ref_v[i].bits(), yv[i].bits());
+    }
+    return {};
+  };
+
+  for (const simd::Isa isa :
+       {simd::Isa::kAvx2, simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    if (!simd::available(isa)) continue;
+    if (!simd::force_isa(isa)) continue;
+    Verdict v = run_vector();
+    simd::clear_forced_isa();
+    if (!v.ok) {
+      v.detail = std::string(simd::isa_name(isa)) + ": " + v.detail;
+      return v;
+    }
+  }
+  // And through the unforced dispatch (kill switch / env honored as-is).
+  return run_vector();
+}
+
+[[nodiscard]] Verdict check_simd(const Case& c) {
+  if (c.format == "p16_1") return check_simd<16, 1>(c);
+  if (c.format == "p32_2") return check_simd<32, 2>(c);
+  return fail("malformed: unknown simd format " + c.format);
+}
+
+// ---------------------------------------------------------------------------
 // Case generation: boundary-biased operand distributions.
 
 template <int N, int ES>
@@ -991,6 +1084,40 @@ template <int E, int M>
   return c;
 }
 
+[[nodiscard]] Case gen_simd_case(SplitMix64& r) {
+  Case c;
+  c.surface = "simd";
+  c.format = r.below(2) ? "p32_2" : "p16_1";
+  static constexpr const char* kOps[] = {"dot", "chain", "axpy"};
+  c.op = kOps[r.below(3)];
+  // Lengths biased to the vector edges: sub-lane tails, the lane count
+  // itself, the 128-element block boundary, and occasional long chains.
+  u64 n = 0;
+  switch (r.below(6)) {
+    case 0:
+      n = 1 + r.below(17);
+      break;
+    case 1:
+      n = 7 + r.below(4);
+      break;
+    case 2:
+      n = 126 + r.below(6);
+      break;
+    case 3:
+      n = 254 + r.below(6);
+      break;
+    case 4:
+      n = 1 + r.below(256);
+      break;
+    default:
+      n = 1 + r.below(2048);
+      break;
+  }
+  c.args = {n, r.next()};
+  if (c.op == "chain") c.args.push_back(r.below(2));
+  return c;
+}
+
 [[nodiscard]] Case gen_solver_case(SplitMix64& r) {
   Case c;
   c.surface = "solver";
@@ -1028,6 +1155,8 @@ using GenFn = Case (*)(SplitMix64&);
       return kConvertGens[r.below(std::size(kConvertGens))](r);
     case kInject:
       return gen_inject_case(r);
+    case kSimd:
+      return gen_simd_case(r);
     default:
       return gen_solver_case(r);
   }
@@ -1059,8 +1188,9 @@ void digest_str(std::uint64_t& h, const std::string& s) {
 }  // namespace
 
 const char* surface_name(int s) noexcept {
-  static constexpr const char* kNames[] = {"posit",  "softfloat", "quire",
-                                           "convert", "inject",   "solver"};
+  static constexpr const char* kNames[] = {"posit",   "softfloat", "quire",
+                                           "convert", "inject",    "simd",
+                                           "solver"};
   return (s >= 0 && s < kSurfaceCount) ? kNames[s] : "?";
 }
 
@@ -1131,6 +1261,8 @@ Verdict replay(const Case& c) {
 #undef X
   } else if (c.surface == "inject") {
     return check_inject(c);
+  } else if (c.surface == "simd") {
+    return check_simd(c);
   } else if (c.surface == "solver") {
     return check_solver(c);
   }

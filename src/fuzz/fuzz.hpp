@@ -17,6 +17,9 @@
 //               land inside the requested field mask, and corpus records can
 //               additionally pin expected flipped bits and whole-campaign
 //               digests
+//   simd      — the vector backend (la/kernels/simd) vs the scalar kernels:
+//               dot / update_chain / axpy over seed-expanded operand vectors,
+//               bit-identical on every ISA the host can execute
 //   solver    — tiny SPD systems through cholesky / mixed_ir, with and
 //               without Higham scaling: no non-finite escapes, status-field
 //               consistency, scaled-vs-unscaled residual agreement in double
@@ -51,7 +54,7 @@ using SplitMix64 = pstab::SplitMix64;
 /// solver cases, [n, case_seed, higham]); `note` is free-text detail carried
 /// in the record comment.
 struct Case {
-  std::string surface;  // posit | softfloat | quire | convert | inject | solver
+  std::string surface;  // posit|softfloat|quire|convert|inject|simd|solver
   std::string format;   // p<N>_<ES> or sf<E>_<M>
   std::string op;       // add sub mul div sqrt recip fma dot fromd ...
   std::vector<std::uint64_t> args;
@@ -81,6 +84,7 @@ enum Surface {
   kQuire,
   kConvert,
   kInject,
+  kSimd,
   kSolver,  // rationed: keep last among the fuzzed surfaces
   kSurfaceCount
 };
@@ -90,7 +94,7 @@ struct Options {
   std::uint64_t seed = 1;
   long cases = 1000000;
   /// Comma-separated subset of
-  /// {posit,softfloat,quire,convert,inject,solver} or "all".
+  /// {posit,softfloat,quire,convert,inject,simd,solver} or "all".
   std::string surfaces = "all";
   /// When non-empty, minimized failures are appended to
   /// <corpus_dir>/<surface>.corpus as replay records.

@@ -56,6 +56,20 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
     return opt.fused_dots ? kernels::dot_fused(kc, u, v) : kernels::dot(kc, u, v);
   };
 
+  // A vector-backend request that had to fall back to scalar (unavailable
+  // ISA, kill switch via an unknown PSTAB_SIMD, nonstandard FP environment)
+  // is surfaced in the report instead of failing: the result bits are
+  // identical either way, only the throughput differs.
+  {
+    const kernels::Backend eff = kc.backend == kernels::Backend::Auto
+                                     ? kernels::default_backend()
+                                     : kc.backend;
+    if (eff != kernels::Backend::Scalar && eff != kernels::Backend::Batched) {
+      if (const char* note = kernels::simd::fallback_note())
+        rep.recovery.push_back({0, note, 0.0});
+    }
+  }
+
   x.assign(n, st::zero());
   Vec<T> r, p, ap;
   double normb = 0.0;

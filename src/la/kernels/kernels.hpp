@@ -8,14 +8,20 @@
 //   * Scalar  — the original per-element loops (decode/op/encode per scalar).
 //   * Batched — decoded-plane kernels (la/kernels/batched.hpp), bit-identical
 //               to Scalar by construction.
-//   * Auto    — Batched for supported formats and non-tiny vectors, unless
-//               the process default says otherwise (see below).
+//   * Simd    — runtime-dispatched vector kernels (la/kernels/simd/) for
+//               Posit<16,1> / Posit<32,2>, bit-identical to Scalar; falls
+//               back to the scalar paths when no vector ISA is active or the
+//               kernel has no vector variant (dot_fused, spmv).
+//   * Auto    — Simd (then Batched) for supported formats and non-tiny
+//               vectors, unless the process default says otherwise (below).
 //
 // The process default backend is Auto, overridden by the PSTAB_KERNELS
 // environment variable — "scalar" or "0" is the kill switch mirroring
-// PSTAB_LUT, "batched" forces batching on — and by set_default_backend() at
-// runtime (tests).  An explicit per-context Scalar/Batched choice wins over
-// the default; Auto defers to it.
+// PSTAB_LUT, "batched" / "simd" force a backend on — and by
+// set_default_backend() at runtime (tests).  An explicit per-context choice
+// wins over the default; Auto defers to it.  PSTAB_SIMD=avx2|avx512|neon|
+// scalar additionally pins WHICH vector ISA the Simd backend runs on (see
+// la/kernels/simd/simd.hpp).
 //
 // Telemetry: when telemetry::active(), every dispatch falls back to the
 // scalar path so the per-op/per-encode counters record exactly the totals the
@@ -37,6 +43,7 @@
 #include "common/scalar_traits.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "la/kernels/batched.hpp"
+#include "la/kernels/simd/simd.hpp"
 
 #if defined(PSTAB_DEPRECATE_FREE_KERNELS)
 #define PSTAB_KERNELS_DEPRECATED \
@@ -57,7 +64,7 @@ class Csr;
 
 namespace kernels {
 
-enum class Backend { Scalar, Batched, Auto };
+enum class Backend { Scalar, Batched, Simd, Auto };
 
 [[nodiscard]] constexpr const char* to_string(Backend b) noexcept {
   switch (b) {
@@ -65,6 +72,8 @@ enum class Backend { Scalar, Batched, Auto };
       return "scalar";
     case Backend::Batched:
       return "batched";
+    case Backend::Simd:
+      return "simd";
     default:
       return "auto";
   }
@@ -77,6 +86,7 @@ inline std::atomic<Backend>& default_backend_state() {
       if (std::strcmp(e, "scalar") == 0 || std::strcmp(e, "0") == 0)
         return Backend::Scalar;
       if (std::strcmp(e, "batched") == 0) return Backend::Batched;
+      if (std::strcmp(e, "simd") == 0) return Backend::Simd;
     }
     return Backend::Auto;
   }()};
@@ -102,7 +112,30 @@ struct Context {
 /// Below this length Auto stays scalar: plane setup isn't worth it.
 inline constexpr std::size_t kAutoMinN = 8;
 
-/// The dispatch predicate (exposed so tests can pin the routing itself).
+/// The vector-backend dispatch predicate (exposed so tests can pin the
+/// routing itself).  True only when a vector ISA is actually active: an
+/// explicit Backend::Simd with the kill switch on (PSTAB_SIMD=scalar, or an
+/// unavailable forced ISA) degrades to the scalar paths.
+template <class T>
+[[nodiscard]] inline bool use_simd(const Context& c, std::size_t n) noexcept {
+  if constexpr (!simd::ops<T>::supported) {
+    (void)c;
+    (void)n;
+    return false;
+  } else {
+    const Backend b =
+        c.backend == Backend::Auto ? default_backend() : c.backend;
+    if (b == Backend::Scalar || b == Backend::Batched) return false;
+    if (telemetry::active()) return false;  // keep counter totals scalar-exact
+    if (simd::active_isa() == simd::Isa::kScalar) return false;
+    if (b == Backend::Simd) return true;
+    return n >= kAutoMinN && !batched::ops<T>::prefer_scalar();
+  }
+}
+
+/// The decoded-plane dispatch predicate (exposed so tests can pin the
+/// routing itself).  Backend::Simd never routes here: its scalar fallback is
+/// the Scalar backend so the two are interchangeable bit-for-bit.
 template <class T>
 [[nodiscard]] inline bool use_batched(const Context& c,
                                       std::size_t n) noexcept {
@@ -113,7 +146,7 @@ template <class T>
   } else {
     const Backend b =
         c.backend == Backend::Auto ? default_backend() : c.backend;
-    if (b == Backend::Scalar) return false;
+    if (b == Backend::Scalar || b == Backend::Simd) return false;
     if (telemetry::active()) return false;  // keep counter totals scalar-exact
     if (b == Backend::Batched) return true;
     return n >= kAutoMinN && !batched::ops<T>::prefer_scalar();
@@ -127,6 +160,11 @@ template <class T>
 /// dot(x, y) with per-operation rounding in T (paper §II-C ground rule).
 template <class T>
 [[nodiscard]] T dot(const Context& c, const Vec<T>& x, const Vec<T>& y) {
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, x.size()))
+      return simd::ops<T>::table(*simd::active_tables())
+          .dot(x.data(), y.data(), x.size());
+  }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size()))
       return batched::ops<T>::dot(x.data(), y.data(), x.size());
@@ -160,6 +198,13 @@ template <class T>
 /// y += alpha * x
 template <class T>
 void axpy(const Context& c, T alpha, const Vec<T>& x, Vec<T>& y) {
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, x.size())) {
+      simd::ops<T>::table(*simd::active_tables())
+          .axpy(alpha, x.data(), y.data(), x.size());
+      return;
+    }
+  }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size())) {
       batched::ops<T>::axpy(alpha, x.data(), y.data(), x.size());
@@ -172,6 +217,13 @@ void axpy(const Context& c, T alpha, const Vec<T>& x, Vec<T>& y) {
 /// x *= alpha
 template <class T>
 void scal(const Context& c, T alpha, Vec<T>& x) {
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, x.size())) {
+      simd::ops<T>::table(*simd::active_tables())
+          .scal(alpha, x.data(), x.size());
+      return;
+    }
+  }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size())) {
       batched::ops<T>::scal(alpha, x.data(), x.size());
@@ -185,6 +237,13 @@ void scal(const Context& c, T alpha, Vec<T>& x) {
 template <class T>
 void xpby(const Context& c, const Vec<T>& x, T beta, const Vec<T>& y,
           Vec<T>& z) {
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, x.size())) {
+      simd::ops<T>::table(*simd::active_tables())
+          .xpby(x.data(), beta, y.data(), z.data(), x.size());
+      return;
+    }
+  }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size())) {
       batched::ops<T>::xpby(x.data(), beta, y.data(), z.data(), x.size());
@@ -207,6 +266,11 @@ template <class T>
 [[nodiscard]] T update_chain(const Context& c, T seed, const T* a,
                              std::ptrdiff_t sa, const T* b, std::ptrdiff_t sb,
                              std::size_t n, bool subtract) {
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, n))
+      return simd::ops<T>::table(*simd::active_tables())
+          .update_chain(seed, a, sa, b, sb, n, subtract);
+  }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, n))
       return batched::ops<T>::update_chain(seed, a, sa, b, sb, n, subtract);
@@ -230,6 +294,14 @@ template <class T>
 /// y = A * x for dense row-major A.
 template <class T>
 void gemv(const Context& c, const Dense<T>& A, const Vec<T>& x, Vec<T>& y) {
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, x.size())) {
+      y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());
+      simd::ops<T>::table(*simd::active_tables())
+          .gemv(A.data().data(), A.rows(), A.cols(), x.data(), y.data());
+      return;
+    }
+  }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size())) {
       y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());

@@ -1,0 +1,226 @@
+// The biased-accumulator FP chain used by the SIMD dot/gemv/update_chain
+// kernels.  Deliberately NOT a guarded header: body.hpp includes this inside
+// each ISA translation unit's anonymous namespace so every copy has internal
+// linkage.  The per-TU -m flags may compile this with instructions older
+// CPUs lack; internal linkage guarantees no other TU can link against such a
+// copy (see body.hpp for the full comdat argument).  Expects the including
+// scope to provide the `fd` alias for la::kernels::simd::detail plus the
+// u64/U aliases from body.hpp's preamble.
+//
+// Accumulator held as T = C + r where C = 1.5 * 2^(52 - fb + e) pins the
+// hardware RNE at the posit rounding point of r's binade, so one FP add per
+// term performs the exact add AND the posit-ulp RNE.  Unsigned pattern-range
+// compares detect band exits, which recover r exactly and replay the proven
+// integer core (batched::chain_add) — bit-identity with the scalar kernels
+// by construction.
+
+template <int N, int ES>
+struct FpChain {
+  using P = Posit<N, ES>;
+  using bops = batched::ops<P>;
+  static constexpr int L = N - 1;
+
+  double Tacc = 0;  // T = C + r (taper/saturation: T = r, C == 0); kept as a
+                    // double so the serial add chain never round-trips
+                    // through the integer domain
+  double C = 0;  // current band bias (0.0 = taper sentinel)
+  u64 lo_pos = 1, w_pos = 0, lo_neg = 1, w_neg = 0;  // in-band pattern ranges
+  double absorb_thr = 0;  // taper: |md| below this provably rounds back to r
+  bool nar = false;
+  bool zero = true;
+
+  void set_zero_state() noexcept {
+    zero = true;
+    C = pstab::detail::c_pin(52);  // arbitrary normal value; bands empty
+    Tacc = C;
+    w_pos = w_neg = 0;
+    lo_pos = lo_neg = 1;  // empty ranges: never matches
+    absorb_thr = 0;
+  }
+
+  /// Rebuild band state around rounded value r' (an exact posit value != 0).
+  [[gnu::noinline]] void set_band(bool sign, int scale, u64 frac) noexcept {
+    zero = false;
+    const int fb = fd::band_fb<N, ES>(scale);
+    const double r = fd::unp_to_f64(sign, scale, frac);
+    if (fb < 1) {
+      // Taper/saturation: store r directly (C == 0 sentinel), bands empty.
+      // Taper values are isolated powers of two; anything smaller in
+      // magnitude than a quarter of the gap to the nearest representable
+      // neighbour provably rounds back to r (strictly nearest — no tie), so
+      // those steps are absorbed without touching the slow path.
+      C = 0.0;
+      Tacc = r;
+      w_pos = w_neg = 0;
+      lo_pos = lo_neg = 1;
+      const u64 pb =
+          pstab::detail::posit_encode<N, ES>(false, scale, frac, false);
+      const u64 nar_bits = u64(1) << (N - 1);
+      const double mag = std::fabs(r);
+      double gap_dn = mag, gap_up = mag;  // safe defaults at the range ends
+      if (pb - 1 != 0 && pb - 1 != nar_bits) {
+        const U d = bops::decode1(P::from_bits(pb - 1));
+        gap_dn = mag - fd::unp_to_f64(false, d.scale, d.frac);
+      }
+      if (pb + 1 != nar_bits) {
+        const U d = bops::decode1(P::from_bits(pb + 1));
+        gap_up = fd::unp_to_f64(false, d.scale, d.frac) - mag;
+      }
+      absorb_thr = 0.25 * (gap_dn < gap_up ? gap_dn : gap_up);
+      return;
+    }
+    C = fd::kRoundTable<N, ES>.c[1023 + scale];
+    const double lo = pstab::detail::pow2_f64(scale);
+    const double hi = pstab::detail::pow2_f64(scale + 1);
+    // The in-band ranges EXCLUDE the binade-bottom pattern (|r'| == 2^es): a
+    // true sum just below the binade (finer posit ulp there) can round up to
+    // exactly 2^es at this band's coarser ulp, which would be a wrong
+    // rounding — so that landing pattern always goes to the slow path.
+    lo_pos = pstab::detail::f64_bits(C + lo) + 1;
+    w_pos = pstab::detail::f64_bits(C + hi) - lo_pos;  // (C+2^es, C+2^(es+1)]
+    const u64 hn = pstab::detail::f64_bits(C - lo);
+    const u64 ln = pstab::detail::f64_bits(C - hi);
+    lo_neg = ln + 1;  // [C - 2^(es+1), C - 2^es)
+    w_neg = hn - ln - 1;
+    Tacc = C + r;  // exact: r multiple of band ulp
+    absorb_thr = 0;
+  }
+
+  /// Rebuild the band around rounded value rr (exact, nonzero, finite)
+  /// without going through Unpacked.  Falls back to set_band for taper
+  /// binades.
+  PSTAB_HOT_INLINE void rebuild(double rr) noexcept {
+    const u64 rb = pstab::detail::f64_bits(rr);
+    const int be = int((rb >> 52) & 0x7ff);
+    const double Cb = fd::kRoundTable<N, ES>.c[be];
+    if (Cb == 0.0) {  // result binade is taper/saturation
+      const U u = fd::f64_to_unp(rr);
+      set_band(u.sign, u.scale, u.frac);
+      return;
+    }
+    zero = false;
+    C = Cb;
+    const double lo = pstab::detail::bits_f64(u64(be) << 52);
+    const double hi = pstab::detail::bits_f64(u64(be + 1) << 52);
+    lo_pos = pstab::detail::f64_bits(Cb + lo) + 1;
+    w_pos = pstab::detail::f64_bits(Cb + hi) - lo_pos;
+    const u64 hn = pstab::detail::f64_bits(Cb - lo);
+    const u64 ln = pstab::detail::f64_bits(Cb - hi);
+    lo_neg = ln + 1;
+    w_neg = hn - ln - 1;
+    Tacc = Cb + rr;  // exact: rr multiple of band ulp
+    absorb_thr = 0;
+  }
+
+  /// Band exit, fast repair.  Because the bias C dominates every in-range
+  /// term, err = md - (T2 - T) is an exact Fast2Sum residual whenever
+  /// |T| >= |md|; recovering r exactly and re-summing gives (d2, e2) with
+  /// d2 == fl(true sum) and d2 + e2 == true sum — precisely the TwoSum pair
+  /// the proven round-to-odd + C-table path consumes.  Only oversized terms,
+  /// NaN/NaR, exact cancellation to zero, and taper-binade results leave the
+  /// FP domain (slow / set_zero_state).
+  [[gnu::noinline]] void exit_band(double md, double T, double t2) noexcept {
+    if (nar) return;
+    constexpr u64 kAbs = ~(u64(1) << 63);
+    if ((pstab::detail::f64_bits(md) & kAbs) >
+        (pstab::detail::f64_bits(Tacc) & kAbs)) {
+      slow(md);  // |md| > |T| (incl. NaN/inf md): Fast2Sum invalid
+      return;
+    }
+    const double err = md - (t2 - T);          // exact residual of T + md
+    const double r2 = C == 0.0 ? t2 : t2 - C;  // exact: r rounded at band ulp
+    const double d2 = r2 + err;                // == fl(r + md)
+    if (d2 == 0.0) {
+      set_zero_state();  // exact cancellation (no subnormals in range)
+      return;
+    }
+    const double e2 = err - (d2 - r2);  // exact: d2 + e2 == r + md
+    const u64 db = pstab::detail::f64_bits(d2);
+    const u64 eb = pstab::detail::f64_bits(e2);
+    const u64 nz = e2 != 0.0 ? u64(1) : u64(0);
+    const u64 away = ((db ^ eb) >> 63) & nz;
+    constexpr u64 kMant = (u64(1) << 52) - 1;
+    // The away-step leaves d2's binade only when d2 sits exactly on its
+    // binade bottom; everything below indexes by d2's binade so the table
+    // load can issue before the sticky fold resolves.
+    if (away != 0 && (db & kMant) == 0) [[unlikely]] {
+      slow(md);
+      return;
+    }
+    const u64 rto = (db - away) | nz;  // round-to-odd fold of the true sum
+    const u64 be = (db >> 52) & 0x7ff;
+    const double Cn = fd::kRoundTable<N, ES>.c[be];
+    if (Cn == 0.0) {
+      slow(md);  // taper/saturation binade: integer-core replay
+      return;
+    }
+    const double tmp = pstab::detail::bits_f64(rto) + Cn;  // == Cn + rounded
+    Tacc = tmp;  // next step's add depends only on this; bands follow
+    const double lo = pstab::detail::bits_f64(be << 52);
+    const double hi = pstab::detail::bits_f64((be + 1) << 52);
+    const u64 lp = pstab::detail::f64_bits(Cn + lo);
+    const u64 hp = pstab::detail::f64_bits(Cn + hi);
+    const u64 hn = pstab::detail::f64_bits(Cn - lo);
+    const u64 ln = pstab::detail::f64_bits(Cn - hi);
+    const u64 pt = pstab::detail::f64_bits(tmp);
+    if ((pt - lp) >= (hp - lp) && (pt - ln - 1) >= (hn - ln)) [[unlikely]] {
+      rebuild(tmp - Cn);  // carried into the next binade (possibly taper)
+      return;
+    }
+    zero = false;
+    C = Cn;
+    lo_pos = lp + 1;
+    w_pos = hp - (lp + 1);
+    lo_neg = ln + 1;
+    w_neg = hn - ln - 1;
+    absorb_thr = 0;
+  }
+
+  [[gnu::noinline]] void slow(double md) noexcept {
+    if (nar) return;
+    U x{};
+    bool have = false;
+    if (!zero) {
+      const double r = C == 0.0 ? Tacc : Tacc - C;
+      x = fd::f64_to_unp(r);
+      have = true;
+    }
+    if (std::isnan(md)) {
+      nar = true;
+      return;
+    }
+    if (md == 0.0) {
+      if (!have) set_zero_state();
+      return;
+    }
+    const U t = fd::f64_to_unp(md);
+    if (!have) {
+      set_band(t.sign, t.scale, t.frac);  // 0 + t = t exactly
+      return;
+    }
+    if (!bops::chain_add(x, t)) {
+      set_zero_state();  // exact cancellation
+      return;
+    }
+    set_band(x.sign, x.scale, x.frac);
+  }
+
+  PSTAB_HOT_INLINE void step(double md) noexcept {
+    const double t2 = Tacc + md;
+    const u64 p = pstab::detail::f64_bits(t2);
+    if ((p - lo_pos) < w_pos || (p - lo_neg) < w_neg) {
+      Tacc = t2;
+      return;
+    }
+    if (std::fabs(md) < absorb_thr) return;  // taper absorption
+    exit_band(md, Tacc, t2);
+  }
+
+  /// Final value (valid in every state).
+  [[nodiscard]] P value() const noexcept {
+    if (nar) return P::nar();
+    if (zero) return P::zero();
+    const double r = C == 0.0 ? Tacc : Tacc - C;
+    return bops::enc(fd::f64_to_unp(r));
+  }
+};

@@ -1,0 +1,6 @@
+// AVX2+FMA leg of Backend::Simd: 4 f64 lanes.  Built with -mavx2 -mfma (see
+// src/CMakeLists.txt); only reachable through runtime dispatch in simd.cpp
+// after __builtin_cpu_supports("avx2") && ("fma") passed.
+#define PSTAB_SIMD_NS avx2
+#define PSTAB_SIMD_LANES 4
+#include "la/kernels/simd/body.hpp"

@@ -1,0 +1,6 @@
+// AVX-512 leg of Backend::Simd: 8 f64 lanes.  Built with -mavx512f -mavx512dq
+// -mavx512bw -mavx512vl -mfma (see src/CMakeLists.txt); only reachable through
+// runtime dispatch in simd.cpp after the matching cpu_supports checks passed.
+#define PSTAB_SIMD_NS avx512
+#define PSTAB_SIMD_LANES 8
+#include "la/kernels/simd/body.hpp"

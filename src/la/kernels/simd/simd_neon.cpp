@@ -1,0 +1,6 @@
+// NEON leg of Backend::Simd: 2 f64 lanes.  AdvSIMD is baseline on aarch64 so
+// no extra -m flags are needed; the TU is only compiled on aarch64 builds
+// (see src/CMakeLists.txt).
+#define PSTAB_SIMD_NS neon
+#define PSTAB_SIMD_LANES 2
+#include "la/kernels/simd/body.hpp"

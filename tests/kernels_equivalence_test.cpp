@@ -368,4 +368,285 @@ TEST(KernelsSolvers, BatchedArtifactsThreadCountInvariant) {
   EXPECT_EQ(doc1, doc8);
 }
 
+// ---------------------------------------------------------------------------
+// Backend::Simd: per-ISA equivalence against the scalar loops, the dispatch
+// rules (force/kill switch, Auto routing, unavailable-ISA fallback with a
+// SolveReport note), and NaR/NaN propagation.  The exhaustive all-pairs and
+// full-pattern sweeps live in kernels_exhaustive_test (slow tier); this is
+// the fast routing-and-sanity tier.
+
+namespace simd = pstab::la::kernels::simd;
+const ker::Context kSimd{ker::Backend::Simd};
+
+/// RAII ISA override; restores the PSTAB_SIMD / autodetect rule on exit.
+class ForcedIsa {
+ public:
+  explicit ForcedIsa(simd::Isa i) : honored_(simd::force_isa(i)) {}
+  ~ForcedIsa() { simd::clear_forced_isa(); }
+  [[nodiscard]] bool honored() const { return honored_; }
+
+ private:
+  bool honored_;
+};
+
+/// The vector ISAs this binary + CPU can actually run (never includes
+/// kScalar).  Empty on a machine with no compiled-in vector leg.
+std::vector<simd::Isa> vector_isas() {
+  std::vector<simd::Isa> v;
+  for (const simd::Isa i :
+       {simd::Isa::kAvx2, simd::Isa::kAvx512, simd::Isa::kNeon})
+    if (simd::available(i)) v.push_back(i);
+  return v;
+}
+
+/// A vector ISA this binary/CPU can NOT run (x86 can't run neon and vice
+/// versa, so one always exists).
+simd::Isa unavailable_isa() {
+  for (const simd::Isa i :
+       {simd::Isa::kNeon, simd::Isa::kAvx512, simd::Isa::kAvx2})
+    if (!simd::available(i)) return i;
+  return simd::Isa::kNeon;  // unreachable: no CPU runs all three
+}
+
+template <class T>
+void check_simd_blas(bool specials) {
+  unsigned seed = specials ? 2900 : 2100;
+  for (const int n : kSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n) +
+                 (specials ? " specials" : " random"));
+    const auto x = rand_vec<T>(n, seed++, specials);
+    const auto y = rand_vec<T>(n, seed++, specials);
+    const T alpha = scalar_traits<T>::from_double(1.25);
+    const T beta = scalar_traits<T>::from_double(-0.75);
+
+    EXPECT_TRUE(bits_equal(ker::dot(kScalar, x, y), ker::dot(kSimd, x, y)));
+    EXPECT_TRUE(bits_equal(ker::nrm2(kScalar, x), ker::nrm2(kSimd, x)));
+
+    auto ys = y, yv = y;
+    ker::axpy(kScalar, alpha, x, ys);
+    ker::axpy(kSimd, alpha, x, yv);
+    EXPECT_TRUE(bits_equal(ys, yv));
+
+    auto xs = x, xv = x;
+    ker::scal(kScalar, alpha, xs);
+    ker::scal(kSimd, alpha, xv);
+    EXPECT_TRUE(bits_equal(xs, xv));
+
+    la::Vec<T> zs(n), zv(n);
+    ker::xpby(kScalar, x, beta, y, zs);
+    ker::xpby(kSimd, x, beta, y, zv);
+    EXPECT_TRUE(bits_equal(zs, zv));
+
+    for (const bool sub : {false, true}) {
+      const std::size_t m = n / 2;
+      const T ss = ker::update_chain(kScalar, alpha, x.data(), 2, y.data(), 1,
+                                     m, sub);
+      const T sv = ker::update_chain(kSimd, alpha, x.data(), 2, y.data(), 1,
+                                     m, sub);
+      EXPECT_TRUE(bits_equal(ss, sv));
+    }
+  }
+
+  // Dense gemv through the row-chained vector kernel.
+  const int rows = 37, cols = 53;
+  std::mt19937_64 rng(specials ? 2700 : 2770);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  la::Dense<double> Ad(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) Ad(i, j) = dist(rng);
+  const auto A = Ad.template cast<T>();
+  const auto gx = rand_vec<T>(cols, specials ? 2701 : 2771, specials);
+  la::Vec<T> gs, gv;
+  ker::gemv(kScalar, A, gx, gs);
+  ker::gemv(kSimd, A, gx, gv);
+  EXPECT_TRUE(bits_equal(gs, gv));
+}
+
+TEST(SimdEquivalence, PerIsaBlas) {
+  for (const simd::Isa isa : vector_isas()) {
+    ForcedIsa f(isa);
+    ASSERT_TRUE(f.honored());
+    SCOPED_TRACE(simd::isa_name(isa));
+    check_simd_blas<Posit16_1>(false);
+    check_simd_blas<Posit16_1>(true);
+    check_simd_blas<Posit32_2>(false);
+    check_simd_blas<Posit32_2>(true);
+  }
+}
+
+TEST(SimdEquivalence, NaRPropagationPerIsa) {
+  for (const simd::Isa isa : vector_isas()) {
+    ForcedIsa f(isa);
+    SCOPED_TRACE(simd::isa_name(isa));
+    const auto poison = [&](auto tag) {
+      using T = decltype(tag);
+      for (const int n : {1, 7, 8, 9, 64, 257}) {
+        const auto base = rand_vec<T>(n, 8242 + n, false);
+        const auto y = rand_vec<T>(n, 8252 + n, false);
+        for (const int pos : {0, n / 2, n - 1}) {
+          SCOPED_TRACE("n=" + std::to_string(n) +
+                       " pos=" + std::to_string(pos));
+          auto x = base;
+          x[pos] = T::nar();
+
+          const T ds = ker::dot(kScalar, x, y);
+          const T dv = ker::dot(kSimd, x, y);
+          EXPECT_TRUE(dv.is_nar());
+          EXPECT_TRUE(bits_equal(ds, dv));
+
+          const T alpha = scalar_traits<T>::from_double(-1.5);
+          const T cs = ker::update_chain(kScalar, alpha, x.data(), 1,
+                                         y.data(), 1, std::size_t(n), true);
+          const T cv = ker::update_chain(kSimd, alpha, x.data(), 1, y.data(),
+                                         1, std::size_t(n), true);
+          EXPECT_TRUE(cv.is_nar());
+          EXPECT_TRUE(bits_equal(cs, cv));
+
+          auto as = y, av = y;
+          ker::axpy(kScalar, alpha, x, as);
+          ker::axpy(kSimd, alpha, x, av);
+          EXPECT_TRUE(av[pos].is_nar());
+          EXPECT_TRUE(bits_equal(as, av));
+        }
+      }
+    };
+    poison(Posit16_1{});
+    poison(Posit32_2{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch routing for the Simd backend.
+
+TEST(SimdDispatch, ExplicitBackendRoutesWhenIsaActive) {
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this runner";
+  ForcedIsa f(isas.front());
+  EXPECT_TRUE(ker::use_simd<Posit32_2>(kSimd, 1));  // no size floor
+  EXPECT_TRUE(ker::use_simd<Posit16_1>(kSimd, 1));
+  EXPECT_FALSE(ker::use_simd<Posit32_2>(kScalar, 1 << 20));
+  EXPECT_FALSE(ker::use_simd<Posit32_2>(kBatched, 1 << 20));
+  // Backend::Simd never routes into the decoded-plane backend: its scalar
+  // fallback is Backend::Scalar so the two stay interchangeable bitwise.
+  EXPECT_FALSE(ker::use_batched<Posit32_2>(kSimd, 1 << 20));
+}
+
+TEST(SimdDispatch, AutoPicksSimdWhenAvailable) {
+  // The env latch outranks auto dispatch, so this assertion only holds in a
+  // default environment (the PSTAB_SIMD CI legs pin the ISA process-wide).
+  if (std::getenv("PSTAB_SIMD")) GTEST_SKIP() << "PSTAB_SIMD pins dispatch";
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this runner";
+  const ker::Context a{ker::Backend::Auto};
+  EXPECT_TRUE(ker::use_simd<Posit32_2>(a, ker::kAutoMinN));
+  EXPECT_FALSE(ker::use_simd<Posit32_2>(a, ker::kAutoMinN - 1));
+}
+
+TEST(SimdDispatch, KillSwitchForcesScalarPath) {
+  // force_isa(kScalar) is what PSTAB_SIMD=scalar latches at startup.
+  ForcedIsa f(simd::Isa::kScalar);
+  EXPECT_TRUE(f.honored());
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  EXPECT_EQ(simd::fallback_note(), nullptr);  // an honored request: no note
+  EXPECT_FALSE(ker::use_simd<Posit32_2>(kSimd, 1 << 20));
+  // The kernels still answer, through the scalar loops, bit-identically.
+  const auto x = rand_vec<Posit32_2>(257, 31337, true);
+  const auto y = rand_vec<Posit32_2>(257, 31338, true);
+  EXPECT_TRUE(bits_equal(ker::dot(kScalar, x, y), ker::dot(kSimd, x, y)));
+}
+
+TEST(SimdDispatch, UnavailableIsaFallsBackToScalarWithNote) {
+  const simd::Isa missing = unavailable_isa();
+  ForcedIsa f(missing);
+  EXPECT_FALSE(f.honored());
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  const char* note = simd::fallback_note();
+  ASSERT_NE(note, nullptr);
+  EXPECT_NE(std::string(note).find("->scalar"), std::string::npos);
+  EXPECT_FALSE(ker::use_simd<Posit32_2>(kSimd, 1 << 20));
+
+  // A solve that asked for the vector backend surfaces the note in its
+  // report instead of failing — and still produces the scalar bits.
+  const auto& m = matrices::suite_matrix("bcsstk02");
+  const la::Vec<double> b(static_cast<std::size_t>(m.csr.rows()), 1.0);
+  la::CgOptions optS, optV;
+  optS.kernels = kScalar;
+  optV.kernels = kSimd;
+  const auto cs = core::cg_in_format<Posit32_2>(m.csr, b, optS);
+  const auto cv = core::cg_in_format<Posit32_2>(m.csr, b, optV);
+  EXPECT_EQ(cs.iterations, cv.iterations);
+  EXPECT_EQ(cs.final_relres, cv.final_relres);
+
+  const auto A = m.csr.template cast<Posit32_2>();
+  const auto bp = la::kernels::from_double_vec<Posit32_2>(b);
+  la::Vec<Posit32_2> xp;
+  la::CgOptions direct;
+  direct.kernels = kSimd;
+  const auto rep = la::cg_solve(A, bp, xp, direct);
+  ASSERT_FALSE(rep.recovery.empty());
+  EXPECT_EQ(rep.recovery.front().action, note);
+}
+
+TEST(SimdDispatch, TelemetryForcesScalar) {
+  telemetry::set_enabled(true);
+  EXPECT_FALSE(ker::use_simd<Posit32_2>(kSimd, 4096));
+  telemetry::set_enabled(false);
+  telemetry::reset();
+}
+
+TEST(SimdDispatch, UnsupportedFormatsStayScalar) {
+  EXPECT_FALSE(ker::use_simd<Half>(kSimd, 4096));
+  EXPECT_FALSE(ker::use_simd<float>(kSimd, 4096));
+  EXPECT_FALSE(ker::use_simd<Posit32_3>(kSimd, 4096));
+}
+
+TEST(SimdDispatch, ParseIsaNamesRoundTrip) {
+  simd::Isa out;
+  EXPECT_TRUE(simd::parse_isa("scalar", out));
+  EXPECT_EQ(out, simd::Isa::kScalar);
+  EXPECT_TRUE(simd::parse_isa("0", out));
+  EXPECT_EQ(out, simd::Isa::kScalar);
+  for (const simd::Isa i :
+       {simd::Isa::kAvx2, simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    EXPECT_TRUE(simd::parse_isa(simd::isa_name(i), out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(simd::parse_isa("sse9", out));
+}
+
+// ---------------------------------------------------------------------------
+// Solver-level identity for the vector backend, per available ISA.
+
+TEST(KernelsSolvers, CgSimdBackendInvariantPerIsa) {
+  const auto& m = matrices::suite_matrix("bcsstk02");
+  const la::Vec<double> b(static_cast<std::size_t>(m.csr.rows()), 1.0);
+  la::CgOptions optS;
+  optS.kernels = kScalar;
+  const auto cs = core::cg_in_format<Posit32_2>(m.csr, b, optS);
+  for (const simd::Isa isa : vector_isas()) {
+    ForcedIsa f(isa);
+    SCOPED_TRACE(simd::isa_name(isa));
+    la::CgOptions optV;
+    optV.kernels = kSimd;
+    const auto cv = core::cg_in_format<Posit32_2>(m.csr, b, optV);
+    EXPECT_EQ(cs.status, cv.status);
+    EXPECT_EQ(cs.iterations, cv.iterations);
+    EXPECT_EQ(cs.final_relres, cv.final_relres);
+    EXPECT_EQ(cs.true_relres, cv.true_relres);
+  }
+}
+
+TEST(KernelsSolvers, CholeskySimdBackendInvariantPerIsa) {
+  const auto& m = matrices::suite_matrix("bcsstk02");
+  const la::Vec<double> b(static_cast<std::size_t>(m.dense.rows()), 1.0);
+  const auto cs = core::cholesky_in_format<Posit32_2>(m.dense, b, kScalar);
+  for (const simd::Isa isa : vector_isas()) {
+    ForcedIsa f(isa);
+    SCOPED_TRACE(simd::isa_name(isa));
+    const auto cv = core::cholesky_in_format<Posit32_2>(m.dense, b, kSimd);
+    EXPECT_EQ(cs.ok, cv.ok);
+    EXPECT_EQ(cs.backward_error, cv.backward_error);
+  }
+}
+
 }  // namespace

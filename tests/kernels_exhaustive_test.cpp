@@ -7,6 +7,9 @@
 // against an exact 512-bit accumulation rounded once.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <random>
 #include <vector>
 
@@ -95,6 +98,173 @@ TEST(KernelsExhaustive, ChainedAndFusedDotVsExactSum) {
     const P ref =
         exact == 0 ? P::zero() : mp::oracle_round<8, 2>(exact);
     ASSERT_EQ(fb.bits(), ref.bits()) << "rep=" << rep << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend::Simd exhaustive tier: every ISA the runner can execute is pinned
+// against the scalar core — all-pairs 8-bit dot/axpy through the dispatch
+// layer, full 16-bit decode/encode/mul_round pattern sweeps through the
+// per-ISA kernel tables, and long mixed-special chains for both supported
+// formats.  Bit-identity is the contract; any mismatch is a hard failure.
+
+namespace simd = pstab::la::kernels::simd;
+using pstab::detail::u64;
+const ker::Context kSimd{ker::Backend::Simd};
+
+class ForcedIsa {
+ public:
+  explicit ForcedIsa(simd::Isa i) : honored_(simd::force_isa(i)) {}
+  ~ForcedIsa() { simd::clear_forced_isa(); }
+  [[nodiscard]] bool honored() const { return honored_; }
+
+ private:
+  bool honored_;
+};
+
+std::vector<simd::Isa> vector_isas() {
+  std::vector<simd::Isa> v;
+  for (const simd::Isa i :
+       {simd::Isa::kAvx2, simd::Isa::kAvx512, simd::Isa::kNeon})
+    if (simd::available(i)) v.push_back(i);
+  return v;
+}
+
+/// All 8-bit pairs (specials included) through the public dispatch layer:
+/// Backend::Simd must match Backend::Scalar bit for bit whatever the active
+/// ISA — 8-bit formats have no vector kernel, so this pins the degradation
+/// path; the vector code itself is swept by the 16-bit tests below.
+template <int ES>
+void simd_all_pairs() {
+  using P = Posit<8, ES>;
+  const la::Vec<P> ypats = {P::from_bits(0x01), P::from_bits(0xC0),
+                            P::from_bits(0x80), P::zero()};
+  for (unsigned ab = 0; ab < 256; ++ab) {
+    const P a = P::from_bits(ab);
+    for (unsigned bb = 0; bb < 256; ++bb) {
+      const P b = P::from_bits(bb);
+      const la::Vec<P> x{a}, y{b};
+      const P ds = ker::dot(kScalar, x, y);
+      const P dv = ker::dot(kSimd, x, y);
+      ASSERT_EQ(ds.bits(), dv.bits())
+          << "dot a=" << ab << " b=" << bb << " es=" << ES;
+      for (const P& yy : ypats) {
+        la::Vec<P> us{yy}, uv{yy};
+        ker::axpy(kScalar, a, x, us);
+        ker::axpy(kSimd, a, x, uv);
+        ASSERT_EQ(us[0].bits(), uv[0].bits())
+            << "axpy alpha=" << ab << " x=" << bb << " es=" << ES;
+      }
+    }
+  }
+}
+
+TEST(SimdExhaustive, AllPairsDotAxpyPosit8PerIsa) {
+  auto isas = vector_isas();
+  for (const simd::Isa isa : isas) {
+    ForcedIsa f(isa);
+    ASSERT_TRUE(f.honored());
+    SCOPED_TRACE(simd::isa_name(isa));
+    simd_all_pairs<0>();
+    simd_all_pairs<2>();
+  }
+  {
+    // And with the kill switch on: Simd context, scalar path.
+    ForcedIsa f(simd::Isa::kScalar);
+    simd_all_pairs<2>();
+  }
+}
+
+/// Full 16-bit pattern space through one ISA's kernel table hooks:
+/// decode_f64 must produce the exact scalar value (+0.0 for zero, NaN for
+/// NaR), encode_f64 must round-trip every decoded value, and mul_round must
+/// match the scalar product for every pattern against a partner spread.
+void sweep_p16(const simd::IsaTables& t) {
+  using P = Posit<16, 1>;
+  constexpr int kAll = 1 << 16;
+  std::vector<P> pats(kAll);
+  for (int i = 0; i < kAll; ++i) pats[i] = P::from_bits(unsigned(i));
+  std::vector<double> dec(kAll);
+  t.p16.decode_f64(pats.data(), pats.size(), dec.data());
+  std::vector<P> back(kAll);
+  t.p16.encode_f64(dec.data(), dec.size(), back.data());
+  for (int i = 0; i < kAll; ++i) {
+    const P p = pats[i];
+    if (p.is_nar()) {
+      ASSERT_TRUE(std::isnan(dec[i])) << "pattern " << i;
+    } else {
+      // Every finite Posit<16,1> is exact in double, so to_double IS the
+      // scalar-core decode; bitwise compare kills -0.0 leaks too.
+      const double want = p.to_double();
+      ASSERT_EQ(std::memcmp(&dec[i], &want, sizeof want), 0)
+          << "pattern " << i << " decode " << dec[i] << " want " << want;
+    }
+    ASSERT_EQ(back[i].bits(), p.bits()) << "roundtrip pattern " << i;
+  }
+
+  // mul_round: all patterns x a partner spread covering both taper ends,
+  // the golden zone, NaR and zero.
+  const unsigned partners[] = {0x0001, 0x0002, 0x1000, 0x3000, 0x4000,
+                               0x5678, 0x7FFF, 0x8000, 0x8001, 0xC000,
+                               0xE222, 0xFFFF, 0x0000};
+  std::vector<P> b(kAll), prod(kAll);
+  for (const unsigned pb : partners) {
+    std::fill(b.begin(), b.end(), P::from_bits(pb));
+    t.p16.mul_round(pats.data(), b.data(), prod.data(), pats.size());
+    for (int i = 0; i < kAll; ++i) {
+      const P want = pats[i] * P::from_bits(pb);
+      ASSERT_EQ(prod[i].bits(), want.bits())
+          << "mul a=" << i << " b=" << pb;
+    }
+  }
+}
+
+TEST(SimdExhaustive, Posit16FullPatternSweepPerIsa) {
+  for (const simd::Isa isa : vector_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    const simd::IsaTables* t = simd::tables_for(isa);
+    ASSERT_NE(t, nullptr);
+    sweep_p16(*t);
+  }
+}
+
+/// Long chained dots and strided update-chains with specials mixed in, for
+/// both vector formats on every ISA — the band-exit, taper-absorption and
+/// NaR paths of the FP chain all fire at these lengths.
+template <class P>
+void simd_long_chains(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  for (int rep = 0; rep < 48; ++rep) {
+    const int n = 1 + int(rng() % 4096);
+    la::Vec<P> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+      x[i] = P::from_bits(rng() & ((u64(1) << P::nbits) - 1));
+      y[i] = P::from_bits(rng() & ((u64(1) << P::nbits) - 1));
+      if (rng() % 97 == 0) x[i] = P::nar();
+      if (rng() % 131 == 0) y[i] = P::zero();
+    }
+    const P ds = ker::dot(kScalar, x, y);
+    const P dv = ker::dot(kSimd, x, y);
+    ASSERT_EQ(ds.bits(), dv.bits()) << "rep=" << rep << " n=" << n;
+
+    const P seedv = P::from_bits(rng() & ((u64(1) << P::nbits) - 1));
+    for (const bool sub : {false, true}) {
+      const P cs = ker::update_chain(kScalar, seedv, x.data(), 1, y.data(), 1,
+                                     std::size_t(n), sub);
+      const P cv = ker::update_chain(kSimd, seedv, x.data(), 1, y.data(), 1,
+                                     std::size_t(n), sub);
+      ASSERT_EQ(cs.bits(), cv.bits()) << "rep=" << rep << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdExhaustive, LongChainsPerIsa) {
+  for (const simd::Isa isa : vector_isas()) {
+    ForcedIsa f(isa);
+    ASSERT_TRUE(f.honored());
+    SCOPED_TRACE(simd::isa_name(isa));
+    simd_long_chains<Posit<16, 1>>(0xA11CE);
+    simd_long_chains<Posit<32, 2>>(0xB0B);
   }
 }
 

@@ -123,17 +123,26 @@ def check_file(path):
         for i, row in enumerate(rows):
             if experiment == "kernels":
                 # Backend micro-benchmark rows (core/kernels_bench.cpp):
-                # no matrix, one row per (kernel, format) pair.
+                # no matrix, one row per (kernel, format) pair.  The options
+                # object must name the vector ISA the simd column ran on.
+                isa = doc["options"].get("simd_isa")
+                if isa not in ("scalar", "avx2", "avx512", "neon"):
+                    fail(path, f"options: unknown simd_isa {isa!r}")
                 for key in ("kernel", "format", "n", "scalar_mops",
-                            "batched_mops", "speedup", "identical"):
+                            "batched_mops", "simd_mops", "speedup",
+                            "simd_speedup", "identical", "simd_identical"):
                     if key not in row:
                         fail(path, f"rows[{i}]: missing '{key}'")
                 if not isinstance(row["n"], int) or row["n"] <= 0:
                     fail(path, f"rows[{i}]: n must be a positive integer")
-                if not isinstance(row["identical"], bool):
-                    fail(path, f"rows[{i}]: identical must be a boolean")
+                for key in ("identical", "simd_identical"):
+                    if not isinstance(row[key], bool):
+                        fail(path, f"rows[{i}]: {key} must be a boolean")
                 if row["identical"] is not True:
                     fail(path, f"rows[{i}]: batched backend diverged from "
+                               f"scalar ({row['kernel']}/{row['format']})")
+                if row["simd_identical"] is not True:
+                    fail(path, f"rows[{i}]: simd backend diverged from "
                                f"scalar ({row['kernel']}/{row['format']})")
                 continue
             if not isinstance(row.get("matrix"), str):

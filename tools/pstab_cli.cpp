@@ -26,6 +26,7 @@
 #include "core/telemetry/telemetry.hpp"
 #include "fuzz/fuzz.hpp"
 #include "ieee/softfloat.hpp"
+#include "la/kernels/simd/simd.hpp"
 #include "matrices/mm_io.hpp"
 #include "matrices/suite.hpp"
 #include "posit/lut.hpp"
@@ -49,8 +50,9 @@ int usage() {
                "         [--formats LIST] [--n SIZE] [--cond K] [--recovery]\n"
                "         [--json PATH]\n"
                "  cg|chol|ir also accept: --json <path> --tol <v>\n"
-               "    --max-iter <n> --kernels scalar|batched|auto\n"
-               "  kernels also accepts: --json <path>\n");
+               "    --max-iter <n> --kernels scalar|batched|simd|auto\n"
+               "  kernels also accepts: --json <path>\n"
+               "  PSTAB_SIMD=avx2|avx512|neon|scalar pins the simd ISA\n");
   return 1;
 }
 
@@ -75,6 +77,7 @@ struct SolverArgs {
 bool parse_backend(const char* s, la::kernels::Backend& out) {
   if (std::strcmp(s, "scalar") == 0) out = la::kernels::Backend::Scalar;
   else if (std::strcmp(s, "batched") == 0) out = la::kernels::Backend::Batched;
+  else if (std::strcmp(s, "simd") == 0) out = la::kernels::Backend::Simd;
   else if (std::strcmp(s, "auto") == 0) out = la::kernels::Backend::Auto;
   else return false;
   return true;
@@ -241,12 +244,16 @@ int cmd_kernels(int argc, char** argv) {
   // No telemetry here: counters force the scalar fallback, which would turn
   // the comparison into scalar-vs-scalar.
   const auto rows = core::run_kernels_bench(n);
+  std::printf("simd isa: %s\n",
+              la::kernels::simd::isa_name(la::kernels::simd::active_isa()));
   core::Table t({"Kernel", "Format", "n", "Scalar Mop/s", "Batched Mop/s",
-                 "Speedup", "Identical"});
+                 "Simd Mop/s", "B-Speedup", "S-Speedup", "Identical"});
   for (const auto& r : rows)
     t.row({r.kernel, r.format, core::fmt_int(r.n),
            core::fmt_fix(r.scalar_mops, 1), core::fmt_fix(r.batched_mops, 1),
-           core::fmt_fix(r.speedup(), 2) + "x", r.identical ? "yes" : "NO"});
+           core::fmt_fix(r.simd_mops, 1), core::fmt_fix(r.speedup(), 2) + "x",
+           core::fmt_fix(r.simd_speedup(), 2) + "x",
+           r.identical && r.simd_identical ? "yes" : "NO"});
   t.print();
   if (!json_path.empty())
     return emit_json(json_path, core::kernels_results_json(rows, n));
