@@ -38,7 +38,7 @@ int main() {
   std::printf("\n-- Cholesky backward error, diagonal-rescaled --\n");
   core::Table t({"Matrix", "ES=1", "ES=2", "ES=3", "ES=4"});
   const auto ch = [](const core::CholCell& c) {
-    return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("-");
+    return c.converged() ? core::fmt_sci(c.true_relres, 2) : std::string("-");
   };
   for (const auto* m : bench::suite()) {
     la::Dense<double> A = m->dense;

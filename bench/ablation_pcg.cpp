@@ -44,8 +44,8 @@ int main() {
                  "P2 PCG+rescale", "F32 PCG"});
   for (const auto* m : bench::suite()) {
     const auto b0 = matrices::paper_rhs(m->dense);
-    core::CgExperimentOptions plain, resc;
-    resc.rescale_pow2_inf = true;
+    core::SolveRequest plain, resc;
+    resc.rescale = true;
     const auto r1 = core::run_cg_experiment(*m, plain);
     const auto r2 = core::run_cg_experiment(*m, resc);
 

@@ -18,8 +18,8 @@ int main() {
     return std::string(c.status == la::CgStatus::breakdown ? "div" : "max");
   };
   for (const auto* m : bench::suite()) {
-    core::CgExperimentOptions plain, fused;
-    plain.rescale_pow2_inf = fused.rescale_pow2_inf = true;
+    core::SolveRequest plain, fused;
+    plain.rescale = fused.rescale = true;
     fused.fused_dots = true;
     const auto rp = core::run_cg_experiment(*m, plain);
     const auto rf = core::run_cg_experiment(*m, fused);

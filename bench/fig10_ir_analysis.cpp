@@ -11,8 +11,9 @@ int main() {
   using namespace pstab;
   bench::print_env("Fig 10: Higham-scaled IR — step reduction and factor error");
 
-  core::IrExperimentOptions opt;
-  opt.higham = true;
+  core::SolveRequest req;
+  req.solver = core::Solver::ir;
+  req.rescale = true;  // Higham scaling
 
   core::Table t({"Matrix", "% step reduction", "ferr F16", "ferr P(16,1)",
                  "ferr P(16,2)", "digits P1", "digits P2"});
@@ -28,7 +29,7 @@ int main() {
   double sum_d1 = 0;
   int n1 = 0;
   for (const auto* m : bench::suite()) {
-    const auto row = core::run_ir_experiment(*m, opt);
+    const auto row = core::run_ir_experiment(*m, req);
     const double d1 =
         digits(row.f16.factorization_error, row.p16_1.factorization_error);
     const double d2 =

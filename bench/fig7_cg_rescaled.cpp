@@ -16,12 +16,12 @@ int main() {
     return std::string(c.status == la::CgStatus::breakdown ? "div" : "max");
   };
 
-  core::CgExperimentOptions opt;
-  opt.rescale_pow2_inf = true;
+  core::SolveRequest req;
+  req.rescale = true;  // power-of-two ||A||_inf -> 2^10 rescaling
 
   core::Table t({"Matrix", "||A||2", "F64", "F32", "P(32,2)", "P(32,3)",
                  "%impr P2", "%impr P3"});
-  const auto rows = core::run_cg_suite(bench::suite(), opt);
+  const auto rows = core::run_cg_suite(bench::suite(), req);
   for (const auto& row : rows) {
     t.row({row.matrix, core::fmt_sci(row.norm2, 1), cell(row.f64),
            cell(row.f32), cell(row.p32_2), cell(row.p32_3),
@@ -29,7 +29,7 @@ int main() {
            core::fmt_fix(row.pct_improvement(row.p32_3), 1)});
   }
   t.print();
-  bench::write_results(core::cg_results_json("cg_rescaled", rows, opt),
+  bench::write_results(core::cg_results_json("cg_rescaled", rows, req),
                        "RESULTS_cg_rescaled.json");
   std::printf(
       "\nExpected shape (paper): no posit divergences remain after scaling; "

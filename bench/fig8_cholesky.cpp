@@ -13,13 +13,14 @@ int main() {
   bench::telemetry_begin();
 
   const auto err = [](const core::CholCell& c) {
-    return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("-");
+    return c.converged() ? core::fmt_sci(c.true_relres, 2) : std::string("-");
   };
 
   core::Table t({"Matrix", "||A||2", "berr F32", "berr P(32,2)",
                  "berr P(32,3)", "digits P2", "digits P3"});
-  const core::CholExperimentOptions opt;
-  const auto rows = core::run_cholesky_suite(bench::suite(), opt);
+  core::SolveRequest req;
+  req.solver = core::Solver::cholesky;
+  const auto rows = core::run_cholesky_suite(bench::suite(), req);
   for (const auto& row : rows) {
     t.row({row.matrix, core::fmt_sci(row.norm2, 1), err(row.f32),
            err(row.p32_2), err(row.p32_3),
@@ -27,7 +28,7 @@ int main() {
            core::fmt_fix(row.extra_digits(row.p32_3), 2)});
   }
   t.print();
-  bench::write_results(core::cholesky_results_json("cholesky", rows, opt),
+  bench::write_results(core::cholesky_results_json("cholesky", rows, req),
                        "RESULTS_cholesky.json");
   std::printf(
       "\nFig 8(b) series is the (||A||2, digits P2) column pair above; "

@@ -11,17 +11,18 @@ int main() {
   bench::telemetry_begin();
 
   const auto err = [](const core::CholCell& c) {
-    return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("-");
+    return c.converged() ? core::fmt_sci(c.true_relres, 2) : std::string("-");
   };
 
-  core::CholExperimentOptions opt;
-  opt.rescale_diag_avg = true;
+  core::SolveRequest req;
+  req.solver = core::Solver::cholesky;
+  req.rescale = true;  // Algorithm 3: diagonal-average rescaling
 
   int wins_p2 = 0, wins_p3 = 0, n = 0;
   double min_digits_p2 = 1e9;
   core::Table t({"Matrix", "||A||2", "berr F32", "berr P(32,2)",
                  "berr P(32,3)", "digits P2", "digits P3"});
-  const auto rows = core::run_cholesky_suite(bench::suite(), opt);
+  const auto rows = core::run_cholesky_suite(bench::suite(), req);
   for (const auto& row : rows) {
     const double d2 = row.extra_digits(row.p32_2);
     const double d3 = row.extra_digits(row.p32_3);
@@ -37,7 +38,7 @@ int main() {
   }
   t.print();
   bench::write_results(
-      core::cholesky_results_json("cholesky_rescaled", rows, opt),
+      core::cholesky_results_json("cholesky_rescaled", rows, req),
       "RESULTS_cholesky_rescaled.json");
   std::printf(
       "\nP(32,2) beats F32 on %d/%d matrices (min advantage %.2f digits); "

@@ -1,0 +1,188 @@
+// Throughput of the persistent serve engine (src/serve) on a mixed
+// cg / cholesky / ir request stream: the same script is replayed against a
+// fresh Engine at 1, 8 and 32 worker threads, each in a cold phase (empty
+// cache: every factorization, equilibration and generated matrix is built
+// from scratch) and a warm phase (same requests again: the whole-response
+// memo should answer all of them).  Writes BENCH_serve.json (pstab-results-v1,
+// experiment "serve") into PSTAB_RESULTS_DIR.
+//
+// Two invariants are checked, not just measured:
+//   * warm cache hit rate must be > 0 (the memo actually fires), and every
+//     warm response must be byte-identical to its cold twin;
+//   * response bytes must be identical across thread counts (the engine's
+//     determinism contract).  Either violation is a hard error (exit 2),
+//     and tools/check_results_schema.py re-asserts both from the artifact.
+//
+// Thread counts above the machine's core count still run (the TaskPool just
+// oversubscribes), so the 8/32 rows are meaningful throughput numbers only
+// on boxes with that many cores; the invariants hold regardless.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/solve_api.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace pstab;
+
+// The request mix: for each of the smallest suite matrices, a multi-RHS
+// burst per solver family (distinct rhs_seed, shared batch_key) so the
+// coalescer and the factorization memo both see realistic traffic.
+std::vector<core::SolveRequest> build_mix() {
+  std::vector<core::SolveRequest> mix;
+  std::vector<matrices::MatrixSpec> specs = matrices::table1_specs();
+  std::sort(specs.begin(), specs.end(),
+            [](const auto& a, const auto& b) { return a.n < b.n; });
+  if (specs.size() > 3) specs.resize(3);
+
+  std::uint64_t id = 0;
+  for (const auto& spec : specs) {
+    for (const bool rescale : {false, true}) {
+      for (std::uint64_t seed = 0; seed < 2; ++seed) {
+        core::SolveRequest cg;
+        cg.solver = core::Solver::cg;
+        cg.matrix = spec.name;
+        cg.rescale = rescale;
+        cg.rhs_seed = seed;
+        cg.id = ++id;
+        mix.push_back(cg);
+
+        core::SolveRequest chol = cg;
+        chol.solver = core::Solver::cholesky;
+        chol.id = ++id;
+        mix.push_back(chol);
+      }
+    }
+    core::SolveRequest ir;
+    ir.solver = core::Solver::ir;
+    ir.matrix = spec.name;
+    ir.rescale = true;  // Higham equilibration exercises the equil memo
+    ir.id = ++id;
+    mix.push_back(ir);
+  }
+  return mix;
+}
+
+struct Phase {
+  double seconds = 0;
+  double hit_rate = 0;                    // cache hits / lookups this phase
+  std::map<std::uint64_t, std::string> responses;  // id -> serialized bytes
+};
+
+Phase run_phase(serve::Engine& engine,
+                const std::vector<core::SolveRequest>& mix) {
+  Phase ph;
+  const serve::Cache::Stats before = engine.cache().stats();
+  std::mutex mu;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& req : mix) {
+    engine.submit(req, [&](const core::SolveResponse& resp) {
+      std::string bytes = serve::response_json(resp);
+      const std::lock_guard<std::mutex> lock(mu);
+      ph.responses.emplace(resp.id, std::move(bytes));
+    });
+  }
+  engine.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+  ph.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const serve::Cache::Stats after = engine.cache().stats();
+  const double hits = double(after.hits - before.hits);
+  const double lookups = hits + double(after.misses - before.misses);
+  ph.hit_rate = lookups > 0 ? hits / lookups : 0.0;
+  return ph;
+}
+
+struct Row {
+  int threads = 0;
+  double cold_sps = 0, warm_sps = 0, warm_hit_rate = 0;
+  std::uint64_t coalesced = 0, steals = 0;
+  bool warm_identical = false;    // warm bytes == cold bytes, per id
+  bool identical_across = false;  // cold bytes == baseline thread count's
+};
+
+}  // namespace
+
+int main() {
+  using namespace pstab;
+  bench::print_env("serve engine: mixed cg/chol/ir stream");
+
+  const std::vector<core::SolveRequest> mix = build_mix();
+  const auto n = double(mix.size());
+  std::printf("request mix: %zu solves per phase\n\n", mix.size());
+
+  std::vector<Row> rows;
+  std::map<std::uint64_t, std::string> baseline;
+  for (const int threads : {1, 8, 32}) {
+    serve::EngineOptions opt;
+    opt.threads = threads;
+    serve::Engine engine(opt);
+
+    const Phase cold = run_phase(engine, mix);
+    const Phase warm = run_phase(engine, mix);
+
+    Row row;
+    row.threads = threads;
+    row.cold_sps = cold.seconds > 0 ? n / cold.seconds : 0;
+    row.warm_sps = warm.seconds > 0 ? n / warm.seconds : 0;
+    row.warm_hit_rate = warm.hit_rate;
+    row.warm_identical = warm.responses == cold.responses;
+    if (baseline.empty()) baseline = cold.responses;
+    row.identical_across = cold.responses == baseline;
+    const serve::EngineStats st = engine.stats();
+    row.coalesced = st.coalesced;
+    row.steals = st.steals;
+    rows.push_back(row);
+  }
+
+  core::Table t({"Threads", "Cold solves/s", "Warm solves/s", "Warm hit rate",
+                 "Coalesced", "Steals", "Warm==Cold", "Deterministic"});
+  bool ok = true;
+  for (const auto& r : rows) {
+    t.row({core::fmt_int(r.threads), core::fmt_fix(r.cold_sps, 1),
+           core::fmt_fix(r.warm_sps, 1), core::fmt_fix(r.warm_hit_rate, 3),
+           core::fmt_int(int(r.coalesced)), core::fmt_int(int(r.steals)),
+           r.warm_identical ? "yes" : "NO",
+           r.identical_across ? "yes" : "NO"});
+    ok = ok && r.warm_identical && r.identical_across && r.warm_hit_rate > 0;
+  }
+  t.print();
+  if (!ok) {
+    std::printf("ERROR: warm/cold byte identity, cross-thread determinism or "
+                "a positive warm hit rate failed\n");
+    return 2;
+  }
+
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pstab-results-v1");
+  w.key("experiment").value("serve");
+  w.key("options").begin_object();
+  w.key("requests_per_phase").value(std::uint64_t(mix.size()));
+  w.key("coalesce").value(true);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("threads").value(r.threads);
+    w.key("requests").value(std::uint64_t(mix.size()));
+    w.key("solves_per_sec_cold").value(r.cold_sps);
+    w.key("solves_per_sec_warm").value(r.warm_sps);
+    w.key("cache_hit_rate_warm").value(r.warm_hit_rate);
+    w.key("coalesced").value(r.coalesced);
+    w.key("steals").value(r.steals);
+    w.key("warm_identical_to_cold").value(r.warm_identical);
+    w.key("identical_across_threads").value(r.identical_across);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  bench::write_results(w.str(), "BENCH_serve.json");
+  return 0;
+}

@@ -61,9 +61,10 @@ int main(int argc, char** argv) {
   std::printf("  mu: Float16 %.0f, Posit(16,1) %.0f, Posit(16,2) %.0f\n",
               scaling::mu_ieee<Half>(), scaling::mu_posit<16, 1>(),
               scaling::mu_posit<16, 2>());
-  core::IrExperimentOptions opt;
-  opt.higham = true;
-  const auto scaled = core::run_ir_experiment(m, opt);
+  core::SolveRequest req;
+  req.solver = core::Solver::ir;
+  req.rescale = true;  // Higham scaling
+  const auto scaled = core::run_ir_experiment(m, req);
   show("Float16", scaled.f16);
   show("Posit(16,1)", scaled.p16_1);
   show("Posit(16,2)", scaled.p16_2);

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
               name.c_str(), m.n, m.csr.nnz(), m.cond_measured(),
               m.lambda_max, rescale ? "  [rescaled ||A||inf -> 2^10]" : "");
 
-  core::CgExperimentOptions opt;
-  opt.rescale_pow2_inf = rescale;
-  const auto row = core::run_cg_experiment(m, opt);
+  core::SolveRequest req;
+  req.rescale = rescale;
+  const auto row = core::run_cg_experiment(m, req);
 
   const auto show = [](const char* fmt, const core::CgCell& c) {
     if (c.status == la::CgStatus::converged)

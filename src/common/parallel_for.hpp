@@ -13,9 +13,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -75,5 +79,143 @@ template <class T, class Fn>
   parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// TaskPool: a persistent work-stealing MPMC job queue.
+//
+// parallel_for above is fork-join — it spins threads up per call and its
+// atomic-counter determinism contract must stay untouched.  Long-lived
+// streaming workloads (the serve engine) instead keep one pool alive and
+// submit independent jobs as they arrive:
+//
+//   * each worker owns a deque; submit() distributes round-robin onto the
+//     deque backs;
+//   * a worker pops its OWN deque from the back (LIFO: the freshest, most
+//     cache-warm job) and, when empty, STEALS from another worker's front
+//     (FIFO: the oldest job, the classic owner/thief split that keeps the
+//     two ends from contending);
+//   * deque access is guarded by one pool mutex — jobs here are whole linear
+//     solves (micro- to milliseconds), so queue-lock granularity is noise,
+//     and a single lock keeps the pool trivially TSan-clean;
+//   * jobs must not throw (the serve engine converts failures into error
+//     responses); an escaped exception is counted and swallowed rather than
+//     terminating the process, and unhandled_exceptions() exposes the count
+//     so tests can assert it stayed zero.
+//
+// drain() blocks until every submitted job has finished; the destructor
+// drains, then joins.  Determinism note: the pool schedules WHEN work runs,
+// never what it computes — callers needing byte-stable output (the serve
+// engine does) must make each job's result independent of execution order.
+class TaskPool {
+ public:
+  /// threads <= 0 uses parallel_threads() (PSTAB_THREADS / hardware).
+  explicit TaskPool(int threads = 0) {
+    int n = threads > 0 ? threads : parallel_threads();
+    if (n < 1) n = 1;
+    workers_.resize(static_cast<std::size_t>(n));
+    threads_.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() {
+    drain();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void submit(std::function<void()> fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      workers_[next_++ % workers_.size()].deque.push_back(std::move(fn));
+      ++pending_;
+    }
+    cv_work_.notify_one();
+  }
+
+  /// Block until every job submitted so far (and any they submitted) is done.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  /// Jobs a worker took from another worker's deque (observability/tests).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t unhandled_exceptions() const noexcept {
+    return unhandled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;  // guarded by mu_
+  };
+
+  // Own back first; otherwise steal the oldest job from the busiest sibling.
+  bool take_locked(std::size_t self, std::function<void()>& out) {
+    auto& own = workers_[self].deque;
+    if (!own.empty()) {
+      out = std::move(own.back());
+      own.pop_back();
+      return true;
+    }
+    std::size_t victim = workers_.size();
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (i == self) continue;
+      if (workers_[i].deque.size() > best) {
+        best = workers_[i].deque.size();
+        victim = i;
+      }
+    }
+    if (victim == workers_.size()) return false;
+    auto& v = workers_[victim].deque;
+    out = std::move(v.front());
+    v.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void worker_loop(std::size_t self) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      std::function<void()> job;
+      if (take_locked(self, job)) {
+        lock.unlock();
+        try {
+          job();
+        } catch (...) {
+          unhandled_.fetch_add(1, std::memory_order_relaxed);
+        }
+        lock.lock();
+        if (--pending_ == 0) cv_idle_.notify_all();
+        continue;
+      }
+      if (stop_) return;
+      cv_work_.wait(lock);
+    }
+  }
+
+  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_idle_;
+  std::size_t next_ = 0;      // round-robin submit target (guarded by mu_)
+  std::size_t pending_ = 0;   // queued + running (guarded by mu_)
+  bool stop_ = false;         // guarded by mu_
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> unhandled_{0};
+};
 
 }  // namespace pstab

@@ -5,9 +5,9 @@
 #include <utility>
 
 #include "common/parallel_for.hpp"
+#include "common/rng.hpp"
 #include "ieee/softfloat.hpp"
 #include "la/cholesky.hpp"
-#include "la/norms.hpp"
 #include "posit/posit.hpp"
 #include "scaling/higham.hpp"
 #include "scaling/scaling.hpp"
@@ -16,6 +16,40 @@ namespace pstab::core {
 
 namespace {
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Pin the solver field so a request built for one driver can be replayed
+/// against another without carrying a stale tol/max_iter interpretation.
+SolveRequest pinned(const SolveRequest& req, Solver s) {
+  SolveRequest r = req;
+  r.solver = s;
+  return r;
+}
+}  // namespace
+
+la::Vec<double> request_rhs(const matrices::GeneratedMatrix& m,
+                            std::uint64_t rhs_seed) {
+  if (rhs_seed == 0) return matrices::paper_rhs(m.dense);
+  // b = A * xhat for a seeded random unit xhat: same construction as the
+  // paper's RHS, only the direction of xhat varies with the seed.
+  const int n = m.n;
+  SplitMix64 rng(rhs_seed);
+  la::Vec<double> xhat(n);
+  double norm2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Uniform in [-1, 1) from the top 53 bits; fully deterministic per seed.
+    const double u = double(rng.next() >> 11) * 0x1p-52 - 1.0;
+    xhat[i] = u;
+    norm2 += u * u;
+  }
+  const double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 1.0;
+  for (int i = 0; i < n; ++i) xhat[i] *= inv;
+  la::Vec<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < n; ++j) s += m.dense(i, j) * xhat[j];
+    b[i] = s;
+  }
+  return b;
 }
 
 // ---------------------------------------------------------------------------
@@ -68,23 +102,27 @@ double CgRow::pct_improvement(const CgCell& posit) const {
 }
 
 CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
-                        const CgExperimentOptions& opt) {
+                        const SolveRequest& req_in, ArtifactCache* cache) {
+  (void)cache;  // CG has no factorization to share; the matrix and whole
+                // response are cached one level up (run_request).
+  const SolveRequest req = pinned(req_in, Solver::cg);
   CgRow row;
   row.matrix = m.spec.name;
   row.norm2 = m.spec.norm2;
   row.cond = m.spec.cond;
 
   la::Csr<double> A = m.csr;
-  la::Vec<double> b = matrices::paper_rhs(m.dense);
-  if (opt.rescale_pow2_inf) scaling::scale_pow2_inf(A, b, 10);
+  la::Vec<double> b = request_rhs(m, req.rhs_seed);
+  if (req.rescale) scaling::scale_pow2_inf(A, b, 10);
 
   la::CgOptions cg;
-  cg.tol = opt.tol;
-  cg.max_iter = opt.max_iter > 0 ? opt.max_iter : opt.max_iter_per_n * m.n;
-  cg.fused_dots = opt.fused_dots;
-  cg.record_history = opt.record_history;
-  cg.record_trace = opt.record_trace;
-  cg.kernels = opt.kernel_context();
+  cg.tol = req.effective_tol();
+  cg.max_iter = req.effective_max_iter(m.n);
+  cg.fused_dots = req.fused_dots;
+  cg.record_history = req.record_history;
+  cg.record_trace = req.record_trace;
+  cg.kernels = req.kernel_context();
+  cg.resilience = req.resilient_options();
 
   row.f64 = cg_in_format<double>(A, b, cg);
   row.f32 = cg_in_format<float>(A, b, cg);
@@ -99,62 +137,119 @@ CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
 template <class T>
 CholCell cholesky_in_format(const la::Dense<double>& A,
                             const la::Vec<double>& b,
-                            const la::kernels::Context& kc) {
+                            const la::kernels::Context& kc,
+                            ArtifactCache* cache,
+                            const std::string& factor_key,
+                            const la::ResilientOptions& resilience) {
   CholCell cell;
-  const auto At = A.cast<T>();
+  const auto At = A.template cast<T>();
   const auto bt = la::kernels::from_double_vec<T>(b);
-  const auto x = la::cholesky_solve(At, bt, kc);
-  if (!x || !la::kernels::all_finite(*x)) return cell;  // ok = false
-  const auto xd = la::kernels::to_double_vec(*x);
+
+  const auto factor = [&] {
+    return la::cholesky_resilient(At, resilience, nullptr, kc);
+  };
+  std::shared_ptr<const la::CholResult<T>> fact;
+  if (cache && !factor_key.empty()) {
+    fact = cache->get_or_make<la::CholResult<T>>(
+        factor_key, factor, [](const la::CholResult<T>& f) {
+          return sizeof f +
+                 f.R.data().size() * sizeof(T);
+        });
+  } else {
+    fact = std::make_shared<const la::CholResult<T>>(factor());
+  }
+
+  cell.status = fact->status;
+  cell.recovery = fact->recovery;
+  if (fact->status != la::CholStatus::ok) return cell;
+
+  const auto x = la::solve_upper(fact->R, la::solve_lower_rt(fact->R, bt, kc), kc);
+  if (!la::kernels::all_finite(x)) {
+    cell.status = la::SolveStatus::arithmetic_error;
+    return cell;
+  }
+  const auto xd = la::kernels::to_double_vec(x);
   const auto r = la::residual(A, b, xd);
   double den = 0;
   for (double v : b) den += v * v;
-  cell.ok = true;
-  cell.backward_error = la::kernels::nrm2_d(r) / std::sqrt(den);
+  const double berr = la::kernels::nrm2_d(r) / std::sqrt(den);
+  cell.status = la::SolveStatus::ok;
+  cell.final_relres = berr;
+  cell.true_relres = berr;
   return cell;
 }
 
 template CholCell cholesky_in_format<double>(const la::Dense<double>&,
                                              const la::Vec<double>&,
-                                             const la::kernels::Context&);
+                                             const la::kernels::Context&,
+                                             ArtifactCache*,
+                                             const std::string&,
+                                             const la::ResilientOptions&);
 template CholCell cholesky_in_format<float>(const la::Dense<double>&,
                                             const la::Vec<double>&,
-                                            const la::kernels::Context&);
+                                            const la::kernels::Context&,
+                                            ArtifactCache*, const std::string&,
+                                            const la::ResilientOptions&);
 template CholCell cholesky_in_format<Posit32_2>(const la::Dense<double>&,
                                                 const la::Vec<double>&,
-                                                const la::kernels::Context&);
+                                                const la::kernels::Context&,
+                                                ArtifactCache*,
+                                                const std::string&,
+                                                const la::ResilientOptions&);
 template CholCell cholesky_in_format<Posit32_3>(const la::Dense<double>&,
                                                 const la::Vec<double>&,
-                                                const la::kernels::Context&);
+                                                const la::kernels::Context&,
+                                                ArtifactCache*,
+                                                const std::string&,
+                                                const la::ResilientOptions&);
 template CholCell cholesky_in_format<Posit<32, 1>>(const la::Dense<double>&,
                                                    const la::Vec<double>&,
-                                                   const la::kernels::Context&);
+                                                   const la::kernels::Context&,
+                                                   ArtifactCache*,
+                                                   const std::string&,
+                                                   const la::ResilientOptions&);
 template CholCell cholesky_in_format<Posit<32, 4>>(const la::Dense<double>&,
                                                    const la::Vec<double>&,
-                                                   const la::kernels::Context&);
+                                                   const la::kernels::Context&,
+                                                   ArtifactCache*,
+                                                   const std::string&,
+                                                   const la::ResilientOptions&);
 
 double CholRow::extra_digits(const CholCell& posit) const {
-  if (!f32.ok || !posit.ok || posit.backward_error <= 0 ||
-      f32.backward_error <= 0)
+  if (!f32.converged() || !posit.converged() || posit.true_relres <= 0 ||
+      f32.true_relres <= 0)
     return kNan;
-  return std::log10(f32.backward_error / posit.backward_error);
+  return std::log10(f32.true_relres / posit.true_relres);
 }
 
 CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
-                                const CholExperimentOptions& opt) {
+                                const SolveRequest& req_in,
+                                ArtifactCache* cache) {
+  const SolveRequest req = pinned(req_in, Solver::cholesky);
   CholRow row;
   row.matrix = m.spec.name;
   row.norm2 = m.spec.norm2;
 
   la::Dense<double> A = m.dense;
-  la::Vec<double> b = matrices::paper_rhs(m.dense);
-  if (opt.rescale_diag_avg) scaling::scale_diag_avg(A, b);
+  la::Vec<double> b = request_rhs(m, req.rhs_seed);
+  if (req.rescale) scaling::scale_diag_avg(A, b);
 
-  const la::kernels::Context kc = opt.kernel_context();
-  row.f64 = cholesky_in_format<double>(A, b, kc);
-  row.f32 = cholesky_in_format<float>(A, b, kc);
-  row.p32_2 = cholesky_in_format<Posit32_2>(A, b, kc);
-  row.p32_3 = cholesky_in_format<Posit32_3>(A, b, kc);
+  const la::kernels::Context kc = req.kernel_context();
+  const la::ResilientOptions res = req.resilient_options();
+  // Factorization cache key: (content digest of the scaled matrix, format,
+  // scaling) — the RHS never enters, which is what lets a multi-RHS batch
+  // reuse one factorization per format.
+  std::string kb;
+  if (cache)
+    kb = "chol/" + digest_hex(dense_digest(A)) + "/" +
+         (req.rescale ? "diag" : "none") + (req.resilience ? "/res" : "") + "/";
+  const auto key = [&](const char* fmt) {
+    return cache ? kb + fmt : std::string();
+  };
+  row.f64 = cholesky_in_format<double>(A, b, kc, cache, key("f64"), res);
+  row.f32 = cholesky_in_format<float>(A, b, kc, cache, key("f32"), res);
+  row.p32_2 = cholesky_in_format<Posit32_2>(A, b, kc, cache, key("p32_2"), res);
+  row.p32_3 = cholesky_in_format<Posit32_3>(A, b, kc, cache, key("p32_3"), res);
   return row;
 }
 
@@ -163,24 +258,82 @@ CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
 
 namespace {
 
+/// Two-sided equilibration of one matrix, shared across every format's mu
+/// (equilibrate_sym does not depend on mu, so one cache entry serves
+/// Float16 and both posit formats).
+struct Equilibrated {
+  la::Dense<double> rar;       // R A R
+  std::vector<double> rdiag;   // diag(R)
+};
+
 template <class F>
 la::IrReport ir_one_format(const matrices::GeneratedMatrix& m,
-                           const IrExperimentOptions& opt, double mu) {
+                           const SolveRequest& req, double mu,
+                           ArtifactCache* cache, const std::string& key_base,
+                           const char* fmt_tag) {
   la::IrOptions iro;
-  iro.tol = opt.tol;
-  iro.max_iter = opt.max_iter;
-  iro.record_history = opt.record_history;
-  iro.record_trace = opt.record_trace;
-  iro.kernels = opt.kernel_context();
+  iro.tol = req.effective_tol();
+  iro.max_iter = req.effective_max_iter(m.n);
+  iro.record_history = req.record_history;
+  iro.record_trace = req.record_trace;
+  iro.kernels = req.kernel_context();
+  iro.resilience = req.resilient_options();
   const la::Dense<double>& A = m.dense;
-  const la::Vec<double> b = matrices::paper_rhs(A);
+  const la::Vec<double> b = request_rhs(m, req.rhs_seed);
   la::Vec<double> x;
-  if (!opt.higham) {
-    return la::mixed_ir<F>(A, b, x, iro);
+
+  // Factorization memo: keyed by (matrix digest, format, scaling).  The
+  // factor function reproduces exactly what mixed_ir would have done, so the
+  // refinement below is bit-identical warm or cold.
+  const auto cached_fact =
+      [&](const la::Dense<double>& src) -> std::shared_ptr<const la::CholResult<F>> {
+    if (!cache) return nullptr;
+    return cache->get_or_make<la::CholResult<F>>(
+        key_base + fmt_tag,
+        [&] {
+          const la::Dense<F> Ah = src.template cast_clamped<F>();
+          return la::cholesky_resilient(Ah, iro.resilience, nullptr,
+                                        iro.kernels);
+        },
+        [](const la::CholResult<F>& f) {
+          return sizeof f + f.R.data().size() * sizeof(F);
+        });
+  };
+
+  if (!req.rescale) {
+    const auto fact = cached_fact(A);
+    return la::mixed_ir<F>(A, b, x, iro, nullptr, nullptr, fact.get());
   }
-  la::Dense<double> Ah = A;  // becomes mu * R A R in place
-  const scaling::HighamScaling hs = scaling::higham_scale(Ah, mu);
-  return la::mixed_ir<F>(A, b, x, iro, &hs, &Ah);
+
+  // Higham path: the mu-independent equilibration is computed (or fetched)
+  // once per matrix, then scaled by this format's mu.  Operation order
+  // matches scaling::higham_scale exactly: equilibrate first, multiply by mu
+  // elementwise second.
+  scaling::HighamScaling hs;
+  la::Dense<double> Ah;
+  if (cache) {
+    const auto eq = cache->get_or_make<Equilibrated>(
+        "equil/" + digest_hex(dense_digest(A)),
+        [&] {
+          Equilibrated e;
+          e.rar = A;
+          e.rdiag = scaling::equilibrate_sym(e.rar);
+          return e;
+        },
+        [](const Equilibrated& e) {
+          return sizeof e + e.rar.data().size() * sizeof(double) +
+                 e.rdiag.size() * sizeof(double);
+        });
+    Ah = eq->rar;
+    hs.rdiag = eq->rdiag;
+    hs.mu = mu;
+    for (auto& v : Ah.data()) v *= mu;
+  } else {
+    Ah = A;
+    hs = scaling::higham_scale(Ah, mu);
+  }
+  const auto fact = cached_fact(Ah);
+  return la::mixed_ir<F>(A, b, x, iro, &hs, &Ah, fact.get());
 }
 
 }  // namespace
@@ -197,12 +350,21 @@ double IrRow::pct_reduction() const {
 }
 
 IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
-                        const IrExperimentOptions& opt) {
+                        const SolveRequest& req_in, ArtifactCache* cache) {
+  const SolveRequest req = pinned(req_in, Solver::ir);
   IrRow row;
   row.matrix = m.spec.name;
-  row.f16 = ir_one_format<Half>(m, opt, scaling::mu_ieee<Half>());
-  row.p16_1 = ir_one_format<Posit16_1>(m, opt, scaling::mu_posit<16, 1>());
-  row.p16_2 = ir_one_format<Posit16_2>(m, opt, scaling::mu_posit<16, 2>());
+  std::string kb;
+  if (cache)
+    kb = "irfact/" + digest_hex(dense_digest(m.dense)) + "/" +
+         (req.rescale ? "higham" : "naive") +
+         (req.resilience ? "/res" : "") + "/";
+  row.f16 = ir_one_format<Half>(m, req, scaling::mu_ieee<Half>(), cache, kb,
+                                "f16");
+  row.p16_1 = ir_one_format<Posit16_1>(m, req, scaling::mu_posit<16, 1>(),
+                                       cache, kb, "p16_1");
+  row.p16_2 = ir_one_format<Posit16_2>(m, req, scaling::mu_posit<16, 2>(),
+                                       cache, kb, "p16_2");
   return row;
 }
 
@@ -211,24 +373,26 @@ IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
 
 std::vector<CgRow> run_cg_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
-    const CgExperimentOptions& opt) {
-  return parallel_map<CgRow>(
-      suite.size(), [&](std::size_t i) { return run_cg_experiment(*suite[i], opt); });
+    const SolveRequest& req, ArtifactCache* cache) {
+  return parallel_map<CgRow>(suite.size(), [&](std::size_t i) {
+    return run_cg_experiment(*suite[i], req, cache);
+  });
 }
 
 std::vector<CholRow> run_cholesky_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
-    const CholExperimentOptions& opt) {
+    const SolveRequest& req, ArtifactCache* cache) {
   return parallel_map<CholRow>(suite.size(), [&](std::size_t i) {
-    return run_cholesky_experiment(*suite[i], opt);
+    return run_cholesky_experiment(*suite[i], req, cache);
   });
 }
 
 std::vector<IrRow> run_ir_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
-    const IrExperimentOptions& opt) {
-  return parallel_map<IrRow>(
-      suite.size(), [&](std::size_t i) { return run_ir_experiment(*suite[i], opt); });
+    const SolveRequest& req, ArtifactCache* cache) {
+  return parallel_map<IrRow>(suite.size(), [&](std::size_t i) {
+    return run_ir_experiment(*suite[i], req, cache);
+  });
 }
 
 }  // namespace pstab::core

@@ -6,36 +6,25 @@
 // Each driver casts the double-precision problem into the format under test,
 // runs the templated solver from src/la with per-operation rounding, and
 // reports format-under-test results with double-precision monitoring.
+//
+// All drivers take the unified core::SolveRequest (core/solve_api.hpp) for
+// their options — the same struct the CLI and the serve engine parse — plus
+// an optional ArtifactCache through which matrices, Higham equilibrations
+// and Cholesky factorizations are memoized.  The request's `solver` field is
+// overridden by each driver, so one request can be replayed across drivers;
+// a null cache recomputes everything and is bit-identical to a cache hit.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/solve_api.hpp"
 #include "la/cg.hpp"
 #include "la/ir.hpp"
 #include "la/solve_report.hpp"
 #include "matrices/generator.hpp"
 
 namespace pstab::core {
-
-// ---------------------------------------------------------------------------
-// Shared experiment options: the per-experiment structs extend this base, so
-// generic drivers (the CLI's --json path, the JSON emitter) can treat them
-// uniformly.
-
-struct ExperimentOptions {
-  double tol = 1e-5;            // convergence criterion (per-experiment meaning)
-  int max_iter = 0;             // 0 = per-experiment default cap
-  bool record_history = false;  // keep the per-iteration monitor in each cell
-  bool record_trace = false;    // allocate telemetry traces (phases+residuals)
-  // Kernel backend for the BLAS-1/2 stages.  Every backend is bit-identical,
-  // so this only affects speed; recorded in the JSON options for provenance.
-  la::kernels::Backend backend = la::kernels::Backend::Auto;
-
-  [[nodiscard]] la::kernels::Context kernel_context() const {
-    return la::kernels::Context{backend};
-  }
-};
 
 // ---------------------------------------------------------------------------
 // CG (experiments 1 & 2)
@@ -53,22 +42,19 @@ struct CgRow {
   [[nodiscard]] double pct_improvement(const CgCell& posit) const;
 };
 
-struct CgExperimentOptions : ExperimentOptions {
-  bool rescale_pow2_inf = false;  // experiment 2: ||A||_inf -> 2^10
-  bool fused_dots = false;        // quire ablation
-  int max_iter_per_n = 15;        // cap = max_iter_per_n * n (if !max_iter)
-};
-
 CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
-                        const CgExperimentOptions& opt = {});
+                        const SolveRequest& req = {},
+                        ArtifactCache* cache = nullptr);
 
 // ---------------------------------------------------------------------------
 // Cholesky direct solve (experiments 3 & 4)
 
-struct CholCell {
-  bool ok = false;
-  double backward_error = 0.0;  // ||b - Ax||_2 / ||b||_2 in double
-};
+/// Direct-solver cells share the iterative cells' shape (PR 2's report
+/// unification, finished here): status is `ok` / `not_positive_definite` /
+/// `arithmetic_error`, iterations stays 0, and the backward error
+/// ||b - Ax||_2 / ||b||_2 (computed in double) lands in both final_relres
+/// and true_relres.
+using CholCell = la::SolveReport;
 
 struct CholRow {
   std::string matrix;
@@ -79,12 +65,9 @@ struct CholRow {
   [[nodiscard]] double extra_digits(const CholCell& posit) const;
 };
 
-struct CholExperimentOptions : ExperimentOptions {
-  bool rescale_diag_avg = false;  // experiment 4 (Algorithm 3)
-};
-
 CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
-                                const CholExperimentOptions& opt = {});
+                                const SolveRequest& req = {},
+                                ArtifactCache* cache = nullptr);
 
 // ---------------------------------------------------------------------------
 // Mixed-precision iterative refinement (experiments 5 & 6)
@@ -97,16 +80,9 @@ struct IrRow {
   [[nodiscard]] double pct_reduction() const;
 };
 
-struct IrExperimentOptions : ExperimentOptions {
-  IrExperimentOptions() {
-    tol = 4.0 * 1.11e-16;  // "accurate to Float64 precision" (la::IrOptions)
-    max_iter = 1000;       // the paper's "1000+" cap
-  }
-  bool higham = false;  // experiment 6 (Algorithm 4/5 + mu per format)
-};
-
 IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
-                        const IrExperimentOptions& opt = {});
+                        const SolveRequest& req = {},
+                        ArtifactCache* cache = nullptr);
 
 // ---------------------------------------------------------------------------
 // Whole-grid runners: one row per input matrix, rows in input order.
@@ -120,25 +96,37 @@ IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
 
 std::vector<CgRow> run_cg_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
-    const CgExperimentOptions& opt = {});
+    const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
 
 std::vector<CholRow> run_cholesky_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
-    const CholExperimentOptions& opt = {});
+    const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
 
 std::vector<IrRow> run_ir_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
-    const IrExperimentOptions& opt = {});
+    const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
+
+/// The request's right-hand side: the paper's deterministic b = A * xhat with
+/// xhat = (1/sqrt(n), ...) when rhs_seed == 0, otherwise b = A * xhat for a
+/// seeded random unit xhat (SplitMix64; reproducible for a given seed).
+[[nodiscard]] la::Vec<double> request_rhs(const matrices::GeneratedMatrix& m,
+                                          std::uint64_t rhs_seed);
 
 /// Generic single-format CG in format T (used by ablation benches).
 template <class T>
 CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
                     const la::CgOptions& opt);
 
-/// Generic single-format Cholesky solve backward error.
+/// Generic single-format Cholesky solve backward error.  With a cache, the
+/// factorization is looked up / stored under `factor_key` (which must embed
+/// the scaled matrix's digest, the format and the scaling; empty = never
+/// cache).  `resilience` engages the diagonal-shift retry ladder.
 template <class T>
 CholCell cholesky_in_format(const la::Dense<double>& A,
                             const la::Vec<double>& b,
-                            const la::kernels::Context& kc = {});
+                            const la::kernels::Context& kc = {},
+                            ArtifactCache* cache = nullptr,
+                            const std::string& factor_key = {},
+                            const la::ResilientOptions& resilience = {});
 
 }  // namespace pstab::core

@@ -132,24 +132,40 @@ void header(JsonWriter& w, const std::string& experiment) {
   w.key("experiment").value(experiment);
 }
 
+// History and recovery tails shared by every cell shape.  Recovery events
+// (shift rungs, CG restarts) are deterministic — iteration index, action
+// string, parameter — so they are safe in byte-stable artifacts.
+void report_tail(JsonWriter& w, const la::SolveReport& r) {
+  if (!r.history.empty()) {
+    w.key("history").begin_array();
+    for (const double h : r.history) w.value(h);
+    w.end_array();
+  }
+  if (!r.recovery.empty()) {
+    w.key("recovery").begin_array();
+    for (const auto& e : r.recovery) {
+      w.begin_object();
+      w.key("iteration").value(e.iteration);
+      w.key("action").value(e.action);
+      w.key("value").value(e.value);
+      w.end_object();
+    }
+    w.end_array();
+  }
+}
+
+// One emitter for CG and Cholesky cells alike: since CholCell became a
+// la::SolveReport (PR 2's unification, finished here), the bespoke
+// {ok, backward_error} writer and its duplicated extra-digits plumbing are
+// gone — a direct solve serializes with status/iterations/residuals like
+// every iterative one.
 void solve_report(JsonWriter& w, const la::SolveReport& r) {
   w.begin_object();
   w.key("status").value(la::to_string(r.status));
   w.key("iterations").value(r.iterations);
   w.key("final_relres").value(r.final_relres);
   w.key("true_relres").value(r.true_relres);
-  if (!r.history.empty()) {
-    w.key("history").begin_array();
-    for (const double h : r.history) w.value(h);
-    w.end_array();
-  }
-  w.end_object();
-}
-
-void chol_cell(JsonWriter& w, const CholCell& c) {
-  w.begin_object();
-  w.key("ok").value(c.ok);
-  w.key("backward_error").value(c.backward_error);
+  report_tail(w, r);
   w.end_object();
 }
 
@@ -160,11 +176,75 @@ void ir_cell(JsonWriter& w, const la::IrReport& r) {
   w.key("final_berr").value(r.final_berr);
   w.key("factorization_error").value(r.factorization_error);
   w.key("chol_status").value(la::to_string(r.chol_status));
-  if (!r.history.empty()) {
-    w.key("history").begin_array();
-    for (const double h : r.history) w.value(h);
-    w.end_array();
+  report_tail(w, r);
+  w.end_object();
+}
+
+// Unified options block: one writer for all three experiment families, keyed
+// off the request's solver (replaces the three per-struct blocks).
+void request_options(JsonWriter& w, const SolveRequest& req) {
+  w.key("options").begin_object();
+  w.key("solver").value(to_string(req.solver));
+  w.key("rescale").value(req.rescale);
+  w.key("tol").value(req.effective_tol());
+  w.key("max_iter").value(req.solver == Solver::ir ? req.effective_max_iter(0)
+                                                   : req.max_iter);
+  if (req.solver == Solver::cg) {
+    w.key("max_iter_per_n")
+        .value(req.max_iter_per_n > 0 ? req.max_iter_per_n : 15);
+    w.key("fused_dots").value(req.fused_dots);
   }
+  w.key("resilience").value(req.resilience);
+  w.key("rhs_seed").value(std::uint64_t(req.rhs_seed));
+  w.key("kernels").value(la::kernels::to_string(req.backend));
+  w.end_object();
+}
+
+void cg_row(JsonWriter& w, const CgRow& r) {
+  w.begin_object();
+  w.key("matrix").value(r.matrix);
+  w.key("norm2").value(r.norm2);
+  w.key("cond").value(r.cond);
+  w.key("f64");
+  solve_report(w, r.f64);
+  w.key("f32");
+  solve_report(w, r.f32);
+  w.key("p32_2");
+  solve_report(w, r.p32_2);
+  w.key("p32_3");
+  solve_report(w, r.p32_3);
+  w.key("pct_improvement_p32_2").value(r.pct_improvement(r.p32_2));
+  w.key("pct_improvement_p32_3").value(r.pct_improvement(r.p32_3));
+  w.end_object();
+}
+
+void cholesky_row(JsonWriter& w, const CholRow& r) {
+  w.begin_object();
+  w.key("matrix").value(r.matrix);
+  w.key("norm2").value(r.norm2);
+  w.key("f64");
+  solve_report(w, r.f64);
+  w.key("f32");
+  solve_report(w, r.f32);
+  w.key("p32_2");
+  solve_report(w, r.p32_2);
+  w.key("p32_3");
+  solve_report(w, r.p32_3);
+  w.key("extra_digits_p32_2").value(r.extra_digits(r.p32_2));
+  w.key("extra_digits_p32_3").value(r.extra_digits(r.p32_3));
+  w.end_object();
+}
+
+void ir_row(JsonWriter& w, const IrRow& r) {
+  w.begin_object();
+  w.key("matrix").value(r.matrix);
+  w.key("f16");
+  ir_cell(w, r.f16);
+  w.key("p16_1");
+  ir_cell(w, r.p16_1);
+  w.key("p16_2");
+  ir_cell(w, r.p16_2);
+  w.key("pct_reduction").value(r.pct_reduction());
   w.end_object();
 }
 
@@ -202,36 +282,13 @@ void telemetry_section(JsonWriter& w) {
 
 std::string cg_results_json(const std::string& experiment,
                             const std::vector<CgRow>& rows,
-                            const CgExperimentOptions& opt) {
+                            const SolveRequest& req) {
   JsonWriter w;
   w.begin_object();
   header(w, experiment);
-  w.key("options").begin_object();
-  w.key("tol").value(opt.tol);
-  w.key("max_iter").value(opt.max_iter);
-  w.key("max_iter_per_n").value(opt.max_iter_per_n);
-  w.key("rescale_pow2_inf").value(opt.rescale_pow2_inf);
-  w.key("fused_dots").value(opt.fused_dots);
-  w.key("kernels").value(la::kernels::to_string(opt.backend));
-  w.end_object();
+  request_options(w, req);
   w.key("rows").begin_array();
-  for (const auto& r : rows) {
-    w.begin_object();
-    w.key("matrix").value(r.matrix);
-    w.key("norm2").value(r.norm2);
-    w.key("cond").value(r.cond);
-    w.key("f64");
-    solve_report(w, r.f64);
-    w.key("f32");
-    solve_report(w, r.f32);
-    w.key("p32_2");
-    solve_report(w, r.p32_2);
-    w.key("p32_3");
-    solve_report(w, r.p32_3);
-    w.key("pct_improvement_p32_2").value(r.pct_improvement(r.p32_2));
-    w.key("pct_improvement_p32_3").value(r.pct_improvement(r.p32_3));
-    w.end_object();
-  }
+  for (const auto& r : rows) cg_row(w, r);
   w.end_array();
   telemetry_section(w);
   w.end_object();
@@ -240,31 +297,13 @@ std::string cg_results_json(const std::string& experiment,
 
 std::string cholesky_results_json(const std::string& experiment,
                                   const std::vector<CholRow>& rows,
-                                  const CholExperimentOptions& opt) {
+                                  const SolveRequest& req) {
   JsonWriter w;
   w.begin_object();
   header(w, experiment);
-  w.key("options").begin_object();
-  w.key("rescale_diag_avg").value(opt.rescale_diag_avg);
-  w.key("kernels").value(la::kernels::to_string(opt.backend));
-  w.end_object();
+  request_options(w, req);
   w.key("rows").begin_array();
-  for (const auto& r : rows) {
-    w.begin_object();
-    w.key("matrix").value(r.matrix);
-    w.key("norm2").value(r.norm2);
-    w.key("f64");
-    chol_cell(w, r.f64);
-    w.key("f32");
-    chol_cell(w, r.f32);
-    w.key("p32_2");
-    chol_cell(w, r.p32_2);
-    w.key("p32_3");
-    chol_cell(w, r.p32_3);
-    w.key("extra_digits_p32_2").value(r.extra_digits(r.p32_2));
-    w.key("extra_digits_p32_3").value(r.extra_digits(r.p32_3));
-    w.end_object();
-  }
+  for (const auto& r : rows) cholesky_row(w, r);
   w.end_array();
   telemetry_section(w);
   w.end_object();
@@ -273,33 +312,35 @@ std::string cholesky_results_json(const std::string& experiment,
 
 std::string ir_results_json(const std::string& experiment,
                             const std::vector<IrRow>& rows,
-                            const IrExperimentOptions& opt) {
+                            const SolveRequest& req) {
   JsonWriter w;
   w.begin_object();
   header(w, experiment);
-  w.key("options").begin_object();
-  w.key("tol").value(opt.tol);
-  w.key("max_iter").value(opt.max_iter);
-  w.key("higham").value(opt.higham);
-  w.key("kernels").value(la::kernels::to_string(opt.backend));
-  w.end_object();
+  request_options(w, req);
   w.key("rows").begin_array();
-  for (const auto& r : rows) {
-    w.begin_object();
-    w.key("matrix").value(r.matrix);
-    w.key("f16");
-    ir_cell(w, r.f16);
-    w.key("p16_1");
-    ir_cell(w, r.p16_1);
-    w.key("p16_2");
-    ir_cell(w, r.p16_2);
-    w.key("pct_reduction").value(r.pct_reduction());
-    w.end_object();
-  }
+  for (const auto& r : rows) ir_row(w, r);
   w.end_array();
   telemetry_section(w);
   w.end_object();
   return w.str() + "\n";
+}
+
+std::string cg_row_json(const CgRow& row) {
+  JsonWriter w;
+  cg_row(w, row);
+  return w.str();
+}
+
+std::string cholesky_row_json(const CholRow& row) {
+  JsonWriter w;
+  cholesky_row(w, row);
+  return w.str();
+}
+
+std::string ir_row_json(const IrRow& row) {
+  JsonWriter w;
+  ir_row(w, row);
+  return w.str();
 }
 
 std::string telemetry_results_json() {

@@ -53,16 +53,26 @@ class JsonWriter {
 };
 
 /// Serialise one experiment grid.  `experiment` names the run (e.g. "cg",
-/// "cg_rescaled") and becomes the document's "experiment" field.
+/// "cg_rescaled") and becomes the document's "experiment" field; `req` is
+/// the unified request the rows were produced from (its options are recorded
+/// in the document's "options" block for provenance).
 std::string cg_results_json(const std::string& experiment,
                             const std::vector<CgRow>& rows,
-                            const CgExperimentOptions& opt);
+                            const SolveRequest& req);
 std::string cholesky_results_json(const std::string& experiment,
                                   const std::vector<CholRow>& rows,
-                                  const CholExperimentOptions& opt);
+                                  const SolveRequest& req);
 std::string ir_results_json(const std::string& experiment,
                             const std::vector<IrRow>& rows,
-                            const IrExperimentOptions& opt);
+                            const SolveRequest& req);
+
+/// One result row as a standalone JSON object — exactly the bytes the same
+/// row gets inside a grid document's "rows" array.  serve responses embed
+/// these, which is what makes a serve result byte-comparable to an artifact
+/// row (and cache-hit responses byte-identical to cold solves).
+std::string cg_row_json(const CgRow& row);
+std::string cholesky_row_json(const CholRow& row);
+std::string ir_row_json(const IrRow& row);
 
 /// The current telemetry snapshot as a standalone document (same header
 /// fields, "experiment": "telemetry").

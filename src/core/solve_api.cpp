@@ -1,0 +1,238 @@
+#include "core/solve_api.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiments.hpp"
+#include "core/report_json.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "la/dense.hpp"
+#include "matrices/suite.hpp"
+
+namespace pstab::core {
+
+// ---------------------------------------------------------------------------
+// Solver identity
+
+const char* to_string(Solver s) noexcept {
+  switch (s) {
+    case Solver::cg: return "cg";
+    case Solver::cholesky: return "cholesky";
+    case Solver::ir: return "ir";
+  }
+  return "?";
+}
+
+bool parse_solver(const std::string& s, Solver& out) noexcept {
+  if (s == "cg") out = Solver::cg;
+  else if (s == "cholesky" || s == "chol") out = Solver::cholesky;
+  else if (s == "ir") out = Solver::ir;
+  else return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SolveRequest
+
+double SolveRequest::effective_tol() const noexcept {
+  if (tol > 0) return tol;
+  switch (solver) {
+    case Solver::cg:
+    case Solver::cholesky: return 1e-5;  // the paper's CG threshold
+    case Solver::ir: return 4.0 * 1.11e-16;  // "accurate to Float64 precision"
+  }
+  return 1e-5;
+}
+
+int SolveRequest::effective_max_iter(int n) const noexcept {
+  if (max_iter > 0) return max_iter;
+  switch (solver) {
+    case Solver::cg: return (max_iter_per_n > 0 ? max_iter_per_n : 15) * n;
+    case Solver::cholesky: return 0;  // direct
+    case Solver::ir: return 1000;     // the paper's "1000+" cap
+  }
+  return 0;
+}
+
+std::string SolveRequest::experiment_name() const {
+  switch (solver) {
+    case Solver::cg: return rescale ? "cg_rescaled" : "cg";
+    case Solver::cholesky: return rescale ? "cholesky_rescaled" : "cholesky";
+    case Solver::ir: return rescale ? "ir_higham" : "ir_naive";
+  }
+  return "?";
+}
+
+std::string SolveRequest::batch_key() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|k%s",
+                int(rescale), tol, max_iter, max_iter_per_n, int(fused_dots),
+                int(record_history), int(resilience),
+                la::kernels::to_string(backend));
+  return std::string(to_string(solver)) + "|" + matrix + buf;
+}
+
+std::string SolveRequest::canonical_key() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "|s%llu",
+                static_cast<unsigned long long>(rhs_seed));
+  return batch_key() + buf;
+}
+
+// ---------------------------------------------------------------------------
+// Digests
+
+std::uint64_t fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t h) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t dense_digest(const la::Dense<double>& A) noexcept {
+  const std::int64_t dims[2] = {A.rows(), A.cols()};
+  std::uint64_t h = fnv1a64(dims, sizeof dims);
+  return fnv1a64(A.data().data(), A.data().size() * sizeof(double), h);
+}
+
+std::string digest_hex(std::uint64_t d) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(d));
+  return buf;
+}
+
+bool parse_backend(const std::string& s, la::kernels::Backend& out) noexcept {
+  if (s == "scalar") out = la::kernels::Backend::Scalar;
+  else if (s == "batched") out = la::kernels::Backend::Batched;
+  else if (s == "simd") out = la::kernels::Backend::Simd;
+  else if (s == "auto") out = la::kernels::Backend::Auto;
+  else return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CLI parser
+
+CliParse parse_solver_cli(Solver solver, const std::string& matrix, int argc,
+                          char** argv, int first) {
+  CliParse p;
+  p.req.solver = solver;
+  p.req.matrix = matrix;
+  const auto value_missing = [&p](const char* flag) {
+    p.ok = false;
+    p.error = std::string("flag '") + flag + "' requires a value";
+  };
+  for (int i = first; i < argc && p.ok; ++i) {
+    const char* a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(a, "--rescale") == 0 || std::strcmp(a, "--higham") == 0) {
+      p.req.rescale = true;
+    } else if (std::strcmp(a, "--fused") == 0) {
+      p.req.fused_dots = true;
+    } else if (std::strcmp(a, "--history") == 0) {
+      p.req.record_history = true;
+    } else if (std::strcmp(a, "--resilience") == 0) {
+      p.req.resilience = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.json_path = argv[++i];
+    } else if (std::strcmp(a, "--tol") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.tol = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(a, "--max-iter") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.max_iter = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(a, "--max-iter-per-n") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.max_iter_per_n = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(a, "--rhs-seed") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.rhs_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(a, "--kernels") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      if (!parse_backend(argv[++i], p.req.backend)) {
+        p.ok = false;
+        p.error = std::string("unknown backend '") + argv[i] + "'";
+      }
+    } else {
+      p.ok = false;
+      p.error = std::string("unknown flag '") + a + "'";
+    }
+  }
+  // Artifacts embed telemetry counters, so recording must be on for the run.
+  if (p.ok && !p.json_path.empty()) {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
+  SolveResponse resp;
+  resp.id = req.id;
+  try {
+    if (!matrices::find_spec(req.matrix)) {
+      resp.error = "unknown matrix '" + req.matrix + "'";
+      return resp;
+    }
+    const std::string resp_key = "resp/" + req.canonical_key();
+    if (cache) {
+      if (auto hit = cache->get(resp_key)) {
+        resp.ok = true;
+        resp.cache_hit = true;
+        resp.result_json = *std::static_pointer_cast<const std::string>(hit);
+        return resp;
+      }
+    }
+    // Generated suite matrices are themselves cache entries: the bounded
+    // cache owns their lifetime under memory pressure, while the held
+    // shared_ptr keeps this request's matrix alive across an eviction.
+    std::shared_ptr<const matrices::GeneratedMatrix> held;
+    const matrices::GeneratedMatrix* m = nullptr;
+    if (cache) {
+      held = cache->get_or_make<matrices::GeneratedMatrix>(
+          "matrix/" + req.matrix,
+          [&] { return matrices::make_suite_matrix(req.matrix); },
+          [](const matrices::GeneratedMatrix& g) {
+            // dense + csr + struct overhead, approximately.
+            return sizeof g +
+                   2 * std::size_t(g.n) * std::size_t(g.n) * sizeof(double);
+          });
+      m = held.get();
+    } else {
+      m = &matrices::suite_matrix(req.matrix);
+    }
+    switch (req.solver) {
+      case Solver::cg:
+        resp.result_json = cg_row_json(run_cg_experiment(*m, req, cache));
+        break;
+      case Solver::cholesky:
+        resp.result_json =
+            cholesky_row_json(run_cholesky_experiment(*m, req, cache));
+        break;
+      case Solver::ir:
+        resp.result_json = ir_row_json(run_ir_experiment(*m, req, cache));
+        break;
+    }
+    resp.ok = true;
+    if (cache)
+      cache->put(resp_key,
+                 std::make_shared<const std::string>(resp.result_json),
+                 resp.result_json.size() + 64);
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.result_json.clear();
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+}  // namespace pstab::core

@@ -1,0 +1,188 @@
+// The one request/response pair every solve in the tree goes through.
+//
+// Historically each experiment carried its own options struct
+// (CgExperimentOptions / CholExperimentOptions / IrExperimentOptions) and the
+// CLI re-parsed the same flags per subcommand.  core::SolveRequest replaces
+// all three: the CLI subcommands, the experiment grid runners (bench/), and
+// the serve engine (src/serve) construct the same struct and dispatch through
+// run_request().  On the wire the pair is serialized as "pstab-serve-v1"
+// (src/serve/protocol.hpp); responses reuse the report_json row emitters, so
+// a serve response body is byte-identical to the corresponding row of a
+// pstab-results-v1 artifact.
+//
+// ArtifactCache is the seam for the serve engine's bounded content-addressed
+// cache: experiment drivers ask it for generated matrices, Higham
+// equilibrations and Cholesky factorizations by digest-derived key instead of
+// recomputing.  A null cache (the default everywhere outside serve) means
+// "compute"; results are bit-identical either way because cached values are
+// the same objects the cold path would have produced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "la/kernels/kernels.hpp"
+#include "la/solve_report.hpp"
+
+namespace pstab::la {
+template <class T>
+class Dense;
+}
+
+namespace pstab::core {
+
+// ---------------------------------------------------------------------------
+// Solver identity
+
+enum class Solver { cg, cholesky, ir };
+
+[[nodiscard]] const char* to_string(Solver s) noexcept;
+/// Accepts "cg", "cholesky" (and the CLI spelling "chol"), "ir".
+[[nodiscard]] bool parse_solver(const std::string& s, Solver& out) noexcept;
+/// Accepts "scalar", "batched", "simd", "auto".
+[[nodiscard]] bool parse_backend(const std::string& s,
+                                 la::kernels::Backend& out) noexcept;
+
+// ---------------------------------------------------------------------------
+// SolveRequest
+
+struct SolveRequest {
+  std::uint64_t id = 0;      // caller correlation id (excluded from caching)
+  Solver solver = Solver::cg;
+  std::string matrix;        // Table I suite name (matrices::find_spec)
+
+  // One scaling knob per solver family: power-of-two inf-norm rescaling for
+  // CG (paper experiment 2), diagonal-average rescaling for Cholesky
+  // (experiment 4), Higham scaling for IR (experiment 6).
+  bool rescale = false;
+
+  double tol = 0.0;          // 0 = solver default (see effective_tol)
+  int max_iter = 0;          // 0 = solver default cap
+  int max_iter_per_n = 0;    // CG only: cap = max_iter_per_n * n; 0 = 15
+  bool fused_dots = false;   // CG quire ablation
+  bool record_history = false;
+  bool record_trace = false; // traces hold wall times; never serialized
+  bool resilience = false;   // self-healing with la::ResilientOptions defaults
+
+  // 0 = the paper's deterministic RHS (b = A * (1/sqrt(n), ...)).  Nonzero
+  // seeds a random unit xhat instead, so a request stream can carry many
+  // right-hand sides for one matrix (the multi-RHS batching case).
+  std::uint64_t rhs_seed = 0;
+
+  la::kernels::Backend backend = la::kernels::Backend::Auto;
+
+  /// tol with the per-solver default applied: 1e-5 for CG/Cholesky (the
+  /// paper's convergence threshold) and 4*1.11e-16 for IR ("accurate to
+  /// Float64 precision").
+  [[nodiscard]] double effective_tol() const noexcept;
+  /// Iteration cap with the per-solver default applied (n = matrix order):
+  /// CG 15n, IR 1000, Cholesky 0 (direct).
+  [[nodiscard]] int effective_max_iter(int n) const noexcept;
+  [[nodiscard]] la::kernels::Context kernel_context() const noexcept {
+    return la::kernels::Context{backend};
+  }
+  [[nodiscard]] la::ResilientOptions resilient_options() const noexcept {
+    la::ResilientOptions r;
+    r.enabled = resilience;
+    return r;
+  }
+  /// "cg" / "cg_rescaled" / "cholesky" / ... — the artifact experiment tag.
+  [[nodiscard]] std::string experiment_name() const;
+  /// Canonical identity of the work this request names, excluding `id` (and
+  /// `record_trace`, which never changes serialized bytes).  Equal keys mean
+  /// byte-identical result rows; the serve engine memoizes responses and
+  /// coalesces duplicate in-flight work on this string.
+  [[nodiscard]] std::string canonical_key() const;
+  /// canonical_key() minus the right-hand side: requests equal under this key
+  /// share matrix, scaling and factorization, so the engine batches them into
+  /// one multi-RHS job (one factorization, many triangular solves).
+  [[nodiscard]] std::string batch_key() const;
+};
+
+// ---------------------------------------------------------------------------
+// SolveResponse
+
+struct SolveResponse {
+  std::uint64_t id = 0;
+  bool ok = false;
+  /// Whole-response memo hit (in-memory observability only: the flag depends
+  /// on cache state, so it is deliberately NOT serialized — serialized
+  /// response bytes are identical warm or cold).
+  bool cache_hit = false;
+  std::string error;        // set when !ok
+  std::string result_json;  // one report_json row object (when ok)
+};
+
+// ---------------------------------------------------------------------------
+// ArtifactCache
+
+/// Bounded content-addressed cache interface.  Keys embed a content digest,
+/// the numeric format tag and the scaling, so distinct numerics never
+/// collide; values are immutable shared snapshots (a get may outlive the
+/// entry's eviction).  src/serve/cache.hpp provides the thread-safe LRU
+/// implementation; the null default everywhere else means "no memoization".
+class ArtifactCache {
+ public:
+  virtual ~ArtifactCache() = default;
+  /// nullptr on miss.  Implementations count hits/misses here.
+  [[nodiscard]] virtual std::shared_ptr<const void> get(
+      const std::string& key) = 0;
+  /// `bytes` is the entry's approximate footprint for the size bound.
+  virtual void put(const std::string& key, std::shared_ptr<const void> value,
+                   std::size_t bytes) = 0;
+
+  /// Lookup-or-compute; `make()` returns T by value, `bytes(t)` sizes it.
+  template <class T, class Make, class Bytes>
+  std::shared_ptr<const T> get_or_make(const std::string& key, Make&& make,
+                                       Bytes&& bytes) {
+    if (auto hit = get(key)) return std::static_pointer_cast<const T>(hit);
+    auto made = std::make_shared<const T>(make());
+    put(key, made, bytes(*made));
+    return made;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Digests (FNV-1a 64 over raw bytes; stable across runs, fast enough to
+// hash a suite matrix on every request)
+
+[[nodiscard]] std::uint64_t fnv1a64(
+    const void* data, std::size_t len,
+    std::uint64_t h = 0xcbf29ce484222325ull) noexcept;
+[[nodiscard]] std::uint64_t dense_digest(const la::Dense<double>& A) noexcept;
+[[nodiscard]] std::string digest_hex(std::uint64_t d);
+
+// ---------------------------------------------------------------------------
+// The unified CLI parser (satellite: every parse failure names the offending
+// token and the caller exits non-zero)
+
+struct CliParse {
+  SolveRequest req;
+  std::string json_path;  // --json <path>; empty = no artifact
+  bool ok = true;
+  std::string error;      // human-readable, contains the offending token
+};
+
+/// Parse the flags of a `pstab cg|chol|ir <matrix> [flags...]` invocation
+/// into a SolveRequest, starting at argv[first].  Shared by all three solver
+/// subcommands; serve scripts reach the same struct through
+/// serve::request_from_json instead.
+[[nodiscard]] CliParse parse_solver_cli(Solver solver,
+                                        const std::string& matrix, int argc,
+                                        char** argv, int first);
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+/// Run one request end to end: resolve the matrix (through `cache` when
+/// given), run the solver grid row, serialize it with the report_json row
+/// emitter.  Errors (unknown matrix, solver failure by exception) come back
+/// as ok = false rather than throwing.  When a cache is supplied the whole
+/// response is memoized under canonical_key(), and matrix / equilibration /
+/// factorization artifacts are shared across requests.
+[[nodiscard]] SolveResponse run_request(const SolveRequest& req,
+                                        ArtifactCache* cache = nullptr);
+
+}  // namespace pstab::core

@@ -5,8 +5,8 @@
 #pragma once
 
 #include "la/csr.hpp"
+#include "la/kernels/kernels.hpp"
 #include "la/solve_report.hpp"
-#include "la/vector_ops.hpp"
 
 namespace pstab::la {
 

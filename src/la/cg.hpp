@@ -20,9 +20,8 @@
 #include "core/telemetry/trace.hpp"
 #include "la/csr.hpp"
 #include "la/fault.hpp"
-#include "la/fused.hpp"
+#include "la/kernels/kernels.hpp"
 #include "la/solve_report.hpp"
-#include "la/vector_ops.hpp"
 
 namespace pstab::la {
 

@@ -45,11 +45,16 @@ struct IrOptions {
 /// Naive mixed-precision IR (paper Table II): factor fl_F(A) directly.
 /// Higham-scaled IR (paper Table III): pass the scaling produced by
 /// scaling::higham_scale, and the already-scaled matrix as `Ah_source`.
+/// `fact_in` optionally supplies the format-F factorization of fl_F(src)
+/// (e.g. from the serve engine's factorization cache); it must be exactly
+/// what cholesky_resilient(fl_F(src), opt.resilience, ...) would produce, so
+/// the refinement is bit-identical to the factorize-here path.
 template <class F>
 IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
                   Vec<double>& x, const IrOptions& opt = {},
                   const scaling::HighamScaling* hs = nullptr,
-                  const Dense<double>* Ah_source = nullptr) {
+                  const Dense<double>* Ah_source = nullptr,
+                  const CholResult<F>* fact_in = nullptr) {
   IrReport rep;
   const int n = A.rows();
   if (opt.record_trace) rep.trace = std::make_shared<telemetry::Trace>();
@@ -59,8 +64,12 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   const Dense<double>& src = Ah_source ? *Ah_source : A;
   const Dense<F> Ah = src.template cast_clamped<F>();
   telemetry::TraceSpan fact_span(tr, "factorize");
-  const auto fact =
-      cholesky_resilient(Ah, opt.resilience, nullptr, opt.kernels, opt.fault);
+  CholResult<F> fact_local;
+  if (!fact_in) {
+    fact_local =
+        cholesky_resilient(Ah, opt.resilience, nullptr, opt.kernels, opt.fault);
+  }
+  const CholResult<F>& fact = fact_in ? *fact_in : fact_local;
   fact_span.close();
   rep.chol_status = fact.status;
   rep.shift_used = fact.shift_used;

@@ -104,7 +104,7 @@ inline void set_default_backend(Backend b) noexcept {
 }
 
 /// Per-call-site backend selection, threaded through CgOptions /
-/// ExperimentOptions down to every kernel invocation.
+/// core::SolveRequest down to every kernel invocation.
 struct Context {
   Backend backend = Backend::Auto;
 };

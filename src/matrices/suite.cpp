@@ -92,6 +92,12 @@ const GeneratedMatrix& suite_matrix(const std::string& name) {
   return cache.emplace(name, load_or_generate(*spec)).first->second;
 }
 
+GeneratedMatrix make_suite_matrix(const std::string& name) {
+  const auto spec = find_spec(name);
+  if (!spec) throw std::invalid_argument("unknown suite matrix: " + name);
+  return load_or_generate(*spec);
+}
+
 std::vector<const GeneratedMatrix*> full_suite() {
   std::vector<const GeneratedMatrix*> v;
   for (const auto& s : table1_specs()) v.push_back(&suite_matrix(s.name));

@@ -29,6 +29,11 @@ int size_cap();
 /// Load or synthesize one suite matrix (cached per process).
 const GeneratedMatrix& suite_matrix(const std::string& name);
 
+/// Load or synthesize one suite matrix WITHOUT the process-wide cache.
+/// The serve engine's bounded ArtifactCache owns the lifetime instead, so
+/// matrices can be evicted under memory pressure; throws on unknown names.
+GeneratedMatrix make_suite_matrix(const std::string& name);
+
 /// All suite matrices, paper order.
 std::vector<const GeneratedMatrix*> full_suite();
 

@@ -1,0 +1,62 @@
+#include "serve/cache.hpp"
+
+namespace pstab::serve {
+
+std::shared_ptr<const void> Cache::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // touch: move to MRU
+  return it->second.value;
+}
+
+void Cache::put(const std::string& key, std::shared_ptr<const void> value,
+                std::size_t bytes) {
+  if (bytes > max_bytes_) return;  // larger than the whole cache: don't store
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Same key means same content (content-addressed), so keep the resident
+    // copy and just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  evict_to_fit_locked(bytes);
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(value), bytes, lru_.begin()});
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  ++stats_.insertions;
+}
+
+void Cache::evict_to_fit_locked(std::size_t incoming) {
+  while (!lru_.empty() && stats_.bytes + incoming > max_bytes_) {
+    const auto victim = map_.find(lru_.back());
+    stats_.bytes -= victim->second.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    map_.erase(victim);
+    lru_.pop_back();
+  }
+}
+
+Cache::Stats Cache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+void Cache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace pstab::serve

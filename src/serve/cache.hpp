@@ -1,0 +1,69 @@
+// serve::Cache — the bounded content-addressed artifact store behind the
+// serve engine (the concrete core::ArtifactCache).
+//
+//   * Thread-safe: one mutex around the map + LRU list; entries are immutable
+//     shared_ptr<const void> snapshots, so a reader holding a value is
+//     unaffected by concurrent eviction.
+//   * Bounded: caller-estimated byte footprints accumulate against max_bytes;
+//     inserting past the bound evicts least-recently-used entries first.  A
+//     single entry larger than the whole bound is simply not stored (the
+//     caller still gets its freshly computed value).
+//   * Content-addressed: keys embed content digests plus format/scaling tags
+//     (see core/solve_api.hpp), so correctness never depends on eviction
+//     policy — a miss recomputes the identical bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/solve_api.hpp"
+
+namespace pstab::serve {
+
+class Cache final : public core::ArtifactCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;      // current footprint
+    std::size_t entries = 0;    // current entry count
+    std::size_t max_bytes = 0;  // the configured bound
+  };
+
+  /// max_bytes == 0 disables storage entirely (every get misses, puts are
+  /// dropped) — the "caching off" configuration still satisfying the API.
+  explicit Cache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  [[nodiscard]] std::shared_ptr<const void> get(
+      const std::string& key) override;
+  void put(const std::string& key, std::shared_ptr<const void> value,
+           std::size_t bytes) override;
+
+  [[nodiscard]] Stats stats() const;
+  /// Drop every entry (stats counters survive; bytes/entries go to zero).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;  // position in lru_ (MRU front)
+  };
+
+  void evict_to_fit_locked(std::size_t incoming);
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace pstab::serve

@@ -1,0 +1,265 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/report_json.hpp"
+
+namespace pstab::serve {
+
+Engine::Engine(const EngineOptions& opt)
+    : opt_(opt), cache_(opt.cache_bytes), pool_(opt.threads) {}
+
+Engine::~Engine() { drain(); }
+
+void Engine::submit(const core::SolveRequest& req, DoneFn done) {
+  const std::string key = req.batch_key();
+  std::shared_ptr<Batch> batch;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    if (opt_.coalesce) {
+      const auto it = pending_.find(key);
+      if (it != pending_.end() && !it->second->started) {
+        it->second->items.emplace_back(req, std::move(done));
+        ++coalesced_;
+        return;  // joined a queued batch; no new pool job
+      }
+    }
+    batch = std::make_shared<Batch>();
+    batch->items.emplace_back(req, std::move(done));
+    if (opt_.coalesce) pending_[key] = batch;
+    ++batches_;
+  }
+  pool_.submit([this, batch, key] { run_batch(batch, key); });
+}
+
+void Engine::run_batch(const std::shared_ptr<Batch>& batch,
+                       const std::string& key) {
+  std::vector<std::pair<core::SolveRequest, DoneFn>> items;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    batch->started = true;  // late arrivals now start their own batch
+    items = std::move(batch->items);
+    const auto it = pending_.find(key);
+    if (it != pending_.end() && it->second == batch) pending_.erase(it);
+  }
+  // Submission order within the batch: the first solve warms the matrix /
+  // factorization entries, the rest reuse them on this same thread.
+  for (auto& [req, done] : items) {
+    const core::SolveResponse resp = core::run_request(req, &cache_);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (resp.ok) {
+        ++solved_;
+        if (resp.cache_hit) ++memo_hits_;
+      } else {
+        ++errors_;
+      }
+    }
+    if (done) done(resp);
+  }
+}
+
+void Engine::drain() { pool_.drain(); }
+
+EngineStats Engine::stats() {
+  EngineStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s.requests = requests_;
+    s.solved = solved_;
+    s.errors = errors_;
+    s.memo_hits = memo_hits_;
+    s.batches = batches_;
+    s.coalesced = coalesced_;
+  }
+  s.steals = pool_.steals();
+  s.threads = pool_.thread_count();
+  s.cache = cache_.stats();
+  return s;
+}
+
+std::string Engine::stats_json() {
+  const EngineStats s = stats();
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("requests").value(s.requests);
+  w.key("solved").value(s.solved);
+  w.key("errors").value(s.errors);
+  w.key("memo_hits").value(s.memo_hits);
+  w.key("batches").value(s.batches);
+  w.key("coalesced").value(s.coalesced);
+  w.key("steals").value(s.steals);
+  w.key("threads").value(s.threads);
+  w.key("cache").begin_object();
+  w.key("hits").value(s.cache.hits);
+  w.key("misses").value(s.cache.misses);
+  w.key("insertions").value(s.cache.insertions);
+  w.key("evictions").value(s.cache.evictions);
+  w.key("bytes").value(std::uint64_t(s.cache.bytes));
+  w.key("entries").value(std::uint64_t(s.cache.entries));
+  w.key("max_bytes").value(std::uint64_t(s.cache.max_bytes));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+Engine::StreamEnd Engine::serve_stream(std::FILE* in, std::FILE* out) {
+  auto out_mu = std::make_shared<std::mutex>();
+  std::string payload, err;
+  for (;;) {
+    const FrameRead fr = read_frame(in, payload, opt_.max_frame, err);
+    if (fr == FrameRead::eof) {
+      drain();
+      return StreamEnd::eof;
+    }
+    if (fr == FrameRead::error) {
+      // The framing cannot resync after a bad prefix, so nothing more can be
+      // written that the peer could attribute to a request.
+      drain();
+      return StreamEnd::frame_error;
+    }
+    Request req;
+    if (!request_from_json(payload, req, err)) {
+      const std::lock_guard<std::mutex> lock(*out_mu);
+      write_frame(out, error_response_json(req.solve.id, err));
+      continue;
+    }
+    switch (req.op) {
+      case Op::solve:
+        submit(req.solve, [out, out_mu](const core::SolveResponse& resp) {
+          const std::lock_guard<std::mutex> lock(*out_mu);
+          write_frame(out, response_json(resp));
+        });
+        break;
+      case Op::stats: {
+        drain();  // counters cover everything submitted before this op
+        const std::lock_guard<std::mutex> lock(*out_mu);
+        write_frame(out, result_response_json(req.solve.id, stats_json()));
+        break;
+      }
+      case Op::shutdown: {
+        drain();
+        const std::lock_guard<std::mutex> lock(*out_mu);
+        write_frame(out, result_response_json(req.solve.id, stats_json()));
+        return StreamEnd::shutdown;
+      }
+    }
+  }
+}
+
+std::vector<std::string> Engine::run_script(const std::string& jsonl) {
+  struct Row {
+    std::uint64_t id;
+    std::size_t seq;
+    std::string json;
+  };
+  auto rows = std::make_shared<std::vector<Row>>();
+  auto rows_mu = std::make_shared<std::mutex>();
+  const auto add = [&](std::uint64_t id, std::size_t seq, std::string json) {
+    const std::lock_guard<std::mutex> lock(*rows_mu);
+    rows->push_back(Row{id, seq, std::move(json)});
+  };
+
+  std::size_t seq = 0, pos = 0;
+  bool shutdown = false;
+  while (pos < jsonl.size() && !shutdown) {
+    std::size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string_view line(jsonl.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    const std::size_t my_seq = seq++;
+    Request req;
+    std::string err;
+    if (!request_from_json(line, req, err)) {
+      add(req.solve.id, my_seq, error_response_json(req.solve.id, err));
+      continue;
+    }
+    switch (req.op) {
+      case Op::solve:
+        submit(req.solve,
+               [&add, my_seq](const core::SolveResponse& resp) {
+                 add(resp.id, my_seq, response_json(resp));
+               });
+        break;
+      case Op::stats:
+        drain();
+        add(req.solve.id, my_seq,
+            result_response_json(req.solve.id, stats_json()));
+        break;
+      case Op::shutdown:
+        drain();
+        add(req.solve.id, my_seq,
+            result_response_json(req.solve.id, stats_json()));
+        shutdown = true;
+        break;
+    }
+  }
+  drain();
+
+  std::stable_sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    return a.id != b.id ? a.id < b.id : a.seq < b.seq;
+  });
+  std::vector<std::string> out;
+  out.reserve(rows->size());
+  for (auto& r : *rows) out.push_back(std::move(r.json));
+  return out;
+}
+
+bool Engine::serve_tcp(int port, bool once, std::string& err) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    err = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    err = "cannot listen on 127.0.0.1:" + std::to_string(port);
+    ::close(listener);
+    return false;
+  }
+  bool stop = false;
+  while (!stop) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      err = "accept() failed";
+      ::close(listener);
+      return false;
+    }
+    // Separate FILE streams for the two directions (each buffers its own
+    // side; write_frame flushes per response).
+    std::FILE* in = ::fdopen(conn, "rb");
+    std::FILE* out = ::fdopen(::dup(conn), "wb");
+    if (!in || !out) {
+      if (in) std::fclose(in);
+      else ::close(conn);
+      if (out) std::fclose(out);
+      err = "fdopen() failed";
+      ::close(listener);
+      return false;
+    }
+    const StreamEnd end = serve_stream(in, out);
+    std::fclose(out);
+    std::fclose(in);
+    if (once || end == StreamEnd::shutdown) stop = true;
+  }
+  ::close(listener);
+  return true;
+}
+
+}  // namespace pstab::serve

@@ -1,0 +1,123 @@
+// serve::Engine — the persistent solve engine behind `pstab serve`.
+//
+// One Engine owns a TaskPool (work-stealing MPMC, common/parallel_for.hpp)
+// and a bounded content-addressed Cache.  Requests stream in through
+// submit(); completions are delivered by callback on a pool thread.  Three
+// front-ends drive it:
+//
+//   * serve_stream — length-prefixed pstab-serve-v1 frames on FILE* pairs
+//     (the --stdio transport; also each accepted TCP connection);
+//   * run_script  — a JSONL request file replayed in one call, responses
+//     returned sorted by id (the scripted/CI transport);
+//   * serve_tcp   — a loopback TCP listener wrapping serve_stream per
+//     connection (POSIX only).
+//
+// Coalescing: requests that share a batch_key (same matrix, scaling,
+// format-relevant options — everything but the right-hand side) are merged
+// into ONE pool job while that job is still queued, so a burst of multi-RHS
+// requests runs as a batch: the first solve factors (and populates the
+// cache), the rest reuse the warm factorization on the same thread with no
+// cross-thread cache ping-pong.  Response bytes never depend on coalescing,
+// the thread count or cache state — each response is what run_request
+// produces for that request alone.
+//
+// Ordering: stream responses are written as solves complete, so ids may
+// interleave arbitrarily; correlate by id.  run_script sorts for you.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace pstab::serve {
+
+struct EngineOptions {
+  int threads = 0;                       // 0 = PSTAB_THREADS / hardware
+  std::size_t cache_bytes = 256u << 20;  // 0 disables caching
+  bool coalesce = true;
+  std::size_t max_frame = kDefaultMaxFrame;
+};
+
+struct EngineStats {
+  std::uint64_t requests = 0;   // solve requests submitted
+  std::uint64_t solved = 0;     // responses with ok = true
+  std::uint64_t errors = 0;     // responses with ok = false
+  std::uint64_t memo_hits = 0;  // whole-response memo hits among `solved`
+  std::uint64_t batches = 0;    // pool jobs dispatched
+  std::uint64_t coalesced = 0;  // requests that joined an existing batch
+  std::uint64_t steals = 0;     // TaskPool work steals
+  int threads = 0;
+  Cache::Stats cache;
+};
+
+class Engine {
+ public:
+  using DoneFn = std::function<void(const core::SolveResponse&)>;
+
+  explicit Engine(const EngineOptions& opt = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Queue one solve; `done` runs on a pool thread when it completes.  With
+  /// coalescing on, the request may join a queued batch sharing its
+  /// batch_key instead of becoming a new pool job.
+  void submit(const core::SolveRequest& req, DoneFn done);
+
+  /// Block until every submitted request has completed.
+  void drain();
+
+  [[nodiscard]] EngineStats stats();
+  /// Deterministic JSON object of the counters above (a "stats" op result).
+  [[nodiscard]] std::string stats_json();
+
+  [[nodiscard]] Cache& cache() noexcept { return cache_; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opt_; }
+
+  enum class StreamEnd { eof, shutdown, frame_error };
+
+  /// Serve pstab-serve-v1 frames from `in`, writing response frames to `out`
+  /// as solves complete (an internal mutex serializes writers).  JSON/request
+  /// errors get error responses; frame errors end the stream (see
+  /// protocol.hpp).  Drains before returning.
+  StreamEnd serve_stream(std::FILE* in, std::FILE* out);
+
+  /// Replay newline-delimited JSON requests (blank lines skipped).  A
+  /// "shutdown" op stops the replay; "stats" answers inline after a drain.
+  /// Returns one response document per request, sorted by id (ties keep
+  /// submission order), so script output is deterministic.
+  [[nodiscard]] std::vector<std::string> run_script(const std::string& jsonl);
+
+  /// Loopback TCP listener on `port`; each connection is served with
+  /// serve_stream.  `once` exits after the first connection; a client
+  /// "shutdown" op exits too.  Returns false with `err` set on socket
+  /// failure.  (POSIX only.)
+  bool serve_tcp(int port, bool once, std::string& err);
+
+ private:
+  struct Batch {
+    std::vector<std::pair<core::SolveRequest, DoneFn>> items;
+    bool started = false;
+  };
+
+  void run_batch(const std::shared_ptr<Batch>& batch, const std::string& key);
+
+  EngineOptions opt_;
+  Cache cache_;
+  TaskPool pool_;
+  std::mutex mu_;  // guards pending_ and the counters below
+  std::unordered_map<std::string, std::shared_ptr<Batch>> pending_;
+  std::uint64_t requests_ = 0, solved_ = 0, errors_ = 0, memo_hits_ = 0;
+  std::uint64_t batches_ = 0, coalesced_ = 0;
+};
+
+}  // namespace pstab::serve

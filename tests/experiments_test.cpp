@@ -61,10 +61,10 @@ TEST_P(SuiteMatrixP, RescaledCholeskyPositBeatsFloat) {
   // The Fig 9 invariant, the paper's strongest claim: after diagonal
   // re-scaling, Posit(32,2) achieves a lower backward error than Float32.
   const auto& g = matrices::suite_matrix(GetParam());
-  core::CholExperimentOptions opt;
-  opt.rescale_diag_avg = true;
-  const auto row = core::run_cholesky_experiment(g, opt);
-  if (row.f32.ok && row.p32_2.ok) {
+  core::SolveRequest req;
+  req.rescale = true;
+  const auto row = core::run_cholesky_experiment(g, req);
+  if (row.f32.converged() && row.p32_2.converged()) {
     EXPECT_GT(row.extra_digits(row.p32_2), 0.0) << GetParam();
   }
 }
@@ -114,15 +114,15 @@ TEST(CgExperiment, PctImprovementSignConvention) {
 
 TEST(CholExperiment, ExtraDigitsConvention) {
   core::CholRow row;
-  row.f32.ok = true;
-  row.f32.backward_error = 1e-6;
+  row.f32.status = la::CholStatus::ok;
+  row.f32.true_relres = 1e-6;
   core::CholCell posit;
-  posit.ok = true;
-  posit.backward_error = 1e-7;
+  posit.status = la::CholStatus::ok;
+  posit.true_relres = 1e-7;
   EXPECT_NEAR(row.extra_digits(posit), 1.0, 1e-12);  // 10x better = 1 digit
-  posit.backward_error = 1e-5;
+  posit.true_relres = 1e-5;
   EXPECT_NEAR(row.extra_digits(posit), -1.0, 1e-12);
-  posit.ok = false;
+  posit.status = la::CholStatus::not_positive_definite;
   EXPECT_TRUE(std::isnan(row.extra_digits(posit)));
 }
 
@@ -194,17 +194,17 @@ TEST(ParallelFor, PropagatesExceptions) {
 
 TEST(ExperimentGrid, CgSuiteDeterministicAcrossThreadCounts) {
   const auto ms = small_suite();  // generate before the parallel region
-  core::CgExperimentOptions opt;
-  opt.record_history = true;
+  core::SolveRequest req;
+  req.record_history = true;
 
   std::vector<core::CgRow> serial, parallel;
   {
     ThreadsEnv env("1");
-    serial = core::run_cg_suite(ms, opt);
+    serial = core::run_cg_suite(ms, req);
   }
   {
     ThreadsEnv env("8");
-    parallel = core::run_cg_suite(ms, opt);
+    parallel = core::run_cg_suite(ms, req);
   }
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -243,12 +243,10 @@ TEST(ExperimentGrid, CholeskySuiteDeterministicAcrossThreadCounts) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].matrix, parallel[i].matrix);
-    EXPECT_EQ(serial[i].f32.ok, parallel[i].f32.ok);
-    EXPECT_EQ(serial[i].f32.backward_error, parallel[i].f32.backward_error);
-    EXPECT_EQ(serial[i].p32_2.backward_error,
-              parallel[i].p32_2.backward_error);
-    EXPECT_EQ(serial[i].p32_3.backward_error,
-              parallel[i].p32_3.backward_error);
+    EXPECT_EQ(serial[i].f32.status, parallel[i].f32.status);
+    EXPECT_EQ(serial[i].f32.true_relres, parallel[i].f32.true_relres);
+    EXPECT_EQ(serial[i].p32_2.true_relres, parallel[i].p32_2.true_relres);
+    EXPECT_EQ(serial[i].p32_3.true_relres, parallel[i].p32_3.true_relres);
   }
 }
 
@@ -307,17 +305,17 @@ TEST(ArtifactDeterminism, CgResultsByteIdenticalAcrossIsaAndThreads) {
   // experiment grid through Backend::Simd serializes to the same bytes on
   // the native ISA (8 threads) as on the forced-scalar path (1 thread).
   const auto ms = small_suite();
-  core::CgExperimentOptions opt;
-  opt.backend = la::kernels::Backend::Simd;
+  core::SolveRequest req;
+  req.backend = la::kernels::Backend::Simd;
   std::string native, scalar_isa;
   {
     ThreadsEnv env("8");
-    native = core::cg_results_json("cg", core::run_cg_suite(ms, opt), opt);
+    native = core::cg_results_json("cg", core::run_cg_suite(ms, req), req);
   }
   {
     ThreadsEnv env("1");
     ForcedIsa f(simd::Isa::kScalar);
-    scalar_isa = core::cg_results_json("cg", core::run_cg_suite(ms, opt), opt);
+    scalar_isa = core::cg_results_json("cg", core::run_cg_suite(ms, req), req);
   }
   EXPECT_EQ(native, scalar_isa);
 }

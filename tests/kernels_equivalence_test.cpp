@@ -324,8 +324,8 @@ TEST(KernelsSolvers, CholeskyBackendInvariant) {
   const la::Vec<double> b(static_cast<std::size_t>(m.dense.rows()), 1.0);
   const auto cs = core::cholesky_in_format<Posit32_2>(m.dense, b, kScalar);
   const auto cb = core::cholesky_in_format<Posit32_2>(m.dense, b, kBatched);
-  EXPECT_EQ(cs.ok, cb.ok);
-  EXPECT_EQ(cs.backward_error, cb.backward_error);
+  EXPECT_EQ(cs.status, cb.status);
+  EXPECT_EQ(cs.true_relres, cb.true_relres);
 }
 
 // ---------------------------------------------------------------------------
@@ -355,13 +355,13 @@ class ThreadsEnv {
 TEST(KernelsSolvers, BatchedArtifactsThreadCountInvariant) {
   const std::vector<const matrices::GeneratedMatrix*> suite = {
       &matrices::suite_matrix("bcsstk02"), &matrices::suite_matrix("lund_b")};
-  core::CgExperimentOptions opt;
-  opt.backend = ker::Backend::Batched;
+  core::SolveRequest req;
+  req.backend = ker::Backend::Batched;
 
   const auto run = [&](const char* threads) {
     ThreadsEnv env(threads);
-    const auto rows = core::run_cg_suite(suite, opt);
-    return core::cg_results_json("cg", rows, opt);
+    const auto rows = core::run_cg_suite(suite, req);
+    return core::cg_results_json("cg", rows, req);
   };
   const std::string doc1 = run("1");
   const std::string doc8 = run("8");
@@ -644,8 +644,8 @@ TEST(KernelsSolvers, CholeskySimdBackendInvariantPerIsa) {
     ForcedIsa f(isa);
     SCOPED_TRACE(simd::isa_name(isa));
     const auto cv = core::cholesky_in_format<Posit32_2>(m.dense, b, kSimd);
-    EXPECT_EQ(cs.ok, cv.ok);
-    EXPECT_EQ(cs.backward_error, cv.backward_error);
+    EXPECT_EQ(cs.status, cv.status);
+    EXPECT_EQ(cs.true_relres, cv.true_relres);
   }
 }
 

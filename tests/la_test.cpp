@@ -11,7 +11,7 @@
 #include "la/cholesky.hpp"
 #include "la/csr.hpp"
 #include "la/dense.hpp"
-#include "la/fused.hpp"
+#include "la/kernels/kernels.hpp"
 #include "la/norms.hpp"
 #include "posit/posit.hpp"
 

@@ -333,13 +333,13 @@ class ThreadsEnv {
 TEST_F(TelemetryTest, CountersAreThreadCountInvariant) {
   const std::vector<const matrices::GeneratedMatrix*> suite = {
       &matrices::suite_matrix("bcsstk02"), &matrices::suite_matrix("lund_b")};
-  const core::CgExperimentOptions opt;
+  const core::SolveRequest req;
 
   const auto run = [&](const char* threads) {
     ThreadsEnv env(threads);
     telemetry::reset();
-    const auto rows = core::run_cg_suite(suite, opt);
-    return core::cg_results_json("cg", rows, opt);
+    const auto rows = core::run_cg_suite(suite, req);
+    return core::cg_results_json("cg", rows, req);
   };
 
   const std::string doc1 = run("1");

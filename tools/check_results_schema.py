@@ -2,16 +2,20 @@
 """Validate pstab-results-v1 JSON artifacts (RESULTS_*.json).
 
 Usage: check_results_schema.py FILE [FILE...]
+       check_results_schema.py --serve-responses FILE [FILE...]
 
-Checks the envelope every emitter in src/core/report_json.cpp promises:
-schema tag, experiment name, an options object, a rows array whose entries
-carry a matrix name plus per-format cells, and a telemetry array of
-per-format counter objects.  Exits nonzero on the first malformed file.
+Default mode checks the envelope every emitter in src/core/report_json.cpp
+promises: schema tag, experiment name, an options object, a rows array whose
+entries carry a matrix name plus per-format cells, and a telemetry array of
+per-format counter objects.  --serve-responses instead validates JSONL files
+of pstab-serve-v1 response envelopes (`pstab serve --script` / serve-client
+output).  Exits nonzero on the first malformed file.
 """
 import json
 import sys
 
 SCHEMA = "pstab-results-v1"
+SERVE_SCHEMA = "pstab-serve-v1"
 SOLVE_STATUSES = {
     "converged", "max_iterations", "breakdown", "not_positive_definite",
     "arithmetic_error", "factorization_failed", "diverged",
@@ -145,6 +149,26 @@ def check_file(path):
                     fail(path, f"rows[{i}]: simd backend diverged from "
                                f"scalar ({row['kernel']}/{row['format']})")
                 continue
+            if experiment == "serve":
+                # bench/perf_serve.cpp throughput rows: one per thread count,
+                # cold phase fills the caches, warm phase must hit them, and
+                # every thread count must produce byte-identical responses.
+                for key in ("threads", "requests", "solves_per_sec_cold",
+                            "solves_per_sec_warm", "cache_hit_rate_warm",
+                            "identical_across_threads"):
+                    if key not in row:
+                        fail(path, f"rows[{i}]: missing '{key}'")
+                if not isinstance(row["threads"], int) or row["threads"] <= 0:
+                    fail(path, f"rows[{i}]: threads must be a positive "
+                               f"integer")
+                rate = row["cache_hit_rate_warm"]
+                if not isinstance(rate, (int, float)) or not rate > 0:
+                    fail(path, f"rows[{i}]: warm cache hit rate must be > 0 "
+                               f"(got {rate!r})")
+                if row["identical_across_threads"] is not True:
+                    fail(path, f"rows[{i}]: responses diverged across "
+                               f"thread counts")
+                continue
             if not isinstance(row.get("matrix"), str):
                 fail(path, f"rows[{i}]: missing matrix name")
             if experiment.startswith("cg"):
@@ -153,11 +177,13 @@ def check_file(path):
                         fail(path, f"rows[{i}]: missing cell '{fmt}'")
                     check_solve_report(path, row[fmt], f"rows[{i}].{fmt}")
             elif experiment.startswith("cholesky"):
+                # Since CholCell became la::SolveReport the cells share the
+                # iterative emitters' shape (the old {ok, backward_error}
+                # form is gone).
                 for fmt in ("f64", "f32", "p32_2", "p32_3"):
-                    cell = row.get(fmt)
-                    if not isinstance(cell, dict) or "ok" not in cell \
-                            or "backward_error" not in cell:
-                        fail(path, f"rows[{i}].{fmt}: bad Cholesky cell")
+                    if fmt not in row:
+                        fail(path, f"rows[{i}]: missing cell '{fmt}'")
+                    check_solve_report(path, row[fmt], f"rows[{i}].{fmt}")
             elif experiment.startswith("ir"):
                 for fmt in ("f16", "p16_1", "p16_2"):
                     cell = row.get(fmt)
@@ -169,7 +195,56 @@ def check_file(path):
           f"{len(doc.get('telemetry', []))} telemetry formats)")
 
 
+def check_serve_responses(path):
+    """JSONL of pstab-serve-v1 response envelopes: every line is one
+    response object with the schema tag, a request id, and either an ok
+    result object or an error string (serve/protocol.cpp)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(path, f"unreadable: {e}")
+    if not lines:
+        fail(path, "no responses")
+    n_ok = 0
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            doc = json.loads(line)
+        except ValueError as e:
+            fail(path, f"{where}: invalid JSON: {e}")
+        if doc.get("schema") != SERVE_SCHEMA:
+            fail(path, f"{where}: schema is {doc.get('schema')!r}, "
+                       f"expected {SERVE_SCHEMA!r}")
+        if not isinstance(doc.get("id"), int) or doc["id"] < 0:
+            fail(path, f"{where}: id must be a non-negative integer")
+        ok = doc.get("ok")
+        if not isinstance(ok, bool):
+            fail(path, f"{where}: 'ok' must be a boolean")
+        if ok:
+            if not isinstance(doc.get("result"), dict):
+                fail(path, f"{where}: ok response missing result object")
+            n_ok += 1
+        else:
+            err = doc.get("error")
+            if not isinstance(err, str) or not err:
+                fail(path, f"{where}: error response missing error string")
+        # Responses must never leak engine state (cache_hit et al.): a warm
+        # response has to be byte-identical to a cold one.
+        for key in doc:
+            if key not in ("schema", "id", "ok", "result", "error"):
+                fail(path, f"{where}: unexpected envelope key {key!r}")
+    print(f"{path}: ok ({len(lines)} responses, {n_ok} successful)")
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--serve-responses":
+        if len(argv) < 3:
+            print(__doc__.strip(), file=sys.stderr)
+            return 1
+        for path in argv[2:]:
+            check_serve_responses(path)
+        return 0
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 1

@@ -5,19 +5,30 @@
 //   pstab cg <matrix> [--rescale]       CG in all four 32-bit formats
 //   pstab chol <matrix> [--rescale]     Cholesky backward errors
 //   pstab ir <matrix> [--higham]        mixed-precision IR in 16-bit formats
+//   pstab serve --script F | --stdio | --port N   persistent solve engine
+//   pstab serve-client --port N --script F        framed-TCP request driver
 //   pstab precision <value>             how each format represents a number
 //   pstab fuzz [--seed S] [--cases N]   differential fuzzing vs the GMP oracle
 //   pstab inject [--solver cg|cholesky|ir] [--seed S] [--trials N]
 //                [--recovery] [--json PATH]   bit-flip fault campaign
 //
-// cg|chol|ir additionally take `--json <path>`: write the run as a
-// pstab-results-v1 artifact (with telemetry counters) next to the console
-// table.  Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+// The solver subcommands (cg/chol/ir) all parse through
+// core::parse_solver_cli into one core::SolveRequest — the same struct the
+// serve engine receives over the wire — and every parse failure names the
+// offending token and exits non-zero (no silently ignored typos).
+// `--json <path>` writes the run as a pstab-results-v1 artifact.
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <random>
 #include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "core/experiments.hpp"
 #include "core/kernels_bench.hpp"
@@ -32,6 +43,7 @@
 #include "posit/lut.hpp"
 #include "posit/posit_math.hpp"
 #include "resilience/campaign.hpp"
+#include "serve/engine.hpp"
 
 namespace {
 
@@ -42,6 +54,11 @@ int usage() {
                "usage: pstab <command> [args]\n"
                "  list | gen-mtx <dir> | cg <matrix> [--rescale] |\n"
                "  chol <matrix> [--rescale] | ir <matrix> [--higham] |\n"
+               "  serve --script FILE [--out FILE] | --stdio |\n"
+               "        --port N [--once]   with [--threads N] [--cache-mb M]\n"
+               "        [--max-frame-kb K] [--no-coalesce]\n"
+               "  serve-client --port N --script FILE [--out FILE]\n"
+               "               [--shutdown]\n"
                "  kernels --bench [--n <len>] |\n"
                "  precision <value> |\n"
                "  fuzz [--seed S] [--cases N] [--surfaces LIST]\n"
@@ -50,69 +67,19 @@ int usage() {
                "         [--formats LIST] [--n SIZE] [--cond K] [--recovery]\n"
                "         [--json PATH]\n"
                "  cg|chol|ir also accept: --json <path> --tol <v>\n"
-               "    --max-iter <n> --kernels scalar|batched|simd|auto\n"
+               "    --max-iter <n> --max-iter-per-n <n> --fused --history\n"
+               "    --resilience --rhs-seed <s>\n"
+               "    --kernels scalar|batched|simd|auto\n"
                "  kernels also accepts: --json <path>\n"
                "  PSTAB_SIMD=avx2|avx512|neon|scalar pins the simd ISA\n");
   return 1;
 }
 
-// Flags shared by the solver subcommands (cg/chol/ir).  One parser for all
-// three: each flag overlays the common core::ExperimentOptions base via
-// apply(), so per-command defaults survive when a flag is absent.
-struct SolverArgs {
-  bool rescale = false;   // --rescale (cg/chol) or --higham (ir)
-  std::string json_path;  // --json <path>; empty = no artifact
-  double tol = 0.0;       // --tol <v>; 0 = keep the command default
-  int max_iter = 0;       // --max-iter <n>; 0 = keep the command default
-  la::kernels::Backend backend = la::kernels::Backend::Auto;  // --kernels
-  bool ok = true;
-
-  void apply(core::ExperimentOptions& o) const {
-    if (tol > 0) o.tol = tol;
-    if (max_iter > 0) o.max_iter = max_iter;
-    o.backend = backend;
-  }
-};
-
-bool parse_backend(const char* s, la::kernels::Backend& out) {
-  if (std::strcmp(s, "scalar") == 0) out = la::kernels::Backend::Scalar;
-  else if (std::strcmp(s, "batched") == 0) out = la::kernels::Backend::Batched;
-  else if (std::strcmp(s, "simd") == 0) out = la::kernels::Backend::Simd;
-  else if (std::strcmp(s, "auto") == 0) out = la::kernels::Backend::Auto;
-  else return false;
-  return true;
-}
-
-SolverArgs parse_solver_args(int argc, char** argv, int first) {
-  SolverArgs f;
-  for (int i = first; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rescale") == 0 ||
-        std::strcmp(argv[i], "--higham") == 0) {
-      f.rescale = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      f.json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
-      f.tol = std::strtod(argv[++i], nullptr);
-    } else if (std::strcmp(argv[i], "--max-iter") == 0 && i + 1 < argc) {
-      f.max_iter = int(std::strtol(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--kernels") == 0 && i + 1 < argc) {
-      if (!parse_backend(argv[++i], f.backend)) {
-        std::fprintf(stderr, "unknown backend %s\n", argv[i]);
-        f.ok = false;
-        return f;
-      }
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      f.ok = false;
-      return f;
-    }
-  }
-  // Artifacts embed telemetry counters, so recording must be on for the run.
-  if (!f.json_path.empty()) {
-    telemetry::set_enabled(true);
-    telemetry::reset();
-  }
-  return f;
+/// Parse failure: print the message (it names the offending token), point at
+/// the usage text, exit 1.
+int bad_usage(const std::string& msg) {
+  std::fprintf(stderr, "pstab: %s\n", msg.c_str());
+  return usage();
 }
 
 int emit_json(const std::string& path, const std::string& doc) {
@@ -124,7 +91,19 @@ int emit_json(const std::string& path, const std::string& doc) {
   return 0;
 }
 
-int cmd_list() {
+bool read_text_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[1 << 16];
+  std::size_t got;
+  out.clear();
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  const bool ok = !std::ferror(f);
+  std::fclose(f);
+  return ok;
+}
+
+int cmd_list(int, char**) {
   core::Table t({"Matrix", "k(A)", "N", "||A||2", "NNZ"});
   for (const auto& s : matrices::table1_specs())
     t.row({s.name, core::fmt_sci(s.cond, 1), core::fmt_int(s.n),
@@ -133,7 +112,9 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_gen_mtx(const std::string& dir) {
+int cmd_gen_mtx(int argc, char** argv) {
+  if (argc < 3) return bad_usage("command 'gen-mtx' requires a directory");
+  const std::string dir = argv[2];
   for (const auto& s : matrices::table1_specs()) {
     const auto& g = matrices::suite_matrix(s.name);
     const std::string path = dir + "/" + s.name + ".mtx";
@@ -143,84 +124,249 @@ int cmd_gen_mtx(const std::string& dir) {
   return 0;
 }
 
-int cmd_cg(const std::string& name, const SolverArgs& flags) {
-  const auto spec = matrices::find_spec(name);
-  if (!spec) {
-    std::fprintf(stderr, "unknown matrix %s (try 'pstab list')\n",
-                 name.c_str());
-    return 1;
-  }
-  const bool rescale = flags.rescale;
-  core::CgExperimentOptions opt;
-  opt.rescale_pow2_inf = rescale;
-  flags.apply(opt);
-  const auto row = core::run_cg_experiment(matrices::suite_matrix(name), opt);
+// Shared front half of cg/chol/ir: matrix arg, unified flag parse, matrix
+// lookup.  Returns nonzero (the exit code) on failure.
+int solver_prologue(core::Solver solver, int argc, char** argv,
+                    core::CliParse& p) {
+  if (argc < 3)
+    return bad_usage(std::string("command '") + argv[1] +
+                     "' requires a matrix name");
+  p = core::parse_solver_cli(solver, argv[2], argc, argv, 3);
+  if (!p.ok) return bad_usage(p.error);
+  if (!matrices::find_spec(p.req.matrix))
+    return bad_usage("unknown matrix '" + p.req.matrix +
+                     "' (try 'pstab list')");
+  return 0;
+}
+
+int cmd_cg(int argc, char** argv) {
+  core::CliParse p;
+  if (const int rc = solver_prologue(core::Solver::cg, argc, argv, p)) return rc;
+  const auto row =
+      core::run_cg_experiment(matrices::suite_matrix(p.req.matrix), p.req);
   const auto cell = [](const core::CgCell& c) {
-    if (c.status == la::CgStatus::converged)
-      return std::to_string(c.iterations) + " iters";
-    return std::string(c.status == la::CgStatus::breakdown ? "diverged"
-                                                           : "hit cap");
+    if (c.converged()) return std::to_string(c.iterations) + " iters";
+    return std::string(c.status == la::SolveStatus::breakdown ? "diverged"
+                                                              : "hit cap");
   };
-  std::printf("CG on %s%s\n", name.c_str(), rescale ? " (rescaled)" : "");
+  std::printf("CG on %s%s\n", p.req.matrix.c_str(),
+              p.req.rescale ? " (rescaled)" : "");
   std::printf("  Float64     %s\n", cell(row.f64).c_str());
   std::printf("  Float32     %s\n", cell(row.f32).c_str());
   std::printf("  Posit(32,2) %s\n", cell(row.p32_2).c_str());
   std::printf("  Posit(32,3) %s\n", cell(row.p32_3).c_str());
-  if (!flags.json_path.empty())
-    return emit_json(flags.json_path,
-                     core::cg_results_json(rescale ? "cg_rescaled" : "cg",
-                                           {row}, opt));
+  if (!p.json_path.empty())
+    return emit_json(p.json_path, core::cg_results_json(
+                                      p.req.experiment_name(), {row}, p.req));
   return 0;
 }
 
-int cmd_chol(const std::string& name, const SolverArgs& flags) {
-  if (!matrices::find_spec(name)) return usage();
-  const bool rescale = flags.rescale;
-  core::CholExperimentOptions opt;
-  opt.rescale_diag_avg = rescale;
-  flags.apply(opt);
-  const auto row =
-      core::run_cholesky_experiment(matrices::suite_matrix(name), opt);
+int cmd_chol(int argc, char** argv) {
+  core::CliParse p;
+  if (const int rc = solver_prologue(core::Solver::cholesky, argc, argv, p))
+    return rc;
+  const auto row = core::run_cholesky_experiment(
+      matrices::suite_matrix(p.req.matrix), p.req);
   const auto cell = [](const core::CholCell& c) {
-    return c.ok ? core::fmt_sci(c.backward_error, 2) : std::string("failed");
+    return c.converged() ? core::fmt_sci(c.true_relres, 2)
+                         : std::string("failed");
   };
-  std::printf("Cholesky backward error on %s%s\n", name.c_str(),
-              rescale ? " (diag-rescaled)" : "");
+  std::printf("Cholesky backward error on %s%s\n", p.req.matrix.c_str(),
+              p.req.rescale ? " (diag-rescaled)" : "");
   std::printf("  Float32     %s\n", cell(row.f32).c_str());
   std::printf("  Posit(32,2) %s (%+.2f digits vs F32)\n",
               cell(row.p32_2).c_str(), row.extra_digits(row.p32_2));
   std::printf("  Posit(32,3) %s (%+.2f digits vs F32)\n",
               cell(row.p32_3).c_str(), row.extra_digits(row.p32_3));
-  if (!flags.json_path.empty())
-    return emit_json(
-        flags.json_path,
-        core::cholesky_results_json(
-            rescale ? "cholesky_rescaled" : "cholesky", {row}, opt));
+  if (!p.json_path.empty())
+    return emit_json(p.json_path,
+                     core::cholesky_results_json(p.req.experiment_name(),
+                                                 {row}, p.req));
   return 0;
 }
 
-int cmd_ir(const std::string& name, const SolverArgs& flags) {
-  if (!matrices::find_spec(name)) return usage();
-  const bool higham = flags.rescale;
-  core::IrExperimentOptions opt;
-  opt.higham = higham;
-  flags.apply(opt);
-  const auto row = core::run_ir_experiment(matrices::suite_matrix(name), opt);
+int cmd_ir(int argc, char** argv) {
+  core::CliParse p;
+  if (const int rc = solver_prologue(core::Solver::ir, argc, argv, p)) return rc;
+  const auto row =
+      core::run_ir_experiment(matrices::suite_matrix(p.req.matrix), p.req);
   const auto cell = [](const la::IrReport& r) {
-    const bool failed = r.status == la::IrStatus::factorization_failed ||
-                        r.status == la::IrStatus::diverged;
-    return core::fmt_iters(failed, r.status == la::IrStatus::max_iterations,
+    const bool failed = r.status == la::SolveStatus::factorization_failed ||
+                        r.status == la::SolveStatus::diverged;
+    return core::fmt_iters(failed,
+                           r.status == la::SolveStatus::max_iterations,
                            r.iterations);
   };
-  std::printf("mixed-precision IR on %s (%s)\n", name.c_str(),
-              higham ? "Higham-scaled" : "naive");
+  std::printf("mixed-precision IR on %s (%s)\n", p.req.matrix.c_str(),
+              p.req.rescale ? "Higham-scaled" : "naive");
   std::printf("  Float16     %s\n", cell(row.f16).c_str());
   std::printf("  Posit(16,1) %s\n", cell(row.p16_1).c_str());
   std::printf("  Posit(16,2) %s\n", cell(row.p16_2).c_str());
-  if (!flags.json_path.empty())
-    return emit_json(flags.json_path,
-                     core::ir_results_json(higham ? "ir_higham" : "ir_naive",
-                                           {row}, opt));
+  if (!p.json_path.empty())
+    return emit_json(
+        p.json_path,
+        core::ir_results_json(p.req.experiment_name(), {row}, p.req));
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::EngineOptions opt;
+  std::string script_path, out_path;
+  bool stdio = false, once = false;
+  int port = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (a == "--stdio") stdio = true;
+    else if (a == "--once") once = true;
+    else if (a == "--no-coalesce") opt.coalesce = false;
+    else if (a == "--script" && has_value) script_path = argv[++i];
+    else if (a == "--out" && has_value) out_path = argv[++i];
+    else if (a == "--port" && has_value)
+      port = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--threads" && has_value)
+      opt.threads = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--cache-mb" && has_value)
+      opt.cache_bytes =
+          std::size_t(std::strtoull(argv[++i], nullptr, 10)) << 20;
+    else if (a == "--max-frame-kb" && has_value)
+      opt.max_frame = std::size_t(std::strtoull(argv[++i], nullptr, 10)) << 10;
+    else if (a == "--script" || a == "--out" || a == "--port" ||
+             a == "--threads" || a == "--cache-mb" || a == "--max-frame-kb")
+      return bad_usage("flag '" + a + "' requires a value");
+    else
+      return bad_usage("unknown flag '" + a + "'");
+  }
+  const int modes = int(!script_path.empty()) + int(stdio) + int(port >= 0);
+  if (modes != 1)
+    return bad_usage("serve needs exactly one of --script, --stdio, --port");
+
+  serve::Engine engine(opt);
+  if (!script_path.empty()) {
+    std::string text;
+    if (!read_text_file(script_path, text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", script_path.c_str());
+      return 2;
+    }
+    const auto responses = engine.run_script(text);
+    std::string doc;
+    for (const auto& r : responses) {
+      doc += r;
+      doc += '\n';
+    }
+    if (!out_path.empty()) return emit_json(out_path, doc);
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return 0;
+  }
+  if (stdio) {
+    const auto end = engine.serve_stream(stdin, stdout);
+    if (end == serve::Engine::StreamEnd::frame_error) {
+      std::fprintf(stderr, "error: frame error on stdin\n");
+      return 2;
+    }
+    return 0;
+  }
+  std::string err;
+  if (!engine.serve_tcp(port, once, err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_serve_client(int argc, char** argv) {
+  std::string script_path, out_path;
+  int port = -1;
+  bool shutdown = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (a == "--shutdown") shutdown = true;
+    else if (a == "--script" && has_value) script_path = argv[++i];
+    else if (a == "--out" && has_value) out_path = argv[++i];
+    else if (a == "--port" && has_value)
+      port = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--script" || a == "--out" || a == "--port")
+      return bad_usage("flag '" + a + "' requires a value");
+    else
+      return bad_usage("unknown flag '" + a + "'");
+  }
+  if (port < 0 || script_path.empty())
+    return bad_usage("serve-client requires --port and --script");
+  std::string text;
+  if (!read_text_file(script_path, text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", script_path.c_str());
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof addr) != 0) {
+    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%d\n", port);
+    if (fd >= 0) ::close(fd);
+    return 2;
+  }
+  std::FILE* out = ::fdopen(fd, "wb");
+  std::FILE* in = ::fdopen(::dup(fd), "rb");
+
+  // One frame per non-blank script line; the server validates the JSON and
+  // answers every frame, so expected responses == frames sent.
+  std::size_t sent = 0, pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      if (end == text.size()) break;
+      continue;
+    }
+    serve::write_frame(out, line);
+    ++sent;
+    if (end == text.size()) break;
+  }
+  if (shutdown) {
+    serve::write_frame(
+        out, std::string("{\"schema\":\"") + serve::kSchema +
+                 "\",\"op\":\"shutdown\",\"id\":18446744073709551615}");
+    ++sent;
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> responses;
+  std::string payload, err;
+  for (std::size_t i = 0; i < sent; ++i) {
+    if (serve::read_frame(in, payload, serve::kDefaultMaxFrame, err) !=
+        serve::FrameRead::ok) {
+      std::fprintf(stderr, "error: %s\n",
+                   err.empty() ? "connection closed early" : err.c_str());
+      std::fclose(in);
+      std::fclose(out);
+      return 2;
+    }
+    serve::JsonValue doc;
+    std::uint64_t id = 0;
+    if (serve::json_parse(payload, doc, err)) {
+      const serve::JsonValue* idv = doc.find("id");
+      if (idv && idv->is_uint()) id = idv->as_uint();
+    }
+    responses.emplace_back(id, payload);
+  }
+  std::fclose(in);
+  std::fclose(out);
+
+  std::stable_sort(responses.begin(), responses.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string doc;
+  for (auto& [id, json] : responses) {
+    doc += json;
+    doc += '\n';
+  }
+  if (!out_path.empty()) return emit_json(out_path, doc);
+  std::fwrite(doc.data(), 1, doc.size(), stdout);
   return 0;
 }
 
@@ -236,8 +382,7 @@ int cmd_kernels(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return usage();
+      return bad_usage(std::string("unknown flag '") + argv[i] + "'");
     }
   }
   if (!bench || n <= 0) return usage();
@@ -268,7 +413,9 @@ void show_precision(const char* label, double v) {
               v != 0 ? std::fabs(back - v) / std::fabs(v) : 0.0);
 }
 
-int cmd_precision(double v) {
+int cmd_precision(int argc, char** argv) {
+  if (argc < 3) return bad_usage("command 'precision' requires a value");
+  const double v = std::strtod(argv[2], nullptr);
   std::printf("representations of %.17g:\n", v);
   show_precision<Half>("Float16", v);
   show_precision<BFloat16>("BFloat16", v);
@@ -309,7 +456,7 @@ int cmd_fuzz(int argc, char** argv) {
       std::printf("fuzz replay: %ld records, %d failing\n", total, bad);
       return bad == 0 ? 0 : 2;
     } else {
-      return usage();
+      return bad_usage("unknown flag '" + a + "'");
     }
   }
   if (opt.cases <= 0) return usage();
@@ -351,7 +498,7 @@ int cmd_inject(int argc, char** argv) {
     else if (a == "--json" && i + 1 < argc)
       json_path = argv[++i];
     else
-      return usage();
+      return bad_usage("unknown flag '" + a + "'");
   }
   if (opt.trials <= 0 || opt.n < 4 ||
       (opt.solver != "cg" && opt.solver != "cholesky" && opt.solver != "ir"))
@@ -381,33 +528,42 @@ int cmd_inject(int argc, char** argv) {
   return 0;
 }
 
+// The dispatch table.  Every subcommand is a row here; an argv[1] that
+// matches no row is an error naming the token, never a silent fallthrough.
+struct Command {
+  const char* name;
+  int (*fn)(int argc, char** argv);
+};
+
+constexpr Command kCommands[] = {
+    {"list", cmd_list},
+    {"gen-mtx", cmd_gen_mtx},
+    {"cg", cmd_cg},
+    {"chol", cmd_chol},
+    {"ir", cmd_ir},
+    {"serve", cmd_serve},
+    {"serve-client", cmd_serve_client},
+    {"kernels", cmd_kernels},
+    {"precision", cmd_precision},
+    {"fuzz", cmd_fuzz},
+    {"inject", cmd_inject},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   lut::enable_defaults();  // table-driven small posits (PSTAB_LUT=0 disables)
   if (telemetry::env_requested()) telemetry::set_enabled(true);
-  const std::string cmd = argv[1];
-  const bool is_solver = cmd == "cg" || cmd == "chol" || cmd == "ir";
-  SolverArgs flags;
-  if (is_solver && argc > 2) {
-    flags = parse_solver_args(argc, argv, 3);
-    if (!flags.ok) return usage();
+  for (const Command& c : kCommands) {
+    if (std::strcmp(argv[1], c.name) != 0) continue;
+    try {
+      return c.fn(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
-  try {
-    if (cmd == "list") return cmd_list();
-    if (cmd == "gen-mtx" && argc > 2) return cmd_gen_mtx(argv[2]);
-    if (cmd == "cg" && argc > 2) return cmd_cg(argv[2], flags);
-    if (cmd == "chol" && argc > 2) return cmd_chol(argv[2], flags);
-    if (cmd == "ir" && argc > 2) return cmd_ir(argv[2], flags);
-    if (cmd == "kernels") return cmd_kernels(argc, argv);
-    if (cmd == "precision" && argc > 2)
-      return cmd_precision(std::strtod(argv[2], nullptr));
-    if (cmd == "fuzz") return cmd_fuzz(argc, argv);
-    if (cmd == "inject") return cmd_inject(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
+  std::fprintf(stderr, "pstab: unknown command '%s'\n", argv[1]);
   return usage();
 }
