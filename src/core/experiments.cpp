@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "ieee/softfloat.hpp"
 #include "la/cholesky.hpp"
+#include "la/gmres.hpp"
 #include "posit/posit.hpp"
 #include "scaling/higham.hpp"
 #include "scaling/scaling.hpp"
@@ -369,6 +370,197 @@ IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
 }
 
 // ---------------------------------------------------------------------------
+// General-systems refinement (LU-IR / GMRES-IR)
+
+namespace {
+
+// The factor-format grids.  PSTAB_GENERAL_GRID is what PrecisionTriple
+// factor = "grid" sweeps; the EXTRA formats are reachable only as a single
+// requested column (keep both lists in sync with core::factor_formats()).
+#define PSTAB_GENERAL_GRID(X) \
+  X(Half, "f16")              \
+  X(BFloat16, "bf16")         \
+  X(Posit16_1, "p16_1")       \
+  X(Posit16_2, "p16_2")
+#define PSTAB_GENERAL_EXTRA(X) \
+  X(Float32Emu, "f32")         \
+  X(Posit32_2, "p32_2")
+
+/// Two-sided power-of-two equilibration of one general matrix; computed (or
+/// fetched) once per matrix and shared across every factor format and both
+/// general solvers.
+struct EquilibratedGeneral {
+  la::Dense<double> as;        // diag(row) A diag(col)
+  scaling::GeneralScaling gs;  // the accumulated scalings
+};
+
+std::shared_ptr<const EquilibratedGeneral> equilibrated_general(
+    const la::Dense<double>& A, ArtifactCache* cache) {
+  const auto make = [&] {
+    EquilibratedGeneral e;
+    e.as = A;
+    e.gs = scaling::equilibrate_general(e.as);
+    return e;
+  };
+  if (!cache) return std::make_shared<const EquilibratedGeneral>(make());
+  return cache->get_or_make<EquilibratedGeneral>(
+      "equilg/" + digest_hex(dense_digest(A)), make,
+      [](const EquilibratedGeneral& e) {
+        return sizeof e + e.as.data().size() * sizeof(double) +
+               (e.gs.row.size() + e.gs.col.size()) * sizeof(double);
+      });
+}
+
+/// Low-precision LU factorization memo.  `key_base` deliberately has NO
+/// solver component — "lufact/<digest>/<equil|naive>/" — so an lu_ir request
+/// and a gmres_ir request for the same matrix, scaling and format share ONE
+/// factorization (the tentpole's cache-sharing contract).  The factor
+/// function reproduces exactly what la::detail::lu_ir_setup would compute,
+/// so refinement is bit-identical warm or cold.
+template <class F>
+std::shared_ptr<const la::LuResult<F>> lu_factor_cached(
+    const la::Dense<double>& src, ArtifactCache* cache,
+    const std::string& key_base, const char* fmt_tag) {
+  const auto make = [&] {
+    return la::lu_factor(src.template cast_clamped<F>());
+  };
+  if (!cache || key_base.empty())
+    return std::make_shared<const la::LuResult<F>>(make());
+  return cache->get_or_make<la::LuResult<F>>(
+      key_base + fmt_tag, make, [](const la::LuResult<F>& f) {
+        return sizeof f + f.lu.data().size() * sizeof(F) +
+               f.perm.size() * sizeof(int);
+      });
+}
+
+la::ResidualPrec residual_prec(const std::string& s) {
+  if (s == "dd") return la::ResidualPrec::dd;
+  if (s == "quire") return la::ResidualPrec::quire;
+  return la::ResidualPrec::working;
+}
+
+la::IrOptions general_ir_options(const matrices::GeneratedMatrix& m,
+                                 const SolveRequest& req) {
+  la::IrOptions o;
+  o.tol = req.effective_tol();
+  o.max_iter = req.effective_max_iter(m.n);
+  o.residual = residual_prec(req.effective_residual());
+  o.record_history = req.record_history;
+  o.record_trace = req.record_trace;
+  o.kernels = req.kernel_context();
+  o.resilience = req.resilient_options();
+  return o;
+}
+
+std::string lufact_key_base(const matrices::GeneratedMatrix& m,
+                            const SolveRequest& req, ArtifactCache* cache) {
+  if (!cache) return {};
+  return "lufact/" + digest_hex(dense_digest(m.dense)) + "/" +
+         (req.rescale ? "equil" : "naive") + "/";
+}
+
+template <class F>
+LuIrCell lu_ir_cell(const matrices::GeneratedMatrix& m,
+                    const SolveRequest& req, ArtifactCache* cache,
+                    const std::string& key_base, const char* fmt_tag) {
+  LuIrCell cell;
+  cell.format = fmt_tag;
+  const la::IrOptions iro = general_ir_options(m, req);
+  const la::Vec<double> b = request_rhs(m, req.rhs_seed);
+  la::Vec<double> x;
+  if (!req.rescale) {
+    const auto fact = lu_factor_cached<F>(m.dense, cache, key_base, fmt_tag);
+    cell.rep = la::lu_ir<F>(m.dense, b, x, iro, nullptr, nullptr, fact.get());
+    return cell;
+  }
+  const auto eq = equilibrated_general(m.dense, cache);
+  const auto fact = lu_factor_cached<F>(eq->as, cache, key_base, fmt_tag);
+  cell.rep = la::lu_ir<F>(m.dense, b, x, iro, &eq->gs, &eq->as, fact.get());
+  return cell;
+}
+
+template <class F>
+GmresIrCell gmres_ir_cell(const matrices::GeneratedMatrix& m,
+                          const SolveRequest& req, ArtifactCache* cache,
+                          const std::string& key_base, const char* fmt_tag) {
+  GmresIrCell cell;
+  cell.format = fmt_tag;
+  // The baseline runs with lu_ir's own iteration budget (1000 by default)
+  // while the GMRES outer loop keeps this request's (100): "1000+ vs 4" is
+  // the rescue signature the paper-style tables report.
+  const la::IrOptions iro_lu =
+      general_ir_options(m, pinned(req, Solver::lu_ir));
+  const la::IrOptions iro_g = general_ir_options(m, req);
+  const la::Vec<double> b = request_rhs(m, req.rhs_seed);
+  la::Vec<double> x_lu, x_g;
+  const scaling::GeneralScaling* gs = nullptr;
+  const la::Dense<double>* as = nullptr;
+  std::shared_ptr<const EquilibratedGeneral> eq;
+  if (req.rescale) {
+    eq = equilibrated_general(m.dense, cache);
+    gs = &eq->gs;
+    as = &eq->as;
+  }
+  const auto fact =
+      lu_factor_cached<F>(as ? *as : m.dense, cache, key_base, fmt_tag);
+  cell.lu = la::lu_ir<F>(m.dense, b, x_lu, iro_lu, gs, as, fact.get());
+  cell.gmres = la::gmres_ir_lu<F>(m.dense, b, x_g, iro_g, gs, as, fact.get());
+  return cell;
+}
+
+}  // namespace
+
+LuIrRow run_lu_ir_experiment(const matrices::GeneratedMatrix& m,
+                             const SolveRequest& req_in,
+                             ArtifactCache* cache) {
+  const SolveRequest req = pinned(req_in, Solver::lu_ir);
+  LuIrRow row;
+  row.matrix = m.spec.name;
+  row.norm2 = m.spec.norm2;
+  row.cond = m.spec.cond;
+  const std::string kb = lufact_key_base(m, req, cache);
+  const std::string& f = req.precision.factor;
+#define X(T, tag)                                                   \
+  if (f == "grid" || f == tag)                                      \
+    row.cells.push_back(lu_ir_cell<T>(m, req, cache, kb, tag));
+  PSTAB_GENERAL_GRID(X)
+#undef X
+#define X(T, tag)                                                   \
+  if (f == tag) row.cells.push_back(lu_ir_cell<T>(m, req, cache, kb, tag));
+  PSTAB_GENERAL_EXTRA(X)
+#undef X
+  return row;
+}
+
+int GmresIrRow::rescue_count() const {
+  int n = 0;
+  for (const auto& c : cells) n += c.rescued() ? 1 : 0;
+  return n;
+}
+
+GmresIrRow run_gmres_ir_experiment(const matrices::GeneratedMatrix& m,
+                                   const SolveRequest& req_in,
+                                   ArtifactCache* cache) {
+  const SolveRequest req = pinned(req_in, Solver::gmres_ir);
+  GmresIrRow row;
+  row.matrix = m.spec.name;
+  row.norm2 = m.spec.norm2;
+  row.cond = m.spec.cond;
+  const std::string kb = lufact_key_base(m, req, cache);
+  const std::string& f = req.precision.factor;
+#define X(T, tag)                                                   \
+  if (f == "grid" || f == tag)                                      \
+    row.cells.push_back(gmres_ir_cell<T>(m, req, cache, kb, tag));
+  PSTAB_GENERAL_GRID(X)
+#undef X
+#define X(T, tag)                                                   \
+  if (f == tag) row.cells.push_back(gmres_ir_cell<T>(m, req, cache, kb, tag));
+  PSTAB_GENERAL_EXTRA(X)
+#undef X
+  return row;
+}
+
+// ---------------------------------------------------------------------------
 // Whole-grid runners (parallel across matrices)
 
 std::vector<CgRow> run_cg_suite(
@@ -392,6 +584,22 @@ std::vector<IrRow> run_ir_suite(
     const SolveRequest& req, ArtifactCache* cache) {
   return parallel_map<IrRow>(suite.size(), [&](std::size_t i) {
     return run_ir_experiment(*suite[i], req, cache);
+  });
+}
+
+std::vector<LuIrRow> run_lu_ir_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const SolveRequest& req, ArtifactCache* cache) {
+  return parallel_map<LuIrRow>(suite.size(), [&](std::size_t i) {
+    return run_lu_ir_experiment(*suite[i], req, cache);
+  });
+}
+
+std::vector<GmresIrRow> run_gmres_ir_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const SolveRequest& req, ArtifactCache* cache) {
+  return parallel_map<GmresIrRow>(suite.size(), [&](std::size_t i) {
+    return run_gmres_ir_experiment(*suite[i], req, cache);
   });
 }
 

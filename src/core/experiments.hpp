@@ -21,6 +21,7 @@
 #include "core/solve_api.hpp"
 #include "la/cg.hpp"
 #include "la/ir.hpp"
+#include "la/lu_ir.hpp"
 #include "la/solve_report.hpp"
 #include "matrices/generator.hpp"
 
@@ -85,6 +86,54 @@ IrRow run_ir_experiment(const matrices::GeneratedMatrix& m,
                         ArtifactCache* cache = nullptr);
 
 // ---------------------------------------------------------------------------
+// General-systems refinement: LU-IR and GMRES-IR (the registry's lu_ir and
+// gmres_ir solvers).  Unlike the fixed-field SPD rows above, the general grid
+// is a vector of (format, report) cells: the request's PrecisionTriple factor
+// selects either the default 16-bit grid ("grid" -> f16/bf16/p16_1/p16_2) or
+// a single column from factor_formats().
+
+struct LuIrCell {
+  std::string format;  // factor format tag ("f16", "bf16", "p16_1", ...)
+  la::LuIrReport rep;
+};
+
+struct LuIrRow {
+  std::string matrix;
+  double norm2 = 0, cond = 0;
+  std::vector<LuIrCell> cells;
+};
+
+LuIrRow run_lu_ir_experiment(const matrices::GeneratedMatrix& m,
+                             const SolveRequest& req = {},
+                             ArtifactCache* cache = nullptr);
+
+/// One GMRES-IR grid cell runs plain LU-IR and GMRES-IR from the SAME
+/// low-precision LU factors (one factorization per cell, shared through the
+/// ArtifactCache with standalone lu_ir requests), so `rescued()` isolates
+/// exactly what the Krylov correction solve adds over a triangular solve.
+struct GmresIrCell {
+  std::string format;
+  la::LuIrReport lu;     // plain refinement baseline
+  la::LuIrReport gmres;  // GMRES-IR with the same factors
+  [[nodiscard]] bool rescued() const {
+    return gmres.status == la::SolveStatus::converged &&
+           lu.status != la::SolveStatus::converged;
+  }
+};
+
+struct GmresIrRow {
+  std::string matrix;
+  double norm2 = 0, cond = 0;
+  std::vector<GmresIrCell> cells;
+  /// Number of cells where GMRES-IR converged but plain LU-IR did not.
+  [[nodiscard]] int rescue_count() const;
+};
+
+GmresIrRow run_gmres_ir_experiment(const matrices::GeneratedMatrix& m,
+                                   const SolveRequest& req = {},
+                                   ArtifactCache* cache = nullptr);
+
+// ---------------------------------------------------------------------------
 // Whole-grid runners: one row per input matrix, rows in input order.
 //
 // The outer loop is embarrassingly parallel and runs across PSTAB_THREADS
@@ -103,6 +152,14 @@ std::vector<CholRow> run_cholesky_suite(
     const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
 
 std::vector<IrRow> run_ir_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
+
+std::vector<LuIrRow> run_lu_ir_suite(
+    const std::vector<const matrices::GeneratedMatrix*>& suite,
+    const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
+
+std::vector<GmresIrRow> run_gmres_ir_suite(
     const std::vector<const matrices::GeneratedMatrix*>& suite,
     const SolveRequest& req = {}, ArtifactCache* cache = nullptr);
 

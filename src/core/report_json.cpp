@@ -180,9 +180,14 @@ void ir_cell(JsonWriter& w, const la::IrReport& r) {
   w.end_object();
 }
 
-// Unified options block: one writer for all three experiment families, keyed
-// off the request's solver (replaces the three per-struct blocks).
+// Unified options block: one writer for every experiment family, keyed off
+// the request's solver (replaces the per-struct blocks).  The refinement
+// family additionally records its (u_f, u, u_r) precision triple, with the
+// residual "auto" resolved so the artifact states what actually ran.
 void request_options(JsonWriter& w, const SolveRequest& req) {
+  const bool refinement = req.solver == Solver::ir ||
+                          req.solver == Solver::lu_ir ||
+                          req.solver == Solver::gmres_ir;
   w.key("options").begin_object();
   w.key("solver").value(to_string(req.solver));
   w.key("rescale").value(req.rescale);
@@ -197,6 +202,13 @@ void request_options(JsonWriter& w, const SolveRequest& req) {
   w.key("resilience").value(req.resilience);
   w.key("rhs_seed").value(std::uint64_t(req.rhs_seed));
   w.key("kernels").value(la::kernels::to_string(req.backend));
+  if (refinement) {
+    w.key("precision").begin_object();
+    w.key("factor").value(req.precision.factor);
+    w.key("working").value(req.precision.working);
+    w.key("residual").value(req.effective_residual());
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -232,6 +244,58 @@ void cholesky_row(JsonWriter& w, const CholRow& r) {
   solve_report(w, r.p32_3);
   w.key("extra_digits_p32_2").value(r.extra_digits(r.p32_2));
   w.key("extra_digits_p32_3").value(r.extra_digits(r.p32_3));
+  w.end_object();
+}
+
+// General-systems refinement cell: the LU analogue of ir_cell, plus the
+// GMRES inner-iteration total (0 for plain LU-IR).
+void lu_ir_cell(JsonWriter& w, const la::LuIrReport& r) {
+  w.begin_object();
+  w.key("status").value(la::to_string(r.status));
+  w.key("iterations").value(r.iterations);
+  w.key("final_berr").value(r.final_berr);
+  w.key("factorization_error").value(r.factorization_error);
+  w.key("lu_status").value(la::to_string(r.lu_status));
+  w.key("inner_iterations").value(r.inner_iterations);
+  report_tail(w, r);
+  w.end_object();
+}
+
+void lu_ir_row(JsonWriter& w, const LuIrRow& r) {
+  w.begin_object();
+  w.key("matrix").value(r.matrix);
+  w.key("norm2").value(r.norm2);
+  w.key("cond").value(r.cond);
+  w.key("cells").begin_array();
+  for (const auto& c : r.cells) {
+    w.begin_object();
+    w.key("format").value(c.format);
+    w.key("report");
+    lu_ir_cell(w, c.rep);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void gmres_ir_row(JsonWriter& w, const GmresIrRow& r) {
+  w.begin_object();
+  w.key("matrix").value(r.matrix);
+  w.key("norm2").value(r.norm2);
+  w.key("cond").value(r.cond);
+  w.key("cells").begin_array();
+  for (const auto& c : r.cells) {
+    w.begin_object();
+    w.key("format").value(c.format);
+    w.key("lu");
+    lu_ir_cell(w, c.lu);
+    w.key("gmres");
+    lu_ir_cell(w, c.gmres);
+    w.key("rescued").value(c.rescued());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rescue_count").value(r.rescue_count());
   w.end_object();
 }
 
@@ -325,6 +389,36 @@ std::string ir_results_json(const std::string& experiment,
   return w.str() + "\n";
 }
 
+std::string lu_ir_results_json(const std::string& experiment,
+                               const std::vector<LuIrRow>& rows,
+                               const SolveRequest& req) {
+  JsonWriter w;
+  w.begin_object();
+  header(w, experiment);
+  request_options(w, req);
+  w.key("rows").begin_array();
+  for (const auto& r : rows) lu_ir_row(w, r);
+  w.end_array();
+  telemetry_section(w);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string gmres_ir_results_json(const std::string& experiment,
+                                  const std::vector<GmresIrRow>& rows,
+                                  const SolveRequest& req) {
+  JsonWriter w;
+  w.begin_object();
+  header(w, experiment);
+  request_options(w, req);
+  w.key("rows").begin_array();
+  for (const auto& r : rows) gmres_ir_row(w, r);
+  w.end_array();
+  telemetry_section(w);
+  w.end_object();
+  return w.str() + "\n";
+}
+
 std::string cg_row_json(const CgRow& row) {
   JsonWriter w;
   cg_row(w, row);
@@ -340,6 +434,18 @@ std::string cholesky_row_json(const CholRow& row) {
 std::string ir_row_json(const IrRow& row) {
   JsonWriter w;
   ir_row(w, row);
+  return w.str();
+}
+
+std::string lu_ir_row_json(const LuIrRow& row) {
+  JsonWriter w;
+  lu_ir_row(w, row);
+  return w.str();
+}
+
+std::string gmres_ir_row_json(const GmresIrRow& row) {
+  JsonWriter w;
+  gmres_ir_row(w, row);
   return w.str();
 }
 

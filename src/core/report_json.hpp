@@ -65,6 +65,12 @@ std::string cholesky_results_json(const std::string& experiment,
 std::string ir_results_json(const std::string& experiment,
                             const std::vector<IrRow>& rows,
                             const SolveRequest& req);
+std::string lu_ir_results_json(const std::string& experiment,
+                               const std::vector<LuIrRow>& rows,
+                               const SolveRequest& req);
+std::string gmres_ir_results_json(const std::string& experiment,
+                                  const std::vector<GmresIrRow>& rows,
+                                  const SolveRequest& req);
 
 /// One result row as a standalone JSON object — exactly the bytes the same
 /// row gets inside a grid document's "rows" array.  serve responses embed
@@ -73,6 +79,8 @@ std::string ir_results_json(const std::string& experiment,
 std::string cg_row_json(const CgRow& row);
 std::string cholesky_row_json(const CholRow& row);
 std::string ir_row_json(const IrRow& row);
+std::string lu_ir_row_json(const LuIrRow& row);
+std::string gmres_ir_row_json(const GmresIrRow& row);
 
 /// The current telemetry snapshot as a standalone document (same header
 /// fields, "experiment": "telemetry").

@@ -13,23 +13,96 @@
 namespace pstab::core {
 
 // ---------------------------------------------------------------------------
-// Solver identity
+// Solver registry — the ONE place that knows a solver exists.
 
-const char* to_string(Solver s) noexcept {
-  switch (s) {
-    case Solver::cg: return "cg";
-    case Solver::cholesky: return "cholesky";
-    case Solver::ir: return "ir";
-  }
-  return "?";
+namespace {
+
+// Row runners: grid experiment -> serialized report_json row.  Defined over
+// the experiment drivers so the registry row is the only dispatch site.
+std::string run_cg_row(const matrices::GeneratedMatrix& m,
+                       const SolveRequest& req, ArtifactCache* cache) {
+  return cg_row_json(run_cg_experiment(m, req, cache));
+}
+std::string run_cholesky_row(const matrices::GeneratedMatrix& m,
+                             const SolveRequest& req, ArtifactCache* cache) {
+  return cholesky_row_json(run_cholesky_experiment(m, req, cache));
+}
+std::string run_ir_row(const matrices::GeneratedMatrix& m,
+                       const SolveRequest& req, ArtifactCache* cache) {
+  return ir_row_json(run_ir_experiment(m, req, cache));
+}
+std::string run_lu_ir_row(const matrices::GeneratedMatrix& m,
+                          const SolveRequest& req, ArtifactCache* cache) {
+  return lu_ir_row_json(run_lu_ir_experiment(m, req, cache));
+}
+std::string run_gmres_ir_row(const matrices::GeneratedMatrix& m,
+                             const SolveRequest& req, ArtifactCache* cache) {
+  return gmres_ir_row_json(run_gmres_ir_experiment(m, req, cache));
 }
 
+}  // namespace
+
+const std::vector<SolverInfo>& solver_registry() {
+  // {id, name, aliases, default_tol, default_max_iter, iters_scale_with_n,
+  //  requires_spd, default_residual, tag_plain, tag_rescaled, run_row}
+  static const std::vector<SolverInfo> table = {
+      {Solver::cg, "cg", {}, 1e-5, 15, true, true, "f64",  //
+       "cg", "cg_rescaled", &run_cg_row},
+      {Solver::cholesky, "cholesky", {"chol"}, 1e-5, 0, false, true, "f64",
+       "cholesky", "cholesky_rescaled", &run_cholesky_row},
+      {Solver::ir, "ir", {}, 4.0 * 1.11e-16, 1000, false, true, "f64",
+       "ir_naive", "ir_higham", &run_ir_row},
+      {Solver::lu_ir, "lu_ir", {"lu-ir"}, 4.0 * 1.11e-16, 1000, false, false,
+       "dd", "lu_ir", "lu_ir_equilibrated", &run_lu_ir_row},
+      {Solver::gmres_ir, "gmres_ir", {"gmres-ir"}, 4.0 * 1.11e-16, 100, false,
+       false, "dd", "gmres_ir", "gmres_ir_equilibrated", &run_gmres_ir_row},
+  };
+  return table;
+}
+
+const SolverInfo& solver_info(Solver s) noexcept {
+  for (const auto& info : solver_registry())
+    if (info.id == s) return info;
+  return solver_registry().front();  // unreachable for valid enums
+}
+
+const char* to_string(Solver s) noexcept { return solver_info(s).name; }
+
 bool parse_solver(const std::string& s, Solver& out) noexcept {
-  if (s == "cg") out = Solver::cg;
-  else if (s == "cholesky" || s == "chol") out = Solver::cholesky;
-  else if (s == "ir") out = Solver::ir;
-  else return false;
-  return true;
+  for (const auto& info : solver_registry()) {
+    if (s == info.name) {
+      out = info.id;
+      return true;
+    }
+    for (const char* alias : info.aliases) {
+      if (s == alias) {
+        out = info.id;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// PrecisionTriple
+
+const std::vector<std::string>& factor_formats() {
+  // Keep in sync with the X-macro grids in experiments.cpp.
+  static const std::vector<std::string> v = {"f16",   "bf16", "p16_1",
+                                             "p16_2", "f32",  "p32_2"};
+  return v;
+}
+
+bool valid_factor(const std::string& s) noexcept {
+  if (s == "grid") return true;
+  for (const auto& f : factor_formats())
+    if (s == f) return true;
+  return false;
+}
+
+bool valid_residual(const std::string& s) noexcept {
+  return s == "auto" || s == "f64" || s == "dd" || s == "quire";
 }
 
 // ---------------------------------------------------------------------------
@@ -37,39 +110,55 @@ bool parse_solver(const std::string& s, Solver& out) noexcept {
 
 double SolveRequest::effective_tol() const noexcept {
   if (tol > 0) return tol;
-  switch (solver) {
-    case Solver::cg:
-    case Solver::cholesky: return 1e-5;  // the paper's CG threshold
-    case Solver::ir: return 4.0 * 1.11e-16;  // "accurate to Float64 precision"
-  }
-  return 1e-5;
+  return solver_info(solver).default_tol;
 }
 
 int SolveRequest::effective_max_iter(int n) const noexcept {
   if (max_iter > 0) return max_iter;
-  switch (solver) {
-    case Solver::cg: return (max_iter_per_n > 0 ? max_iter_per_n : 15) * n;
-    case Solver::cholesky: return 0;  // direct
-    case Solver::ir: return 1000;     // the paper's "1000+" cap
-  }
-  return 0;
+  const SolverInfo& info = solver_info(solver);
+  if (info.iters_scale_with_n)
+    return (max_iter_per_n > 0 ? max_iter_per_n : info.default_max_iter) * n;
+  return info.default_max_iter;
+}
+
+std::string SolveRequest::effective_residual() const {
+  if (precision.residual != "auto") return precision.residual;
+  return solver_info(solver).default_residual;
+}
+
+std::string SolveRequest::precision_error() const {
+  if (!valid_factor(precision.factor))
+    return "unknown factor format '" + precision.factor + "'";
+  if (precision.working != "f64")
+    return "unsupported working precision '" + precision.working +
+           "' (only \"f64\")";
+  if (!valid_residual(precision.residual))
+    return "unknown residual precision '" + precision.residual + "'";
+  const bool refinement =
+      solver == Solver::ir || solver == Solver::lu_ir ||
+      solver == Solver::gmres_ir;
+  if (!refinement && !precision.is_default())
+    return std::string("solver '") + to_string(solver) +
+           "' does not take a precision triple";
+  if (solver == Solver::ir && precision.factor != "grid")
+    return "solver 'ir' runs its fixed f16/p16_1/p16_2 grid (factor must be "
+           "\"grid\")";
+  return {};
 }
 
 std::string SolveRequest::experiment_name() const {
-  switch (solver) {
-    case Solver::cg: return rescale ? "cg_rescaled" : "cg";
-    case Solver::cholesky: return rescale ? "cholesky_rescaled" : "cholesky";
-    case Solver::ir: return rescale ? "ir_higham" : "ir_naive";
-  }
-  return "?";
+  const SolverInfo& info = solver_info(solver);
+  return rescale ? info.tag_rescaled : info.tag_plain;
 }
 
 std::string SolveRequest::batch_key() const {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|k%s",
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|k%s|pf%s|pw%s|pr%s",
                 int(rescale), tol, max_iter, max_iter_per_n, int(fused_dots),
                 int(record_history), int(resilience),
-                la::kernels::to_string(backend));
+                la::kernels::to_string(backend), precision.factor.c_str(),
+                precision.working.c_str(), precision.residual.c_str());
   return std::string(to_string(solver)) + "|" + matrix + buf;
 }
 
@@ -159,9 +248,25 @@ CliParse parse_solver_cli(Solver solver, const std::string& matrix, int argc,
         p.ok = false;
         p.error = std::string("unknown backend '") + argv[i] + "'";
       }
+    } else if (std::strcmp(a, "--factor") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.precision.factor = argv[++i];
+    } else if (std::strcmp(a, "--working") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.precision.working = argv[++i];
+    } else if (std::strcmp(a, "--residual") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      p.req.precision.residual = argv[++i];
     } else {
       p.ok = false;
       p.error = std::string("unknown flag '") + a + "'";
+    }
+  }
+  if (p.ok) {
+    const std::string perr = p.req.precision_error();
+    if (!perr.empty()) {
+      p.ok = false;
+      p.error = perr;
     }
   }
   // Artifacts embed telemetry counters, so recording must be on for the run.
@@ -179,8 +284,21 @@ SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
   SolveResponse resp;
   resp.id = req.id;
   try {
-    if (!matrices::find_spec(req.matrix)) {
+    const auto spec = matrices::find_spec(req.matrix);
+    if (!spec) {
       resp.error = "unknown matrix '" + req.matrix + "'";
+      return resp;
+    }
+    const SolverInfo& info = solver_info(req.solver);
+    if (info.requires_spd && !spec->spd) {
+      resp.error = std::string("solver '") + info.name +
+                   "' requires an SPD matrix ('" + req.matrix +
+                   "' is general; use lu_ir or gmres_ir)";
+      return resp;
+    }
+    const std::string perr = req.precision_error();
+    if (!perr.empty()) {
+      resp.error = perr;
       return resp;
     }
     const std::string resp_key = "resp/" + req.canonical_key();
@@ -210,18 +328,7 @@ SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
     } else {
       m = &matrices::suite_matrix(req.matrix);
     }
-    switch (req.solver) {
-      case Solver::cg:
-        resp.result_json = cg_row_json(run_cg_experiment(*m, req, cache));
-        break;
-      case Solver::cholesky:
-        resp.result_json =
-            cholesky_row_json(run_cholesky_experiment(*m, req, cache));
-        break;
-      case Solver::ir:
-        resp.result_json = ir_row_json(run_ir_experiment(*m, req, cache));
-        break;
-    }
+    resp.result_json = info.run_row(*m, req, cache);
     resp.ok = true;
     if (cache)
       cache->put(resp_key,

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "la/kernels/kernels.hpp"
 #include "la/solve_report.hpp"
@@ -31,19 +32,75 @@ template <class T>
 class Dense;
 }
 
+namespace pstab::matrices {
+struct GeneratedMatrix;
+}
+
 namespace pstab::core {
 
 // ---------------------------------------------------------------------------
-// Solver identity
+// Solver identity — one registry row per solver.
+//
+// The closed `switch (solver)` statements that used to be scattered across
+// parse_solver / effective_tol / experiment_name / run_request are gone:
+// every per-solver fact (spelling, aliases, defaults, artifact tags, SPD
+// requirement, runner) lives in ONE SolverInfo row in solver_registry()
+// (solve_api.cpp).  Adding a solver is adding a row plus its runner.
 
-enum class Solver { cg, cholesky, ir };
+enum class Solver { cg, cholesky, ir, lu_ir, gmres_ir };
+
+struct SolveRequest;
+class ArtifactCache;
+
+struct SolverInfo {
+  Solver id;
+  const char* name;  // canonical spelling; to_string(id) returns this
+  std::vector<const char*> aliases;  // accepted on parse ("chol", "lu-ir"...)
+  double default_tol;
+  int default_max_iter;      // iteration cap default (0 = direct solver)
+  bool iters_scale_with_n;   // cap = (max_iter_per_n ? : default) * n  (CG)
+  bool requires_spd;         // run_request rejects general-suite matrices
+  const char* default_residual;  // what PrecisionTriple residual "auto" means
+  const char* tag_plain;     // artifact experiment tags
+  const char* tag_rescaled;
+  /// Run the solver's grid row on one matrix, returning the serialized
+  /// report_json row object.
+  std::string (*run_row)(const matrices::GeneratedMatrix&, const SolveRequest&,
+                         ArtifactCache*);
+};
+
+[[nodiscard]] const std::vector<SolverInfo>& solver_registry();
+[[nodiscard]] const SolverInfo& solver_info(Solver s) noexcept;
 
 [[nodiscard]] const char* to_string(Solver s) noexcept;
-/// Accepts "cg", "cholesky" (and the CLI spelling "chol"), "ir".
+/// Accepts every registry name and alias ("cholesky"/"chol", "ir",
+/// "lu_ir"/"lu-ir", "gmres_ir"/"gmres-ir", ...).
 [[nodiscard]] bool parse_solver(const std::string& s, Solver& out) noexcept;
 /// Accepts "scalar", "batched", "simd", "auto".
 [[nodiscard]] bool parse_backend(const std::string& s,
                                  la::kernels::Backend& out) noexcept;
+
+// ---------------------------------------------------------------------------
+// PrecisionTriple — the (u_f, u, u_r) choice as first-class request state.
+//
+// factor:   "grid" (sweep the solver's registered format grid) or one format
+//           tag from factor_formats() to run a single column.
+// working:  only "f64" today (all refinement runs in double).
+// residual: "auto" (the solver's default_residual), "f64", "dd"
+//           (double-double), or "quire" (exact Kulisch accumulation).
+struct PrecisionTriple {
+  std::string factor = "grid";
+  std::string working = "f64";
+  std::string residual = "auto";
+  [[nodiscard]] bool is_default() const {
+    return factor == "grid" && working == "f64" && residual == "auto";
+  }
+};
+
+/// Format tags accepted for PrecisionTriple::factor (besides "grid").
+[[nodiscard]] const std::vector<std::string>& factor_formats();
+[[nodiscard]] bool valid_factor(const std::string& s) noexcept;
+[[nodiscard]] bool valid_residual(const std::string& s) noexcept;
 
 // ---------------------------------------------------------------------------
 // SolveRequest
@@ -71,15 +128,27 @@ struct SolveRequest {
   // right-hand sides for one matrix (the multi-RHS batching case).
   std::uint64_t rhs_seed = 0;
 
+  // The (u_f, u, u_r) precision choice; defaults reproduce the historical
+  // behaviour of every solver (full format grid, double working precision,
+  // per-solver residual precision).
+  PrecisionTriple precision;
+
   la::kernels::Backend backend = la::kernels::Backend::Auto;
 
-  /// tol with the per-solver default applied: 1e-5 for CG/Cholesky (the
-  /// paper's convergence threshold) and 4*1.11e-16 for IR ("accurate to
-  /// Float64 precision").
+  /// tol with the per-solver registry default applied: 1e-5 for CG/Cholesky
+  /// (the paper's convergence threshold) and 4*1.11e-16 for the refinement
+  /// family ("accurate to Float64 precision").
   [[nodiscard]] double effective_tol() const noexcept;
-  /// Iteration cap with the per-solver default applied (n = matrix order):
-  /// CG 15n, IR 1000, Cholesky 0 (direct).
+  /// Iteration cap with the per-solver registry default applied (n = matrix
+  /// order): CG 15n, IR/LU-IR 1000, GMRES-IR 100 outer, Cholesky 0 (direct).
   [[nodiscard]] int effective_max_iter(int n) const noexcept;
+  /// precision.residual with "auto" resolved to the solver's registry
+  /// default ("f64" for cg/cholesky/ir, "dd" for lu_ir/gmres_ir).
+  [[nodiscard]] std::string effective_residual() const;
+  /// Empty when precision is valid for this request's solver; otherwise a
+  /// human-readable error naming the offending member.  Shared by the CLI,
+  /// the serve parser and run_request.
+  [[nodiscard]] std::string precision_error() const;
   [[nodiscard]] la::kernels::Context kernel_context() const noexcept {
     return la::kernels::Context{backend};
   }

@@ -16,7 +16,9 @@
 
 #include "ieee/softfloat.hpp"
 #include "la/dense.hpp"
+#include "la/gmres.hpp"
 #include "la/ir.hpp"
+#include "la/lu_ir.hpp"
 #include "la/kernels/kernels.hpp"
 #include "la/kernels/simd/simd.hpp"
 #include "mp/mpreal.hpp"
@@ -590,11 +592,120 @@ template <int E, int M>
   return {};
 }
 
+/// The LuIrReport analogue of check_ir_invariants: same status taxonomy
+/// (SolveStatus instead of IrStatus, LuStatus instead of CholStatus), same
+/// history bookkeeping, same double-recomputed convergence check.
+[[nodiscard]] Verdict check_lu_ir_invariants(const la::Dense<double>& A,
+                                             const la::Vec<double>& b,
+                                             const la::Vec<double>& x,
+                                             const la::LuIrReport& rep,
+                                             const la::IrOptions& opt) {
+  using S = la::SolveStatus;
+  if (rep.status == S::factorization_failed) {
+    if (rep.lu_status == la::LuStatus::ok)
+      return fail("factorization_failed but LuStatus::ok");
+    if (rep.iterations != 0)
+      return fail("iterations ran after failed factorization");
+    return {};
+  }
+  if (rep.lu_status != la::LuStatus::ok)
+    return fail("refinement ran on a failed factorization");
+  if (rep.iterations < 1 || rep.iterations > opt.max_iter)
+    return fail("iteration count out of range");
+  if (static_cast<int>(rep.history.size()) != rep.iterations)
+    return fail("history length != iterations");
+  const double hb = rep.history.back();
+  if (hb != rep.final_berr && !(std::isnan(hb) && std::isnan(rep.final_berr)))
+    return fail("final berr missing from history");
+  if (rep.inner_iterations < 0) return fail("negative inner iteration count");
+  if (rep.status == S::converged) {
+    if (!std::isfinite(rep.final_berr) || rep.final_berr > opt.tol)
+      return fail("converged but final berr above tol");
+    if (!la::kernels::all_finite(x))
+      return fail("converged with non-finite solution");
+    if (!(double_berr(A, b, x) <= 16.0 * opt.tol))
+      return fail("converged but recomputed double berr disagrees");
+  } else if (rep.status == S::max_iterations) {
+    if (std::isfinite(rep.final_berr) && rep.final_berr <= opt.tol)
+      return fail("max_iterations with berr under tol");
+  } else if (rep.status != S::diverged) {
+    return fail("unexpected LU-IR status");
+  }
+  return {};
+}
+
+/// Tiny general (non-symmetric) refinement cases: ops "lu" (la::lu_ir) and
+/// "gmres_ir" (la::gmres_ir_lu), each run plain and — when the third arg is
+/// set — again through two-sided power-of-two equilibration, with the
+/// equilibrated solution held to the same invariants against the ORIGINAL
+/// system (the scaling must cancel exactly).
+template <class F>
+[[nodiscard]] Verdict check_general_solver_impl(const Case& c) {
+  const int n = static_cast<int>(c.args[0]);
+  SplitMix64 r(c.args[1]);
+  const bool with_equil = c.args[2] != 0;
+
+  // Random dense A with log-uniform magnitudes (the spread stresses both the
+  // low-precision cast and the equilibration path), b uniform in [-1, 1].
+  la::Dense<double> A(n, n);
+  const int spread = static_cast<int>(r.below(7));  // powers of two, 0..6
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const double m = 0.5 + double(r.below(1u << 20)) / double(1u << 20);
+      const int sc = static_cast<int>(r.below(2 * spread + 1)) - spread;
+      A(i, j) = (r.below(2) ? -1.0 : 1.0) * std::ldexp(m, 4 * sc);
+    }
+  la::Vec<double> b(n);
+  for (int i = 0; i < n; ++i) {
+    const double sgn = r.below(2) ? -1.0 : 1.0;
+    b[i] = sgn * double(r.below(1u << 20)) / double(1u << 20);
+  }
+
+  la::IrOptions opt;
+  opt.record_history = true;
+  opt.max_iter = 60;
+  opt.residual = la::ResidualPrec::dd;
+  const bool gmres = c.op == "gmres_ir";
+
+  la::Vec<double> x1;
+  const la::LuIrReport rep1 =
+      gmres ? la::gmres_ir_lu<F>(A, b, x1, opt) : la::lu_ir<F>(A, b, x1, opt);
+  Verdict v = check_lu_ir_invariants(A, b, x1, rep1, opt);
+  if (!v.ok) {
+    v.detail = "plain: " + v.detail;
+    return v;
+  }
+  if (!gmres && rep1.inner_iterations != 0)
+    return fail("plain lu_ir reported GMRES inner iterations");
+  if (!with_equil) return {};
+
+  la::Dense<double> As = A;
+  const scaling::GeneralScaling gs = scaling::equilibrate_general(As);
+  la::Vec<double> x2;
+  const la::LuIrReport rep2 = gmres
+                                  ? la::gmres_ir_lu<F>(A, b, x2, opt, &gs, &As)
+                                  : la::lu_ir<F>(A, b, x2, opt, &gs, &As);
+  v = check_lu_ir_invariants(A, b, x2, rep2, opt);
+  if (!v.ok) {
+    v.detail = "equilibrated: " + v.detail;
+    return v;
+  }
+  if (rep1.status == la::SolveStatus::converged &&
+      rep2.status == la::SolveStatus::converged) {
+    const double e1 = double_berr(A, b, x1), e2 = double_berr(A, b, x2);
+    if (!(e1 <= 16.0 * opt.tol) || !(e2 <= 16.0 * opt.tol))
+      return fail("equilibrated/plain residual disagreement in double");
+  }
+  return {};
+}
+
 template <class F>
 [[nodiscard]] Verdict check_solver_impl(const Case& c, double mu) {
   if (c.args.size() != 3) return fail("malformed: solver wants 3 args");
   const int n = static_cast<int>(c.args[0]);
   if (n < 2 || n > 8) return fail("malformed: solver order out of range");
+  if (c.op == "lu" || c.op == "gmres_ir")
+    return check_general_solver_impl<F>(c);
   SplitMix64 r(c.args[1]);
   const bool with_scaling = c.args[2] != 0;
 
@@ -1124,7 +1235,10 @@ template <int E, int M>
   static constexpr const char* kFmts[] = {"p16_1",  "p16_2", "p32_2",
                                           "sf5_10", "sf5_2", "sf8_23"};
   c.format = kFmts[r.below(6)];
-  c.op = r.below(4) == 0 ? "chol" : "ir";
+  static constexpr const char* kOps[] = {"chol", "ir",      "ir",
+                                         "ir",   "lu",      "lu",
+                                         "gmres_ir", "gmres_ir"};
+  c.op = kOps[r.below(8)];
   c.args = {2 + r.below(5), r.next(), r.below(2)};
   return c;
 }

@@ -20,9 +20,12 @@
 //   simd      — the vector backend (la/kernels/simd) vs the scalar kernels:
 //               dot / update_chain / axpy over seed-expanded operand vectors,
 //               bit-identical on every ISA the host can execute
-//   solver    — tiny SPD systems through cholesky / mixed_ir, with and
-//               without Higham scaling: no non-finite escapes, status-field
-//               consistency, scaled-vs-unscaled residual agreement in double
+//   solver    — tiny SPD systems through cholesky / mixed_ir (with and
+//               without Higham scaling) plus tiny NON-symmetric systems
+//               through lu_ir / gmres_ir_lu (with and without two-sided
+//               equilibration): no non-finite escapes, status-field
+//               consistency, history bookkeeping, residual agreement in
+//               double across the scaled and unscaled runs
 //
 // Everything is keyed by a SplitMix64 seed: the same (seed, cases, surfaces)
 // triple reproduces the same case stream, verdicts, and digest.  A mismatch

@@ -12,6 +12,7 @@
 #include "la/cholesky.hpp"
 #include "la/dense.hpp"
 #include "la/ir.hpp"
+#include "la/lu_ir.hpp"
 
 namespace pstab::la {
 
@@ -140,19 +141,13 @@ inline GmresReport gmres_solve(
 
 /// GMRES-IR (Carson & Higham): like mixed_ir, but each correction equation
 /// A d = r is solved by preconditioned GMRES with the 16-bit Cholesky factor
-/// as the preconditioner, instead of a single triangular solve.  Returns the
-/// number of OUTER refinement steps in IrReport::iterations.
-struct GmresIrOptions {
-  double tol = 4.0 * 1.11e-16;
-  int max_outer = 200;
-  int gmres_iters = 40;    // inner budget per correction
-  double gmres_tol = 1e-4; // inner (preconditioned) residual reduction
-  kernels::Context kernels{};  // backend for the format-F factorization
-};
-
+/// as the preconditioner, instead of a single triangular solve.  Takes the
+/// same unified IrOptions as every other refinement driver (the correction
+/// GMRES reads `gmres_iters` / `gmres_tol`; `max_iter` caps OUTER steps,
+/// reported in IrReport::iterations).
 template <class F>
 IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
-                  Vec<double>& x, const GmresIrOptions& opt = {}) {
+                  Vec<double>& x, const IrOptions& opt = {}) {
   IrReport rep;
   const int n = A.rows();
   const Dense<F> Ah = A.template cast_clamped<F>();
@@ -162,7 +157,8 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
     rep.status = IrStatus::factorization_failed;
     return rep;
   }
-  rep.factorization_error = factorization_backward_error(Ah, fact.R);
+  if (opt.record_factorization_error)
+    rep.factorization_error = factorization_backward_error(Ah, fact.R);
   const Dense<double> R = fact.R.template cast<double>();
   const auto minv = [&](const Vec<double>& v) {
     return solve_upper(R, solve_lower_rt(R, v));
@@ -171,19 +167,20 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
   const double norm_a = kernels::norm_inf(A);
   const double norm_b = kernels::norm_inf_d(b);
   x.assign(n, 0.0);
-  for (int it = 1; it <= opt.max_outer; ++it) {
-    const Vec<double> r = residual(A, b, x);
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    const Vec<double> r = ir_residual(A, b, x, opt.residual);
     Vec<double> d;
     gmres_solve(A, r, d, minv, opt.gmres_tol, opt.gmres_iters,
                 opt.gmres_iters);
     const Vec<double> x_prev = x;
     for (int i = 0; i < n; ++i) x[i] += d[i];
-    const Vec<double> r2 = residual(A, b, x);
+    const Vec<double> r2 = ir_residual(A, b, x, opt.residual);
     const double berr =
         kernels::norm_inf_d(r2) /
         (norm_a * kernels::norm_inf_d(x) + norm_b);
     rep.final_berr = berr;
     rep.iterations = it;
+    if (opt.record_history) rep.history.push_back(berr);
     if (!std::isfinite(berr)) {
       rep.status = IrStatus::diverged;
       x = x_prev;  // never hand back a poisoned iterate
@@ -195,6 +192,80 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
     }
   }
   rep.status = IrStatus::max_iterations;
+  return rep;
+}
+
+/// General-systems GMRES-IR: the correction equation A d = r is solved by
+/// GMRES left-preconditioned with the low-precision LU factors of the
+/// (optionally equilibrated) matrix — M^{-1} v = diag(col)·(LU)^{-1}·diag(row)·v
+/// approximates A^{-1} of the ORIGINAL system.  This is the rescue regime:
+/// plain lu_ir needs kappa(A)·u_f < 1, GMRES-IR works out to ~u_f^{-2}.
+/// `fact_in` shares the cached factorization with lu_ir (same contract).
+template <class F>
+LuIrReport gmres_ir_lu(const Dense<double>& A, const Vec<double>& b,
+                       Vec<double>& x, const IrOptions& opt = {},
+                       const scaling::GeneralScaling* gs = nullptr,
+                       const Dense<double>* As_source = nullptr,
+                       const LuResult<F>* fact_in = nullptr) {
+  LuIrReport rep;
+  const int n = A.rows();
+  if (opt.record_trace) rep.trace = std::make_shared<telemetry::Trace>();
+  telemetry::Trace* tr = rep.trace.get();
+
+  telemetry::TraceSpan fact_span(tr, "factorize");
+  const auto setup = detail::lu_ir_setup<F>(rep, A, opt, As_source, fact_in);
+  fact_span.close();
+  if (!setup.ok) return rep;
+
+  const auto minv = [&](const Vec<double>& v) {
+    Vec<double> w = v;
+    if (gs)
+      for (int i = 0; i < n; ++i) w[i] *= gs->row[i];
+    Vec<double> y = lu_solve(setup.fd, w);
+    if (gs)
+      for (int i = 0; i < n; ++i) y[i] *= gs->col[i];
+    return y;
+  };
+
+  telemetry::TraceSpan refine_span(tr, "refine");
+  const double norm_a = kernels::norm_inf(A);
+  const double norm_b = kernels::norm_inf_d(b);
+  x.assign(n, 0.0);
+
+  double first_berr = -1.0;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    const Vec<double> r = ir_residual(A, b, x, opt.residual);
+    Vec<double> d;
+    const auto inner = gmres_solve(A, r, d, minv, opt.gmres_tol,
+                                   opt.gmres_iters, opt.gmres_iters);
+    rep.inner_iterations += inner.iterations;
+    const Vec<double> x_prev = x;
+    for (int i = 0; i < n; ++i) x[i] += d[i];
+
+    const Vec<double> r2 = ir_residual(A, b, x, opt.residual);
+    const double berr =
+        kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
+    rep.final_berr = berr;
+    rep.iterations = it;
+    if (opt.record_history) rep.history.push_back(berr);
+    if (tr) tr->residual(berr);
+    if (!std::isfinite(berr)) {
+      rep.status = SolveStatus::diverged;
+      x = x_prev;  // never hand back a poisoned iterate
+      return rep;
+    }
+    if (berr <= opt.tol) {
+      rep.status = SolveStatus::converged;
+      return rep;
+    }
+    const bool catastrophic_first = first_berr < 0 && berr > 0.9;
+    if (first_berr < 0) first_berr = berr;
+    if (catastrophic_first || (berr > 1e4 * first_berr && berr > 1e-2)) {
+      rep.status = SolveStatus::diverged;
+      return rep;
+    }
+  }
+  rep.status = SolveStatus::max_iterations;
   return rep;
 }
 

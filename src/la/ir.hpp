@@ -11,9 +11,36 @@
 #include "la/cholesky.hpp"
 #include "la/dense.hpp"
 #include "la/norms.hpp"
+#include "mp/dd.hpp"
+#include "mp/dquire.hpp"
 #include "scaling/higham.hpp"
 
 namespace pstab::la {
+
+// Residual precision u_r of the three-precision scheme (Carson & Higham):
+// `working` evaluates r = b - Ax in plain double, `dd` in double-double
+// (u_r ~ u^2), `quire` exactly via the Kulisch accumulator with one rounding
+// per entry.  The correction solve AND the convergence monitor both use it.
+enum class ResidualPrec { working, dd, quire };
+
+[[nodiscard]] inline const char* to_string(ResidualPrec p) {
+  switch (p) {
+    case ResidualPrec::working: return "f64";
+    case ResidualPrec::dd: return "dd";
+    case ResidualPrec::quire: return "quire";
+  }
+  return "?";
+}
+
+inline Vec<double> ir_residual(const Dense<double>& A, const Vec<double>& b,
+                               const Vec<double>& x, ResidualPrec p) {
+  switch (p) {
+    case ResidualPrec::dd: return mp::dd_residual(A, b, x);
+    case ResidualPrec::quire: return mp::quire_residual(A, b, x);
+    case ResidualPrec::working: break;
+  }
+  return residual(A, b, x);
+}
 
 // IrStatus is la::SolveStatus (solve_report.hpp); IR uses `converged`,
 // `max_iterations` ("1000+" in the paper's tables), `factorization_failed`
@@ -32,6 +59,12 @@ struct IrOptions {
   // normwise backward error ||r||_inf / (||A||_inf ||x||_inf + ||b||_inf).
   double tol = 4.0 * 1.11e-16;
   int max_iter = 1000;
+  ResidualPrec residual = ResidualPrec::working;  // u_r of the triple
+  // Correction-equation GMRES knobs, used only by the gmres_ir drivers
+  // (la/gmres.hpp); plain refinement ignores them.  One options struct per
+  // SolveRequest feeds every refinement flavor.
+  int gmres_iters = 40;
+  double gmres_tol = 1e-4;
   bool record_factorization_error = true;
   bool record_history = false;  // berr per refinement step -> history
   bool record_trace = false;    // phases: "factorize", "refine"
@@ -94,7 +127,7 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   double first_berr = -1.0;
   for (int it = 1; it <= opt.max_iter; ++it) {
     fault::on_iteration(opt.fault, it - 1);
-    Vec<double> r = residual(A, b, x);
+    Vec<double> r = ir_residual(A, b, x, opt.residual);
     fault::touch_range(opt.fault, fault::Site::vector_entry, r.data(),
                        r.size());
     // Correction solve: plain  R^T R d = r, or through Higham's scaling:
@@ -109,7 +142,7 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
     }
     for (int i = 0; i < n; ++i) x[i] += d[i];
 
-    Vec<double> r2 = residual(A, b, x);
+    Vec<double> r2 = ir_residual(A, b, x, opt.residual);
     double berr =
         kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
     // The berr reduction is IR's dot_result site: a flipped monitor can fake

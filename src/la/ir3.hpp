@@ -4,57 +4,22 @@
 // i.e. twice working).  The paper's experiments skip the u_r refinement "to
 // avoid unnecessary complication"; bench/ablation_ir3 quantifies what that
 // simplification costs.
+//
+// Since the residual precision became a first-class IrOptions knob
+// (ResidualPrec), this is a thin spelling of mixed_ir with residual = dd;
+// kept for callers that want the Carson-Higham triple by name.
 #pragma once
 
 #include "la/ir.hpp"
-#include "mp/dd.hpp"
 
 namespace pstab::la {
 
 template <class F>
 IrReport mixed_ir3(const Dense<double>& A, const Vec<double>& b,
                    Vec<double>& x, const IrOptions& opt = {}) {
-  IrReport rep;
-  const int n = A.rows();
-  const Dense<F> Ah = A.template cast_clamped<F>();
-  const auto fact = cholesky(Ah, nullptr, opt.kernels);
-  rep.chol_status = fact.status;
-  if (fact.status != CholStatus::ok) {
-    rep.status = IrStatus::factorization_failed;
-    return rep;
-  }
-  if (opt.record_factorization_error)
-    rep.factorization_error = factorization_backward_error(Ah, fact.R);
-  const Dense<double> R = fact.R.template cast<double>();
-
-  const double norm_a = kernels::norm_inf(A);
-  const double norm_b = kernels::norm_inf_d(b);
-  x.assign(n, 0.0);
-  double first_berr = -1.0;
-  for (int it = 1; it <= opt.max_iter; ++it) {
-    // Residual at twice the working precision, then rounded to double.
-    const Vec<double> r = mp::dd_residual(A, b, x);
-    const Vec<double> d = solve_upper(R, solve_lower_rt(R, r));
-    for (int i = 0; i < n; ++i) x[i] += d[i];
-
-    const Vec<double> r2 = mp::dd_residual(A, b, x);
-    const double berr =
-        kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
-    rep.final_berr = berr;
-    rep.iterations = it;
-    if (!std::isfinite(berr) ||
-        (first_berr > 0 && berr > 1e4 * first_berr && berr > 1.0)) {
-      rep.status = IrStatus::diverged;
-      return rep;
-    }
-    if (first_berr < 0) first_berr = berr;
-    if (berr <= opt.tol) {
-      rep.status = IrStatus::converged;
-      return rep;
-    }
-  }
-  rep.status = IrStatus::max_iterations;
-  return rep;
+  IrOptions o = opt;
+  o.residual = ResidualPrec::dd;
+  return mixed_ir<F>(A, b, x, o);
 }
 
 }  // namespace pstab::la

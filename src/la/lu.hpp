@@ -16,9 +16,18 @@ namespace pstab::la {
 
 enum class LuStatus {
   ok,
-  singular,          // zero (or NaR) pivot even after row exchange
-  arithmetic_error,  // non-finite value produced mid-elimination
+  singular,          // exactly-zero pivot column even after row exchange
+  arithmetic_error,  // NaR/NaN/Inf reached the active block: poisoned factors
 };
+
+[[nodiscard]] inline const char* to_string(LuStatus s) {
+  switch (s) {
+    case LuStatus::ok: return "ok";
+    case LuStatus::singular: return "singular";
+    case LuStatus::arithmetic_error: return "arithmetic_error";
+  }
+  return "?";
+}
 
 template <class T>
 struct LuResult {
@@ -40,17 +49,27 @@ template <class T>
   Dense<T>& M = res.lu;
 
   for (int k = 0; k < n; ++k) {
-    // Pivot: largest |entry| in column k at or below the diagonal.
+    // Pivot: largest |entry| in column k at or below the diagonal.  NaR/NaN
+    // candidates compare false against every `best`, so a plain max-scan
+    // silently pivots around poison (and a NaN M(k,k) seeds `best` with NaN,
+    // freezing the scan on row k).  Any non-finite entry in the active column
+    // means the elimination already produced garbage: classify as
+    // arithmetic_error — never `singular`, and never divide through.
     int piv = k;
-    double best = std::fabs(st::to_double(M(k, k)));
-    for (int i = k + 1; i < n; ++i) {
+    double best = -1.0;
+    for (int i = k; i < n; ++i) {
+      if (!st::finite(M(i, k))) {
+        res.status = LuStatus::arithmetic_error;
+        res.failed_column = k;
+        return res;
+      }
       const double v = std::fabs(st::to_double(M(i, k)));
       if (v > best) {
         best = v;
         piv = i;
       }
     }
-    if (!(best > 0.0) || !st::finite(M(piv, k))) {
+    if (!(best > 0.0)) {
       res.status = LuStatus::singular;
       res.failed_column = k;
       return res;
@@ -58,6 +77,16 @@ template <class T>
     if (piv != k) {
       for (int j = 0; j < n; ++j) std::swap(M(k, j), M(piv, j));
       std::swap(res.perm[k], res.perm[piv]);
+    }
+    // Row k is final U from here on and feeds every update below — reject a
+    // poisoned pivot row before it multiplies into the trailing block (the
+    // old code only ever checked the L column, letting NaR spread through U).
+    for (int j = k + 1; j < n; ++j) {
+      if (!st::finite(M(k, j))) {
+        res.status = LuStatus::arithmetic_error;
+        res.failed_column = k;
+        return res;
+      }
     }
     const T pivot = M(k, k);
 #pragma omp parallel for schedule(static)

@@ -1,0 +1,150 @@
+// LU-based three-precision iterative refinement for general (non-symmetric)
+// systems: factor fl_F(A) with partial pivoting in a low-precision format F
+// (u_f), promote the factors to double (u), refine in double with the
+// residual evaluated at u_r (double, double-double, or the exact quire) —
+// Quinlan & Omtzigt's setup, analyzed by Carson & Higham: plain refinement
+// contracts while kappa(A) * u_f < 1; past that, hand the factors to GMRES-IR
+// (la/gmres.hpp), which stretches the range to kappa(A) ~ u_f^{-2}.
+#pragma once
+
+#include <cmath>
+
+#include "la/ir.hpp"
+#include "la/lu.hpp"
+#include "scaling/scaling.hpp"
+
+namespace pstab::la {
+
+struct LuIrReport : SolveReport {
+  double final_berr = 0.0;           // normwise backward error at exit
+  double factorization_error = 0.0;  // ||P A_h - L U||_F / ||A_h||_F (double)
+  LuStatus lu_status = LuStatus::ok;
+  int inner_iterations = 0;  // total GMRES iterations (GMRES-IR only)
+};
+
+/// ||P A_h - L U||_F / ||A_h||_F evaluated in double — the LU analogue of
+/// factorization_backward_error for Cholesky (paper Fig 10(b) metric).
+template <class F>
+[[nodiscard]] double lu_backward_error(const Dense<F>& Ah,
+                                       const LuResult<F>& f) {
+  using st = scalar_traits<F>;
+  const int n = Ah.rows();
+  double num = 0, den = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double lu = 0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k < kmax; ++k)
+        lu += st::to_double(f.lu(i, k)) * st::to_double(f.lu(k, j));
+      // L has unit diagonal: the k = min(i,j) term is U(i,j) when i <= j,
+      // L(i,j)*U(j,j) when i > j.
+      lu += (i <= j ? st::to_double(f.lu(i, j))
+                    : st::to_double(f.lu(i, j)) * st::to_double(f.lu(j, j)));
+      const double a = st::to_double(Ah(f.perm[i], j));
+      num += (a - lu) * (a - lu);
+      den += a * a;
+    }
+  }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+namespace detail {
+
+// The shared O(n^3)-in-F stage: cast (optionally pre-equilibrated) A down,
+// factor with partial pivoting, promote to double.  `fact_in` must be exactly
+// lu_factor(cast) output (e.g. from the serve ArtifactCache) so the
+// refinement is bit-identical to the factor-here path.
+template <class F>
+struct LuIrSetup {
+  LuResult<double> fd;  // promoted factors + perm
+  bool ok = false;
+};
+
+template <class F>
+LuIrSetup<F> lu_ir_setup(LuIrReport& rep, const Dense<double>& A,
+                         const IrOptions& opt,
+                         const Dense<double>* As_source,
+                         const LuResult<F>* fact_in) {
+  LuIrSetup<F> s;
+  const Dense<double>& src = As_source ? *As_source : A;
+  const Dense<F> Ah = src.template cast_clamped<F>();
+  LuResult<F> fact_local;
+  if (!fact_in) fact_local = lu_factor(Ah);
+  const LuResult<F>& fact = fact_in ? *fact_in : fact_local;
+  rep.lu_status = fact.status;
+  if (fact.status != LuStatus::ok) {
+    rep.status = SolveStatus::factorization_failed;
+    return s;
+  }
+  if (opt.record_factorization_error)
+    rep.factorization_error = lu_backward_error(Ah, fact);
+  s.fd.status = LuStatus::ok;
+  s.fd.lu = fact.lu.template cast<double>();
+  s.fd.perm = fact.perm;
+  s.ok = true;
+  return s;
+}
+
+}  // namespace detail
+
+/// Plain LU-IR.  With `gs`/`As_source` set (As_source = diag(row)·A·diag(col)
+/// already applied), the correction solve runs through the equilibrated
+/// factors while the refinement still targets the ORIGINAL system:
+/// d = diag(col) · (LU)^{-1} · diag(row) · r.
+template <class F>
+LuIrReport lu_ir(const Dense<double>& A, const Vec<double>& b, Vec<double>& x,
+                 const IrOptions& opt = {},
+                 const scaling::GeneralScaling* gs = nullptr,
+                 const Dense<double>* As_source = nullptr,
+                 const LuResult<F>* fact_in = nullptr) {
+  LuIrReport rep;
+  const int n = A.rows();
+  if (opt.record_trace) rep.trace = std::make_shared<telemetry::Trace>();
+  telemetry::Trace* tr = rep.trace.get();
+
+  telemetry::TraceSpan fact_span(tr, "factorize");
+  const auto setup = detail::lu_ir_setup<F>(rep, A, opt, As_source, fact_in);
+  fact_span.close();
+  if (!setup.ok) return rep;
+
+  telemetry::TraceSpan refine_span(tr, "refine");
+  const double norm_a = kernels::norm_inf(A);
+  const double norm_b = kernels::norm_inf_d(b);
+  x.assign(n, 0.0);
+
+  double first_berr = -1.0;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    Vec<double> r = ir_residual(A, b, x, opt.residual);
+    if (gs)
+      for (int i = 0; i < n; ++i) r[i] *= gs->row[i];
+    Vec<double> d = lu_solve(setup.fd, r);
+    if (gs)
+      for (int i = 0; i < n; ++i) d[i] *= gs->col[i];
+    for (int i = 0; i < n; ++i) x[i] += d[i];
+
+    const Vec<double> r2 = ir_residual(A, b, x, opt.residual);
+    const double berr =
+        kernels::norm_inf_d(r2) / (norm_a * kernels::norm_inf_d(x) + norm_b);
+    rep.final_berr = berr;
+    rep.iterations = it;
+    if (opt.record_history) rep.history.push_back(berr);
+    if (tr) tr->residual(berr);
+    if (berr <= opt.tol) {
+      rep.status = SolveStatus::converged;
+      return rep;
+    }
+    // Same divergence taxonomy as mixed_ir (la/ir.hpp): overflowed
+    // correction, information-free factorization, or a 1e4x blow-up.
+    const bool catastrophic_first = first_berr < 0 && berr > 0.9;
+    if (first_berr < 0) first_berr = berr;
+    if (!std::isfinite(berr) || catastrophic_first ||
+        (berr > 1e4 * first_berr && berr > 1e-2)) {
+      rep.status = SolveStatus::diverged;
+      return rep;
+    }
+  }
+  rep.status = SolveStatus::max_iterations;
+  return rep;
+}
+
+}  // namespace pstab::la

@@ -113,6 +113,112 @@ GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap) {
   return g;
 }
 
+GeneratedMatrix generate_general(const MatrixSpec& spec, int size_cap) {
+  if (spec.cond_core > spec.cond)
+    throw std::invalid_argument(spec.name + ": cond_core exceeds cond");
+  GeneratedMatrix g;
+  g.spec = spec;
+  const int n = (size_cap > 0 && spec.n > size_cap) ? size_cap : spec.n;
+  g.n = n;
+  std::mt19937_64 rng(name_seed(spec.name) ^ 0x9e3779b97f4a7c15ull);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Log-spaced singular values: sigma_max/sigma_min = cond_core exactly.
+  la::Dense<double> A(n, n);
+  const double ge = std::log2(spec.cond_core);
+  for (int i = 0; i < n; ++i)
+    A(i, i) = std::exp2(-ge * double(i) / std::max(1, n - 1));
+
+  // Independent left/right orthogonal factors as products of Householder
+  // reflectors (exact singular values survive; the matrix goes fully dense
+  // and loses all symmetry).
+  la::Vec<double> v(n), t(n);
+  const auto reflect = [&](bool left) {
+    double nrm = 0;
+    for (int i = 0; i < n; ++i) {
+      v[i] = gauss(rng);
+      nrm += v[i] * v[i];
+    }
+    nrm = std::sqrt(nrm);
+    for (int i = 0; i < n; ++i) v[i] /= nrm;
+    if (left) {  // A -= 2 v (v^T A)
+      for (int j = 0; j < n; ++j) {
+        double s = 0;
+        for (int i = 0; i < n; ++i) s += v[i] * A(i, j);
+        t[j] = s;
+      }
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) A(i, j) -= 2.0 * v[i] * t[j];
+    } else {  // A -= 2 (A v) v^T
+      for (int i = 0; i < n; ++i) {
+        double s = 0;
+        for (int j = 0; j < n; ++j) s += A(i, j) * v[j];
+        t[i] = s;
+      }
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) A(i, j) -= 2.0 * t[i] * v[j];
+    }
+  };
+  for (int r = 0; r < 6; ++r) {
+    reflect(true);
+    reflect(false);
+  }
+
+  // Decade spread via power-of-two row/column scalings (the part
+  // scaling::equilibrate_general removes); budget cond/cond_core split
+  // between the two sides, shuffled independently.
+  const double spread = spec.cond / spec.cond_core;
+  const double gmax = std::log2(spread) / 2.0;
+  std::vector<double> rexp(n), cexp(n);
+  for (int i = 0; i < n; ++i)
+    rexp[i] = cexp[i] = gmax * double(i) / std::max(1, n - 1);
+  std::shuffle(rexp.begin(), rexp.end(), rng);
+  std::shuffle(cexp.begin(), cexp.end(), rng);
+  for (int i = 0; i < n; ++i) {
+    const double di = std::exp2(std::round(rexp[i]));
+    for (int j = 0; j < n; ++j) A(i, j) *= di;
+  }
+  for (int j = 0; j < n; ++j) {
+    const double dj = std::exp2(std::round(cexp[j]));
+    for (int i = 0; i < n; ++i) A(i, j) *= dj;
+  }
+
+  // Measure the extreme singular values through A^T A (SPD), reusing the
+  // Cholesky-based spectrum machinery from the SPD path.
+  la::Dense<double> AtA(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double s = 0;
+      for (int k = 0; k < n; ++k) s += A(k, i) * A(k, j);
+      AtA(i, j) = s;
+      AtA(j, i) = s;
+    }
+  }
+  const double lmax_ata =
+      la::kernels::norm2_est(AtA, 400, 2 + unsigned(name_seed(spec.name)));
+  auto fact = la::cholesky(AtA);
+  if (fact.status != la::CholStatus::ok)
+    throw std::runtime_error(spec.name + ": general stand-in numerically singular");
+  const auto solve = [&](const la::Vec<double>& v2) {
+    return la::solve_upper(fact.R, la::solve_lower_rt(fact.R, v2));
+  };
+  const double lmin_ata = la::kernels::lambda_min_est(
+      n, solve, 400, 3 + unsigned(name_seed(spec.name)));
+  if (!(lmin_ata > 0) || !(lmax_ata > 0))
+    throw std::runtime_error(spec.name + ": spectrum estimation failed");
+  double smax = std::sqrt(lmax_ata), smin = std::sqrt(lmin_ata);
+
+  // Scalar scaling places ||A||_2 = sigma_max at the published norm.
+  const double sigma = spec.norm2 / smax;
+  for (auto& val : A.data()) val *= sigma;
+  g.lambda_max = smax * sigma;
+  g.lambda_min = smin * sigma;
+
+  g.dense = std::move(A);
+  g.csr = la::Csr<double>::from_dense(g.dense);
+  return g;
+}
+
 la::Vec<double> paper_rhs(const la::Dense<double>& A) {
   const int n = A.rows();
   la::Vec<double> xhat(n, 1.0 / std::sqrt(double(n)));

@@ -35,6 +35,9 @@ struct MatrixSpec {
   // calibrated per matrix from the paper's Table II/III behaviour (see
   // DESIGN.md).  Must be <= cond.
   double cond_core = 10.0;
+  // SPD (Table I stand-ins, generate_spd) or general non-symmetric
+  // (the LU-IR/GMRES-IR suite, generate_general).
+  bool spd = true;
 };
 
 struct GeneratedMatrix {
@@ -52,6 +55,15 @@ struct GeneratedMatrix {
 /// spec.n > size_cap, the matrix is generated at size_cap with the same
 /// per-row density, condition number, and norm.
 GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap = 0);
+
+/// Generate a general (non-symmetric, invertible) synthetic stand-in:
+/// A = Dr * (H1 ... Hk * diag(sigma) * Hk' ... H1') * Dc with Householder
+/// reflector products (orthogonal, so the singular-value ratio — cond_core —
+/// is exact by construction) and power-of-two row/column scalings spreading
+/// entry magnitudes across decades (removable by scaling::equilibrate_general,
+/// mirroring what cond_core means for the SPD suite).  lambda_max/lambda_min
+/// report the measured extreme singular values.
+GeneratedMatrix generate_general(const MatrixSpec& spec, int size_cap = 0);
 
 /// The paper's right-hand side: b = A * xhat with xhat = (1/sqrt(n), ...)
 /// so that ||xhat|| = 1 (§V-A.1).

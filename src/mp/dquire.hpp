@@ -1,0 +1,154 @@
+// Exact Kulisch-style accumulator for IEEE double ("quire of doubles").
+// Backs the `residual = "quire"` leg of the three-precision refinement grid:
+// the residual r = b - A x is accumulated exactly — every addend lands in a
+// wide two's-complement fixed-point register — and rounds to double exactly
+// once at read-out (round-to-nearest-even), the same contract the posit
+// quire gives the 16/32-bit formats in src/posit/quire.hpp.
+//
+// Register layout: KWords 64-bit limbs, little-endian, interpreted as a
+// two's-complement fixed-point number scaled by 2^-kBiasBits.  A double
+// product's error term can be as small as 2^-1074 and partial sums of
+// magnitude up to ~2^1024 must not wrap, so the register spans
+// [2^-1152, 2^(64*KWords - 1152)) with ~380 bits of carry headroom — enough
+// for 2^300+ accumulations, far beyond any suite matrix row.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mp/dd.hpp"  // two_prod
+
+namespace pstab::mp {
+
+class DoubleQuire {
+ public:
+  static constexpr int kWords = 40;       // 2560 bits total
+  static constexpr int kBiasBits = 1152;  // bit 1152 has weight 2^0
+
+  DoubleQuire() { clear(); }
+
+  void clear() {
+    for (auto& w : w_) w = 0;
+    poisoned_ = false;
+    negative_hint_ = 0.0;
+  }
+
+  /// Accumulate one double exactly.
+  void add(double v) {
+    if (v == 0.0) return;
+    if (!std::isfinite(v)) {
+      // IEEE semantics at read-out: one infinity propagates, opposing
+      // infinities (or any NaN) collapse to NaN.
+      negative_hint_ = poisoned_ ? negative_hint_ + v : v;
+      poisoned_ = true;
+      return;
+    }
+    int e = 0;
+    const double m = std::frexp(v, &e);       // v = m * 2^e, 0.5 <= |m| < 1
+    const auto mant = static_cast<std::int64_t>(std::ldexp(m, 53));  // exact
+    add_scaled(mant, e - 53 + kBiasBits);
+  }
+
+  void sub(double v) { add(-v); }
+
+  /// Accumulate the exact product a*b (two limbs via two_prod).
+  void add_product(double a, double b) {
+    const DD p = two_prod(a, b);
+    add(p.hi);
+    add(p.lo);
+  }
+
+  /// Round the exact sum to the nearest double (ties to even).
+  [[nodiscard]] double to_double() const {
+    if (poisoned_) return negative_hint_ + negative_hint_;  // inf or NaN
+    // Sign and magnitude of the two's-complement register.
+    std::uint64_t mag[kWords];
+    const bool neg = (w_[kWords - 1] >> 63) != 0;
+    if (neg) {
+      std::uint64_t carry = 1;
+      for (int i = 0; i < kWords; ++i) {
+        const std::uint64_t s = ~w_[i] + carry;
+        carry = (carry != 0 && s == 0) ? 1 : 0;
+        mag[i] = s;
+      }
+    } else {
+      for (int i = 0; i < kWords; ++i) mag[i] = w_[i];
+    }
+    int top = kWords - 1;
+    while (top >= 0 && mag[top] == 0) --top;
+    if (top < 0) return neg ? -0.0 : 0.0;
+    int msb = 63;
+    while (((mag[top] >> msb) & 1u) == 0) --msb;
+    const int p = top * 64 + msb;  // highest set bit position
+    // Keep bits [lsb, p]; clamp lsb so subnormal results round here, in one
+    // step, instead of double-rounding through ldexp.
+    int lsb = p - 52;
+    if (lsb < kBiasBits - 1074) lsb = kBiasBits - 1074;
+    std::uint64_t mant = extract_bits(mag, lsb, p);
+    const bool guard = lsb > 0 && bit(mag, lsb - 1);
+    bool sticky = false;
+    for (int i = 0; i < lsb - 1 && !sticky; ++i) sticky = bit(mag, i);
+    if (guard && (sticky || (mant & 1u))) ++mant;  // RNE
+    double r = std::ldexp(static_cast<double>(mant), lsb - kBiasBits);
+    return neg ? -r : r;
+  }
+
+ private:
+  static bool bit(const std::uint64_t* w, int pos) {
+    return ((w[pos >> 6] >> (pos & 63)) & 1u) != 0;
+  }
+
+  // Bits [lo, hi] inclusive, hi - lo + 1 <= 53.
+  static std::uint64_t extract_bits(const std::uint64_t* w, int lo, int hi) {
+    const int word = lo >> 6, off = lo & 63;
+    unsigned __int128 v = w[word];
+    if (word + 1 < kWords)
+      v |= static_cast<unsigned __int128>(w[word + 1]) << 64;
+    v >>= off;
+    const int width = hi - lo + 1;
+    return static_cast<std::uint64_t>(v) & ((1ull << width) - 1);
+  }
+
+  // Add mant * 2^(shift - kBiasBits); shift in [0, 64*kWords) guaranteed by
+  // the double exponent range and the bias.
+  void add_scaled(std::int64_t mant, int shift) {
+    const int word = shift >> 6, off = shift & 63;
+    const auto wide = static_cast<unsigned __int128>(static_cast<__int128>(mant)) << off;
+    const auto w0 = static_cast<std::uint64_t>(wide);
+    const auto w1 = static_cast<std::uint64_t>(wide >> 64);
+    const std::uint64_t fill = mant < 0 ? ~0ull : 0ull;
+    std::uint64_t carry = 0;
+    for (int i = word; i < kWords; ++i) {
+      const std::uint64_t addend =
+          i == word ? w0 : (i == word + 1 ? w1 : fill);
+      const unsigned __int128 s =
+          static_cast<unsigned __int128>(w_[i]) + addend + carry;
+      w_[i] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+  }
+
+  std::uint64_t w_[kWords];
+  bool poisoned_;
+  double negative_hint_;  // the non-finite addend, reproduced at read-out
+};
+
+/// Exact residual r = b - A x rounded once per entry (the quire contract).
+template <class Mat>
+[[nodiscard]] std::vector<double> quire_residual(const Mat& A,
+                                                 const std::vector<double>& b,
+                                                 const std::vector<double>& x) {
+  const int n = A.rows();
+  std::vector<double> r(n);
+  DoubleQuire q;
+  for (int i = 0; i < n; ++i) {
+    q.clear();
+    q.add(b[i]);
+    for (int j = 0; j < n; ++j) q.add_product(-A(i, j), x[j]);
+    r[i] = q.to_double();
+  }
+  return r;
+}
+
+}  // namespace pstab::mp

@@ -20,6 +20,7 @@
 #include <type_traits>
 
 #include "la/ir.hpp"
+#include "la/lu_ir.hpp"
 
 namespace pstab::resilience {
 
@@ -81,6 +82,40 @@ la::IrReport ir_escalate(const la::Dense<double>& A, const la::Vec<double>& b,
     // low-precision cast buffer, which a fresh cast from A leaves behind.
     const la::Dense<double>* src = hs ? Ah_source : nullptr;
     la::IrReport up = ir_escalate<G>(A, b, x, opt, hs, src, budget - 1);
+    up.recovery.insert(up.recovery.begin(), trail.begin(), trail.end());
+    return up;
+  }
+}
+
+/// The general-systems analogue of ir_escalate: la::lu_ir<F> with the same
+/// NextTier ladder and "escalate:<format>" recovery trail.  Equilibration
+/// (gs/As_source) is part of the algorithm and is kept across rungs, exactly
+/// like a Higham-scaled Ah_source above.
+template <class F>
+la::LuIrReport lu_ir_escalate(const la::Dense<double>& A,
+                              const la::Vec<double>& b, la::Vec<double>& x,
+                              const la::IrOptions& opt = {},
+                              const scaling::GeneralScaling* gs = nullptr,
+                              const la::Dense<double>* As_source = nullptr,
+                              int budget = -1) {
+  if (budget < 0) budget = opt.resilience.max_escalations;
+  la::LuIrReport rep = la::lu_ir<F>(A, b, x, opt, gs, As_source);
+  const bool failed = rep.status == la::SolveStatus::factorization_failed ||
+                      rep.status == la::SolveStatus::diverged ||
+                      rep.status == la::SolveStatus::max_iterations;
+  if (!failed || budget <= 0 || !opt.resilience.enabled ||
+      !opt.resilience.escalate)
+    return rep;
+  using G = typename NextTier<F>::type;
+  if constexpr (std::is_void_v<G>) {
+    return rep;
+  } else {
+    std::vector<la::RecoveryEvent> trail = std::move(rep.recovery);
+    trail.push_back({rep.iterations,
+                     std::string("escalate:") + scalar_traits<G>::name(),
+                     double(opt.resilience.max_escalations - budget + 1)});
+    la::LuIrReport up = lu_ir_escalate<G>(A, b, x, opt, gs, As_source,
+                                          budget - 1);
     up.recovery.insert(up.recovery.begin(), trail.begin(), trail.end());
     return up;
   }

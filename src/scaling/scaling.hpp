@@ -12,7 +12,9 @@
 // scale in double before casting down, exactly as the paper assumes.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "la/csr.hpp"
 #include "la/dense.hpp"
@@ -63,6 +65,40 @@ inline double scale_diag_avg(la::Dense<double>& A, la::Vec<double>& b) {
   for (auto& v : A.data()) v /= s;
   for (auto& v : b) v /= s;
   return s;
+}
+
+/// Two-sided row/column equilibration for general (non-symmetric) systems,
+/// restricted to powers of two so the scaling itself is exact in double.
+/// Alternating sweeps of r_i = 2^-round(log2 ||A(i,:)||_inf) then
+/// c_j = 2^-round(log2 ||A(:,j)||_inf); two sweeps bring every row and
+/// column inf-norm into [1/2, 2], which is all low-precision LU needs.
+struct GeneralScaling {
+  std::vector<double> row, col;  // A_scaled = diag(row) * A * diag(col)
+};
+
+inline GeneralScaling equilibrate_general(la::Dense<double>& A,
+                                          int sweeps = 2) {
+  const int n = A.rows();
+  GeneralScaling gs;
+  gs.row.assign(n, 1.0);
+  gs.col.assign(n, 1.0);
+  for (int s = 0; s < sweeps; ++s) {
+    for (int i = 0; i < n; ++i) {
+      double m = 0;
+      for (int j = 0; j < n; ++j) m = std::max(m, std::fabs(A(i, j)));
+      const double f = 1.0 / nearest_pow2(m);
+      gs.row[i] *= f;
+      for (int j = 0; j < n; ++j) A(i, j) *= f;
+    }
+    for (int j = 0; j < n; ++j) {
+      double m = 0;
+      for (int i = 0; i < n; ++i) m = std::max(m, std::fabs(A(i, j)));
+      const double f = 1.0 / nearest_pow2(m);
+      gs.col[j] *= f;
+      for (int i = 0; i < n; ++i) A(i, j) *= f;
+    }
+  }
+  return gs;
 }
 
 }  // namespace pstab::scaling

@@ -326,7 +326,9 @@ bool request_from_json(std::string_view text, Request& out, std::string& err) {
     } else if (key == "solver") {
       if (v.kind != JsonValue::Kind::string ||
           !core::parse_solver(v.raw, out.solve.solver))
-        return type_error(err, key, "\"cg\", \"cholesky\" or \"ir\"");
+        return type_error(err, key,
+                          "a registry solver name (\"cg\", \"cholesky\", "
+                          "\"ir\", \"lu_ir\", \"gmres_ir\") or alias");
       saw_solver = true;
     } else if (key == "matrix") {
       if (v.kind != JsonValue::Kind::string)
@@ -369,6 +371,24 @@ bool request_from_json(std::string_view text, Request& out, std::string& err) {
         return type_error(err, key,
                           "\"scalar\", \"batched\", \"simd\" or \"auto\"");
       out.solve.backend = b;
+    } else if (key == "precision") {
+      // The (u_f, u, u_r) triple as a nested object; unknown or non-string
+      // members are rejected with the same name-the-offender strictness as
+      // top-level keys.  Value validation (known formats, solver fit) is
+      // core::SolveRequest::precision_error's job, shared with the CLI.
+      if (v.kind != JsonValue::Kind::object)
+        return type_error(err, key, "an object");
+      for (const auto& [pk, pv] : v.members) {
+        if (pv.kind != JsonValue::Kind::string)
+          return type_error(err, "precision." + pk, "a string");
+        if (pk == "factor") out.solve.precision.factor = pv.raw;
+        else if (pk == "working") out.solve.precision.working = pv.raw;
+        else if (pk == "residual") out.solve.precision.residual = pv.raw;
+        else {
+          err = "unknown key 'precision." + pk + "'";
+          return false;
+        }
+      }
     } else {
       // The CLI's silent-typo fix, applied to the wire: an unrecognized key
       // is an error naming the offender, never silently ignored.
@@ -402,6 +422,11 @@ std::string request_to_json(const Request& req) {
     w.key("resilience").value(s.resilience);
     w.key("rhs_seed").value(std::uint64_t(s.rhs_seed));
     w.key("kernels").value(la::kernels::to_string(s.backend));
+    w.key("precision").begin_object();
+    w.key("factor").value(s.precision.factor);
+    w.key("working").value(s.precision.working);
+    w.key("residual").value(s.precision.residual);
+    w.end_object();
   }
   w.end_object();
   return w.str();

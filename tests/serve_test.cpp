@@ -148,14 +148,18 @@ TEST(ServeRequest, GoldenWireBytes) {
             R"({"schema":"pstab-serve-v1","op":"solve","id":1,"solver":"cg",)"
             R"("matrix":"bcsstk02","rescale":false,"tol":0,"max_iter":0,)"
             R"("max_iter_per_n":0,"fused_dots":false,"history":false,)"
-            R"("resilience":false,"rhs_seed":0,"kernels":"auto"})");
+            R"("resilience":false,"rhs_seed":0,"kernels":"auto",)"
+            R"("precision":{"factor":"grid","working":"f64",)"
+            R"("residual":"auto"}})");
 }
 
 TEST(ServeRequest, ParseIsExactInverseOfSerialize) {
   serve::Request req;
   req.solve.id = 987654321098765ull;
-  req.solve.solver = core::Solver::ir;
+  req.solve.solver = core::Solver::lu_ir;
   req.solve.matrix = "lund_b";
+  req.solve.precision.factor = "bf16";
+  req.solve.precision.residual = "quire";
   req.solve.rescale = true;
   req.solve.tol = 1e-8;
   req.solve.max_iter = 77;
@@ -213,6 +217,25 @@ TEST(ServeRequest, StrictParserNamesTheOffender) {
       R"({"schema":"pstab-serve-v1","solver":"cg","matrix":"x",)"
       R"("kernels":"sse9"})",
       req, err));
+
+  // Precision triple: strict about shape and member names too.
+  EXPECT_FALSE(serve::request_from_json(
+      R"({"schema":"pstab-serve-v1","solver":"lu_ir","matrix":"x",)"
+      R"("precision":{"factr":"f16"}})",
+      req, err));
+  EXPECT_NE(err.find("precision.factr"), std::string::npos) << err;
+  EXPECT_FALSE(serve::request_from_json(
+      R"({"schema":"pstab-serve-v1","solver":"lu_ir","matrix":"x",)"
+      R"("precision":"f16"})",
+      req, err));
+  ASSERT_TRUE(serve::request_from_json(
+      R"({"schema":"pstab-serve-v1","solver":"gmres-ir","matrix":"west0132",)"
+      R"("precision":{"factor":"bf16","residual":"dd"}})",
+      req, err))
+      << err;
+  EXPECT_EQ(req.solve.solver, core::Solver::gmres_ir);
+  EXPECT_EQ(req.solve.precision.factor, "bf16");
+  EXPECT_EQ(req.solve.precision.residual, "dd");
 }
 
 TEST(ServeResponse, EnvelopeGoldens) {

@@ -55,6 +55,39 @@ def check_telemetry(path, entries):
             fail(path, f"{where}: regime_hist must hold non-negative integers")
 
 
+LU_STATUSES = {"ok", "singular", "arithmetic_error"}
+
+
+def check_lu_ir_report(path, cell, where):
+    """One LU-IR / GMRES-IR refinement report (report_json.cpp lu_ir_cell):
+    the general-systems analogue of check_solve_report."""
+    if not isinstance(cell, dict):
+        fail(path, f"{where}: must be an object")
+    for key in ("status", "iterations", "final_berr", "factorization_error",
+                "lu_status", "inner_iterations"):
+        if key not in cell:
+            fail(path, f"{where}: missing '{key}'")
+    if cell["status"] not in SOLVE_STATUSES:
+        fail(path, f"{where}: unknown status {cell['status']!r}")
+    if cell["lu_status"] not in LU_STATUSES:
+        fail(path, f"{where}: unknown lu_status {cell['lu_status']!r}")
+    for key in ("iterations", "inner_iterations"):
+        if not isinstance(cell[key], int) or cell[key] < 0:
+            fail(path, f"{where}: {key} must be a non-negative integer")
+
+
+def check_refinement_precision(path, doc):
+    """Refinement artifacts carry the resolved (u_f, u, u_r) triple."""
+    prec = doc["options"].get("precision")
+    if not isinstance(prec, dict):
+        fail(path, "options: missing precision object")
+    for key in ("factor", "working", "residual"):
+        if not isinstance(prec.get(key), str) or not prec[key]:
+            fail(path, f"options.precision: missing '{key}'")
+    if prec["residual"] == "auto":
+        fail(path, "options.precision: residual must be resolved, not 'auto'")
+
+
 FAULT_OUTCOMES = ("masked", "corrected", "detected", "sdc", "hang")
 FAULT_SITES = {"matrix_entry", "vector_entry", "dot_result"}
 FAULT_FIELDS = {"any", "sign", "regime", "exponent", "fraction"}
@@ -171,6 +204,43 @@ def check_file(path):
                 continue
             if not isinstance(row.get("matrix"), str):
                 fail(path, f"rows[{i}]: missing matrix name")
+            if experiment.startswith("lu_ir"):
+                check_refinement_precision(path, doc)
+                cells = row.get("cells")
+                if not isinstance(cells, list) or not cells:
+                    fail(path, f"rows[{i}]: cells must be a non-empty array")
+                for j, c in enumerate(cells):
+                    where = f"rows[{i}].cells[{j}]"
+                    if not isinstance(c.get("format"), str):
+                        fail(path, f"{where}: missing format")
+                    check_lu_ir_report(path, c.get("report"),
+                                       f"{where}.report")
+                continue
+            if experiment.startswith("gmres_ir"):
+                check_refinement_precision(path, doc)
+                cells = row.get("cells")
+                if not isinstance(cells, list) or not cells:
+                    fail(path, f"rows[{i}]: cells must be a non-empty array")
+                rescued = 0
+                for j, c in enumerate(cells):
+                    where = f"rows[{i}].cells[{j}]"
+                    if not isinstance(c.get("format"), str):
+                        fail(path, f"{where}: missing format")
+                    check_lu_ir_report(path, c.get("lu"), f"{where}.lu")
+                    check_lu_ir_report(path, c.get("gmres"), f"{where}.gmres")
+                    if not isinstance(c.get("rescued"), bool):
+                        fail(path, f"{where}: rescued must be a boolean")
+                    want = (c["gmres"]["status"] == "converged"
+                            and c["lu"]["status"] != "converged")
+                    if c["rescued"] is not want:
+                        fail(path, f"{where}: rescued flag contradicts the "
+                                   f"lu/gmres statuses")
+                    rescued += c["rescued"]
+                if row.get("rescue_count") != rescued:
+                    fail(path, f"rows[{i}]: rescue_count "
+                               f"{row.get('rescue_count')!r} != {rescued} "
+                               f"rescued cells")
+                continue
             if experiment.startswith("cg"):
                 for fmt in ("f64", "f32", "p32_2", "p32_3"):
                     if fmt not in row:
@@ -185,6 +255,7 @@ def check_file(path):
                         fail(path, f"rows[{i}]: missing cell '{fmt}'")
                     check_solve_report(path, row[fmt], f"rows[{i}].{fmt}")
             elif experiment.startswith("ir"):
+                check_refinement_precision(path, doc)
                 for fmt in ("f16", "p16_1", "p16_2"):
                     cell = row.get(fmt)
                     if not isinstance(cell, dict) \

@@ -5,6 +5,8 @@
 //   pstab cg <matrix> [--rescale]       CG in all four 32-bit formats
 //   pstab chol <matrix> [--rescale]     Cholesky backward errors
 //   pstab ir <matrix> [--higham]        mixed-precision IR in 16-bit formats
+//   pstab lu-ir <matrix> [--rescale]    LU-based three-precision IR (general)
+//   pstab gmres-ir <matrix> [--rescale] GMRES-IR from the same LU factors
 //   pstab serve --script F | --stdio | --port N   persistent solve engine
 //   pstab serve-client --port N --script F        framed-TCP request driver
 //   pstab precision <value>             how each format represents a number
@@ -54,6 +56,7 @@ int usage() {
                "usage: pstab <command> [args]\n"
                "  list | gen-mtx <dir> | cg <matrix> [--rescale] |\n"
                "  chol <matrix> [--rescale] | ir <matrix> [--higham] |\n"
+               "  lu-ir <matrix> [--rescale] | gmres-ir <matrix> [--rescale] |\n"
                "  serve --script FILE [--out FILE] | --stdio |\n"
                "        --port N [--once]   with [--threads N] [--cache-mb M]\n"
                "        [--max-frame-kb K] [--no-coalesce]\n"
@@ -66,10 +69,12 @@ int usage() {
                "  inject [--solver cg|cholesky|ir] [--seed S] [--trials N]\n"
                "         [--formats LIST] [--n SIZE] [--cond K] [--recovery]\n"
                "         [--json PATH]\n"
-               "  cg|chol|ir also accept: --json <path> --tol <v>\n"
-               "    --max-iter <n> --max-iter-per-n <n> --fused --history\n"
-               "    --resilience --rhs-seed <s>\n"
+               "  cg|chol|ir|lu-ir|gmres-ir also accept: --json <path>\n"
+               "    --tol <v> --max-iter <n> --max-iter-per-n <n> --fused\n"
+               "    --history --resilience --rhs-seed <s>\n"
                "    --kernels scalar|batched|simd|auto\n"
+               "    --factor grid|f16|bf16|p16_1|p16_2|f32|p32_2\n"
+               "    --working f64 --residual auto|f64|dd|quire\n"
                "  kernels also accepts: --json <path>\n"
                "  PSTAB_SIMD=avx2|avx512|neon|scalar pins the simd ISA\n");
   return 1;
@@ -133,10 +138,23 @@ int solver_prologue(core::Solver solver, int argc, char** argv,
                      "' requires a matrix name");
   p = core::parse_solver_cli(solver, argv[2], argc, argv, 3);
   if (!p.ok) return bad_usage(p.error);
-  if (!matrices::find_spec(p.req.matrix))
+  const auto spec = matrices::find_spec(p.req.matrix);
+  if (!spec)
     return bad_usage("unknown matrix '" + p.req.matrix +
                      "' (try 'pstab list')");
+  if (core::solver_info(solver).requires_spd && !spec->spd)
+    return bad_usage(std::string("solver '") + core::to_string(solver) +
+                     "' requires an SPD matrix ('" + p.req.matrix +
+                     "' is general; use lu-ir or gmres-ir)");
   return 0;
+}
+
+/// "k iters" / "1000+" / "-" formatting for a general-refinement cell.
+std::string lu_ir_cell_text(const la::LuIrReport& r) {
+  const bool failed = r.status == la::SolveStatus::factorization_failed ||
+                      r.status == la::SolveStatus::diverged;
+  return core::fmt_iters(failed, r.status == la::SolveStatus::max_iterations,
+                         r.iterations);
 }
 
 int cmd_cg(int argc, char** argv) {
@@ -206,6 +224,48 @@ int cmd_ir(int argc, char** argv) {
     return emit_json(
         p.json_path,
         core::ir_results_json(p.req.experiment_name(), {row}, p.req));
+  return 0;
+}
+
+int cmd_lu_ir(int argc, char** argv) {
+  core::CliParse p;
+  if (const int rc = solver_prologue(core::Solver::lu_ir, argc, argv, p))
+    return rc;
+  const auto row =
+      core::run_lu_ir_experiment(matrices::suite_matrix(p.req.matrix), p.req);
+  std::printf("LU-IR on %s (%s, residual %s)\n", p.req.matrix.c_str(),
+              p.req.rescale ? "equilibrated" : "naive",
+              p.req.effective_residual().c_str());
+  for (const auto& c : row.cells)
+    std::printf("  %-6s %s\n", c.format.c_str(),
+                lu_ir_cell_text(c.rep).c_str());
+  if (!p.json_path.empty())
+    return emit_json(
+        p.json_path,
+        core::lu_ir_results_json(p.req.experiment_name(), {row}, p.req));
+  return 0;
+}
+
+int cmd_gmres_ir(int argc, char** argv) {
+  core::CliParse p;
+  if (const int rc = solver_prologue(core::Solver::gmres_ir, argc, argv, p))
+    return rc;
+  const auto row = core::run_gmres_ir_experiment(
+      matrices::suite_matrix(p.req.matrix), p.req);
+  std::printf("GMRES-IR on %s (%s, residual %s)\n", p.req.matrix.c_str(),
+              p.req.rescale ? "equilibrated" : "naive",
+              p.req.effective_residual().c_str());
+  for (const auto& c : row.cells)
+    std::printf("  %-6s lu %-8s gmres %-8s%s\n", c.format.c_str(),
+                lu_ir_cell_text(c.lu).c_str(),
+                lu_ir_cell_text(c.gmres).c_str(),
+                c.rescued() ? "  RESCUED" : "");
+  std::printf("  rescued: %d of %zu formats\n", row.rescue_count(),
+              row.cells.size());
+  if (!p.json_path.empty())
+    return emit_json(
+        p.json_path,
+        core::gmres_ir_results_json(p.req.experiment_name(), {row}, p.req));
   return 0;
 }
 
@@ -541,6 +601,10 @@ constexpr Command kCommands[] = {
     {"cg", cmd_cg},
     {"chol", cmd_chol},
     {"ir", cmd_ir},
+    {"lu-ir", cmd_lu_ir},
+    {"lu_ir", cmd_lu_ir},
+    {"gmres-ir", cmd_gmres_ir},
+    {"gmres_ir", cmd_gmres_ir},
     {"serve", cmd_serve},
     {"serve-client", cmd_serve_client},
     {"kernels", cmd_kernels},

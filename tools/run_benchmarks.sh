@@ -9,10 +9,13 @@
 #   PSTAB_BENCH_FULL  =1 also run the remaining figure/table benches
 #
 # Always runs fig6_cg, so every invocation leaves a schema-checked
-# RESULTS_cg.json (the acceptance artifact for the telemetry layer), and
+# RESULTS_cg.json (the acceptance artifact for the telemetry layer),
 # perf_kernels, which leaves BENCH_kernels.json (the acceptance artifact for
-# the batched kernel backends); with PSTAB_BENCH_FULL=1 the other experiment
-# benches add their RESULTS_*.json files.  Every artifact is validated with
+# the batched kernel backends), and the general-systems refinement pair
+# table_lu_ir / ablation_gmres_ir, which leave RESULTS_lu_ir.json and
+# RESULTS_gmres_ir.json (the acceptance artifacts for the LU-IR / GMRES-IR
+# solvers); with PSTAB_BENCH_FULL=1 the other experiment benches add their
+# RESULTS_*.json files.  Every artifact is validated with
 # tools/check_results_schema.py when python3 is available.
 set -eu
 
@@ -22,7 +25,8 @@ build_dir=${1:-"$repo_root/build-bench"}
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 1)" \
   --target perf_ops perf_kernels fig6_cg fig7_cg_rescaled fig8_cholesky \
-           fig9_cholesky_rescaled table2_ir_naive table3_ir_higham
+           fig9_cholesky_rescaled table2_ir_naive table3_ir_higham \
+           table_lu_ir ablation_gmres_ir
 
 cd "$build_dir"
 echo "== perf_ops: LUT vs scalar (writes BENCH_posit_ops.json) =="
@@ -33,6 +37,12 @@ echo "== perf_kernels: scalar vs batched backends (writes BENCH_kernels.json) ==
 
 echo "== fig6_cg (writes RESULTS_cg.json) =="
 ./bench/fig6_cg
+
+echo "== table_lu_ir (writes RESULTS_lu_ir.json) =="
+./bench/table_lu_ir
+
+echo "== ablation_gmres_ir (writes RESULTS_gmres_ir.json) =="
+./bench/ablation_gmres_ir
 
 if [ "${PSTAB_BENCH_FULL:-0}" = "1" ]; then
   for b in fig7_cg_rescaled fig8_cholesky fig9_cholesky_rescaled \
