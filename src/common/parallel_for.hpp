@@ -72,6 +72,29 @@ void parallel_for(std::size_t n, Fn&& fn) {
   if (error) std::rethrow_exception(error);
 }
 
+/// Invoke fn(lo, hi) for each fixed tile [lo, hi) of [0, n), tiles spread
+/// over parallel_threads() workers.  Tile boundaries depend only on (n, tile)
+/// — never on the thread count — so order-sensitive per-tile work (fixed
+/// reduction trees, partial sums combined in index order) produces identical
+/// results for any PSTAB_THREADS.  Callers whose tiles are fully independent
+/// (row-partitioned gemv/spmv, trailing-submatrix updates) get byte-stable
+/// output for free.  n == 0 is a no-op; a single tile runs inline.
+template <class Fn>
+void parallel_tiles(std::size_t n, std::size_t tile, Fn&& fn) {
+  if (n == 0) return;
+  if (tile == 0) tile = 1;
+  const std::size_t ntiles = (n + tile - 1) / tile;
+  if (ntiles <= 1 || parallel_threads() <= 1) {
+    fn(std::size_t(0), n);
+    return;
+  }
+  parallel_for(ntiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile;
+    const std::size_t hi = lo + tile < n ? lo + tile : n;
+    fn(lo, hi);
+  });
+}
+
 /// parallel_for that collects fn(i) into a vector, in index order.
 template <class T, class Fn>
 [[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn) {

@@ -29,7 +29,12 @@ SolveRequest pinned(const SolveRequest& req, Solver s) {
 
 la::Vec<double> request_rhs(const matrices::GeneratedMatrix& m,
                             std::uint64_t rhs_seed) {
-  if (rhs_seed == 0) return matrices::paper_rhs(m.dense);
+  // The sparse-only large-n tier never materializes m.dense; multiply
+  // through the CSR image instead (identical b: both are exact double
+  // row-dot products over the same nonzeros, in the same column order).
+  const bool sparse = m.dense.rows() == 0;
+  if (rhs_seed == 0)
+    return sparse ? matrices::paper_rhs(m.csr) : matrices::paper_rhs(m.dense);
   // b = A * xhat for a seeded random unit xhat: same construction as the
   // paper's RHS, only the direction of xhat varies with the seed.
   const int n = m.n;
@@ -44,6 +49,11 @@ la::Vec<double> request_rhs(const matrices::GeneratedMatrix& m,
   }
   const double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 1.0;
   for (int i = 0; i < n; ++i) xhat[i] *= inv;
+  if (sparse) {
+    la::Vec<double> b;
+    m.csr.spmv(xhat, b);
+    return b;
+  }
   la::Vec<double> b(n, 0.0);
   for (int i = 0; i < n; ++i) {
     double s = 0.0;
@@ -420,9 +430,13 @@ std::shared_ptr<const EquilibratedGeneral> equilibrated_general(
 template <class F>
 std::shared_ptr<const la::LuResult<F>> lu_factor_cached(
     const la::Dense<double>& src, ArtifactCache* cache,
-    const std::string& key_base, const char* fmt_tag) {
+    const std::string& key_base, const char* fmt_tag,
+    const la::kernels::Context& kc = {}) {
+  // kc is NOT part of the cache key on purpose: backend and panel width are
+  // pinned bit-identical, so every configuration produces the same factor
+  // and may share one entry.
   const auto make = [&] {
-    return la::lu_factor(src.template cast_clamped<F>());
+    return la::lu_factor(src.template cast_clamped<F>(), kc);
   };
   if (!cache || key_base.empty())
     return std::make_shared<const la::LuResult<F>>(make());
@@ -469,12 +483,14 @@ LuIrCell lu_ir_cell(const matrices::GeneratedMatrix& m,
   const la::Vec<double> b = request_rhs(m, req.rhs_seed);
   la::Vec<double> x;
   if (!req.rescale) {
-    const auto fact = lu_factor_cached<F>(m.dense, cache, key_base, fmt_tag);
+    const auto fact = lu_factor_cached<F>(m.dense, cache, key_base, fmt_tag,
+                                          iro.kernels);
     cell.rep = la::lu_ir<F>(m.dense, b, x, iro, nullptr, nullptr, fact.get());
     return cell;
   }
   const auto eq = equilibrated_general(m.dense, cache);
-  const auto fact = lu_factor_cached<F>(eq->as, cache, key_base, fmt_tag);
+  const auto fact =
+      lu_factor_cached<F>(eq->as, cache, key_base, fmt_tag, iro.kernels);
   cell.rep = la::lu_ir<F>(m.dense, b, x, iro, &eq->gs, &eq->as, fact.get());
   return cell;
 }
@@ -501,8 +517,8 @@ GmresIrCell gmres_ir_cell(const matrices::GeneratedMatrix& m,
     gs = &eq->gs;
     as = &eq->as;
   }
-  const auto fact =
-      lu_factor_cached<F>(as ? *as : m.dense, cache, key_base, fmt_tag);
+  const auto fact = lu_factor_cached<F>(as ? *as : m.dense, cache, key_base,
+                                        fmt_tag, iro_g.kernels);
   cell.lu = la::lu_ir<F>(m.dense, b, x_lu, iro_lu, gs, as, fact.get());
   cell.gmres = la::gmres_ir_lu<F>(m.dense, b, x_g, iro_g, gs, as, fact.get());
   return cell;

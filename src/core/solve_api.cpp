@@ -152,13 +152,14 @@ std::string SolveRequest::experiment_name() const {
 }
 
 std::string SolveRequest::batch_key() const {
-  char buf[192];
+  char buf[208];
   std::snprintf(buf, sizeof buf,
-                "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|k%s|pf%s|pw%s|pr%s",
+                "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|k%s|b%d|pf%s|pw%s|pr%s",
                 int(rescale), tol, max_iter, max_iter_per_n, int(fused_dots),
                 int(record_history), int(resilience),
-                la::kernels::to_string(backend), precision.factor.c_str(),
-                precision.working.c_str(), precision.residual.c_str());
+                la::kernels::to_string(backend), block,
+                precision.factor.c_str(), precision.working.c_str(),
+                precision.residual.c_str());
   return std::string(to_string(solver)) + "|" + matrix + buf;
 }
 
@@ -248,6 +249,17 @@ CliParse parse_solver_cli(Solver solver, const std::string& matrix, int argc,
         p.ok = false;
         p.error = std::string("unknown backend '") + argv[i] + "'";
       }
+    } else if (std::strcmp(a, "--block") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) {
+        p.ok = false;
+        p.error = std::string("--block expects a non-negative panel width, "
+                              "got '") + argv[i] + "'";
+      } else {
+        p.req.block = int(v);
+      }
     } else if (std::strcmp(a, "--factor") == 0) {
       if (!has_value) { value_missing(a); break; }
       p.req.precision.factor = argv[++i];
@@ -296,6 +308,15 @@ SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
                    "' is general; use lu_ir or gmres_ir)";
       return resp;
     }
+    // The large-n tier is CSR-only (no dense image is ever materialized);
+    // every solver except CG densifies, so reject up front with a real
+    // message instead of factorizing an empty matrix.
+    if (spec->sparse_only && req.solver != Solver::cg) {
+      resp.error = std::string("solver '") + info.name +
+                   "' needs a dense image, but '" + req.matrix +
+                   "' is a sparse-only large-n matrix (use cg)";
+      return resp;
+    }
     const std::string perr = req.precision_error();
     if (!perr.empty()) {
       resp.error = perr;
@@ -320,9 +341,12 @@ SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
           "matrix/" + req.matrix,
           [&] { return matrices::make_suite_matrix(req.matrix); },
           [](const matrices::GeneratedMatrix& g) {
-            // dense + csr + struct overhead, approximately.
-            return sizeof g +
-                   2 * std::size_t(g.n) * std::size_t(g.n) * sizeof(double);
+            // dense + csr + struct overhead, approximately — measured from
+            // the actual buffers, so a sparse-only large-n matrix (empty
+            // dense) is billed its real footprint, not O(n^2).
+            return sizeof g + g.dense.data().size() * sizeof(double) +
+                   g.csr.nnz() * (2 * sizeof(double) + sizeof(int)) +
+                   (std::size_t(g.csr.rows()) + 1) * sizeof(int);
           });
       m = held.get();
     } else {

@@ -135,6 +135,14 @@ struct SolveRequest {
 
   la::kernels::Backend backend = la::kernels::Backend::Auto;
 
+  // Panel width for the blocked factorizations (la/blocked.hpp): 0 = auto
+  // (blocked above blocked::kAutoMinN with a size-picked width), >= 1 forces
+  // that width, a width >= n runs the unblocked reference loops.  Every
+  // width produces bit-identical factors — this knob trades wall-clock only
+  // — but it participates in batch_key/canonical_key so cached timings and
+  // coalesced jobs stay attributable to one configuration.
+  int block = 0;
+
   /// tol with the per-solver registry default applied: 1e-5 for CG/Cholesky
   /// (the paper's convergence threshold) and 4*1.11e-16 for the refinement
   /// family ("accurate to Float64 precision").
@@ -150,7 +158,7 @@ struct SolveRequest {
   /// the serve parser and run_request.
   [[nodiscard]] std::string precision_error() const;
   [[nodiscard]] la::kernels::Context kernel_context() const noexcept {
-    return la::kernels::Context{backend};
+    return la::kernels::Context{backend, block};
   }
   [[nodiscard]] la::ResilientOptions resilient_options() const noexcept {
     la::ResilientOptions r;

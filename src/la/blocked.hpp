@@ -1,0 +1,58 @@
+// Shared policy for the blocked (panel + trailing-update) factorizations in
+// la/cholesky.hpp and la/lu.hpp.
+//
+// Why blocking can be bit-identical: with per-operation rounding in T, every
+// factor element's value is ONE serial multiply-subtract chain
+//
+//   t = A(k, j);  for i < k:  t = round(t - round(x_i * y_i))
+//
+// applied in ascending pivot order i.  The blocked schedule cuts that chain
+// at panel boundaries and stores the running value in T between cuts — an
+// exact store/reload — then resumes it, either inside the next panel (the
+// panel-local prefix) or through a syrk_update/gemm_update trailing kernel.
+// Every element therefore sees the identical rounding sequence, pivot
+// decisions and failure checks see identical values at identical columns,
+// and the blocked factor matches the unblocked one bit for bit, for every
+// format and every kernels backend.  What changes is only locality: the
+// trailing chains run over packed unit-stride panel slices (and amortize
+// plane decodes on the batched leg) instead of stride-n column walks.
+//
+// Parallelism: the trailing update and the long panel row/column sweeps are
+// fanned out over fixed index-owned tiles via pstab::parallel_tiles.  Each
+// element's chain is self-contained, so the bytes never depend on
+// PSTAB_THREADS — only wall-clock does.
+#pragma once
+
+#include "la/kernels/kernels.hpp"
+
+namespace pstab::la::blocked {
+
+/// Below this order the unblocked loops win: panel bookkeeping and packing
+/// overhead dominate while everything still fits in cache.
+inline constexpr int kAutoMinN = 192;
+
+/// Panel sweeps (one column's row chains) go parallel above this span.
+inline constexpr std::size_t kParMinPanelSpan = 4096;
+inline constexpr std::size_t kPanelTile = 1024;
+
+/// Trailing-submatrix updates go parallel above this many trailing rows.
+inline constexpr std::size_t kParMinTrailRows = 128;
+inline constexpr std::size_t kTrailTile = 32;
+
+/// Auto panel width for order n (callers clamp to n).
+[[nodiscard]] inline int pick_block(int n) noexcept {
+  return n < 1024 ? 64 : 128;
+}
+
+/// Effective panel width for a factorization of order n under `kc`:
+/// 0 means "run the unblocked reference path".  kc.block > 0 forces that
+/// width; kc.block == 0 picks one automatically above kAutoMinN.  A panel
+/// as wide as the matrix IS the unblocked algorithm, so it short-circuits
+/// to the reference loops.
+[[nodiscard]] inline int effective_block(const kernels::Context& kc,
+                                         int n) noexcept {
+  const int b = kc.block > 0 ? kc.block : (n >= kAutoMinN ? pick_block(n) : 0);
+  return b >= n ? 0 : b;
+}
+
+}  // namespace pstab::la::blocked

@@ -4,12 +4,26 @@
 // no pivoting on the symmetric positive definite test matrices.
 //
 // Every inner product rounds after each operation in the target format.
+//
+// Two schedules produce the same bits (la/blocked.hpp has the argument):
+//  - cholesky_unblocked: the paper-scale up-looking reference loops.
+//  - cholesky_blocked: panels of `block` columns factored with the same
+//    chains (panel-local prefix only), then one kernels::syrk_update applies
+//    the panel's rank-`block` terms to the trailing submatrix through the
+//    selected backend.  This is how n scales to 10^4..10^5: the trailing
+//    chains run over packed unit-stride panel slices and row tiles fan out
+//    across threads deterministically.
+// cholesky() dispatches on Context::block (0 = auto).
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <optional>
 
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
 #include "core/telemetry/trace.hpp"
+#include "la/blocked.hpp"
 #include "la/dense.hpp"
 #include "la/fault.hpp"
 #include "la/solve_report.hpp"
@@ -36,11 +50,12 @@ struct CholResult : SolveReport {
 /// An installed fault observer is clocked once per column and offered the
 /// pivot chain result and the freshly computed factor row (outside the
 /// parallel region, so injection stays deterministic under PSTAB_THREADS).
+/// Long row sweeps fan out over fixed index-owned tiles: each R(k,j) is an
+/// independent chain, so the bytes never depend on PSTAB_THREADS.
 template <class T>
-[[nodiscard]] CholResult<T> cholesky(const Dense<T>& A,
-                                     telemetry::Trace* trace = nullptr,
-                                     const kernels::Context& kc = {},
-                                     fault::Observer* fault = nullptr) {
+[[nodiscard]] CholResult<T> cholesky_unblocked(
+    const Dense<T>& A, telemetry::Trace* trace = nullptr,
+    const kernels::Context& kc = {}, fault::Observer* fault = nullptr) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   CholResult<T> res;
@@ -67,12 +82,19 @@ template <class T>
     const T rkk = st::sqrt(s);
     R(k, k) = rkk;
     // Off-diagonal row of R: R(k,j) = (A(k,j) - sum_{i<k} R(i,k) R(i,j)) / rkk
-#pragma omp parallel for schedule(static)
-    for (int j = k + 1; j < n; ++j) {
-      const T t = kernels::update_chain(kc, A(k, j), rd + k, n, rd + j, n,
-                                        std::size_t(k), /*subtract=*/true);
-      R(k, j) = t / rkk;
-    }
+    const std::size_t span_j = std::size_t(n - k - 1);
+    const auto row_sweep = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t q = lo; q < hi; ++q) {
+        const int j = k + 1 + int(q);
+        const T t = kernels::update_chain(kc, A(k, j), rd + k, n, rd + j, n,
+                                          std::size_t(k), /*subtract=*/true);
+        R(k, j) = t / rkk;
+      }
+    };
+    if (span_j >= blocked::kParMinPanelSpan)
+      pstab::parallel_tiles(span_j, blocked::kPanelTile, row_sweep);
+    else
+      row_sweep(0, span_j);
     if (k + 1 < n)
       fault::touch_range(fault, fault::Site::vector_entry, &R(k, k + 1),
                          std::size_t(n - k - 1));
@@ -85,6 +107,137 @@ template <class T>
     }
   }
   return res;
+}
+
+/// Right-looking blocked Cholesky: bit-identical to cholesky_unblocked for
+/// every format and backend (see la/blocked.hpp for why), but with the bulk
+/// of the flops in kernels::syrk_update over packed panels.
+///
+/// Schedule per panel [p, pe):
+///   for each column k in the panel:
+///     - pivot chain: seed W(k,k) (already carries terms i < p from earlier
+///       trailing updates), subtract the panel-local prefix i in [p, k);
+///     - the FULL row k (all j > k, trailing columns included) with the same
+///       panel-local prefix — so row k is final at step k, and the fault
+///       hooks and finite checks fire on exactly the values the unblocked
+///       loop sees, in the same order.
+///   then one trailing update: W(i,j) -= sum_{m in [p,pe)} R(m,i) R(m,j)
+///   for i,j >= pe, row-tiled over threads.
+/// On failure the returned status / failed_column match the unblocked path;
+/// R's trailing contents are unspecified (partially updated), as they are
+/// for any failed factorization.
+template <class T>
+[[nodiscard]] CholResult<T> cholesky_blocked(const Dense<T>& A,
+                                             telemetry::Trace* trace,
+                                             const kernels::Context& kc,
+                                             fault::Observer* fault,
+                                             int block) {
+  using st = scalar_traits<T>;
+  const int n = A.rows();
+  const int nb = block > 0 ? (block < n ? block : n) : blocked::pick_block(n);
+  CholResult<T> res;
+  telemetry::TraceSpan span(trace, "factor");
+  res.R = Dense<T>(n, n);
+  Dense<T>& R = res.R;
+  // W lives in R's upper triangle: seed with A, accumulate trailing updates
+  // in place, overwrite with factor rows as each column finalizes.
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) R(i, j) = A(i, j);
+  T* rd = R.data().data();
+  std::vector<T> panel;  // packed panel slices: slice j (j >= pe) holds
+                         // R(p .. pe-1, j) contiguously
+  for (int p = 0; p < n; p += nb) {
+    const int pe = p + nb < n ? p + nb : n;
+    const int w = pe - p;
+    for (int k = p; k < pe; ++k) {
+      fault::on_iteration(fault, k);
+      // Panel-local prefix of the pivot chain (terms i < p were applied by
+      // earlier trailing updates and live in the seed).
+      T s = kernels::update_chain(kc, R(k, k), rd + std::size_t(p) * n + k, n,
+                                  rd + std::size_t(p) * n + k, n,
+                                  std::size_t(k - p), /*subtract=*/true);
+      fault::touch_scalar(fault, fault::Site::dot_result, s);
+      if (!st::finite(s)) {
+        res.status = CholStatus::arithmetic_error;
+        res.failed_column = k;
+        return res;
+      }
+      if (!(st::to_double(s) > 0.0)) {
+        res.status = CholStatus::not_positive_definite;
+        res.failed_column = k;
+        return res;
+      }
+      const T rkk = st::sqrt(s);
+      R(k, k) = rkk;
+      const std::size_t span_j = std::size_t(n - k - 1);
+      const auto row_sweep = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const int j = k + 1 + int(q);
+          const T t = kernels::update_chain(
+              kc, R(k, j), rd + std::size_t(p) * n + k, n,
+              rd + std::size_t(p) * n + j, n, std::size_t(k - p),
+              /*subtract=*/true);
+          R(k, j) = t / rkk;
+        }
+      };
+      if (span_j >= blocked::kParMinPanelSpan)
+        pstab::parallel_tiles(span_j, blocked::kPanelTile, row_sweep);
+      else
+        row_sweep(0, span_j);
+      if (k + 1 < n)
+        fault::touch_range(fault, fault::Site::vector_entry, &R(k, k + 1),
+                           std::size_t(n - k - 1));
+      for (int j = k + 1; j < n; ++j) {
+        if (!st::finite(R(k, j))) {
+          res.status = CholStatus::arithmetic_error;
+          res.failed_column = k;
+          return res;
+        }
+      }
+    }
+    if (pe < n) {
+      const std::size_t m = std::size_t(n - pe);  // trailing order
+      panel.assign(m * w, st::zero());
+      const auto pack = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          T* dst = panel.data() + q * w;
+          const int j = pe + int(q);
+          for (int i = 0; i < w; ++i) dst[i] = R(p + i, j);
+        }
+      };
+      if (m >= blocked::kParMinPanelSpan)
+        pstab::parallel_tiles(m, blocked::kPanelTile, pack);
+      else
+        pack(0, m);
+      // Trailing update, symmetric: a-slice for row r and b-slice for column
+      // c are the same packed panel column, so one buffer serves both sides.
+      const auto trail = [&](std::size_t lo, std::size_t hi) {
+        kernels::syrk_update(kc, rd, std::size_t(n), pe + int(lo),
+                             pe + int(hi), pe, n, panel.data() + lo * w,
+                             std::size_t(w), panel.data(), std::size_t(w),
+                             std::size_t(w), /*subtract=*/true);
+      };
+      if (m >= blocked::kParMinTrailRows)
+        pstab::parallel_tiles(m, blocked::kTrailTile, trail);
+      else
+        trail(0, m);
+    }
+  }
+  return res;
+}
+
+/// Cholesky entry point: dispatches on kc.block (0 = auto, picks the blocked
+/// schedule above blocked::kAutoMinN; >= 1 forces that panel width, a width
+/// >= n or a small matrix runs the unblocked reference loops).  Both
+/// schedules are bit-identical, so callers never observe the dispatch.
+template <class T>
+[[nodiscard]] CholResult<T> cholesky(const Dense<T>& A,
+                                     telemetry::Trace* trace = nullptr,
+                                     const kernels::Context& kc = {},
+                                     fault::Observer* fault = nullptr) {
+  const int nb = blocked::effective_block(kc, A.rows());
+  if (nb > 0) return cholesky_blocked(A, trace, kc, fault, nb);
+  return cholesky_unblocked(A, trace, kc, fault);
 }
 
 /// Cholesky with the diagonal-shift retry ladder (ResilientOptions).  The
@@ -173,26 +326,104 @@ template <class T>
   return solve_upper(f.R, solve_lower_rt(f.R, b, kc), kc);
 }
 
+/// How factorization_backward_error evaluates ||R^T R - A||_F / ||A||_F.
+/// `exact` is the paper metric: the full O(n^3) double-precision sum, run
+/// over fixed row tiles whose partials are combined in index order — the
+/// result is one specific summation order, independent of PSTAB_THREADS.
+/// `sampled` estimates the same ratio from `sample_pairs` deterministic
+/// SplitMix64-drawn (i, j) cells: the ratio of the sampled mean of
+/// (R^T R - A)_{ij}^2 to the sampled mean of A_{ij}^2 converges to the
+/// squared Frobenius ratio.  O(sample_pairs * n) — this is what makes the
+/// metric affordable on the large-n tier.  `auto_mode` picks exact up to
+/// auto_exact_max_n and sampled beyond.
+struct BerrOptions {
+  enum class Mode { exact, sampled, auto_mode };
+  Mode mode = Mode::exact;
+  int sample_pairs = 4096;
+  int auto_exact_max_n = 2048;
+  std::uint64_t seed = 0x706f736974626572ull;  // any fixed value; replayable
+};
+
 /// Factorization backward error ||R^T R - A||_F / ||A||_F, evaluated in
-/// double (paper Fig. 10(b) metric).
+/// double (paper Fig. 10(b) metric).  Deterministic for any PSTAB_THREADS.
+template <class T>
+[[nodiscard]] double factorization_backward_error(
+    const Dense<T>& A, const Dense<T>& R, const BerrOptions& opt) {
+  using st = scalar_traits<T>;
+  const int n = A.rows();
+  if (n == 0) return 0.0;
+  const bool sampled =
+      opt.mode == BerrOptions::Mode::sampled ||
+      (opt.mode == BerrOptions::Mode::auto_mode && n > opt.auto_exact_max_n);
+  if (sampled) {
+    const std::size_t m = std::size_t(opt.sample_pairs > 0
+                                          ? opt.sample_pairs
+                                          : 1);
+    // One slot per sample: every sample's contribution lands at its own
+    // index, and the final reduction walks the slots in ascending order —
+    // the double sums round identically no matter how tiles map to threads.
+    std::vector<double> nums(m, 0.0), dens(m, 0.0);
+    const auto sample = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t s = lo; s < hi; ++s) {
+        SplitMix64 rng(splitmix_mix(opt.seed, s));
+        const int i = int(rng.below(std::uint64_t(n)));
+        const int j = int(rng.below(std::uint64_t(n)));
+        double rtr = 0;
+        const int kmax = i < j ? i : j;
+        for (int k = 0; k <= kmax; ++k)
+          rtr += st::to_double(R(k, i)) * st::to_double(R(k, j));
+        const double a = st::to_double(A(i, j));
+        nums[s] = (rtr - a) * (rtr - a);
+        dens[s] = a * a;
+      }
+    };
+    pstab::parallel_tiles(m, 256, sample);
+    double num = 0, den = 0;
+    for (std::size_t s = 0; s < m; ++s) {
+      num += nums[s];
+      den += dens[s];
+    }
+    return den > 0 ? std::sqrt(num / den) : 0.0;
+  }
+  // Partial sums are accumulated per FIXED 128-row tile and combined in
+  // ascending tile order — even serial runs use the same grouping, so the
+  // (order-sensitive) double summation rounds identically for any thread
+  // count.  parallel_for over tile indices, not parallel_tiles: the latter
+  // would collapse a single-thread run into one big accumulation.
+  const std::size_t tile = 128;
+  const std::size_t ntiles = (std::size_t(n) + tile - 1) / tile;
+  std::vector<double> nums(ntiles, 0.0), dens(ntiles, 0.0);
+  pstab::parallel_for(ntiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile;
+    const std::size_t hi = lo + tile < std::size_t(n) ? lo + tile
+                                                      : std::size_t(n);
+    double num = 0, den = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double rtr = 0;
+        const int kmax = int(i) < j ? int(i) : j;
+        for (int k = 0; k <= kmax; ++k)
+          rtr += st::to_double(R(k, int(i))) * st::to_double(R(k, j));
+        const double a = st::to_double(A(int(i), j));
+        num += (rtr - a) * (rtr - a);
+        den += a * a;
+      }
+    }
+    nums[t] = num;
+    dens[t] = den;
+  });
+  double num = 0, den = 0;
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    num += nums[t];
+    den += dens[t];
+  }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
 template <class T>
 [[nodiscard]] double factorization_backward_error(const Dense<T>& A,
                                                   const Dense<T>& R) {
-  const int n = A.rows();
-  double num = 0, den = 0;
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      double rtr = 0;
-      const int kmax = i < j ? i : j;
-      for (int k = 0; k <= kmax; ++k)
-        rtr += scalar_traits<T>::to_double(R(k, i)) *
-               scalar_traits<T>::to_double(R(k, j));
-      const double a = scalar_traits<T>::to_double(A(i, j));
-      num += (rtr - a) * (rtr - a);
-      den += a * a;
-    }
-  }
-  return den > 0 ? std::sqrt(num / den) : 0.0;
+  return factorization_backward_error(A, R, BerrOptions{});
 }
 
 }  // namespace pstab::la

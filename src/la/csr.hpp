@@ -64,16 +64,25 @@ class Csr {
   [[nodiscard]] const std::vector<int>& col_idx() const noexcept { return col_; }
   [[nodiscard]] const std::vector<T>& values() const noexcept { return val_; }
 
-  /// y = A * x with per-operation rounding in T.
+  /// y = A * x with per-operation rounding in T.  Large matrices are
+  /// row-partitioned over fixed index-owned tiles (kernels.hpp thresholds);
+  /// each row's chain is self-contained, so the bytes never depend on the
+  /// thread count.
   void spmv(const Vec<T>& x, Vec<T>& y) const {
     assert(int(x.size()) == cols_);
     y.assign(rows_, scalar_traits<T>::zero());
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < rows_; ++i) {
-      T s = scalar_traits<T>::zero();
-      for (int k = ptr_[i]; k < ptr_[i + 1]; ++k) s += val_[k] * x[col_[k]];
-      y[i] = s;
-    }
+    const auto run = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        T s = scalar_traits<T>::zero();
+        for (int k = ptr_[i]; k < ptr_[i + 1]; ++k) s += val_[k] * x[col_[k]];
+        y[i] = s;
+      }
+    };
+    if (rows_ >= kernels::kParMinSparseRows)
+      pstab::parallel_tiles(std::size_t(rows_),
+                            std::size_t(kernels::kSparseRowTile), run);
+    else
+      run(0, std::size_t(rows_));
   }
 
   [[nodiscard]] Vec<T> operator*(const Vec<T>& x) const {

@@ -31,17 +31,26 @@ class Dense {
   [[nodiscard]] const std::vector<T>& data() const noexcept { return a_; }
   [[nodiscard]] std::vector<T>& data() noexcept { return a_; }
 
-  /// y = A * x, accumulating in T with per-operation rounding.
+  /// y = A * x, accumulating in T with per-operation rounding.  Large
+  /// matrices are row-partitioned over fixed index-owned tiles (kernels.hpp
+  /// thresholds); rows are independent, so the bytes never depend on the
+  /// thread count.
   void gemv(const Vec<T>& x, Vec<T>& y) const {
     assert(int(x.size()) == cols_);
     y.assign(rows_, scalar_traits<T>::zero());
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < rows_; ++i) {
-      T s = scalar_traits<T>::zero();
-      const T* row = &a_[std::size_t(i) * cols_];
-      for (int j = 0; j < cols_; ++j) s += row[j] * x[j];
-      y[i] = s;
-    }
+    const auto run = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        T s = scalar_traits<T>::zero();
+        const T* row = &a_[i * cols_];
+        for (int j = 0; j < cols_; ++j) s += row[j] * x[j];
+        y[i] = s;
+      }
+    };
+    if (std::size_t(rows_) * cols_ >= kernels::kParMinDenseWork)
+      pstab::parallel_tiles(std::size_t(rows_),
+                            std::size_t(kernels::kDenseRowTile), run);
+    else
+      run(0, std::size_t(rows_));
   }
 
   [[nodiscard]] Vec<T> operator*(const Vec<T>& x) const {

@@ -21,12 +21,14 @@
 //   * Everything else (double, float, Instrumented<T>, multiprecision types)
 //     reports supported == false and always takes the scalar path.
 //
-// Elementwise kernels and gemv/spmv row loops are OpenMP-chunked like the
-// scalar Dense::gemv/Csr::spmv already are; every index owns its output slot,
-// so results do not depend on the thread count.  Reduction chains (dot,
-// update_chain) stay sequential because their per-term rounding order is
-// semantic; the quire-fused dot parallelizes by chunked partial quires, which
-// merge exactly (quire addition is associative).
+// Threading: the kernels here are serial building blocks.  Row-partitioned
+// parallelism lives one level up (kernels.hpp drives gemv_range/spmv_range
+// over index-owned row tiles through common/parallel_for.hpp), so the
+// PSTAB_THREADS determinism contract is enforced in exactly one place.
+// Reduction chains (dot, update_chain, panel_update) stay sequential because
+// their per-term rounding order is semantic; the quire-fused dot parallelizes
+// by chunked partial quires, which merge exactly (quire addition is
+// associative).
 #pragma once
 
 #include <bit>
@@ -91,8 +93,7 @@ struct ops<Posit<N, ES>> {
 
   static void decode(const P* x, std::size_t n, Plane& pl) {
     pl.resize(n);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       const P p = x[i];
       if (p.is_zero()) {
         pl.flag[i] = kZero;
@@ -221,7 +222,7 @@ struct ops<Posit<N, ES>> {
     return update_chain(P::zero(), x, 1, y, 1, n, false);
   }
 
-  /// y += alpha * x (elementwise; each slot independent, OpenMP-chunked).
+  /// y += alpha * x (elementwise; each slot independent).
   static void axpy(P alpha, const P* x, P* y, std::size_t n) {
     if (alpha.is_nar()) {
       for (std::size_t i = 0; i < n; ++i) y[i] = P::nar();
@@ -234,8 +235,7 @@ struct ops<Posit<N, ES>> {
       return;
     }
     const U ua = decode1(alpha);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       const P xi = x[i];
       if (xi.is_nar()) {
         y[i] = P::nar();
@@ -270,8 +270,7 @@ struct ops<Posit<N, ES>> {
       return;
     }
     const U ua = decode1(alpha);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       const P xi = x[i];
       if (xi.is_zero() || xi.is_nar()) continue;
       const auto m = pstab::detail::mul_exact(decode1(xi), ua);
@@ -285,8 +284,7 @@ struct ops<Posit<N, ES>> {
     const bool bnar = beta.is_nar(), bzero = beta.is_zero();
     U ub{};
     if (!bnar && !bzero) ub = decode1(beta);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       const P xi = x[i], yi = y[i];
       if (bnar || yi.is_nar() || xi.is_nar()) {
         z[i] = P::nar();
@@ -361,25 +359,36 @@ struct ops<Posit<N, ES>> {
     y[i + 3] = n3 ? P::nar() : a3.value();
   }
 
-  /// y = A * x, row-major dense: x is decoded once and its plane amortized
-  /// across all rows, four rows in flight per pass.
-  static void gemv(const P* a, int rows, int cols, const P* x, P* y) {
-    Plane px;
-    decode(x, static_cast<std::size_t>(cols), px);
-    const int r4 = rows & ~3;
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < r4; i += 4) gemv_rows4(a, cols, px, i, y);
-    for (int i = r4; i < rows; ++i)
+  /// The x operand's decoded form, shared across row tiles by the parallel
+  /// drivers in kernels.hpp (decode once, fan rows out).
+  using XPlane = Plane;
+  static void decode_x(const P* x, std::size_t n, XPlane& px) {
+    decode(x, n, px);
+  }
+
+  /// Rows [r0, r1) of y = A * x against a pre-decoded x plane, four rows in
+  /// flight per pass.  Each row's chain is bit-identical to gemv_row, and
+  /// rows are independent, so any tiling of [0, rows) gives the same bytes.
+  static void gemv_range(const P* a, int cols, const Plane& px, P* y, int r0,
+                         int r1) {
+    int i = r0;
+    for (; i + 4 <= r1; i += 4) gemv_rows4(a, cols, px, i, y);
+    for (; i < r1; ++i)
       gemv_row(a + static_cast<std::size_t>(i) * cols, cols, px, y + i);
   }
 
-  /// y = A * x, CSR: the x plane is reused for every stored entry.
-  static void spmv(const P* val, const int* col, const int* ptr, int rows,
-                   int cols, const P* x, P* y) {
+  /// y = A * x, row-major dense: x is decoded once and its plane amortized
+  /// across all rows.
+  static void gemv(const P* a, int rows, int cols, const P* x, P* y) {
     Plane px;
     decode(x, static_cast<std::size_t>(cols), px);
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < rows; ++i) {
+    gemv_range(a, cols, px, y, 0, rows);
+  }
+
+  /// Rows [r0, r1) of CSR y = A * x against a pre-decoded x plane.
+  static void spmv_range(const P* val, const int* col, const int* ptr,
+                         const Plane& px, P* y, int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
       Acc acc;
       bool nar = false;
       for (int k = ptr[i]; k < ptr[i + 1]; ++k) {
@@ -393,6 +402,78 @@ struct ops<Posit<N, ES>> {
         acc.mac(decode1(v), px.get(col[k]), false);
       }
       y[i] = nar ? P::nar() : acc.value();
+    }
+  }
+
+  /// y = A * x, CSR: the x plane is reused for every stored entry.
+  static void spmv(const P* val, const int* col, const int* ptr, int rows,
+                   int cols, const P* x, P* y) {
+    Plane px;
+    decode(x, static_cast<std::size_t>(cols), px);
+    spmv_range(val, col, ptr, px, y, 0, rows);
+  }
+
+  /// Blocked-factorization trailing update.  For each row r in [r0, r1) and
+  /// column c in [tri ? max(c0, r) : c0, c1):
+  ///
+  ///   C[r*ldc + c] = update_chain(C[r*ldc + c],
+  ///                               a_rows + (r-r0)*lda, 1,
+  ///                               b_cols + (c-c0)*ldb, 1, k, subtract)
+  ///
+  /// The b panel is decoded once per call and each a slice once per row —
+  /// instead of twice per output element — and every chain runs through the
+  /// same Acc/mac cores as update_chain, so the bytes match the scalar chain
+  /// exactly.  Serial by design: callers tile the row range.
+  static void panel_update(P* C, std::size_t ldc, int r0, int r1, int c0,
+                           int c1, bool tri, const P* a_rows, std::size_t lda,
+                           const P* b_cols, std::size_t ldb, std::size_t k,
+                           bool subtract) {
+    const std::size_t ncols = static_cast<std::size_t>(c1 - c0);
+    Plane pb;
+    pb.resize(ncols * k);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const P* slice = b_cols + c * ldb;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t o = c * k + i;
+        const P p = slice[i];
+        if (p.is_zero()) {
+          pb.flag[o] = kZero;
+        } else if (p.is_nar()) {
+          pb.flag[o] = kNar;
+        } else {
+          const U u = decode1(p);
+          pb.frac[o] = u.frac;
+          pb.scale[o] = u.scale;
+          pb.flag[o] = u.sign ? kNeg : 0;
+        }
+      }
+    }
+    Plane pa;
+    for (int r = r0; r < r1; ++r) {
+      decode(a_rows + static_cast<std::size_t>(r - r0) * lda, k, pa);
+      P* crow = C + static_cast<std::size_t>(r) * ldc;
+      const int cs = tri && r > c0 ? r : c0;
+      for (int c = cs; c < c1; ++c) {
+        const P seed = crow[c];
+        if (seed.is_nar()) continue;  // NaR seed: the chain stays NaR
+        const std::size_t base = static_cast<std::size_t>(c - c0) * k;
+        Acc acc;
+        if (!seed.is_zero()) {
+          acc.u = decode1(seed);
+          acc.zero = false;
+        }
+        bool nar = false;
+        for (std::size_t i = 0; i < k; ++i) {
+          const unsigned char f = pa.flag[i] | pb.flag[base + i];
+          if (f & kNar) {
+            nar = true;
+            break;
+          }
+          if (f & kZero) continue;
+          acc.mac(pa.get(i), pb.get(base + i), subtract);
+        }
+        crow[c] = nar ? P::nar() : acc.value();
+      }
     }
   }
 
@@ -455,30 +536,33 @@ struct ops<SoftFloat<E, M>> {
 
   static void axpy(F alpha, const F* x, F* y, std::size_t n) {
     const double ad = alpha.to_double();
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    for (std::size_t i = 0; i < n; ++i)
       y[i] = F::from_double(y[i].to_double() + round1(ad * x[i].to_double()));
   }
 
   static void scal(F alpha, F* x, std::size_t n) {
     const double ad = alpha.to_double();
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    for (std::size_t i = 0; i < n; ++i)
       x[i] = F::from_double(x[i].to_double() * ad);
   }
 
   static void xpby(const F* x, F beta, const F* y, F* z, std::size_t n) {
     const double bd = beta.to_double();
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    for (std::size_t i = 0; i < n; ++i)
       z[i] = F::from_double(x[i].to_double() + round1(bd * y[i].to_double()));
   }
 
-  static void gemv(const F* a, int rows, int cols, const F* x, F* y) {
-    std::vector<double> xd(static_cast<std::size_t>(cols));
-    for (int j = 0; j < cols; ++j) xd[j] = x[j].to_double();
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < rows; ++i) {
+  /// Exact double image of the x operand (see the plane note above): shared
+  /// across row tiles by the parallel drivers in kernels.hpp.
+  using XPlane = std::vector<double>;
+  static void decode_x(const F* x, std::size_t n, XPlane& xd) {
+    xd.resize(n);
+    for (std::size_t j = 0; j < n; ++j) xd[j] = x[j].to_double();
+  }
+
+  static void gemv_range(const F* a, int cols, const XPlane& xd, F* y, int r0,
+                         int r1) {
+    for (int i = r0; i < r1; ++i) {
       const F* row = a + static_cast<std::size_t>(i) * cols;
       double s = 0.0;
       for (int j = 0; j < cols; ++j)
@@ -487,16 +571,56 @@ struct ops<SoftFloat<E, M>> {
     }
   }
 
-  static void spmv(const F* val, const int* col, const int* ptr, int rows,
-                   int cols, const F* x, F* y) {
-    std::vector<double> xd(static_cast<std::size_t>(cols));
-    for (int j = 0; j < cols; ++j) xd[j] = x[j].to_double();
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < rows; ++i) {
+  static void gemv(const F* a, int rows, int cols, const F* x, F* y) {
+    XPlane xd;
+    decode_x(x, static_cast<std::size_t>(cols), xd);
+    gemv_range(a, cols, xd, y, 0, rows);
+  }
+
+  static void spmv_range(const F* val, const int* col, const int* ptr,
+                         const XPlane& xd, F* y, int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
       double s = 0.0;
       for (int k = ptr[i]; k < ptr[i + 1]; ++k)
         s = round1(s + round1(val[k].to_double() * xd[col[k]]));
       y[i] = F::from_double(s);
+    }
+  }
+
+  static void spmv(const F* val, const int* col, const int* ptr, int rows,
+                   int cols, const F* x, F* y) {
+    XPlane xd;
+    decode_x(x, static_cast<std::size_t>(cols), xd);
+    spmv_range(val, col, ptr, xd, y, 0, rows);
+  }
+
+  /// Blocked-factorization trailing update; same contract as the posit
+  /// panel_update above, with the per-element chain exactly update_chain's
+  /// round1(mul) / round1(add) sequence.
+  static void panel_update(F* C, std::size_t ldc, int r0, int r1, int c0,
+                           int c1, bool tri, const F* a_rows, std::size_t lda,
+                           const F* b_cols, std::size_t ldb, std::size_t k,
+                           bool subtract) {
+    const std::size_t ncols = static_cast<std::size_t>(c1 - c0);
+    std::vector<double> bd(ncols * k);
+    for (std::size_t c = 0; c < ncols; ++c)
+      for (std::size_t i = 0; i < k; ++i)
+        bd[c * k + i] = b_cols[c * ldb + i].to_double();
+    std::vector<double> ad(k);
+    for (int r = r0; r < r1; ++r) {
+      const F* arow = a_rows + static_cast<std::size_t>(r - r0) * lda;
+      for (std::size_t i = 0; i < k; ++i) ad[i] = arow[i].to_double();
+      F* crow = C + static_cast<std::size_t>(r) * ldc;
+      const int cs = tri && r > c0 ? r : c0;
+      for (int c = cs; c < c1; ++c) {
+        double t = crow[c].to_double();
+        const double* bs = bd.data() + static_cast<std::size_t>(c - c0) * k;
+        for (std::size_t i = 0; i < k; ++i) {
+          const double m = round1(ad[i] * bs[i]);
+          t = round1(subtract ? t - m : t + m);
+        }
+        crow[c] = F::from_double(t);
+      }
     }
   }
 };

@@ -40,6 +40,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/parallel_for.hpp"
 #include "common/scalar_traits.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "la/kernels/batched.hpp"
@@ -107,10 +108,28 @@ inline void set_default_backend(Backend b) noexcept {
 /// core::SolveRequest down to every kernel invocation.
 struct Context {
   Backend backend = Backend::Auto;
+  /// Factorization panel width for the blocked Cholesky/LU paths: 0 = auto
+  /// (blocked above a size threshold with a picked width — see
+  /// la/blocked.hpp), >= 1 forces that width (1 degenerates to rank-1
+  /// panels).  Blocked and unblocked factors are bit-identical for every
+  /// format, so this is purely a performance knob; it still participates in
+  /// SolveRequest::batch_key so cached artifacts stay honestly keyed.
+  int block = 0;
 };
 
 /// Below this length Auto stays scalar: plane setup isn't worth it.
 inline constexpr std::size_t kAutoMinN = 8;
+
+/// Row-partition thresholds for the parallel BLAS-2 drivers below.  Under
+/// the threshold the row loop runs inline (fork-join overhead dominates);
+/// over it, rows are fanned out in fixed index-owned tiles through
+/// pstab::parallel_tiles.  Every row's chain is self-contained, so the
+/// parallel and serial paths — and any PSTAB_THREADS count — produce
+/// byte-identical vectors.
+inline constexpr int kParMinSparseRows = 8192;
+inline constexpr int kSparseRowTile = 2048;
+inline constexpr std::size_t kParMinDenseWork = std::size_t(1) << 20;
+inline constexpr int kDenseRowTile = 256;
 
 /// The vector-backend dispatch predicate (exposed so tests can pin the
 /// routing itself).  True only when a vector ISA is actually active: an
@@ -288,40 +307,207 @@ template <class T>
 }
 
 // ---------------------------------------------------------------------------
+// Blocked-factorization panel updates
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Scalar core shared by gemm_update/syrk_update: for each row r in [r0, r1)
+/// and column c in [tri ? max(c0, r) : c0, c1) run the per-element chain
+///   C[r*ldc + c] = chain(C[r*ldc + c] ∓ a_rows[r][i] * b_cols[c][i])
+/// with slice r at a_rows + (r-r0)*lda and slice c at b_cols + (c-c0)*ldb.
+/// Four columns are kept in flight for ILP; the chains are independent, so
+/// interleaving them never reassociates a chain — every element's rounding
+/// sequence is exactly the scalar update_chain's.
+template <class T>
+void panel_update_scalar(T* C, std::size_t ldc, int r0, int r1, int c0,
+                         int c1, bool tri, const T* a_rows, std::size_t lda,
+                         const T* b_cols, std::size_t ldb, std::size_t k,
+                         bool subtract) {
+  for (int r = r0; r < r1; ++r) {
+    const T* a = a_rows + static_cast<std::size_t>(r - r0) * lda;
+    T* crow = C + static_cast<std::size_t>(r) * ldc;
+    const int cs = tri && r > c0 ? r : c0;
+    int c = cs;
+    for (; c + 4 <= c1; c += 4) {
+      const T* b0 = b_cols + static_cast<std::size_t>(c - c0) * ldb;
+      const T* b1 = b0 + ldb;
+      const T* b2 = b1 + ldb;
+      const T* b3 = b2 + ldb;
+      T t0 = crow[c], t1 = crow[c + 1], t2 = crow[c + 2], t3 = crow[c + 3];
+      if (subtract) {
+        for (std::size_t i = 0; i < k; ++i) {
+          const T ai = a[i];
+          t0 -= ai * b0[i];
+          t1 -= ai * b1[i];
+          t2 -= ai * b2[i];
+          t3 -= ai * b3[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < k; ++i) {
+          const T ai = a[i];
+          t0 += ai * b0[i];
+          t1 += ai * b1[i];
+          t2 += ai * b2[i];
+          t3 += ai * b3[i];
+        }
+      }
+      crow[c] = t0;
+      crow[c + 1] = t1;
+      crow[c + 2] = t2;
+      crow[c + 3] = t3;
+    }
+    for (; c < c1; ++c) {
+      const T* b = b_cols + static_cast<std::size_t>(c - c0) * ldb;
+      T t = crow[c];
+      if (subtract) {
+        for (std::size_t i = 0; i < k; ++i) t -= a[i] * b[i];
+      } else {
+        for (std::size_t i = 0; i < k; ++i) t += a[i] * b[i];
+      }
+      crow[c] = t;
+    }
+  }
+}
+
+template <class T>
+void panel_update(const Context& c, T* C, std::size_t ldc, int r0, int r1,
+                  int c0, int c1, bool tri, const T* a_rows, std::size_t lda,
+                  const T* b_cols, std::size_t ldb, std::size_t k,
+                  bool subtract) {
+  if (r1 <= r0 || c1 <= c0 || k == 0) return;
+  if constexpr (simd::ops<T>::supported) {
+    if (use_simd<T>(c, k)) {
+      const auto& tbl = simd::ops<T>::table(*simd::active_tables());
+      for (int r = r0; r < r1; ++r) {
+        const T* a = a_rows + static_cast<std::size_t>(r - r0) * lda;
+        T* crow = C + static_cast<std::size_t>(r) * ldc;
+        const int cs = tri && r > c0 ? r : c0;
+        for (int cc = cs; cc < c1; ++cc)
+          crow[cc] = tbl.update_chain(
+              crow[cc], a, 1, b_cols + static_cast<std::size_t>(cc - c0) * ldb,
+              1, k, subtract);
+      }
+      return;
+    }
+  }
+  if constexpr (batched::ops<T>::supported) {
+    if (use_batched<T>(c, k)) {
+      batched::ops<T>::panel_update(C, ldc, r0, r1, c0, c1, tri, a_rows, lda,
+                                    b_cols, ldb, k, subtract);
+      return;
+    }
+  }
+  panel_update_scalar(C, ldc, r0, r1, c0, c1, tri, a_rows, lda, b_cols, ldb,
+                      k, subtract);
+}
+
+}  // namespace detail
+
+/// Rectangular trailing-submatrix update for blocked LU: every element
+/// (r, c) with r in [r0, r1), c in [c0, c1) runs its own multiply-subtract
+/// chain over k packed panel terms (slice layout in panel_update_scalar's
+/// doc).  All three backend legs are pinned bit-identical to the scalar
+/// chain; the kernel itself is serial — callers tile the row range through
+/// pstab::parallel_tiles for the deterministic parallel path.
+template <class T>
+void gemm_update(const Context& c, T* C, std::size_t ldc, int r0, int r1,
+                 int c0, int c1, const T* a_rows, std::size_t lda,
+                 const T* b_cols, std::size_t ldb, std::size_t k,
+                 bool subtract) {
+  detail::panel_update(c, C, ldc, r0, r1, c0, c1, /*tri=*/false, a_rows, lda,
+                       b_cols, ldb, k, subtract);
+}
+
+/// Triangular (upper) variant for blocked Cholesky: column start is
+/// max(c0, r), so only the upper trailing triangle is touched.
+template <class T>
+void syrk_update(const Context& c, T* C, std::size_t ldc, int r0, int r1,
+                 int c0, int c1, const T* a_rows, std::size_t lda,
+                 const T* b_cols, std::size_t ldb, std::size_t k,
+                 bool subtract) {
+  detail::panel_update(c, C, ldc, r0, r1, c0, c1, /*tri=*/true, a_rows, lda,
+                       b_cols, ldb, k, subtract);
+}
+
+// ---------------------------------------------------------------------------
 // BLAS-2
 // ---------------------------------------------------------------------------
 
-/// y = A * x for dense row-major A.
+/// y = A * x for dense row-major A, row-partitioned over fixed tiles when
+/// the matrix is large enough to pay for the fork-join.
 template <class T>
 void gemv(const Context& c, const Dense<T>& A, const Vec<T>& x, Vec<T>& y) {
+  const int rows = A.rows();
+  const int cols = A.cols();
+  const bool par = static_cast<std::size_t>(rows) *
+                       static_cast<std::size_t>(cols) >=
+                   kParMinDenseWork;
   if constexpr (simd::ops<T>::supported) {
     if (use_simd<T>(c, x.size())) {
-      y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());
-      simd::ops<T>::table(*simd::active_tables())
-          .gemv(A.data().data(), A.rows(), A.cols(), x.data(), y.data());
+      y.assign(static_cast<std::size_t>(rows), scalar_traits<T>::zero());
+      const auto& tbl = simd::ops<T>::table(*simd::active_tables());
+      const T* a = A.data().data();
+      if (par) {
+        pstab::parallel_tiles(
+            static_cast<std::size_t>(rows),
+            static_cast<std::size_t>(kDenseRowTile),
+            [&](std::size_t lo, std::size_t hi) {
+              tbl.gemv(a + lo * static_cast<std::size_t>(cols),
+                       static_cast<int>(hi - lo), cols, x.data(),
+                       y.data() + lo);
+            });
+      } else {
+        tbl.gemv(a, rows, cols, x.data(), y.data());
+      }
       return;
     }
   }
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size())) {
-      y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());
-      batched::ops<T>::gemv(A.data().data(), A.rows(), A.cols(), x.data(),
-                            y.data());
+      y.assign(static_cast<std::size_t>(rows), scalar_traits<T>::zero());
+      typename batched::ops<T>::XPlane px;
+      batched::ops<T>::decode_x(x.data(), x.size(), px);
+      const T* a = A.data().data();
+      if (par) {
+        pstab::parallel_tiles(
+            static_cast<std::size_t>(rows),
+            static_cast<std::size_t>(kDenseRowTile),
+            [&](std::size_t lo, std::size_t hi) {
+              batched::ops<T>::gemv_range(a, cols, px, y.data(),
+                                          static_cast<int>(lo),
+                                          static_cast<int>(hi));
+            });
+      } else {
+        batched::ops<T>::gemv_range(a, cols, px, y.data(), 0, rows);
+      }
       return;
     }
   }
   A.gemv(x, y);
 }
 
-/// y = A * x for CSR A.
+/// y = A * x for CSR A: the x plane is decoded once and shared across the
+/// row tiles.
 template <class T>
 void spmv(const Context& c, const Csr<T>& A, const Vec<T>& x, Vec<T>& y) {
   if constexpr (batched::ops<T>::supported) {
     if (use_batched<T>(c, x.size())) {
-      y.assign(static_cast<std::size_t>(A.rows()), scalar_traits<T>::zero());
-      batched::ops<T>::spmv(A.values().data(), A.col_idx().data(),
-                            A.row_ptr().data(), A.rows(), A.cols(), x.data(),
-                            y.data());
+      const int rows = A.rows();
+      y.assign(static_cast<std::size_t>(rows), scalar_traits<T>::zero());
+      typename batched::ops<T>::XPlane px;
+      batched::ops<T>::decode_x(x.data(), x.size(), px);
+      const auto run = [&](std::size_t lo, std::size_t hi) {
+        batched::ops<T>::spmv_range(A.values().data(), A.col_idx().data(),
+                                    A.row_ptr().data(), px, y.data(),
+                                    static_cast<int>(lo),
+                                    static_cast<int>(hi));
+      };
+      if (rows >= kParMinSparseRows)
+        pstab::parallel_tiles(static_cast<std::size_t>(rows),
+                              static_cast<std::size_t>(kSparseRowTile), run);
+      else
+        run(0, static_cast<std::size_t>(rows));
       return;
     }
   }

@@ -4,12 +4,26 @@
 // which are scaled similarly to the initial matrix"); LU is also what
 // Gustafson's original posit showcase (Gaussian elimination + one step of
 // quire-fused refinement, §III) needs, which bench/ext_gustafson recreates.
+//
+// Two schedules produce the same bits (la/blocked.hpp has the argument):
+//  - lu_factor_unblocked: the reference right-looking loops with eager
+//    rank-1 trailing updates.
+//  - lu_factor_blocked: panels of `block` columns, each column brought
+//    current with panel-local prefix chains (the terms from columns before
+//    the panel were applied by earlier trailing updates), then one
+//    kernels::gemm_update applies the panel's rank-`block` terms to the
+//    trailing submatrix.  Pivot scans see identical column values at
+//    identical steps, so the pivot choices, the permutation, and every
+//    status / failed_column match the unblocked path bit for bit.
+// lu_factor() dispatches on Context::block (0 = auto).
 #pragma once
 
 #include <numeric>
 #include <optional>
 #include <vector>
 
+#include "common/parallel_for.hpp"
+#include "la/blocked.hpp"
 #include "la/dense.hpp"
 
 namespace pstab::la {
@@ -39,7 +53,7 @@ struct LuResult {
 
 /// Right-looking LU with partial (row) pivoting, all arithmetic in T.
 template <class T>
-[[nodiscard]] LuResult<T> lu_factor(const Dense<T>& A) {
+[[nodiscard]] LuResult<T> lu_factor_unblocked(const Dense<T>& A) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   LuResult<T> res;
@@ -89,12 +103,22 @@ template <class T>
       }
     }
     const T pivot = M(k, k);
-#pragma omp parallel for schedule(static)
-    for (int i = k + 1; i < n; ++i) {
-      const T l = M(i, k) / pivot;
-      M(i, k) = l;
-      for (int j = k + 1; j < n; ++j) M(i, j) -= l * M(k, j);
-    }
+    // Divide + rank-1 trailing update; each row i is a self-contained chain,
+    // so large trailing blocks fan out over fixed row tiles deterministically.
+    const std::size_t span_i = std::size_t(n - k - 1);
+    const auto elim = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t q = lo; q < hi; ++q) {
+        const int i = k + 1 + int(q);
+        const T l = M(i, k) / pivot;
+        M(i, k) = l;
+        for (int j = k + 1; j < n; ++j) M(i, j) -= l * M(k, j);
+      }
+    };
+    if (span_i >= blocked::kParMinTrailRows &&
+        span_i * std::size_t(n - k) >= blocked::kParMinPanelSpan)
+      pstab::parallel_tiles(span_i, blocked::kTrailTile, elim);
+    else
+      elim(0, span_i);
     for (int i = k + 1; i < n; ++i) {
       if (!st::finite(M(i, k))) {
         res.status = LuStatus::arithmetic_error;
@@ -104,6 +128,164 @@ template <class T>
     }
   }
   return res;
+}
+
+/// Blocked right-looking LU with partial pivoting: bit-identical to
+/// lu_factor_unblocked (factor, permutation, status, failed_column) for
+/// every format and backend, with the bulk of the flops in
+/// kernels::gemm_update over a packed U panel.
+///
+/// Per panel column k (panel [p, pe)):
+///  1. bring column k current for rows [k, n): panel-local prefix chains
+///     over m in [p, k) — the m < p terms were applied by earlier trailing
+///     updates;
+///  2. pivot scan (identical order and finite checks);
+///  3. swap full physical rows (exact; both variants swap eagerly);
+///  4. bring row k current for columns (k, n) with the same prefix, then
+///     run the pivot-row finite check;
+///  5. divide column k by the pivot, then the L-column finite check.
+/// After the panel, one gemm_update applies the panel's terms to the
+/// trailing submatrix, row-tiled over threads.
+template <class T>
+[[nodiscard]] LuResult<T> lu_factor_blocked(const Dense<T>& A,
+                                            const kernels::Context& kc,
+                                            int block) {
+  using st = scalar_traits<T>;
+  const int n = A.rows();
+  const int nb = block > 0 ? (block < n ? block : n) : blocked::pick_block(n);
+  LuResult<T> res;
+  res.lu = A;
+  res.perm.resize(n);
+  std::iota(res.perm.begin(), res.perm.end(), 0);
+  Dense<T>& M = res.lu;
+  T* md = M.data().data();
+  std::vector<T> upanel;  // packed U panel: slice c (c >= pe) holds
+                          // M(p .. pe-1, c) contiguously
+  for (int p = 0; p < n; p += nb) {
+    const int pe = p + nb < n ? p + nb : n;
+    const int w = pe - p;
+    for (int k = p; k < pe; ++k) {
+      if (k > p) {
+        // 1. Column k, rows [k, n): chain m in [p, k) of  -L(i,m) * U(m,k).
+        const std::size_t span = std::size_t(n - k);
+        const auto col_sweep = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t q = lo; q < hi; ++q) {
+            const int i = k + int(q);
+            M(i, k) = kernels::update_chain(
+                kc, M(i, k), md + std::size_t(i) * n + p, 1,
+                md + std::size_t(p) * n + k, n, std::size_t(k - p),
+                /*subtract=*/true);
+          }
+        };
+        if (span >= blocked::kParMinPanelSpan)
+          pstab::parallel_tiles(span, blocked::kPanelTile, col_sweep);
+        else
+          col_sweep(0, span);
+      }
+      // 2. Pivot scan — same order, same checks as the unblocked loop.
+      int piv = k;
+      double best = -1.0;
+      for (int i = k; i < n; ++i) {
+        if (!st::finite(M(i, k))) {
+          res.status = LuStatus::arithmetic_error;
+          res.failed_column = k;
+          return res;
+        }
+        const double v = std::fabs(st::to_double(M(i, k)));
+        if (v > best) {
+          best = v;
+          piv = i;
+        }
+      }
+      if (!(best > 0.0)) {
+        res.status = LuStatus::singular;
+        res.failed_column = k;
+        return res;
+      }
+      // 3. Full physical row swap — exact, identical to unblocked.
+      if (piv != k) {
+        for (int j = 0; j < n; ++j) std::swap(M(k, j), M(piv, j));
+        std::swap(res.perm[k], res.perm[piv]);
+      }
+      if (k > p) {
+        // 4. Row k, columns (k, n): chain m in [p, k) of  -L(k,m) * U(m,j).
+        //    (The swapped-in row's L entries were divided at their steps, so
+        //    this reads exactly the values the unblocked updates used.)
+        const std::size_t span = std::size_t(n - k - 1);
+        const auto row_sweep = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t q = lo; q < hi; ++q) {
+            const int j = k + 1 + int(q);
+            M(k, j) = kernels::update_chain(
+                kc, M(k, j), md + std::size_t(k) * n + p, 1,
+                md + std::size_t(p) * n + j, n, std::size_t(k - p),
+                /*subtract=*/true);
+          }
+        };
+        if (span >= blocked::kParMinPanelSpan)
+          pstab::parallel_tiles(span, blocked::kPanelTile, row_sweep);
+        else
+          row_sweep(0, span);
+      }
+      for (int j = k + 1; j < n; ++j) {
+        if (!st::finite(M(k, j))) {
+          res.status = LuStatus::arithmetic_error;
+          res.failed_column = k;
+          return res;
+        }
+      }
+      // 5. Divide the L column; then the same ascending finite check.
+      const T pivot = M(k, k);
+      for (int i = k + 1; i < n; ++i) M(i, k) = M(i, k) / pivot;
+      for (int i = k + 1; i < n; ++i) {
+        if (!st::finite(M(i, k))) {
+          res.status = LuStatus::arithmetic_error;
+          res.failed_column = k;
+          return res;
+        }
+      }
+    }
+    if (pe < n) {
+      const std::size_t m = std::size_t(n - pe);
+      upanel.assign(m * w, st::zero());
+      const auto pack = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          T* dst = upanel.data() + q * w;
+          const int c = pe + int(q);
+          for (int i = 0; i < w; ++i) dst[i] = M(p + i, c);
+        }
+      };
+      if (m >= blocked::kParMinPanelSpan)
+        pstab::parallel_tiles(m, blocked::kPanelTile, pack);
+      else
+        pack(0, m);
+      // Trailing update: a-slice for row r is &M(r, p) (the row's L entries,
+      // naturally unit-stride), b-slice for column c is the packed U column.
+      const auto trail = [&](std::size_t lo, std::size_t hi) {
+        const int r0 = pe + int(lo);
+        kernels::gemm_update(kc, md, std::size_t(n), r0, pe + int(hi), pe, n,
+                             md + std::size_t(r0) * n + p, std::size_t(n),
+                             upanel.data(), std::size_t(w), std::size_t(w),
+                             /*subtract=*/true);
+      };
+      if (m >= blocked::kParMinTrailRows)
+        pstab::parallel_tiles(m, blocked::kTrailTile, trail);
+      else
+        trail(0, m);
+    }
+  }
+  return res;
+}
+
+/// LU entry point: dispatches on kc.block (0 = auto, picks the blocked
+/// schedule above blocked::kAutoMinN; >= 1 forces that panel width, a width
+/// >= n or a small matrix runs the unblocked reference loops).  Both
+/// schedules are bit-identical, so callers never observe the dispatch.
+template <class T>
+[[nodiscard]] LuResult<T> lu_factor(const Dense<T>& A,
+                                    const kernels::Context& kc = {}) {
+  const int nb = blocked::effective_block(kc, A.rows());
+  if (nb > 0) return lu_factor_blocked(A, kc, nb);
+  return lu_factor_unblocked(A);
 }
 
 /// Solve A x = b given the factorization (forward + backward substitution).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <tuple>
 
 #include "la/cholesky.hpp"
 #include "la/norms.hpp"
@@ -219,11 +221,64 @@ GeneratedMatrix generate_general(const MatrixSpec& spec, int size_cap) {
   return g;
 }
 
+GeneratedMatrix generate_spd_sparse(const MatrixSpec& spec, int size_cap) {
+  GeneratedMatrix g;
+  g.spec = spec;
+  const int n = (size_cap > 0 && spec.n > size_cap) ? size_cap : spec.n;
+  g.n = n;
+  std::mt19937_64 rng(name_seed(spec.name));
+  std::uniform_real_distribution<double> jitter(0.7, 1.0);
+
+  const double per_row = double(spec.nnz) / spec.n;
+  int w = std::max(1, int(std::lround((per_row - 1.0) / 2.0)));
+  w = std::min(w, std::max(1, n / 4));
+
+  // Off-diagonal band, then a strictly dominant diagonal: with margin
+  // delta = 2/cond, Gershgorin puts the spectrum in
+  // [delta * rowsum, (2 + delta) * rowsum], so k(A) ~ cond by construction.
+  const double delta = spec.cond > 1.0 ? 2.0 / spec.cond : 1.0;
+  std::vector<std::tuple<int, int, double>> trips;
+  trips.reserve(std::size_t(n) * (2 * std::size_t(w) + 1));
+  std::vector<double> absrow(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 1; d <= w && i + d < n; ++d) {
+      const double v = -jitter(rng) / d;
+      trips.emplace_back(i, i + d, v);
+      trips.emplace_back(i + d, i, v);
+      absrow[i] += -v;
+      absrow[i + d] += -v;
+    }
+  }
+  double gersh_max = 0.0, gersh_min = std::numeric_limits<double>::max();
+  for (int i = 0; i < n; ++i) {
+    const double diag = absrow[i] * (1.0 + delta);
+    trips.emplace_back(i, i, diag);
+    gersh_max = std::max(gersh_max, diag + absrow[i]);
+    gersh_min = std::min(gersh_min, diag - absrow[i]);
+  }
+  // Scalar scaling places the Gershgorin upper edge at the published norm.
+  const double sigma = gersh_max > 0 ? spec.norm2 / gersh_max : 1.0;
+  for (auto& t : trips) std::get<2>(t) *= sigma;
+  g.lambda_max = gersh_max * sigma;
+  g.lambda_min = gersh_min * sigma;
+  g.csr = la::Csr<double>::from_triplets(n, n, std::move(trips));
+  // g.dense stays empty on purpose: the tier exists to avoid O(n^2) memory.
+  return g;
+}
+
 la::Vec<double> paper_rhs(const la::Dense<double>& A) {
   const int n = A.rows();
   la::Vec<double> xhat(n, 1.0 / std::sqrt(double(n)));
   la::Vec<double> b;
   A.gemv(xhat, b);
+  return b;
+}
+
+la::Vec<double> paper_rhs(const la::Csr<double>& A) {
+  const int n = A.rows();
+  la::Vec<double> xhat(n, 1.0 / std::sqrt(double(n)));
+  la::Vec<double> b;
+  A.spmv(xhat, b);
   return b;
 }
 

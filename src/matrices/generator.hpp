@@ -38,6 +38,11 @@ struct MatrixSpec {
   // SPD (Table I stand-ins, generate_spd) or general non-symmetric
   // (the LU-IR/GMRES-IR suite, generate_general).
   bool spd = true;
+  // Large-n tier (synth10k..synth100k): generated straight into CSR by
+  // generate_spd_sparse and never densified — GeneratedMatrix.dense stays
+  // empty (rows() == 0) because an n=10^5 dense matrix is 80 GB.  Consumers
+  // must use the csr member (experiments' RHS and CG paths do).
+  bool sparse_only = false;
 };
 
 struct GeneratedMatrix {
@@ -65,8 +70,19 @@ GeneratedMatrix generate_spd(const MatrixSpec& spec, int size_cap = 0);
 /// report the measured extreme singular values.
 GeneratedMatrix generate_general(const MatrixSpec& spec, int size_cap = 0);
 
+/// Large-n tier: a diagonally dominant jittered band Laplacian built
+/// directly in CSR (dense left empty).  SPD by strict diagonal dominance
+/// with margin 2/cond, so k(A) lands near spec.cond and CG converges in a
+/// bounded iteration count at any n; lambda_max / lambda_min are Gershgorin
+/// estimates, not measured.  O(nnz) construction — no dense spectral
+/// calibration — which is what lets n reach 10^5.
+GeneratedMatrix generate_spd_sparse(const MatrixSpec& spec, int size_cap = 0);
+
 /// The paper's right-hand side: b = A * xhat with xhat = (1/sqrt(n), ...)
 /// so that ||xhat|| = 1 (§V-A.1).
 la::Vec<double> paper_rhs(const la::Dense<double>& A);
+
+/// Same RHS from CSR (the sparse-only large-n tier has no dense image).
+la::Vec<double> paper_rhs(const la::Csr<double>& A);
 
 }  // namespace pstab::matrices

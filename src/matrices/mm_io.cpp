@@ -43,17 +43,76 @@ MmHeader parse_banner(const std::string& line) {
   return h;
 }
 
+/// Hands out whitespace-separated tokens from the data section, skipping
+/// blank lines and '%' comment lines wherever they appear and stripping the
+/// '\r' that CRLF repository files carry.
+class DataTokens {
+ public:
+  explicit DataTokens(std::istream& in) : in_(in) {}
+
+  /// Next data line (no tokenization) — used for the size line.
+  bool next_line(std::string& out) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t pos = line.find_first_not_of(" \t");
+      if (pos == std::string::npos) continue;  // blank
+      if (line[pos] == '%') continue;          // comment
+      out = line;
+      return true;
+    }
+    return false;
+  }
+
+  bool next(std::string& tok) {
+    while (!(cur_ >> tok)) {
+      std::string line;
+      if (!next_line(line)) return false;
+      cur_.clear();
+      cur_.str(line);
+    }
+    return true;
+  }
+
+  bool next_int(long& v) {
+    std::string tok;
+    if (!next(tok)) return false;
+    std::size_t used = 0;
+    try {
+      v = std::stol(tok, &used);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return used == tok.size();
+  }
+
+  bool next_double(double& v) {
+    std::string tok;
+    if (!next(tok)) return false;
+    std::size_t used = 0;
+    try {
+      v = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return used == tok.size();
+  }
+
+ private:
+  std::istream& in_;
+  std::istringstream cur_;
+};
+
 }  // namespace
 
-la::Csr<double> read_matrix_market(std::istream& in) {
+la::Csr<double> read_matrix_market(std::istream& in, MmHeader* header_out) {
   std::string line;
   if (!std::getline(in, line)) throw std::runtime_error("empty MM stream");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
   MmHeader h = parse_banner(line);
 
-  // Skip comments, read the size line.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
-  }
+  DataTokens toks(in);
+  if (!toks.next_line(line)) throw std::runtime_error("missing MM size line");
   {
     std::istringstream ss(line);
     if (h.coordinate) {
@@ -62,25 +121,38 @@ la::Csr<double> read_matrix_market(std::istream& in) {
     } else {
       if (!(ss >> h.rows >> h.cols))
         throw std::runtime_error("bad MM size line: " + line);
-      h.entries = long(h.rows) * h.cols;
+      if (h.symmetric) {
+        // Symmetric array files store only the lower triangle — the stored
+        // count is the triangle, not rows*cols (the old count over-read and
+        // rejected every valid symmetric array file as truncated).
+        if (h.rows != h.cols)
+          throw std::runtime_error("symmetric MM array must be square: " +
+                                   line);
+        h.entries = long(h.rows) * (h.rows + 1) / 2;
+      } else {
+        h.entries = long(h.rows) * h.cols;
+      }
     }
+    if (h.rows < 0 || h.cols < 0 || h.entries < 0)
+      throw std::runtime_error("bad MM size line: " + line);
   }
 
   std::vector<std::tuple<int, int, double>> trips;
   trips.reserve(std::size_t(h.entries) * (h.symmetric ? 2 : 1));
   if (h.coordinate) {
     for (long k = 0; k < h.entries; ++k) {
-      int i = 0, j = 0;
+      long i = 0, j = 0;
       double v = 1.0;
-      if (!(in >> i >> j)) throw std::runtime_error("truncated MM entries");
-      if (!h.pattern && !(in >> v))
+      if (!toks.next_int(i) || !toks.next_int(j))
+        throw std::runtime_error("truncated MM entries");
+      if (!h.pattern && !toks.next_double(v))
         throw std::runtime_error("truncated MM entries");
       --i;
       --j;  // 1-based -> 0-based
       if (i < 0 || i >= h.rows || j < 0 || j >= h.cols)
         throw std::runtime_error("MM index out of range");
-      trips.emplace_back(i, j, v);
-      if (h.symmetric && i != j) trips.emplace_back(j, i, v);
+      trips.emplace_back(int(i), int(j), v);
+      if (h.symmetric && i != j) trips.emplace_back(int(j), int(i), v);
     }
   } else {
     // Array format: column-major dense; symmetric stores the lower triangle.
@@ -88,7 +160,8 @@ la::Csr<double> read_matrix_market(std::istream& in) {
       const int istart = h.symmetric ? j : 0;
       for (int i = istart; i < h.rows; ++i) {
         double v = 0;
-        if (!(in >> v)) throw std::runtime_error("truncated MM array");
+        if (!toks.next_double(v))
+          throw std::runtime_error("truncated MM array");
         if (v != 0.0) {
           trips.emplace_back(i, j, v);
           if (h.symmetric && i != j) trips.emplace_back(j, i, v);
@@ -96,39 +169,73 @@ la::Csr<double> read_matrix_market(std::istream& in) {
       }
     }
   }
+  if (header_out) *header_out = h;
   return la::Csr<double>::from_triplets(h.rows, h.cols, std::move(trips));
 }
 
-la::Csr<double> read_matrix_market_file(const std::string& path) {
+la::Csr<double> read_matrix_market_file(const std::string& path,
+                                        MmHeader* header_out) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open " + path);
-  return read_matrix_market(f);
+  return read_matrix_market(f, header_out);
+}
+
+void write_matrix_market(std::ostream& out, const la::Csr<double>& m,
+                         const MmWriteOptions& opt) {
+  if (opt.pattern && !opt.coordinate)
+    throw std::runtime_error("MM pattern field requires coordinate format");
+  const char* field = opt.pattern ? "pattern" : "real";
+  const char* symmetry = opt.symmetric ? "symmetric" : "general";
+  out.precision(17);
+  if (opt.coordinate) {
+    long count = 0;
+    for (int i = 0; i < m.rows(); ++i)
+      for (int k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k)
+        if (!opt.symmetric || m.col_idx()[k] <= i) ++count;
+    out << "%%MatrixMarket matrix coordinate " << field << " " << symmetry
+        << "\n";
+    out << m.rows() << " " << m.cols() << " " << count << "\n";
+    for (int i = 0; i < m.rows(); ++i)
+      for (int k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k) {
+        const int j = m.col_idx()[k];
+        if (opt.symmetric && j > i) continue;
+        out << (i + 1) << " " << (j + 1);
+        if (!opt.pattern) out << " " << m.values()[k];
+        out << "\n";
+      }
+    return;
+  }
+  if (opt.symmetric && m.rows() != m.cols())
+    throw std::runtime_error("symmetric MM array must be square");
+  out << "%%MatrixMarket matrix array " << field << " " << symmetry << "\n";
+  out << m.rows() << " " << m.cols() << "\n";
+  const la::Dense<double> d = m.to_dense();
+  for (int j = 0; j < m.cols(); ++j) {
+    const int istart = opt.symmetric ? j : 0;
+    for (int i = istart; i < m.rows(); ++i) out << d(i, j) << "\n";
+  }
 }
 
 void write_matrix_market(std::ostream& out, const la::Csr<double>& m,
                          bool symmetric) {
-  long count = 0;
-  for (int i = 0; i < m.rows(); ++i)
-    for (int k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k)
-      if (!symmetric || m.col_idx()[k] <= i) ++count;
+  MmWriteOptions opt;
+  opt.symmetric = symmetric;
+  write_matrix_market(out, m, opt);
+}
 
-  out << "%%MatrixMarket matrix coordinate real "
-      << (symmetric ? "symmetric" : "general") << "\n";
-  out << m.rows() << " " << m.cols() << " " << count << "\n";
-  out.precision(17);
-  for (int i = 0; i < m.rows(); ++i)
-    for (int k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k) {
-      const int j = m.col_idx()[k];
-      if (symmetric && j > i) continue;
-      out << (i + 1) << " " << (j + 1) << " " << m.values()[k] << "\n";
-    }
+void write_matrix_market_file(const std::string& path,
+                              const la::Csr<double>& m,
+                              const MmWriteOptions& opt) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  write_matrix_market(f, m, opt);
 }
 
 void write_matrix_market_file(const std::string& path,
                               const la::Csr<double>& m, bool symmetric) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open " + path);
-  write_matrix_market(f, m, symmetric);
+  MmWriteOptions opt;
+  opt.symmetric = symmetric;
+  write_matrix_market_file(path, m, opt);
 }
 
 }  // namespace pstab::matrices

@@ -3,6 +3,10 @@
 // matrices come from the Matrix Market repository; when the files are present
 // (PSTAB_MTX_DIR) they are loaded here, otherwise the synthetic suite stands
 // in (see generator.hpp and DESIGN.md's substitution note).
+//
+// The reader is line-based and deliberately tolerant of what real repository
+// files contain: CRLF line endings, and comment ('%') or blank lines anywhere
+// after the banner — including between the size line and the data.
 #pragma once
 
 #include <iosfwd>
@@ -19,21 +23,41 @@ struct MmHeader {
   bool pattern = false;     // entries are implicit 1.0
   bool symmetric = false;   // lower triangle stored; mirror on read
   int rows = 0, cols = 0;
-  long entries = 0;  // stored entries (coordinate) or rows*cols (array)
+  long entries = 0;  // STORED entries: the size-line count (coordinate),
+                     // rows*cols (general array), or the lower-triangle
+                     // count rows*(rows+1)/2 (symmetric array)
 };
 
 /// Parse a full Matrix Market stream into a CSR matrix (symmetric storage is
-/// expanded).  Throws std::runtime_error on malformed input.
-la::Csr<double> read_matrix_market(std::istream& in);
+/// expanded).  Throws std::runtime_error on malformed input.  When
+/// `header_out` is non-null it receives the parsed header (format flags and
+/// the stored-entry count) — tests and tools use it to check what was read.
+la::Csr<double> read_matrix_market(std::istream& in,
+                                   MmHeader* header_out = nullptr);
 
 /// Convenience: load from a file path.
-la::Csr<double> read_matrix_market_file(const std::string& path);
+la::Csr<double> read_matrix_market_file(const std::string& path,
+                                        MmHeader* header_out = nullptr);
 
-/// Write in coordinate/real format; when `symmetric`, only the lower triangle
-/// is emitted (caller asserts the matrix is symmetric).
+struct MmWriteOptions {
+  bool coordinate = true;  // false: array (dense, column-major)
+  bool pattern = false;    // coordinate only: emit indices, no values
+  bool symmetric = false;  // emit the lower triangle only (caller asserts
+                           // the matrix is symmetric)
+};
+
+/// Write `m` in the requested Matrix Market flavor.  pattern + array is
+/// rejected (the MM spec has no dense pattern format).
+void write_matrix_market(std::ostream& out, const la::Csr<double>& m,
+                         const MmWriteOptions& opt);
+
+/// Back-compat shorthand: coordinate/real, optionally symmetric.
 void write_matrix_market(std::ostream& out, const la::Csr<double>& m,
                          bool symmetric);
 
+void write_matrix_market_file(const std::string& path,
+                              const la::Csr<double>& m,
+                              const MmWriteOptions& opt);
 void write_matrix_market_file(const std::string& path,
                               const la::Csr<double>& m, bool symmetric);
 

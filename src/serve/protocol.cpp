@@ -371,6 +371,9 @@ bool request_from_json(std::string_view text, Request& out, std::string& err) {
         return type_error(err, key,
                           "\"scalar\", \"batched\", \"simd\" or \"auto\"");
       out.solve.backend = b;
+    } else if (key == "block") {
+      if (!v.is_uint()) return type_error(err, key, "a non-negative integer");
+      out.solve.block = int(v.as_uint());
     } else if (key == "precision") {
       // The (u_f, u, u_r) triple as a nested object; unknown or non-string
       // members are rejected with the same name-the-offender strictness as
@@ -422,6 +425,7 @@ std::string request_to_json(const Request& req) {
     w.key("resilience").value(s.resilience);
     w.key("rhs_seed").value(std::uint64_t(s.rhs_seed));
     w.key("kernels").value(la::kernels::to_string(s.backend));
+    w.key("block").value(s.block);
     w.key("precision").begin_object();
     w.key("factor").value(s.precision.factor);
     w.key("working").value(s.precision.working);

@@ -1,0 +1,175 @@
+// Large-n tier smoke (ctest -L slow): the synth10k sparse generator, CG on
+// an order-10^4 system, blocked-vs-unblocked factor identity at sizes where
+// every parallel gate in la/blocked.hpp actually opens, and byte-identical
+// artifacts across PSTAB_THREADS settings.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+#include "la/blocked.hpp"
+#include "la/cg.hpp"
+#include "la/cholesky.hpp"
+#include "la/csr.hpp"
+#include "la/lu.hpp"
+#include "matrices/generator.hpp"
+#include "matrices/suite.hpp"
+#include "posit/posit.hpp"
+
+namespace {
+
+using namespace pstab;
+using la::Dense;
+using la::Vec;
+
+struct ThreadsGuard {
+  ThreadsGuard(const char* v) { setenv("PSTAB_THREADS", v, 1); }
+  ~ThreadsGuard() { unsetenv("PSTAB_THREADS"); }
+};
+
+template <class T>
+bool bits_equal(const Vec<T>& a, const Vec<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+template <class T>
+bool bits_equal(const Dense<T>& a, const Dense<T>& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.data().empty() ||
+          std::memcmp(a.data().data(), b.data().data(),
+                      a.data().size() * sizeof(T)) == 0);
+}
+
+template <class T>
+Dense<T> rand_spd(int n, unsigned seed) {
+  // Diagonally dominant symmetric: cheap to build at n ~ 10^3 (no O(n^3)
+  // Gram product) and positive definite by Gershgorin.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Dense<T> A(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j <= i; ++j) {
+      const double v = (i == j) ? 2.0 * n : dist(rng);
+      A(i, j) = A(j, i) = scalar_traits<T>::from_double(v);
+    }
+  return A;
+}
+
+TEST(LargeTier, Synth10kSparseGenerationMatchesSpec) {
+  const auto spec = matrices::find_spec("synth10k");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->sparse_only);
+  const auto g = matrices::generate_spd_sparse(*spec);
+  EXPECT_EQ(g.n, 10000);
+  EXPECT_EQ(g.dense.rows(), 0);  // never densified: 10^4 dense is 800 MB
+  // Published nnz hit within the band construction's boundary slack.
+  EXPECT_NEAR(double(g.csr.nnz()), double(spec->nnz), 0.01 * spec->nnz);
+  EXPECT_GT(g.lambda_min, 0.0);
+  EXPECT_GT(g.lambda_max, g.lambda_min);
+}
+
+TEST(LargeTier, CgConvergesOnSynth10k) {
+  const auto g =
+      matrices::generate_spd_sparse(*matrices::find_spec("synth10k"));
+  const auto b = matrices::paper_rhs(g.csr);
+  Vec<double> x;
+  la::CgOptions opt;
+  const auto rep = la::cg_solve(g.csr, b, x, opt);
+  EXPECT_EQ(rep.status, la::SolveStatus::converged);
+  EXPECT_LE(rep.final_relres, opt.tol);
+  // The paper RHS encodes x = (1/sqrt(n), ...): the solve must recover it.
+  EXPECT_NEAR(x[0], 1.0 / 100.0, 1e-4);
+}
+
+TEST(LargeTier, CgOnSynth10kByteIdenticalAcrossThreadCounts) {
+  const auto g =
+      matrices::generate_spd_sparse(*matrices::find_spec("synth10k"));
+  const auto b = matrices::paper_rhs(g.csr);
+  Vec<double> x1, x8;
+  la::CgReport r1, r8;
+  {
+    ThreadsGuard t("1");
+    r1 = la::cg_solve(g.csr, b, x1);
+  }
+  {
+    ThreadsGuard t("8");
+    r8 = la::cg_solve(g.csr, b, x8);
+  }
+  EXPECT_TRUE(bits_equal(x1, x8));
+  EXPECT_EQ(r1.iterations, r8.iterations);
+  EXPECT_EQ(r1.final_relres, r8.final_relres);
+}
+
+TEST(LargeTier, SpmvByteIdenticalAcrossThreadCountsAtTenK) {
+  const auto g =
+      matrices::generate_spd_sparse(*matrices::find_spec("synth10k"));
+  Vec<double> x(g.n);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : x) v = dist(rng);
+  Vec<double> ref;
+  {
+    ThreadsGuard t("1");
+    g.csr.spmv(x, ref);
+  }
+  for (const char* threads : {"2", "8", "32"}) {
+    ThreadsGuard t(threads);
+    Vec<double> y;
+    g.csr.spmv(x, y);
+    EXPECT_TRUE(bits_equal(ref, y)) << "PSTAB_THREADS=" << threads;
+  }
+}
+
+TEST(LargeTier, BlockedIdenticalToUnblockedAtScaleDouble) {
+  // n = 1024: panel sweeps and trailing updates all cross their parallel
+  // thresholds, several panels deep.
+  const int n = 1024;
+  const auto A = rand_spd<double>(n, 61);
+  const auto u = la::cholesky_unblocked(A);
+  ASSERT_EQ(u.status, la::CholStatus::ok);
+  for (int block : {64, 128, 200}) {
+    const auto bres = la::cholesky_blocked(A, nullptr, {}, nullptr, block);
+    ASSERT_EQ(bres.status, la::CholStatus::ok);
+    EXPECT_TRUE(bits_equal(u.R, bres.R)) << "block=" << block;
+  }
+  std::mt19937_64 rng(62);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  Dense<double> G(n, n);
+  for (auto& v : G.data()) v = dist(rng);
+  const auto lu = la::lu_factor_unblocked(G);
+  ASSERT_EQ(lu.status, la::LuStatus::ok);
+  for (int block : {64, 128}) {
+    const auto lb = la::lu_factor_blocked(G, {}, block);
+    ASSERT_EQ(lb.status, la::LuStatus::ok);
+    EXPECT_EQ(lu.perm, lb.perm);
+    EXPECT_TRUE(bits_equal(lu.lu, lb.lu)) << "block=" << block;
+  }
+}
+
+TEST(LargeTier, BlockedIdenticalToUnblockedAtScalePosit) {
+  const int n = 320;
+  const auto A = rand_spd<Posit16_1>(n, 63);
+  const auto u = la::cholesky_unblocked(A);
+  ASSERT_EQ(u.status, la::CholStatus::ok);
+  const auto b = la::cholesky_blocked(A, nullptr, {}, nullptr, 96);
+  ASSERT_EQ(b.status, la::CholStatus::ok);
+  EXPECT_TRUE(bits_equal(u.R, b.R));
+}
+
+TEST(LargeTier, LargeSizeCapShrinksTheTier) {
+  // PSTAB_LARGE_SIZE_CAP caps the large tier only (CI boxes); per-row
+  // density is preserved, like PSTAB_SIZE_CAP for the Table I suite.
+  setenv("PSTAB_LARGE_SIZE_CAP", "500", 1);
+  EXPECT_EQ(matrices::large_size_cap(), 500);
+  const auto g = matrices::generate_spd_sparse(
+      *matrices::find_spec("synth10k"), matrices::large_size_cap());
+  unsetenv("PSTAB_LARGE_SIZE_CAP");
+  EXPECT_EQ(g.n, 500);
+  EXPECT_EQ(g.dense.rows(), 0);
+  EXPECT_GT(g.lambda_min, 0.0);
+}
+
+}  // namespace

@@ -72,7 +72,7 @@ int usage() {
                "  cg|chol|ir|lu-ir|gmres-ir also accept: --json <path>\n"
                "    --tol <v> --max-iter <n> --max-iter-per-n <n> --fused\n"
                "    --history --resilience --rhs-seed <s>\n"
-               "    --kernels scalar|batched|simd|auto\n"
+               "    --kernels scalar|batched|simd|auto --block <w>\n"
                "    --factor grid|f16|bf16|p16_1|p16_2|f32|p32_2\n"
                "    --working f64 --residual auto|f64|dd|quire\n"
                "  kernels also accepts: --json <path>\n"
@@ -146,6 +146,10 @@ int solver_prologue(core::Solver solver, int argc, char** argv,
     return bad_usage(std::string("solver '") + core::to_string(solver) +
                      "' requires an SPD matrix ('" + p.req.matrix +
                      "' is general; use lu-ir or gmres-ir)");
+  if (spec->sparse_only && solver != core::Solver::cg)
+    return bad_usage(std::string("solver '") + core::to_string(solver) +
+                     "' needs a dense image, but '" + p.req.matrix +
+                     "' is a sparse-only large-n matrix (use cg)");
   return 0;
 }
 

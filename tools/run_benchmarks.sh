@@ -7,6 +7,9 @@
 # Env:
 #   PSTAB_THREADS     worker count for the parallel columns (default: cores)
 #   PSTAB_BENCH_FULL  =1 also run the remaining figure/table benches
+#   PSTAB_BLOCKED_N   large-n size for perf_blocked (default 10000; set
+#                     2048 for a quick pass — the n=10^4 unblocked
+#                     reference run takes minutes by construction)
 #
 # Always runs fig6_cg, so every invocation leaves a schema-checked
 # RESULTS_cg.json (the acceptance artifact for the telemetry layer),
@@ -24,9 +27,9 @@ build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 1)" \
-  --target perf_ops perf_kernels fig6_cg fig7_cg_rescaled fig8_cholesky \
-           fig9_cholesky_rescaled table2_ir_naive table3_ir_higham \
-           table_lu_ir ablation_gmres_ir
+  --target perf_ops perf_kernels perf_blocked fig6_cg fig7_cg_rescaled \
+           fig8_cholesky fig9_cholesky_rescaled table2_ir_naive \
+           table3_ir_higham table_lu_ir ablation_gmres_ir
 
 cd "$build_dir"
 echo "== perf_ops: LUT vs scalar (writes BENCH_posit_ops.json) =="
@@ -34,6 +37,9 @@ echo "== perf_ops: LUT vs scalar (writes BENCH_posit_ops.json) =="
 
 echo "== perf_kernels: scalar vs batched backends (writes BENCH_kernels.json) =="
 ./bench/perf_kernels
+
+echo "== perf_blocked: blocked vs unblocked factorizations (writes BENCH_blocked.json) =="
+./bench/perf_blocked
 
 echo "== fig6_cg (writes RESULTS_cg.json) =="
 ./bench/fig6_cg
@@ -55,7 +61,8 @@ fi
 if command -v python3 >/dev/null 2>&1; then
   echo "== schema check =="
   python3 "$repo_root/tools/check_results_schema.py" \
-    "$build_dir"/RESULTS_*.json "$build_dir"/BENCH_kernels.json
+    "$build_dir"/RESULTS_*.json "$build_dir"/BENCH_kernels.json \
+    "$build_dir"/BENCH_blocked.json
 else
   echo "python3 not found; skipping results schema check"
 fi
