@@ -176,6 +176,12 @@ class TaskPool {
   [[nodiscard]] std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);
   }
+  /// Jobs submitted but not yet finished (queued + running) — the watermark
+  /// the serve engine's backpressure and hang watchdog reason about.
+  [[nodiscard]] std::size_t pending() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
   [[nodiscard]] std::uint64_t unhandled_exceptions() const noexcept {
     return unhandled_.load(std::memory_order_relaxed);
   }

@@ -1,0 +1,89 @@
+// core::Budget — cooperative deadlines in deterministic work units.
+//
+// A solver loop that can run away (CG stagnating at 15n iterations, GMRES-IR
+// on an ill-conditioned system, a large Cholesky factorization) ticks a
+// Budget once per unit of work — one iteration, one factorization column —
+// exactly the way it notifies a la::fault::Observer: through a nullable
+// pointer and an inline helper that is a plain null check when the feature is
+// off.  When the tick allowance runs out the solver stops where it is and
+// returns a partial SolveReport with status deadline_exceeded instead of
+// wedging the worker that runs it.
+//
+// Why ticks and not milliseconds: response bytes must be identical across
+// PSTAB_THREADS, machines, and warm/cold cache states (the serve engine's
+// core contract).  A deadline measured in wall time would trip at a different
+// iteration on every run; a deadline measured in iterations trips at the
+// same place always, so a budget-exceeded response is as deterministic as a
+// converged one.  The wall-clock backstop lives one layer up, in the serve
+// engine's watchdog (serve/engine.hpp): it flips the shared CancelToken,
+// which the next tick observes.  The watchdog is off by default and never
+// fires under test, so test bytes never depend on it.
+//
+// Threading: one Budget belongs to ONE solve (the experiment drivers create
+// one per grid cell, so parallel cells never share a tick counter — sharing
+// would make the trip point depend on scheduling).  A CancelToken is the
+// opposite: one per request, shared by every cell and the watchdog thread,
+// and only ever goes false -> true.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pstab::core {
+
+/// One-way cancellation flag, settable from another thread (the serve
+/// engine's hang watchdog).  Once set it stays set.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Deterministic work-unit deadline for one solve.  `max_ticks` 0 means
+/// unlimited (ticks only observe the cancel token); otherwise the
+/// (max_ticks + 1)-th tick fails and the solver returns its partial report.
+class Budget {
+ public:
+  enum class Stop { none, ticks, cancelled };
+
+  explicit Budget(std::uint64_t max_ticks,
+                  const CancelToken* cancel = nullptr) noexcept
+      : max_ticks_(max_ticks), cancel_(cancel) {}
+
+  /// Spend one work unit.  False means stop now: either the tick allowance
+  /// is exhausted (deterministic) or the cancel token fired (watchdog).
+  [[nodiscard]] bool tick() noexcept {
+    if (cancel_ && cancel_->cancelled()) {
+      stop_ = Stop::cancelled;
+      return false;
+    }
+    if (max_ticks_ > 0 && ++used_ > max_ticks_) {
+      stop_ = Stop::ticks;
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] Stop stop() const noexcept { return stop_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t max_ticks() const noexcept { return max_ticks_; }
+
+ private:
+  std::uint64_t max_ticks_ = 0;
+  std::uint64_t used_ = 0;
+  const CancelToken* cancel_ = nullptr;
+  Stop stop_ = Stop::none;
+};
+
+/// The solver-side hook, mirroring la::fault::on_iteration: a null budget is
+/// a single branch, so un-budgeted solves pay nothing.  True = keep going.
+[[nodiscard]] inline bool budget_tick(Budget* b) noexcept {
+  return b == nullptr || b->tick();
+}
+
+}  // namespace pstab::core

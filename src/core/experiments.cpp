@@ -25,6 +25,26 @@ SolveRequest pinned(const SolveRequest& req, Solver s) {
   r.solver = s;
   return r;
 }
+
+/// True when the request carries a deadline (tick budget or a live cancel
+/// token).  Budgeted requests bypass the factorization caches: a partial
+/// (deadline-stopped) factorization must never be stored under an
+/// unbudgeted key, and a cached COMPLETE factorization would let a budgeted
+/// warm solve skip the factorization's ticks — tripping the refinement
+/// deadline at a different step than the cold solve, breaking warm == cold.
+bool has_deadline(const SolveRequest& req) {
+  return req.budget_ticks > 0 || req.cancel != nullptr;
+}
+
+/// The per-cell budget: every grid cell spends its OWN allowance of
+/// req.budget_ticks ticks (a shared counter would make the trip point depend
+/// on which cells run first under parallel_map), while all cells observe the
+/// one shared cancel token.
+core::Budget cell_budget(const SolveRequest& req) {
+  return core::Budget(std::uint64_t(req.budget_ticks > 0 ? req.budget_ticks
+                                                         : 0),
+                      req.cancel);
+}
 }  // namespace
 
 la::Vec<double> request_rhs(const matrices::GeneratedMatrix& m,
@@ -135,9 +155,18 @@ CgRow run_cg_experiment(const matrices::GeneratedMatrix& m,
   cg.kernels = req.kernel_context();
   cg.resilience = req.resilient_options();
 
+  // One fresh Budget per format cell: each cell deadlines at the same
+  // iteration regardless of the order cells run in.
+  const bool deadline = has_deadline(req);
+  core::Budget b64 = cell_budget(req), b32 = cell_budget(req);
+  core::Budget bp2 = cell_budget(req), bp3 = cell_budget(req);
+  cg.budget = deadline ? &b64 : nullptr;
   row.f64 = cg_in_format<double>(A, b, cg);
+  cg.budget = deadline ? &b32 : nullptr;
   row.f32 = cg_in_format<float>(A, b, cg);
+  cg.budget = deadline ? &bp2 : nullptr;
   row.p32_2 = cg_in_format<Posit32_2>(A, b, cg);
+  cg.budget = deadline ? &bp3 : nullptr;
   row.p32_3 = cg_in_format<Posit32_3>(A, b, cg);
   return row;
 }
@@ -151,13 +180,15 @@ CholCell cholesky_in_format(const la::Dense<double>& A,
                             const la::kernels::Context& kc,
                             ArtifactCache* cache,
                             const std::string& factor_key,
-                            const la::ResilientOptions& resilience) {
+                            const la::ResilientOptions& resilience,
+                            Budget* budget) {
   CholCell cell;
   const auto At = A.template cast<T>();
   const auto bt = la::kernels::from_double_vec<T>(b);
 
   const auto factor = [&] {
-    return la::cholesky_resilient(At, resilience, nullptr, kc);
+    return la::cholesky_resilient(At, resilience, nullptr, kc, nullptr,
+                                  budget);
   };
   std::shared_ptr<const la::CholResult<T>> fact;
   if (cache && !factor_key.empty()) {
@@ -195,36 +226,42 @@ template CholCell cholesky_in_format<double>(const la::Dense<double>&,
                                              const la::kernels::Context&,
                                              ArtifactCache*,
                                              const std::string&,
-                                             const la::ResilientOptions&);
+                                             const la::ResilientOptions&,
+                                             Budget*);
 template CholCell cholesky_in_format<float>(const la::Dense<double>&,
                                             const la::Vec<double>&,
                                             const la::kernels::Context&,
                                             ArtifactCache*, const std::string&,
-                                            const la::ResilientOptions&);
+                                            const la::ResilientOptions&,
+                                            Budget*);
 template CholCell cholesky_in_format<Posit32_2>(const la::Dense<double>&,
                                                 const la::Vec<double>&,
                                                 const la::kernels::Context&,
                                                 ArtifactCache*,
                                                 const std::string&,
-                                                const la::ResilientOptions&);
+                                                const la::ResilientOptions&,
+                                             Budget*);
 template CholCell cholesky_in_format<Posit32_3>(const la::Dense<double>&,
                                                 const la::Vec<double>&,
                                                 const la::kernels::Context&,
                                                 ArtifactCache*,
                                                 const std::string&,
-                                                const la::ResilientOptions&);
+                                                const la::ResilientOptions&,
+                                             Budget*);
 template CholCell cholesky_in_format<Posit<32, 1>>(const la::Dense<double>&,
                                                    const la::Vec<double>&,
                                                    const la::kernels::Context&,
                                                    ArtifactCache*,
                                                    const std::string&,
-                                                   const la::ResilientOptions&);
+                                                   const la::ResilientOptions&,
+                                             Budget*);
 template CholCell cholesky_in_format<Posit<32, 4>>(const la::Dense<double>&,
                                                    const la::Vec<double>&,
                                                    const la::kernels::Context&,
                                                    ArtifactCache*,
                                                    const std::string&,
-                                                   const la::ResilientOptions&);
+                                                   const la::ResilientOptions&,
+                                             Budget*);
 
 double CholRow::extra_digits(const CholCell& posit) const {
   if (!f32.converged() || !posit.converged() || posit.true_relres <= 0 ||
@@ -249,18 +286,26 @@ CholRow run_cholesky_experiment(const matrices::GeneratedMatrix& m,
   const la::ResilientOptions res = req.resilient_options();
   // Factorization cache key: (content digest of the scaled matrix, format,
   // scaling) — the RHS never enters, which is what lets a multi-RHS batch
-  // reuse one factorization per format.
+  // reuse one factorization per format.  Deadline-carrying requests bypass
+  // the factor cache entirely (see has_deadline above).
+  const bool deadline = has_deadline(req);
   std::string kb;
-  if (cache)
+  if (cache && !deadline)
     kb = "chol/" + digest_hex(dense_digest(A)) + "/" +
          (req.rescale ? "diag" : "none") + (req.resilience ? "/res" : "") + "/";
   const auto key = [&](const char* fmt) {
-    return cache ? kb + fmt : std::string();
+    return cache && !deadline ? kb + fmt : std::string();
   };
-  row.f64 = cholesky_in_format<double>(A, b, kc, cache, key("f64"), res);
-  row.f32 = cholesky_in_format<float>(A, b, kc, cache, key("f32"), res);
-  row.p32_2 = cholesky_in_format<Posit32_2>(A, b, kc, cache, key("p32_2"), res);
-  row.p32_3 = cholesky_in_format<Posit32_3>(A, b, kc, cache, key("p32_3"), res);
+  core::Budget b64 = cell_budget(req), b32 = cell_budget(req);
+  core::Budget bp2 = cell_budget(req), bp3 = cell_budget(req);
+  row.f64 = cholesky_in_format<double>(A, b, kc, cache, key("f64"), res,
+                                       deadline ? &b64 : nullptr);
+  row.f32 = cholesky_in_format<float>(A, b, kc, cache, key("f32"), res,
+                                      deadline ? &b32 : nullptr);
+  row.p32_2 = cholesky_in_format<Posit32_2>(A, b, kc, cache, key("p32_2"), res,
+                                            deadline ? &bp2 : nullptr);
+  row.p32_3 = cholesky_in_format<Posit32_3>(A, b, kc, cache, key("p32_3"), res,
+                                            deadline ? &bp3 : nullptr);
   return row;
 }
 
@@ -289,16 +334,21 @@ la::IrReport ir_one_format(const matrices::GeneratedMatrix& m,
   iro.record_trace = req.record_trace;
   iro.kernels = req.kernel_context();
   iro.resilience = req.resilient_options();
+  const bool deadline = has_deadline(req);
+  core::Budget bud = cell_budget(req);
+  iro.budget = deadline ? &bud : nullptr;
   const la::Dense<double>& A = m.dense;
   const la::Vec<double> b = request_rhs(m, req.rhs_seed);
   la::Vec<double> x;
 
   // Factorization memo: keyed by (matrix digest, format, scaling).  The
   // factor function reproduces exactly what mixed_ir would have done, so the
-  // refinement below is bit-identical warm or cold.
+  // refinement below is bit-identical warm or cold.  Deadline-carrying
+  // requests skip it (see has_deadline above): mixed_ir then factors inline,
+  // spending factorization-column ticks from the same allowance.
   const auto cached_fact =
       [&](const la::Dense<double>& src) -> std::shared_ptr<const la::CholResult<F>> {
-    if (!cache) return nullptr;
+    if (!cache || deadline) return nullptr;
     return cache->get_or_make<la::CholResult<F>>(
         key_base + fmt_tag,
         [&] {
@@ -479,7 +529,12 @@ LuIrCell lu_ir_cell(const matrices::GeneratedMatrix& m,
                     const std::string& key_base, const char* fmt_tag) {
   LuIrCell cell;
   cell.format = fmt_tag;
-  const la::IrOptions iro = general_ir_options(m, req);
+  la::IrOptions iro = general_ir_options(m, req);
+  // One Budget per cell (lu_factor has no ticks, so the shared lufact memo
+  // stays valid — a warm factor is byte-identical to a cold one).
+  const bool deadline = has_deadline(req);
+  core::Budget bud = cell_budget(req);
+  iro.budget = deadline ? &bud : nullptr;
   const la::Vec<double> b = request_rhs(m, req.rhs_seed);
   la::Vec<double> x;
   if (!req.rescale) {
@@ -504,9 +559,16 @@ GmresIrCell gmres_ir_cell(const matrices::GeneratedMatrix& m,
   // The baseline runs with lu_ir's own iteration budget (1000 by default)
   // while the GMRES outer loop keeps this request's (100): "1000+ vs 4" is
   // the rescue signature the paper-style tables report.
-  const la::IrOptions iro_lu =
+  la::IrOptions iro_lu =
       general_ir_options(m, pinned(req, Solver::lu_ir));
-  const la::IrOptions iro_g = general_ir_options(m, req);
+  la::IrOptions iro_g = general_ir_options(m, req);
+  // Each of the two solves gets its own full tick allowance: the baseline
+  // and the rescue are separate work, and this keeps both cells' exhaustion
+  // points independent of run order.
+  const bool deadline = has_deadline(req);
+  core::Budget blu = cell_budget(req), bg = cell_budget(req);
+  iro_lu.budget = deadline ? &blu : nullptr;
+  iro_g.budget = deadline ? &bg : nullptr;
   const la::Vec<double> b = request_rhs(m, req.rhs_seed);
   la::Vec<double> x_lu, x_g;
   const scaling::GeneralScaling* gs = nullptr;

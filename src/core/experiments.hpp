@@ -177,13 +177,17 @@ CgCell cg_in_format(const la::Csr<double>& A, const la::Vec<double>& b,
 /// Generic single-format Cholesky solve backward error.  With a cache, the
 /// factorization is looked up / stored under `factor_key` (which must embed
 /// the scaled matrix's digest, the format and the scaling; empty = never
-/// cache).  `resilience` engages the diagonal-shift retry ladder.
+/// cache).  `resilience` engages the diagonal-shift retry ladder.  `budget`
+/// ticks once per factorization column; callers with a deadline must pass an
+/// empty factor_key (a cached complete factor would skip the ticks and a
+/// partial one must never be stored).
 template <class T>
 CholCell cholesky_in_format(const la::Dense<double>& A,
                             const la::Vec<double>& b,
                             const la::kernels::Context& kc = {},
                             ArtifactCache* cache = nullptr,
                             const std::string& factor_key = {},
-                            const la::ResilientOptions& resilience = {});
+                            const la::ResilientOptions& resilience = {},
+                            Budget* budget = nullptr);
 
 }  // namespace pstab::core

@@ -152,14 +152,14 @@ std::string SolveRequest::experiment_name() const {
 }
 
 std::string SolveRequest::batch_key() const {
-  char buf[208];
-  std::snprintf(buf, sizeof buf,
-                "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|k%s|b%d|pf%s|pw%s|pr%s",
-                int(rescale), tol, max_iter, max_iter_per_n, int(fused_dots),
-                int(record_history), int(resilience),
-                la::kernels::to_string(backend), block,
-                precision.factor.c_str(), precision.working.c_str(),
-                precision.residual.c_str());
+  char buf[224];
+  std::snprintf(
+      buf, sizeof buf,
+      "|r%d|t%.17g|m%d|mn%d|fd%d|h%d|res%d|bt%d|k%s|b%d|pf%s|pw%s|pr%s",
+      int(rescale), tol, max_iter, max_iter_per_n, int(fused_dots),
+      int(record_history), int(resilience), budget_ticks,
+      la::kernels::to_string(backend), block, precision.factor.c_str(),
+      precision.working.c_str(), precision.residual.c_str());
   return std::string(to_string(solver)) + "|" + matrix + buf;
 }
 
@@ -243,6 +243,17 @@ CliParse parse_solver_cli(Solver solver, const std::string& matrix, int argc,
     } else if (std::strcmp(a, "--rhs-seed") == 0) {
       if (!has_value) { value_missing(a); break; }
       p.req.rhs_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(a, "--budget") == 0) {
+      if (!has_value) { value_missing(a); break; }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) {
+        p.ok = false;
+        p.error = std::string("--budget expects a non-negative tick count, "
+                              "got '") + argv[i] + "'";
+      } else {
+        p.req.budget_ticks = int(v);
+      }
     } else if (std::strcmp(a, "--kernels") == 0) {
       if (!has_value) { value_missing(a); break; }
       if (!parse_backend(argv[++i], p.req.backend)) {
@@ -353,6 +364,17 @@ SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
       m = &matrices::suite_matrix(req.matrix);
     }
     resp.result_json = info.run_row(*m, req, cache);
+    // A solve cut short by the cancel token (the serve watchdog) stopped at
+    // a wall-clock-dependent point: the row is NOT deterministic, so it must
+    // never be memoized or reported as a result.  Tick-exhausted budgets, by
+    // contrast, produce deterministic deadline_exceeded rows and flow through
+    // the normal (memoized) path below.
+    if (req.cancel && req.cancel->cancelled()) {
+      resp.ok = false;
+      resp.result_json.clear();
+      resp.error = "detected: solve cancelled by the hang watchdog";
+      return resp;
+    }
     resp.ok = true;
     if (cache)
       cache->put(resp_key,
@@ -361,7 +383,13 @@ SolveResponse run_request(const SolveRequest& req, ArtifactCache* cache) {
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.result_json.clear();
-    resp.error = e.what();
+    resp.error = std::string("internal_error: ") + e.what();
+  } catch (...) {
+    // A non-std exception from a solver must still become a structured
+    // response — losing it here would lose the request's reply.
+    resp.ok = false;
+    resp.result_json.clear();
+    resp.error = "internal_error: unknown exception";
   }
   return resp;
 }

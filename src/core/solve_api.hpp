@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "la/kernels/kernels.hpp"
 #include "la/solve_report.hpp"
 
@@ -142,6 +143,20 @@ struct SolveRequest {
   // — but it participates in batch_key/canonical_key so cached timings and
   // coalesced jobs stay attributable to one configuration.
   int block = 0;
+
+  // Deterministic deadline in work units (iteration / factorization-column
+  // ticks; see core/budget.hpp).  0 = unlimited.  Each grid cell of the
+  // solve gets its OWN core::Budget of this many ticks, so a budget-exceeded
+  // row is byte-identical for any PSTAB_THREADS.  Participates in the cache
+  // and batch keys: a budgeted solve is different work from an unbudgeted
+  // one.
+  int budget_ticks = 0;
+
+  // Runtime-only cancellation hook (the serve engine's hang watchdog flips
+  // it; never serialized, never part of any key).  A solve interrupted by
+  // cancellation is nondeterministic, so run_request reports it as an error
+  // and never memoizes it.
+  CancelToken* cancel = nullptr;
 
   /// tol with the per-solver registry default applied: 1e-5 for CG/Cholesky
   /// (the paper's convergence threshold) and 4*1.11e-16 for the refinement

@@ -29,6 +29,7 @@
 #include "resilience/campaign.hpp"
 #include "resilience/inject.hpp"
 #include "scaling/higham.hpp"
+#include "serve/chaos.hpp"
 
 namespace pstab::fuzz {
 namespace {
@@ -1243,6 +1244,44 @@ template <int E, int M>
   return c;
 }
 
+[[nodiscard]] Case gen_serve_chaos_case(SplitMix64& r) {
+  // args = [sessions, seed, engine threads]: a whole adversarial client
+  // session stream against a live engine (serve/chaos.hpp), kept tiny — one
+  // case is already dozens of solves.
+  Case c;
+  c.surface = "serve_chaos";
+  c.format = "v1";
+  c.op = "session";
+  c.args = {1 + r.below(2), r.next(), 1 + r.below(2)};
+  return c;
+}
+
+[[nodiscard]] Verdict check_serve_chaos(const Case& c) {
+  if (c.args.size() != 3) return fail("malformed: serve_chaos wants 3 args");
+  serve::ChaosOptions opt;
+  opt.sessions = static_cast<int>(c.args[0]);
+  opt.seed = c.args[1];
+  opt.threads = static_cast<int>(c.args[2]);
+  if (opt.sessions < 1 || opt.sessions > 16 || opt.threads < 1 ||
+      opt.threads > 8)
+    return fail("malformed: serve_chaos size out of range");
+  const serve::ChaosReport r1 = serve::run_chaos(opt);
+  if (!r1.ok()) return fail("chaos: " + r1.first_failure);
+  // Same seed, same sessions: the digest over response bytes must replay
+  // exactly (the engine's byte-determinism contract, exercised under chaos).
+  const serve::ChaosReport r2 = serve::run_chaos(opt);
+  if (!r2.ok()) return fail("chaos rerun: " + r2.first_failure);
+  if (r1.digest != r2.digest) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "chaos digest not replayable: 0x%llx vs 0x%llx",
+                  static_cast<unsigned long long>(r1.digest),
+                  static_cast<unsigned long long>(r2.digest));
+    return fail(buf);
+  }
+  return {};
+}
+
 using GenFn = Case (*)(SplitMix64&);
 
 [[nodiscard]] Case gen_case(int surface, SplitMix64& r) {
@@ -1302,9 +1341,9 @@ void digest_str(std::uint64_t& h, const std::string& s) {
 }  // namespace
 
 const char* surface_name(int s) noexcept {
-  static constexpr const char* kNames[] = {"posit",   "softfloat", "quire",
-                                           "convert", "inject",    "simd",
-                                           "solver"};
+  static constexpr const char* kNames[] = {"posit",  "softfloat", "quire",
+                                           "convert", "inject",   "simd",
+                                           "solver", "serve_chaos"};
   return (s >= 0 && s < kSurfaceCount) ? kNames[s] : "?";
 }
 
@@ -1379,6 +1418,8 @@ Verdict replay(const Case& c) {
     return check_simd(c);
   } else if (c.surface == "solver") {
     return check_solver(c);
+  } else if (c.surface == "serve_chaos") {
+    return check_serve_chaos(c);
   }
   return fail("malformed: unknown surface/format " + c.surface + "/" +
               c.format);
@@ -1386,6 +1427,13 @@ Verdict replay(const Case& c) {
 
 Case minimize(const Case& c) {
   Case best = c;
+  // A serve_chaos replay is dozens of engine sessions run twice; bit-clearing
+  // its (sessions, seed, threads) args only produces DIFFERENT session
+  // streams, never a smaller version of the same failure.
+  if (c.surface == "serve_chaos") {
+    best.note = replay(best).detail;
+    return best;
+  }
   {
     const Verdict v = replay(best);
     if (v.ok || is_malformed(v)) return c;
@@ -1427,19 +1475,27 @@ Stats run(const Options& opt) {
       if (idx >= 0) enabled[idx] = true;
     }
   }
-  std::vector<int> pool;  // per-case surfaces (solver is rationed separately)
+  // Cheap scalar surfaces fill the pool; solver and serve_chaos cases are
+  // orders of magnitude costlier and get rationed slots instead.
+  std::vector<int> pool;
   for (int s = 0; s < kSolver; ++s)
     if (enabled[s]) pool.push_back(s);
+  const bool costly = enabled[kSolver] || enabled[kServeChaos];
 
   Stats st;
   SplitMix64 rng(opt.seed);
   std::uint64_t digest = kFnvOffset;
   for (long i = 0; i < opt.cases; ++i) {
     Case c;
-    if (enabled[kSolver] && (pool.empty() || (i & 63) == 63)) {
+    if (costly && (pool.empty() || (i & 63) == 63)) {
       // Solver micro-cases are ~100x costlier than scalar ops; ration them
-      // to 1/64 of the budget (or all of it if only `solver` is enabled).
-      c = gen_solver_case(rng);
+      // to 1/64 of the budget (or all of it if only costly surfaces are
+      // enabled).  serve_chaos cases — whole engine lifecycles, ~100x
+      // costlier again — take every sixteenth rationed slot.
+      const bool chaos =
+          enabled[kServeChaos] &&
+          (!enabled[kSolver] || ((i >> 6) & 15) == 15);
+      c = chaos ? gen_serve_chaos_case(rng) : gen_solver_case(rng);
     } else if (!pool.empty()) {
       c = gen_case(pool[rng.below(pool.size())], rng);
     } else {

@@ -26,6 +26,10 @@
 //               equilibration): no non-finite escapes, status-field
 //               consistency, history bookkeeping, residual agreement in
 //               double across the scaled and unscaled runs
+//   serve_chaos — seeded adversarial client sessions against a live serve
+//               engine (serve/chaos.hpp): no crashes or hangs, and the
+//               session digest must be identical across two runs (the
+//               response-byte determinism contract under chaos)
 //
 // Everything is keyed by a SplitMix64 seed: the same (seed, cases, surfaces)
 // triple reproduces the same case stream, verdicts, and digest.  A mismatch
@@ -88,7 +92,8 @@ enum Surface {
   kConvert,
   kInject,
   kSimd,
-  kSolver,  // rationed: keep last among the fuzzed surfaces
+  kSolver,      // rationed: keep after the cheap scalar surfaces
+  kServeChaos,  // rationed: whole serve-engine chaos sessions (costliest)
   kSurfaceCount
 };
 [[nodiscard]] const char* surface_name(int s) noexcept;
@@ -97,7 +102,8 @@ struct Options {
   std::uint64_t seed = 1;
   long cases = 1000000;
   /// Comma-separated subset of
-  /// {posit,softfloat,quire,convert,inject,simd,solver} or "all".
+  /// {posit,softfloat,quire,convert,inject,simd,solver,serve_chaos} or
+  /// "all".
   std::string surfaces = "all";
   /// When non-empty, minimized failures are appended to
   /// <corpus_dir>/<surface>.corpus as replay records.

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "core/budget.hpp"
 #include "core/telemetry/trace.hpp"
 #include "la/csr.hpp"
 #include "la/fault.hpp"
@@ -39,6 +40,7 @@ struct CgOptions {
   kernels::Context kernels{};  // backend for the BLAS kernels (bit-identical)
   ResilientOptions resilience{};   // self-healing (off by default)
   fault::Observer* fault = nullptr;  // injection hook (null = no overhead)
+  core::Budget* budget = nullptr;    // tick-deadline hook (null = no overhead)
 };
 
 template <class T, class Mat>
@@ -106,6 +108,14 @@ CgReport cg_solve(const Mat& A, const Vec<T>& b, Vec<T>& x,
 
   telemetry::TraceSpan iterate_span(tr, "iterate");
   for (int it = 0; it < opt.max_iter; ++it) {
+    // One budget tick per iteration: the deadline trips at the same `it` on
+    // every run (work units, not wall time), so the partial report below is
+    // byte-deterministic.  History/recovery recorded so far stay in `rep`.
+    if (!core::budget_tick(opt.budget)) {
+      rep.status = CgStatus::deadline_exceeded;
+      rep.iterations = it;
+      return rep;
+    }
     fault::on_iteration(opt.fault, it);
     if (res.enabled && res.recompute_every > 0 && it > 0 &&
         it % res.recompute_every == 0) {

@@ -22,6 +22,7 @@
 
 #include "common/parallel_for.hpp"
 #include "common/rng.hpp"
+#include "core/budget.hpp"
 #include "core/telemetry/trace.hpp"
 #include "la/blocked.hpp"
 #include "la/dense.hpp"
@@ -55,7 +56,8 @@ struct CholResult : SolveReport {
 template <class T>
 [[nodiscard]] CholResult<T> cholesky_unblocked(
     const Dense<T>& A, telemetry::Trace* trace = nullptr,
-    const kernels::Context& kc = {}, fault::Observer* fault = nullptr) {
+    const kernels::Context& kc = {}, fault::Observer* fault = nullptr,
+    core::Budget* budget = nullptr) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   CholResult<T> res;
@@ -64,6 +66,13 @@ template <class T>
   Dense<T>& R = res.R;
   const T* rd = R.data().data();  // column i of R: rd + i, stride n
   for (int k = 0; k < n; ++k) {
+    // One budget tick per column — the factorization's deterministic work
+    // unit (matches the fault observer's clock below).
+    if (!core::budget_tick(budget)) {
+      res.status = CholStatus::deadline_exceeded;
+      res.failed_column = k;
+      return res;
+    }
     fault::on_iteration(fault, k);
     // Diagonal pivot: A(k,k) - sum_{i<k} R(i,k)^2
     T s = kernels::update_chain(kc, A(k, k), rd + k, n, rd + k, n,
@@ -131,7 +140,8 @@ template <class T>
                                              telemetry::Trace* trace,
                                              const kernels::Context& kc,
                                              fault::Observer* fault,
-                                             int block) {
+                                             int block,
+                                             core::Budget* budget = nullptr) {
   using st = scalar_traits<T>;
   const int n = A.rows();
   const int nb = block > 0 ? (block < n ? block : n) : blocked::pick_block(n);
@@ -150,6 +160,13 @@ template <class T>
     const int pe = p + nb < n ? p + nb : n;
     const int w = pe - p;
     for (int k = p; k < pe; ++k) {
+      // Same per-column tick as the unblocked loop: both schedules spend
+      // identical ticks, so the deadline trips at the same column either way.
+      if (!core::budget_tick(budget)) {
+        res.status = CholStatus::deadline_exceeded;
+        res.failed_column = k;
+        return res;
+      }
       fault::on_iteration(fault, k);
       // Panel-local prefix of the pivot chain (terms i < p were applied by
       // earlier trailing updates and live in the seed).
@@ -234,10 +251,11 @@ template <class T>
 [[nodiscard]] CholResult<T> cholesky(const Dense<T>& A,
                                      telemetry::Trace* trace = nullptr,
                                      const kernels::Context& kc = {},
-                                     fault::Observer* fault = nullptr) {
+                                     fault::Observer* fault = nullptr,
+                                     core::Budget* budget = nullptr) {
   const int nb = blocked::effective_block(kc, A.rows());
-  if (nb > 0) return cholesky_blocked(A, trace, kc, fault, nb);
-  return cholesky_unblocked(A, trace, kc, fault);
+  if (nb > 0) return cholesky_blocked(A, trace, kc, fault, nb, budget);
+  return cholesky_unblocked(A, trace, kc, fault, budget);
 }
 
 /// Cholesky with the diagonal-shift retry ladder (ResilientOptions).  The
@@ -252,10 +270,14 @@ template <class T>
 [[nodiscard]] CholResult<T> cholesky_resilient(
     const Dense<T>& A, const ResilientOptions& res,
     telemetry::Trace* trace = nullptr, const kernels::Context& kc = {},
-    fault::Observer* fault = nullptr) {
+    fault::Observer* fault = nullptr, core::Budget* budget = nullptr) {
   using st = scalar_traits<T>;
-  CholResult<T> out = cholesky(A, trace, kc, fault);
-  if (out.status == CholStatus::ok || !res.enabled) return out;
+  CholResult<T> out = cholesky(A, trace, kc, fault, budget);
+  // An exhausted budget is terminal: the shift ladder would just burn the
+  // same (already-spent) allowance again, so report the partial result.
+  if (out.status == CholStatus::ok ||
+      out.status == CholStatus::deadline_exceeded || !res.enabled)
+    return out;
 
   const int n = A.rows();
   double mean_diag = 0.0;
@@ -271,9 +293,15 @@ template <class T>
        ++attempt, shift *= res.shift_growth) {
     const T sh = st::from_double(shift);
     for (int i = 0; i < n; ++i) As(i, i) = A(i, i) + sh;
-    CholResult<T> r = cholesky(As, trace, kc, fault);
+    // The budget's tick counter persists across rungs, so the whole ladder
+    // shares one allowance; a rung that trips the deadline ends the ladder.
+    CholResult<T> r = cholesky(As, trace, kc, fault, budget);
     if (r.status == CholStatus::ok) {
       r.shift_used = shift;
+      r.recovery = std::move(events);
+      return r;
+    }
+    if (r.status == CholStatus::deadline_exceeded) {
       r.recovery = std::move(events);
       return r;
     }

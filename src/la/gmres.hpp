@@ -151,10 +151,12 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
   IrReport rep;
   const int n = A.rows();
   const Dense<F> Ah = A.template cast_clamped<F>();
-  const auto fact = cholesky(Ah, nullptr, opt.kernels);
+  const auto fact = cholesky(Ah, nullptr, opt.kernels, nullptr, opt.budget);
   rep.chol_status = fact.status;
   if (fact.status != CholStatus::ok) {
-    rep.status = IrStatus::factorization_failed;
+    rep.status = fact.status == CholStatus::deadline_exceeded
+                     ? IrStatus::deadline_exceeded
+                     : IrStatus::factorization_failed;
     return rep;
   }
   if (opt.record_factorization_error)
@@ -168,6 +170,12 @@ IrReport gmres_ir(const Dense<double>& A, const Vec<double>& b,
   const double norm_b = kernels::norm_inf_d(b);
   x.assign(n, 0.0);
   for (int it = 1; it <= opt.max_iter; ++it) {
+    // One tick per outer refinement step (the correction GMRES is bounded by
+    // gmres_iters, so the outer step is the runaway dimension).
+    if (!core::budget_tick(opt.budget)) {
+      rep.status = IrStatus::deadline_exceeded;
+      return rep;
+    }
     const Vec<double> r = ir_residual(A, b, x, opt.residual);
     Vec<double> d;
     gmres_solve(A, r, d, minv, opt.gmres_tol, opt.gmres_iters,
@@ -234,6 +242,12 @@ LuIrReport gmres_ir_lu(const Dense<double>& A, const Vec<double>& b,
 
   double first_berr = -1.0;
   for (int it = 1; it <= opt.max_iter; ++it) {
+    // One tick per outer step, same unit as lu_ir's refinement loop; the
+    // partial report keeps iterations/inner_iterations/history so far.
+    if (!core::budget_tick(opt.budget)) {
+      rep.status = SolveStatus::deadline_exceeded;
+      return rep;
+    }
     const Vec<double> r = ir_residual(A, b, x, opt.residual);
     Vec<double> d;
     const auto inner = gmres_solve(A, r, d, minv, opt.gmres_tol,

@@ -73,6 +73,8 @@ struct IrOptions {
                                    // formats lives in resilience::ir_escalate)
   fault::Observer* fault = nullptr;  // clocked per refinement step; also
                                      // passed down into the factorization
+  core::Budget* budget = nullptr;    // ticked per refinement step AND per
+                                     // factorization column (one allowance)
 };
 
 /// Naive mixed-precision IR (paper Table II): factor fl_F(A) directly.
@@ -99,8 +101,8 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   telemetry::TraceSpan fact_span(tr, "factorize");
   CholResult<F> fact_local;
   if (!fact_in) {
-    fact_local =
-        cholesky_resilient(Ah, opt.resilience, nullptr, opt.kernels, opt.fault);
+    fact_local = cholesky_resilient(Ah, opt.resilience, nullptr, opt.kernels,
+                                    opt.fault, opt.budget);
   }
   const CholResult<F>& fact = fact_in ? *fact_in : fact_local;
   fact_span.close();
@@ -108,7 +110,9 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
   rep.shift_used = fact.shift_used;
   rep.recovery = fact.recovery;  // "shift" rungs, if the ladder was climbed
   if (fact.status != CholStatus::ok) {
-    rep.status = IrStatus::factorization_failed;
+    rep.status = fact.status == CholStatus::deadline_exceeded
+                     ? IrStatus::deadline_exceeded
+                     : IrStatus::factorization_failed;
     return rep;
   }
   if (opt.record_factorization_error)
@@ -126,6 +130,12 @@ IrReport mixed_ir(const Dense<double>& A, const Vec<double>& b,
 
   double first_berr = -1.0;
   for (int it = 1; it <= opt.max_iter; ++it) {
+    // One tick per refinement step, drawn from the same allowance the
+    // factorization columns spent; history/berr recorded so far stay in rep.
+    if (!core::budget_tick(opt.budget)) {
+      rep.status = IrStatus::deadline_exceeded;
+      return rep;
+    }
     fault::on_iteration(opt.fault, it - 1);
     Vec<double> r = ir_residual(A, b, x, opt.residual);
     fault::touch_range(opt.fault, fault::Site::vector_entry, r.data(),

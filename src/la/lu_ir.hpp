@@ -114,6 +114,12 @@ LuIrReport lu_ir(const Dense<double>& A, const Vec<double>& b, Vec<double>& x,
 
   double first_berr = -1.0;
   for (int it = 1; it <= opt.max_iter; ++it) {
+    // One budget tick per refinement step (the deterministic work unit); on
+    // exhaustion the report keeps the berr/history recorded so far.
+    if (!core::budget_tick(opt.budget)) {
+      rep.status = SolveStatus::deadline_exceeded;
+      return rep;
+    }
     Vec<double> r = ir_residual(A, b, x, opt.residual);
     if (gs)
       for (int i = 0; i < n; ++i) r[i] *= gs->row[i];

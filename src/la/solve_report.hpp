@@ -27,6 +27,7 @@ enum class SolveStatus {
   arithmetic_error,        // NaR / NaN / inf encountered mid-factorization
   factorization_failed,    // IR: the low-precision factorization broke
   diverged,                // refinement blew up
+  deadline_exceeded,       // core::Budget ran out; the report is partial
 };
 
 [[nodiscard]] constexpr bool succeeded(SolveStatus s) noexcept {
@@ -42,6 +43,7 @@ enum class SolveStatus {
     case SolveStatus::arithmetic_error: return "arithmetic_error";
     case SolveStatus::factorization_failed: return "factorization_failed";
     case SolveStatus::diverged: return "diverged";
+    case SolveStatus::deadline_exceeded: return "deadline_exceeded";
   }
   return "?";
 }

@@ -1,0 +1,332 @@
+#include "serve/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/engine.hpp"
+
+namespace pstab::serve {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+// The shutdown frame's id: excluded from comparison and digest because its
+// response embeds engine stats (thread counts, steals) that legitimately
+// depend on the host.
+constexpr u64 kShutdownId = 999999;
+
+// The adversarial repertoire; sessions cycle through it so every run of
+// >= 8 sessions exercises every scenario.
+enum Scenario {
+  kClean = 0,
+  kTruncatedFrame,   // stream cut mid-frame
+  kCorruptJson,      // one payload byte-smashed into invalid JSON
+  kOversizePrefix,   // hostile length prefix above max_frame
+  kSlowLoris,        // all bytes delivered one at a time through a pipe
+  kMidReadDisconnect,  // pipe closed mid-frame
+  kReaderGone,       // client never reads: every response write hits EPIPE
+  kShutdownUnderLoad,  // shutdown op lands between queued solves
+  kScenarioCount
+};
+
+struct Expected {
+  u64 id;
+  core::SolveRequest req;  // what the clean replay reruns
+};
+
+struct Session {
+  int scenario = kClean;
+  std::string input;        // raw frame bytes as the client sends them
+  bool input_pipe = false;  // deliver through a pipe (writer thread)
+  bool drip = false;        // one byte per write (slow-loris)
+  bool close_reader = false;  // response pipe with the read end closed
+  std::vector<Expected> expect;  // frames delivered intact => must be
+                                 // answered byte-identically
+};
+
+struct SessionResult {
+  std::map<u64, std::string> received;  // response payloads by id
+};
+
+core::SolveRequest chaos_request(SplitMix64& r, u64 id) {
+  core::SolveRequest q;
+  q.id = id;
+  // Small Table I members only: a chaos session is about the transport and
+  // the engine, not about heavy numerics.
+  static constexpr const char* kMats[] = {"bcsstk01", "bcsstk02", "bcsstk22",
+                                          "lund_b"};
+  q.matrix = kMats[r.below(4)];
+  q.solver = r.below(3) != 0 ? core::Solver::cg : core::Solver::cholesky;
+  q.rescale = r.below(2) != 0;
+  if (r.below(4) == 0) q.budget_ticks = 1 + int(r.below(5));
+  if (r.below(4) == 0) q.record_history = true;
+  if (r.below(8) == 0) q.rhs_seed = 1 + r.below(1000);
+  if (r.below(16) == 0) q.matrix = "no_such_matrix";  // error path is a
+                                                      // response too
+  return q;
+}
+
+std::string solve_frame(const core::SolveRequest& sreq) {
+  Request q;
+  q.op = Op::solve;
+  q.solve = sreq;
+  std::string frame;
+  append_frame(frame, request_to_json(q));
+  return frame;
+}
+
+std::string shutdown_frame() {
+  Request q;
+  q.op = Op::shutdown;
+  q.solve.id = kShutdownId;
+  std::string frame;
+  append_frame(frame, request_to_json(q));
+  return frame;
+}
+
+Session make_session(SplitMix64& r, int scenario) {
+  Session s;
+  s.scenario = scenario;
+  const int nreq = 2 + int(r.below(4));  // 2..5 solves per session
+  std::vector<std::string> frames;
+  std::vector<Expected> all;
+  frames.reserve(std::size_t(nreq));
+  for (int i = 0; i < nreq; ++i) {
+    const u64 id = u64(i) + 1;
+    const core::SolveRequest q = chaos_request(r, id);
+    frames.push_back(solve_frame(q));
+    all.push_back(Expected{id, q});
+  }
+
+  // `cut` is the index of the frame the scenario damages; frames before it
+  // are delivered intact and MUST be answered.
+  const std::size_t cut = r.below(frames.size());
+  const auto concat_upto = [&](std::size_t k) {
+    std::string bytes;
+    for (std::size_t i = 0; i < k; ++i) bytes += frames[i];
+    return bytes;
+  };
+
+  switch (scenario) {
+    case kClean:
+    case kSlowLoris:
+      s.input = concat_upto(frames.size());
+      s.expect = all;
+      s.input_pipe = scenario == kSlowLoris;
+      s.drip = scenario == kSlowLoris;
+      break;
+    case kTruncatedFrame:
+    case kMidReadDisconnect: {
+      s.input = concat_upto(cut);
+      // Keep a strict mid-frame prefix of frame `cut` (>= 1 byte, < all of
+      // it): the reader cannot resync, so the session must end frame_error.
+      const std::size_t keep = 1 + r.below(frames[cut].size() - 1);
+      s.input += frames[cut].substr(0, keep);
+      s.expect.assign(all.begin(), all.begin() + long(cut));
+      s.input_pipe = scenario == kMidReadDisconnect;
+      break;
+    }
+    case kCorruptJson: {
+      // Smash the payload's first byte into '}': never valid JSON, so the
+      // engine answers a parse error (id 0) and keeps the connection.
+      frames[cut][4] = '}';
+      s.input = concat_upto(frames.size());
+      s.expect = all;
+      s.expect.erase(s.expect.begin() + long(cut));
+      break;
+    }
+    case kOversizePrefix: {
+      // A hostile length prefix: must be rejected BEFORE allocation and end
+      // the connection (terminal framing error).
+      const u64 huge = u64(kDefaultMaxFrame) + 1 + r.below(1u << 20);
+      char prefix[4];
+      for (int b = 0; b < 4; ++b)
+        prefix[b] = char((huge >> (8 * b)) & 0xff);
+      s.input = concat_upto(cut);
+      s.input.append(prefix, 4);
+      s.expect.assign(all.begin(), all.begin() + long(cut));
+      break;
+    }
+    case kReaderGone:
+      s.input = concat_upto(frames.size());
+      s.close_reader = true;
+      // Nothing can be expected back: every delivered response write fails.
+      break;
+    case kShutdownUnderLoad: {
+      const std::size_t at = 1 + r.below(frames.size() - 1);
+      s.input = concat_upto(at);
+      s.input += shutdown_frame();
+      // Frames after the shutdown must be ignored, not answered.
+      for (std::size_t i = at; i < frames.size(); ++i) s.input += frames[i];
+      s.expect.assign(all.begin(), all.begin() + long(at));
+      break;
+    }
+    default:
+      break;
+  }
+  return s;
+}
+
+/// Drive one session to completion: fresh engine, transport per scenario,
+/// responses parsed back out of the captured byte stream.
+void run_session(const Session& sess, int threads, SessionResult& out) {
+  EngineOptions eo;
+  eo.threads = threads;
+  Engine eng(eo);
+
+  std::FILE* fin = nullptr;
+  std::thread writer;
+  if (sess.input_pipe) {
+    int fds[2];
+    if (::pipe(fds) != 0) return;
+    fin = ::fdopen(fds[0], "rb");
+    const int wfd = fds[1];
+    writer = std::thread([wfd, bytes = sess.input, drip = sess.drip] {
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        const std::size_t n = drip ? 1 : bytes.size() - off;
+        const ssize_t w = ::write(wfd, bytes.data() + off, n);
+        if (w <= 0) break;  // engine hung up first; that is its right
+        off += std::size_t(w);
+      }
+      ::close(wfd);
+    });
+  } else {
+    fin = ::fmemopen(const_cast<char*>(sess.input.data()), sess.input.size(),
+                     "rb");
+  }
+
+  char* obuf = nullptr;
+  std::size_t osz = 0;
+  std::FILE* fout = nullptr;
+  if (sess.close_reader) {
+    int fds[2];
+    if (::pipe(fds) == 0) {
+      ::close(fds[0]);  // the client will never read a single response
+      fout = ::fdopen(fds[1], "wb");
+    }
+  } else {
+    fout = ::open_memstream(&obuf, &osz);
+  }
+
+  if (fin && fout) (void)eng.serve_stream(fin, fout);
+  if (fin) std::fclose(fin);
+  if (writer.joinable()) writer.join();
+  if (fout) std::fclose(fout);
+
+  if (obuf) {
+    std::FILE* rd = ::fmemopen(obuf, osz, "rb");
+    if (rd) {
+      std::string payload, err;
+      while (read_frame(rd, payload, kDefaultMaxFrame, err) == FrameRead::ok) {
+        JsonValue v;
+        std::string perr;
+        u64 id = 0;
+        if (json_parse(payload, v, perr)) {
+          const JsonValue* idv = v.find("id");
+          if (idv && idv->is_uint()) id = idv->as_uint();
+        }
+        out.received[id] = payload;
+      }
+      std::fclose(rd);
+    }
+    std::free(obuf);
+  }
+}
+
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+void digest_str(u64& h, const std::string& s) {
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  h = (h ^ 0) * kFnvPrime;
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosOptions& opt) {
+  // A vanished reader must cost the session an EPIPE, not the process a
+  // SIGPIPE (serve_tcp does the same; here serve_stream writes to raw pipes).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ChaosReport rep;
+  rep.digest = kFnvOffset;
+  // Clean-replay memo: the engine contract says response bytes depend only
+  // on the request, so one single-threaded cache-free run_request per unique
+  // request is THE reference.
+  std::map<std::string, std::string> ref;
+
+  for (int si = 0; si < opt.sessions; ++si) {
+    SplitMix64 rng(splitmix_mix(opt.seed, u64(si) + 1));
+    // shared_ptr: a hung session's abandoned thread must not be left with a
+    // dangling reference when the loop moves on.
+    const auto sess =
+        std::make_shared<const Session>(make_session(rng, si % kScenarioCount));
+    ++rep.sessions;
+    rep.frames_sent += int(sess->expect.size());
+
+    auto result = std::make_shared<SessionResult>();
+    auto done = std::make_shared<std::promise<void>>();
+    auto fut = done->get_future();
+    const int threads = opt.threads;
+    std::thread th([sess, threads, result, done] {
+      run_session(*sess, threads, *result);
+      done->set_value();
+    });
+    if (fut.wait_for(std::chrono::milliseconds(opt.timeout_ms)) !=
+        std::future_status::ready) {
+      ++rep.hangs;
+      if (rep.first_failure.empty())
+        rep.first_failure = "session " + std::to_string(si) + " (scenario " +
+                            std::to_string(sess->scenario) + ") hung past " +
+                            std::to_string(opt.timeout_ms) + " ms";
+      th.detach();  // abandoned; the run is already a failure
+      continue;
+    }
+    th.join();
+
+    rep.responses += int(result->received.size());
+    for (const auto& [id, payload] : result->received) {
+      if (id == kShutdownId) continue;
+      digest_str(rep.digest, payload);
+    }
+    for (const auto& e : sess->expect) {
+      Request q;
+      q.op = Op::solve;
+      q.solve = e.req;
+      const std::string key = request_to_json(q);
+      auto rit = ref.find(key);
+      if (rit == ref.end())
+        rit = ref.emplace(key, response_json(core::run_request(e.req)))
+                  .first;
+      ++rep.compared;
+      const auto got = result->received.find(e.id);
+      if (got == result->received.end() || got->second != rit->second) {
+        ++rep.divergences;
+        if (rep.first_failure.empty())
+          rep.first_failure =
+              "session " + std::to_string(si) + " (scenario " +
+              std::to_string(sess->scenario) + ") id " + std::to_string(e.id) +
+              (got == result->received.end()
+                   ? " got no response"
+                   : " diverged from the clean replay: got " + got->second +
+                         " want " + rit->second);
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace pstab::serve

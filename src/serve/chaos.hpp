@@ -1,0 +1,53 @@
+// Seeded chaos harness for the serve engine: replay adversarial client
+// sessions (truncated and corrupt frames, hostile length prefixes, slow-loris
+// byte drips, mid-read disconnects, clients that vanish before reading their
+// responses, shutdown under load) against a LIVE Engine and assert the
+// robustness contract:
+//
+//   * no crash, no hang — every session terminates inside a generous timeout;
+//   * containment — a hostile session poisons at most its own connection;
+//   * determinism — every response the engine delivered for an intact frame
+//     is byte-identical to the clean single-threaded replay of that request.
+//
+// Everything is a pure function of (seed, sessions, threads): `pstab chaos
+// --seed S` reproduces the same sessions, verdicts and digest, which is what
+// lets the fuzz subsystem's serve_chaos surface replay a session stream and
+// pin its digest.  Wall-clock-dependent machinery (the engine watchdog) is
+// deliberately OFF here; scenarios only cut byte streams at deterministic
+// positions, so the answered set of every session is deterministic too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace pstab::serve {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  int sessions = 50;
+  int threads = 0;      // engine threads per session (0 = PSTAB_THREADS)
+  int timeout_ms = 120000;  // per-session hang deadline (generous: TSan CI)
+};
+
+struct ChaosReport {
+  int sessions = 0;
+  int frames_sent = 0;    // request frames delivered intact across sessions
+  int responses = 0;      // response frames collected across sessions
+  int compared = 0;       // responses byte-checked against the clean replay
+  int divergences = 0;    // missing or byte-different responses
+  int hangs = 0;          // sessions that blew the timeout (thread abandoned)
+  /// FNV-1a over every collected response (sorted by id within a session),
+  /// excluding shutdown/stats envelopes: equal options => equal digest.
+  std::uint64_t digest = 0;
+  std::string first_failure;  // human-readable detail of the first problem
+  [[nodiscard]] bool ok() const { return divergences == 0 && hangs == 0; }
+};
+
+/// Run `sessions` adversarial sessions, each against a fresh Engine.
+/// Deterministic: the report (including the digest) is a pure function of
+/// `opt`.  (POSIX only — drives serve_stream over pipes and memory streams.)
+[[nodiscard]] ChaosReport run_chaos(const ChaosOptions& opt);
+
+}  // namespace pstab::serve

@@ -364,6 +364,10 @@ bool request_from_json(std::string_view text, Request& out, std::string& err) {
     } else if (key == "rhs_seed") {
       if (!v.is_uint()) return type_error(err, key, "a non-negative integer");
       out.solve.rhs_seed = v.as_uint();
+    } else if (key == "budget") {
+      if (!v.is_uint() || v.as_uint() > 1000000000ull)
+        return type_error(err, key, "a non-negative tick count");
+      out.solve.budget_ticks = int(v.as_uint());
     } else if (key == "kernels") {
       la::kernels::Backend b = la::kernels::Backend::Auto;
       if (v.kind != JsonValue::Kind::string ||
@@ -424,6 +428,7 @@ std::string request_to_json(const Request& req) {
     w.key("history").value(s.record_history);
     w.key("resilience").value(s.resilience);
     w.key("rhs_seed").value(std::uint64_t(s.rhs_seed));
+    w.key("budget").value(s.budget_ticks);
     w.key("kernels").value(la::kernels::to_string(s.backend));
     w.key("block").value(s.block);
     w.key("precision").begin_object();

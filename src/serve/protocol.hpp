@@ -12,9 +12,11 @@
 //   {"schema":"pstab-serve-v1","op":"solve","id":1,"solver":"cg",
 //    "matrix":"bcsstk02","rescale":false,"tol":0,"max_iter":0,
 //    "max_iter_per_n":0,"fused_dots":false,"history":false,
-//    "resilience":false,"rhs_seed":0,"kernels":"auto"}
+//    "resilience":false,"rhs_seed":0,"budget":0,"kernels":"auto"}
 // Everything but schema/matrix/solver is optional; "op" defaults to "solve"
-// ("stats" and "shutdown" take only schema/op/id).
+// ("stats" and "shutdown" take only schema/op/id).  "budget" is a
+// deterministic deadline in work units (core/budget.hpp); an exhausted
+// budget comes back as ok=true rows with "status":"deadline_exceeded".
 //
 // Responses:
 //   {"schema":"pstab-serve-v1","id":1,"ok":true,"result":{...}}   solved

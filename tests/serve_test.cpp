@@ -148,7 +148,8 @@ TEST(ServeRequest, GoldenWireBytes) {
             R"({"schema":"pstab-serve-v1","op":"solve","id":1,"solver":"cg",)"
             R"("matrix":"bcsstk02","rescale":false,"tol":0,"max_iter":0,)"
             R"("max_iter_per_n":0,"fused_dots":false,"history":false,)"
-            R"("resilience":false,"rhs_seed":0,"kernels":"auto","block":0,)"
+            R"("resilience":false,"rhs_seed":0,"budget":0,"kernels":"auto",)"
+            R"("block":0,)"
             R"("precision":{"factor":"grid","working":"f64",)"
             R"("residual":"auto"}})");
 }
@@ -168,6 +169,7 @@ TEST(ServeRequest, ParseIsExactInverseOfSerialize) {
   req.solve.record_history = true;
   req.solve.resilience = true;
   req.solve.rhs_seed = 42;
+  req.solve.budget_ticks = 17;
   req.solve.backend = la::kernels::Backend::Batched;
   req.solve.block = 96;
 

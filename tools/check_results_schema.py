@@ -19,6 +19,7 @@ SERVE_SCHEMA = "pstab-serve-v1"
 SOLVE_STATUSES = {
     "converged", "max_iterations", "breakdown", "not_positive_definite",
     "arithmetic_error", "factorization_failed", "diverged",
+    "deadline_exceeded",
 }
 
 

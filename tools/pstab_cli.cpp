@@ -9,6 +9,7 @@
 //   pstab gmres-ir <matrix> [--rescale] GMRES-IR from the same LU factors
 //   pstab serve --script F | --stdio | --port N   persistent solve engine
 //   pstab serve-client --port N --script F        framed-TCP request driver
+//   pstab chaos [--seed S] [--sessions N]         adversarial serve sessions
 //   pstab precision <value>             how each format represents a number
 //   pstab fuzz [--seed S] [--cases N]   differential fuzzing vs the GMP oracle
 //   pstab inject [--solver cg|cholesky|ir] [--seed S] [--trials N]
@@ -45,6 +46,7 @@
 #include "posit/lut.hpp"
 #include "posit/posit_math.hpp"
 #include "resilience/campaign.hpp"
+#include "serve/chaos.hpp"
 #include "serve/engine.hpp"
 
 namespace {
@@ -59,9 +61,13 @@ int usage() {
                "  lu-ir <matrix> [--rescale] | gmres-ir <matrix> [--rescale] |\n"
                "  serve --script FILE [--out FILE] | --stdio |\n"
                "        --port N [--once]   with [--threads N] [--cache-mb M]\n"
-               "        [--max-frame-kb K] [--no-coalesce]\n"
+               "        [--max-frame-kb K] [--no-coalesce] [--max-queue N]\n"
+               "        [--max-n N] [--max-matrix-mb M] [--max-budget T]\n"
+               "        [--watchdog-ms MS]\n"
                "  serve-client --port N --script FILE [--out FILE]\n"
                "               [--shutdown]\n"
+               "  chaos [--seed S] [--sessions N] [--threads T]\n"
+               "        [--timeout-ms MS]\n"
                "  kernels --bench [--n <len>] |\n"
                "  precision <value> |\n"
                "  fuzz [--seed S] [--cases N] [--surfaces LIST]\n"
@@ -168,6 +174,8 @@ int cmd_cg(int argc, char** argv) {
       core::run_cg_experiment(matrices::suite_matrix(p.req.matrix), p.req);
   const auto cell = [](const core::CgCell& c) {
     if (c.converged()) return std::to_string(c.iterations) + " iters";
+    if (c.status == la::SolveStatus::deadline_exceeded)
+      return std::string("deadline");
     return std::string(c.status == la::SolveStatus::breakdown ? "diverged"
                                                               : "hit cap");
   };
@@ -295,8 +303,21 @@ int cmd_serve(int argc, char** argv) {
           std::size_t(std::strtoull(argv[++i], nullptr, 10)) << 20;
     else if (a == "--max-frame-kb" && has_value)
       opt.max_frame = std::size_t(std::strtoull(argv[++i], nullptr, 10)) << 10;
+    else if (a == "--max-queue" && has_value)
+      opt.max_queue = std::size_t(std::strtoull(argv[++i], nullptr, 10));
+    else if (a == "--max-n" && has_value)
+      opt.max_n = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--max-matrix-mb" && has_value)
+      opt.max_matrix_bytes =
+          std::size_t(std::strtoull(argv[++i], nullptr, 10)) << 20;
+    else if (a == "--max-budget" && has_value)
+      opt.max_budget_ticks = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--watchdog-ms" && has_value)
+      opt.watchdog_ms = int(std::strtol(argv[++i], nullptr, 10));
     else if (a == "--script" || a == "--out" || a == "--port" ||
-             a == "--threads" || a == "--cache-mb" || a == "--max-frame-kb")
+             a == "--threads" || a == "--cache-mb" || a == "--max-frame-kb" ||
+             a == "--max-queue" || a == "--max-n" || a == "--max-matrix-mb" ||
+             a == "--max-budget" || a == "--watchdog-ms")
       return bad_usage("flag '" + a + "' requires a value");
     else
       return bad_usage("unknown flag '" + a + "'");
@@ -431,6 +452,44 @@ int cmd_serve_client(int argc, char** argv) {
   }
   if (!out_path.empty()) return emit_json(out_path, doc);
   std::fwrite(doc.data(), 1, doc.size(), stdout);
+  return 0;
+}
+
+int cmd_chaos(int argc, char** argv) {
+  // Seeded adversarial sessions against a live serve engine (serve/chaos.hpp):
+  // truncated/corrupt frames, hostile prefixes, vanishing readers, shutdown
+  // under load.  Deterministic per (seed, sessions, threads); exit 0 only if
+  // zero hangs and zero byte divergences from the clean replay.
+  serve::ChaosOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (a == "--seed" && has_value)
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    else if (a == "--sessions" && has_value)
+      opt.sessions = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--threads" && has_value)
+      opt.threads = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--timeout-ms" && has_value)
+      opt.timeout_ms = int(std::strtol(argv[++i], nullptr, 10));
+    else if (a == "--seed" || a == "--sessions" || a == "--threads" ||
+             a == "--timeout-ms")
+      return bad_usage("flag '" + a + "' requires a value");
+    else
+      return bad_usage("unknown flag '" + a + "'");
+  }
+  if (opt.sessions <= 0 || opt.timeout_ms <= 0) return usage();
+  const serve::ChaosReport rep = serve::run_chaos(opt);
+  std::printf(
+      "chaos: seed=%llu sessions=%d frames=%d responses=%d compared=%d "
+      "divergences=%d hangs=%d digest=%016llx\n",
+      (unsigned long long)opt.seed, rep.sessions, rep.frames_sent,
+      rep.responses, rep.compared, rep.divergences, rep.hangs,
+      (unsigned long long)rep.digest);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "chaos FAILURE: %s\n", rep.first_failure.c_str());
+    return 2;
+  }
   return 0;
 }
 
@@ -611,6 +670,7 @@ constexpr Command kCommands[] = {
     {"gmres_ir", cmd_gmres_ir},
     {"serve", cmd_serve},
     {"serve-client", cmd_serve_client},
+    {"chaos", cmd_chaos},
     {"kernels", cmd_kernels},
     {"precision", cmd_precision},
     {"fuzz", cmd_fuzz},
